@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "geom/distributions.hpp"
+#include "support/cli.hpp"
+
+namespace amtfmm::bench {
+
+/// Source and target ensembles as in the paper's runs: same size, distinct
+/// (different draws), same distribution type.
+struct Ensembles {
+  std::vector<Vec3> sources;
+  std::vector<Vec3> targets;
+  std::vector<double> charges;
+};
+
+inline Ensembles make_ensembles(Distribution d, std::size_t n,
+                                std::uint64_t seed) {
+  Rng rs(seed), rt(seed + 1000), rq(seed + 2000);
+  Ensembles e;
+  e.sources = generate_points(d, n, rs);
+  e.targets = generate_points(d, n, rt);
+  e.charges = generate_charges(n, rq, 0.1, 1.0);
+  return e;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Formats a byte range like the paper's tables ("32-1920" or "880").
+inline std::string byte_range(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) return "-";  // empty class
+  if (lo == hi) return std::to_string(lo);
+  return std::to_string(lo) + "-" + std::to_string(hi);
+}
+
+}  // namespace amtfmm::bench

@@ -1,0 +1,166 @@
+// Micro-benchmarks of the eleven DAG operators for both kernels — the
+// native equivalent of the paper's Table II t_avg column, and the input to
+// the "host" cost profile of the scaling simulation.
+
+#include <benchmark/benchmark.h>
+
+#include "kernels/kernel.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace amtfmm;
+
+constexpr int kLevel = 3;
+constexpr double kW = 1.0 / 8;
+
+struct Fixture {
+  std::unique_ptr<Kernel> kernel;
+  std::vector<Vec3> spts, tpts;
+  std::vector<double> q;
+  Vec3 cs{0.5625, 0.5625, 0.5625};
+  Vec3 ct;
+  CoeffVec m, l, x, xin;
+
+  explicit Fixture(const std::string& name, int pts = 60) {
+    kernel = make_kernel(name, 2.0);
+    kernel->setup(1.0, 8, 3);
+    ct = cs + Vec3{2 * kW, 0, kW};
+    Rng rng(99);
+    for (int i = 0; i < pts; ++i) {
+      spts.push_back(cs + Vec3{rng.uniform(-.5, .5), rng.uniform(-.5, .5),
+                               rng.uniform(-.5, .5)} * kW);
+      tpts.push_back(ct + Vec3{rng.uniform(-.5, .5), rng.uniform(-.5, .5),
+                               rng.uniform(-.5, .5)} * kW);
+      q.push_back(rng.uniform(0.1, 1.0));
+    }
+    kernel->s2m(spts, q, cs, kLevel, m);
+    l.assign(kernel->l_count(kLevel), cdouble{});
+    if (kernel->supports_merge_and_shift()) {
+      kernel->m2i(m, kLevel, Axis::kPlusZ, x);
+      xin.assign(kernel->x_count(kLevel), cdouble{});
+      kernel->i2i_acc(x, Axis::kPlusZ, ct - cs, kLevel, xin);
+    }
+  }
+};
+
+Fixture& fx(const std::string& name) {
+  static Fixture laplace("laplace");
+  static Fixture yukawa("yukawa");
+  return name == "laplace" ? laplace : yukawa;
+}
+
+void BM_S2M(benchmark::State& state, const std::string& k) {
+  auto& f = fx(k);
+  CoeffVec out;
+  for (auto _ : state) {
+    f.kernel->s2m(f.spts, f.q, f.cs, kLevel, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+void BM_M2M(benchmark::State& state, const std::string& k) {
+  auto& f = fx(k);
+  CoeffVec out(f.kernel->m_count(kLevel - 1), cdouble{});
+  const Vec3 cp = f.cs + Vec3{kW / 2, kW / 2, kW / 2};
+  for (auto _ : state) {
+    f.kernel->m2m_acc(f.m, f.cs, cp, kLevel, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+void BM_M2L(benchmark::State& state, const std::string& k) {
+  auto& f = fx(k);
+  CoeffVec out(f.kernel->l_count(kLevel), cdouble{});
+  for (auto _ : state) {
+    f.kernel->m2l_acc(f.m, f.cs, f.ct, kLevel, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+void BM_M2T(benchmark::State& state, const std::string& k) {
+  auto& f = fx(k);
+  for (auto _ : state) {
+    double acc = 0;
+    for (const auto& t : f.tpts) acc += f.kernel->m2t(f.m, f.cs, kLevel, t);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+void BM_S2L(benchmark::State& state, const std::string& k) {
+  auto& f = fx(k);
+  CoeffVec out(f.kernel->l_count(kLevel), cdouble{});
+  for (auto _ : state) {
+    f.kernel->s2l_acc(f.spts, f.q, f.ct, kLevel, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+void BM_L2L(benchmark::State& state, const std::string& k) {
+  auto& f = fx(k);
+  CoeffVec out(f.kernel->l_count(kLevel + 1), cdouble{});
+  const Vec3 cc = f.ct + Vec3{kW / 4, kW / 4, kW / 4};
+  for (auto _ : state) {
+    f.kernel->l2l_acc(f.l, f.ct, cc, kLevel + 1, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+void BM_L2T(benchmark::State& state, const std::string& k) {
+  auto& f = fx(k);
+  for (auto _ : state) {
+    double acc = 0;
+    for (const auto& t : f.tpts) acc += f.kernel->l2t(f.l, f.ct, kLevel, t);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+void BM_S2T(benchmark::State& state, const std::string& k) {
+  auto& f = fx(k);
+  for (auto _ : state) {
+    double acc = 0;
+    for (const auto& t : f.tpts)
+      for (std::size_t i = 0; i < f.spts.size(); ++i)
+        acc += f.q[i] * f.kernel->direct(t, f.spts[i]);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+void BM_M2I(benchmark::State& state, const std::string& k) {
+  auto& f = fx(k);
+  CoeffVec out;
+  for (auto _ : state) {
+    for (Axis d : kAllAxes) {
+      f.kernel->m2i(f.m, kLevel, d, out);
+      benchmark::DoNotOptimize(out.data());
+    }
+  }
+}
+void BM_I2I(benchmark::State& state, const std::string& k) {
+  auto& f = fx(k);
+  CoeffVec out(f.kernel->x_count(kLevel), cdouble{});
+  for (auto _ : state) {
+    f.kernel->i2i_acc(f.x, Axis::kPlusZ, f.ct - f.cs, kLevel, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+void BM_I2L(benchmark::State& state, const std::string& k) {
+  auto& f = fx(k);
+  CoeffVec out(f.kernel->l_count(kLevel), cdouble{});
+  for (auto _ : state) {
+    f.kernel->i2l_acc(f.xin, Axis::kPlusZ, kLevel, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+#define REGISTER(op)                                              \
+  BENCHMARK_CAPTURE(BM_##op, laplace, std::string("laplace"));    \
+  BENCHMARK_CAPTURE(BM_##op, yukawa, std::string("yukawa"))
+
+REGISTER(S2M);
+REGISTER(M2M);
+REGISTER(M2L);
+REGISTER(M2T);
+REGISTER(S2L);
+REGISTER(L2L);
+REGISTER(L2T);
+REGISTER(S2T);
+REGISTER(M2I);
+REGISTER(I2I);
+REGISTER(I2L);
+
+}  // namespace
+
+BENCHMARK_MAIN();

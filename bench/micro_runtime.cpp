@@ -1,0 +1,85 @@
+// Micro-benchmarks of the AMT substrate: task spawn/drain throughput, LCO
+// reduction rate, parcel round-trips, and discrete-event simulation rate —
+// the runtime-overhead side of the paper's grain-size discussion (tasks of
+// a few microseconds must not be swamped by scheduler costs).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "runtime/runtime.hpp"
+
+namespace {
+
+using namespace amtfmm;
+
+void BM_SpawnDrain(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  ThreadExecutor ex(1, 2);
+  std::atomic<int> count{0};
+  for (auto _ : state) {
+    count.store(0);
+    for (int i = 0; i < tasks; ++i) {
+      Task t;
+      t.fn = [&count] { count.fetch_add(1, std::memory_order_relaxed); };
+      ex.spawn(std::move(t));
+    }
+    ex.drain();
+    benchmark::DoNotOptimize(count.load());
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_SpawnDrain)->Arg(1000)->Arg(10000);
+
+void BM_LcoReduction(benchmark::State& state) {
+  ThreadExecutor ex(1, 2);
+  const int inputs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SumLCO sum(ex, inputs);
+    for (int i = 0; i < inputs; ++i) sum.add(1.0);
+    benchmark::DoNotOptimize(sum.triggered());
+  }
+  state.SetItemsProcessed(state.iterations() * inputs);
+}
+BENCHMARK(BM_LcoReduction)->Arg(100)->Arg(10000);
+
+void BM_ParcelRoundTrip(benchmark::State& state) {
+  RuntimeConfig cfg;
+  cfg.localities = 2;
+  cfg.cores_per_locality = 1;
+  Runtime rt(cfg);
+  std::atomic<int> hits{0};
+  const std::uint32_t action = rt.register_action(
+      [&hits](Runtime&, const Parcel&) { hits.fetch_add(1); });
+  for (auto _ : state) {
+    Parcel p;
+    p.action = action;
+    p.target = GlobalAddress{1, 0};
+    p.payload.resize(880);  // one multipole expansion
+    rt.send_parcel(0, std::move(p));
+    rt.drain();
+  }
+  benchmark::DoNotOptimize(hits.load());
+}
+BENCHMARK(BM_ParcelRoundTrip);
+
+void BM_SimEventRate(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SimExecutor ex(4, 32, SchedPolicy::kWorkStealing, NetworkModel{});
+    for (int i = 0; i < tasks; ++i) {
+      Task t;
+      t.locality = static_cast<std::uint32_t>(i % 4);
+      t.items = {{kClsOther, 1e-6}};
+      ex.spawn(std::move(t));
+    }
+    ex.drain();
+    benchmark::DoNotOptimize(ex.now());
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_SimEventRate)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Micro-benchmarks of the setup phase: dual-tree construction, interaction
+// lists, and explicit-DAG construction (the paper amortizes these over many
+// evaluations; they bound the first-iteration cost).
+
+#include <benchmark/benchmark.h>
+
+#include "core/dag.hpp"
+#include "geom/distributions.hpp"
+#include "tree/lists.hpp"
+
+namespace {
+
+using namespace amtfmm;
+
+void BM_TreeBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const auto pts = generate_points(Distribution::kCube, n, rng);
+  const Cube domain = bounding_cube(pts, {});
+  for (auto _ : state) {
+    Tree t = Tree::build(pts, domain, 60, 4);
+    benchmark::DoNotOptimize(t.boxes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_TreeBuild)->Arg(10000)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_InteractionLists(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const auto src = generate_points(Distribution::kCube, n, rng);
+  const auto tgt = generate_points(Distribution::kCube, n, rng);
+  const DualTree dt = build_dual_tree(src, tgt, 60, 1);
+  for (auto _ : state) {
+    InteractionLists lists = build_lists(dt);
+    benchmark::DoNotOptimize(lists.l2.data());
+  }
+}
+BENCHMARK(BM_InteractionLists)->Arg(10000)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DagBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const auto src = generate_points(Distribution::kCube, n, rng);
+  const auto tgt = generate_points(Distribution::kCube, n, rng);
+  const DualTree dt = build_dual_tree(src, tgt, 60, 4);
+  auto kernel = make_kernel("laplace");
+  kernel->setup(dt.source.domain().size, dt.source.max_level() + 1, 3);
+  const InteractionLists lists = build_lists(dt);
+  for (auto _ : state) {
+    Dag dag = build_dag(dt, lists, *kernel, DagBuildConfig{}, 4);
+    benchmark::DoNotOptimize(dag.nodes.data());
+  }
+}
+BENCHMARK(BM_DagBuild)->Arg(10000)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SphereTreeDepth(benchmark::State& state) {
+  // Sphere-surface data: the adaptive worst case of the paper's inputs.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  const auto pts = generate_points(Distribution::kSphere, n, rng);
+  const Cube domain = bounding_cube(pts, {});
+  for (auto _ : state) {
+    Tree t = Tree::build(pts, domain, 60, 1);
+    benchmark::DoNotOptimize(t.max_level());
+  }
+}
+BENCHMARK(BM_SphereTreeDepth)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

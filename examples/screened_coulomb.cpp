@@ -1,0 +1,68 @@
+// Screened-Coulomb scenario: ions on a membrane-like spherical surface in
+// an electrolyte.  The Yukawa kernel e^{-lambda r}/r models Debye
+// screening; sweeping lambda shows the far field collapsing and, with it,
+// the shrinking of the intermediate expansions the paper's scale-variant
+// kernel discussion describes (the expansion length depends on depth and
+// screening).
+//
+//   ./examples/screened_coulomb [--n 15000]
+
+#include <cstdio>
+
+#include "core/evaluator.hpp"
+#include "geom/distributions.hpp"
+#include "support/cli.hpp"
+#include "support/timer.hpp"
+
+using namespace amtfmm;
+
+int main(int argc, char** argv) {
+  Cli cli("screened_coulomb: Yukawa potentials of ions on a spherical surface");
+  cli.add_flag("n", static_cast<std::int64_t>(15000), "number of ions");
+  cli.parse(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.i64("n"));
+
+  Rng rng(3);
+  const auto ions = generate_points(Distribution::kSphere, n, rng);
+  // Alternating charges, as in a salt layer.
+  std::vector<double> q(n);
+  for (std::size_t i = 0; i < n; ++i) q[i] = (i % 2 == 0) ? 1.0 : -1.0;
+
+  std::printf("%zu alternating ions on a sphere; Debye screening sweep\n\n", n);
+  std::printf("%10s %12s %14s %16s %18s\n", "lambda", "time [s]",
+              "sample error", "mean |phi|", "X length (leaf)");
+
+  for (double lambda : {0.5, 2.0, 8.0, 32.0}) {
+    EvalConfig cfg;
+    cfg.method = Method::kFmmAdvanced;
+    cfg.threshold = 40;
+    cfg.localities = 1;
+    cfg.cores_per_locality = 2;
+    Evaluator eval(make_kernel("yukawa", lambda), cfg);
+    Timer t;
+    const EvalResult r = eval.evaluate(ions, q, ions);
+    const double secs = t.seconds();
+
+    const std::size_t sample = std::min<std::size_t>(200, n);
+    std::vector<Vec3> probe(ions.begin(),
+                            ions.begin() + static_cast<long>(sample));
+    const auto exact = direct_sum(eval.kernel(), ions, q, probe);
+    double num = 0, den = 0, mean = 0;
+    for (std::size_t i = 0; i < sample; ++i) {
+      num += (r.potentials[i] - exact[i]) * (r.potentials[i] - exact[i]);
+      den += exact[i] * exact[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) mean += std::abs(r.potentials[i]);
+    mean /= static_cast<double>(n);
+    // Leaf-level intermediate-expansion length for this screening.
+    const auto& yk = eval.kernel();
+    const std::size_t xlen = yk.x_count(6);
+    std::printf("%10.1f %12.3f %14.2e %16.4f %18zu\n", lambda, secs,
+                std::sqrt(num / den), mean, xlen);
+  }
+  std::printf("\nStronger screening kills the far field: potentials shrink "
+              "toward the nearest-neighbour term and the plane-wave\n"
+              "expansions shorten level by level (empty once "
+              "lambda * box_size exceeds the accuracy budget).\n");
+  return 0;
+}

@@ -1,0 +1,573 @@
+#include "core/dag.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace amtfmm {
+
+const char* to_string(NodeKind k) {
+  switch (k) {
+    case NodeKind::kS: return "S";
+    case NodeKind::kM: return "M";
+    case NodeKind::kIs: return "Is";
+    case NodeKind::kIt: return "It";
+    case NodeKind::kL: return "L";
+    case NodeKind::kT: return "T";
+  }
+  return "?";
+}
+
+Method parse_method(const std::string& name) {
+  if (name == "fmm") return Method::kFmmBasic;
+  if (name == "fmm-advanced") return Method::kFmmAdvanced;
+  if (name == "bh") return Method::kBarnesHut;
+  throw config_error("unknown method: " + name +
+                     " (expected fmm|fmm-advanced|bh)");
+}
+
+const char* to_string(Method m) {
+  switch (m) {
+    case Method::kFmmBasic: return "fmm";
+    case Method::kFmmAdvanced: return "fmm-advanced";
+    case Method::kBarnesHut: return "bh";
+  }
+  return "?";
+}
+
+Axis classify_direction(int di, int dj, int dk) {
+  // Offsets are source-minus-target; the propagation direction is the
+  // dominant axis of target-minus-source, priority z, y, x (CGR99).
+  const int tx = -di, ty = -dj, tz = -dk;
+  if (tz >= 2) return Axis::kPlusZ;
+  if (tz <= -2) return Axis::kMinusZ;
+  if (ty >= 2) return Axis::kPlusY;
+  if (ty <= -2) return Axis::kMinusY;
+  if (tx >= 2) return Axis::kPlusX;
+  AMTFMM_ASSERT_MSG(tx <= -2, "list-2 offset must be well separated");
+  return Axis::kMinusX;
+}
+
+namespace {
+
+/// Shared builder state.  Construction runs in two passes over a single
+/// edge-enumeration routine: pass 1 counts per-node out-degrees, pass 2
+/// fills the CSR arrays and in-degrees.
+class Builder {
+ public:
+  Builder(const DualTree& dt, const InteractionLists& lists,
+          const Kernel& kernel, const DagBuildConfig& cfg, int num_localities)
+      : dt_(dt),
+        lists_(lists),
+        kernel_(kernel),
+        cfg_(cfg),
+        num_localities_(num_localities) {}
+
+  Dag run() {
+    decide_nodes();
+    if (cfg_.method == Method::kFmmAdvanced) plan_merges();
+    create_nodes();
+    // Pass 1: count out-degrees.
+    counting_ = true;
+    enumerate_edges();
+    std::uint32_t total = 0;
+    for (auto& n : dag_.nodes) {
+      n.first_edge = total;
+      total += n.num_edges;
+      n.num_edges = 0;  // reused as fill cursor
+    }
+    dag_.edges.resize(total);
+    // Pass 2: fill.
+    counting_ = false;
+    enumerate_edges();
+    place_nodes();
+    validate();
+    return std::move(dag_);
+  }
+
+ private:
+  // --- node existence ------------------------------------------------------
+  void decide_nodes() {
+    const auto& sb = dt_.source.boxes();
+    const auto& tb = dt_.target.boxes();
+    m_needed_.assign(sb.size(), 0);
+    is_needed_.assign(sb.size(), 0);
+    s_used_.assign(sb.size(), 0);
+    l_active_.assign(tb.size(), 0);
+    it_own_.assign(tb.size(), 0);
+    it_fwd_.assign(tb.size(), 0);
+    on_path_.assign(tb.size(), 0);
+
+    if (cfg_.method == Method::kBarnesHut) {
+      decide_nodes_bh();
+      return;
+    }
+
+    // Mark multipole roots from lists, then close downward (a box's M is
+    // built from its children's Ms).
+    std::vector<BoxIndex> stack;
+    auto mark_m = [&](BoxIndex b) {
+      if (m_needed_[b]) return;
+      m_needed_[b] = 1;
+      stack.push_back(b);
+    };
+    for (BoxIndex b = 0; b < tb.size(); ++b) {
+      for (const List2Entry& e : lists_.l2[b]) {
+        mark_m(e.src);
+        if (cfg_.method == Method::kFmmAdvanced) is_needed_[e.src] = 1;
+      }
+      for (BoxIndex s : lists_.l3[b]) mark_m(s);
+    }
+    while (!stack.empty()) {
+      const BoxIndex b = stack.back();
+      stack.pop_back();
+      for (const BoxIndex c : sb[b].child) {
+        if (c != kNoBox) mark_m(c);
+      }
+    }
+    for (BoxIndex b = 0; b < sb.size(); ++b) {
+      if (sb[b].is_leaf() && m_needed_[b]) s_used_[b] = 1;
+    }
+    for (BoxIndex b = 0; b < tb.size(); ++b) {
+      for (BoxIndex s : lists_.l1[b]) s_used_[s] = 1;
+      for (BoxIndex s : lists_.l4[b]) s_used_[s] = 1;
+    }
+
+    // Target side: walk the active path (root to dag leaves), propagating
+    // local-expansion activity downward.
+    walk_targets(dt_.target.root(), /*parent_l=*/false);
+  }
+
+  void walk_targets(BoxIndex b, bool parent_l) {
+    on_path_[b] = 1;
+    const bool own_content =
+        (cfg_.method == Method::kFmmAdvanced
+             ? !lists_.l2[b].empty()
+             : !lists_.l2[b].empty()) ||
+        !lists_.l4[b].empty();
+    if (cfg_.method == Method::kFmmAdvanced && !lists_.l2[b].empty()) {
+      it_own_[b] = 1;
+    }
+    l_active_[b] = (own_content || parent_l) ? 1 : 0;
+    if (lists_.dag_leaf[b]) return;
+    for (const BoxIndex c : dt_.target.box(b).child) {
+      if (c != kNoBox) walk_targets(c, l_active_[b] != 0);
+    }
+  }
+
+  void decide_nodes_bh() {
+    // Barnes-Hut: every source box carries a multipole; targets are plain
+    // leaves; edges come from the acceptance traversal in enumerate_edges.
+    const auto& sb = dt_.source.boxes();
+    const auto& tb = dt_.target.boxes();
+    for (BoxIndex b = 0; b < sb.size(); ++b) {
+      m_needed_[b] = 1;
+      if (sb[b].is_leaf()) s_used_[b] = 1;
+    }
+    for (BoxIndex b = 0; b < tb.size(); ++b) on_path_[b] = 1;
+  }
+
+  // --- merge-and-shift planning -------------------------------------------
+  void plan_merges() {
+    const auto& tb = dt_.target.boxes();
+    // Per-box per-direction sorted source lists.
+    dir_lists_.assign(tb.size(), {});
+    for (BoxIndex b = 0; b < tb.size(); ++b) {
+      for (const List2Entry& e : lists_.l2[b]) {
+        const Axis d = classify_direction(e.di, e.dj, e.dk);
+        dir_lists_[b][static_cast<std::size_t>(d)].push_back(e.src);
+      }
+      for (auto& v : dir_lists_[b]) std::sort(v.begin(), v.end());
+    }
+    shared_.assign(tb.size(), {});
+    residual_ = dir_lists_;  // residual starts as the full lists
+    for (BoxIndex p = 0; p < tb.size(); ++p) {
+      if (tb[p].is_leaf() || !on_path_[p] || lists_.dag_leaf[p]) continue;
+      if (tb[p].level < 2) continue;  // no It node to merge at
+      for (std::size_t d = 0; d < 6; ++d) {
+        // Children participating in this direction.
+        std::vector<BoxIndex> kids;
+        for (const BoxIndex c : tb[p].child) {
+          if (c != kNoBox && on_path_[c] &&
+              !dir_lists_[c][d].empty()) {
+            kids.push_back(c);
+          }
+        }
+        if (kids.size() < 2) continue;
+        std::vector<BoxIndex> inter = dir_lists_[kids[0]][d];
+        std::vector<BoxIndex> tmp;
+        for (std::size_t i = 1; i < kids.size() && !inter.empty(); ++i) {
+          tmp.clear();
+          std::set_intersection(inter.begin(), inter.end(),
+                                dir_lists_[kids[i]][d].begin(),
+                                dir_lists_[kids[i]][d].end(),
+                                std::back_inserter(tmp));
+          inter.swap(tmp);
+        }
+        if (inter.empty()) continue;
+        it_fwd_[p] = 1;
+        shared_[p][d] = inter;
+        merge_kids_[{p, static_cast<int>(d)}] = kids;
+        for (const BoxIndex c : kids) {
+          it_own_[c] = 1;  // receives the shift
+          tmp.clear();
+          std::set_difference(residual_[c][d].begin(), residual_[c][d].end(),
+                              inter.begin(), inter.end(),
+                              std::back_inserter(tmp));
+          residual_[c][d].swap(tmp);
+        }
+      }
+    }
+  }
+
+  // --- node creation -------------------------------------------------------
+  void create_nodes() {
+    const auto& sb = dt_.source.boxes();
+    const auto& tb = dt_.target.boxes();
+    dag_.s_of_box.assign(sb.size(), kNoNode);
+    dag_.m_of_box.assign(sb.size(), kNoNode);
+    dag_.is_of_box.assign(sb.size(), kNoNode);
+    dag_.it_of_box.assign(tb.size(), kNoNode);
+    dag_.l_of_box.assign(tb.size(), kNoNode);
+    dag_.t_of_box.assign(tb.size(), kNoNode);
+
+    auto add = [&](NodeKind kind, BoxIndex box, std::uint8_t level,
+                   std::uint32_t locality, std::uint64_t bytes) {
+      DagNode n;
+      n.kind = kind;
+      n.box = box;
+      n.level = level;
+      n.locality = locality;
+      n.payload_bytes = bytes;
+      dag_.nodes.push_back(n);
+      return static_cast<NodeIndex>(dag_.nodes.size() - 1);
+    };
+
+    for (BoxIndex b = 0; b < sb.size(); ++b) {
+      const TreeBox& box = sb[b];
+      const auto lvl = static_cast<std::uint8_t>(box.level);
+      if (s_used_[b]) {
+        dag_.s_of_box[b] = add(NodeKind::kS, b, lvl, box.locality,
+                               box.count * 32ull);
+      }
+      if (m_needed_[b]) {
+        dag_.m_of_box[b] = add(NodeKind::kM, b, lvl, box.locality,
+                               kernel_.m_wire_bytes(box.level));
+      }
+      if (is_needed_[b]) {
+        dag_.is_of_box[b] = add(NodeKind::kIs, b, lvl, box.locality,
+                                6 * kernel_.x_wire_bytes(box.level));
+      }
+    }
+    for (BoxIndex b = 0; b < tb.size(); ++b) {
+      const TreeBox& box = tb[b];
+      const auto lvl = static_cast<std::uint8_t>(box.level);
+      if (it_own_[b] || it_fwd_[b]) {
+        const std::uint64_t own = 6 * kernel_.x_wire_bytes(box.level);
+        const std::uint64_t fwd =
+            it_fwd_[b] ? 6 * kernel_.x_wire_bytes(box.level + 1) : 0;
+        dag_.it_of_box[b] =
+            add(NodeKind::kIt, b, lvl, box.locality, own + fwd);
+      }
+      if (l_active_[b] && on_path_[b]) {
+        dag_.l_of_box[b] = add(NodeKind::kL, b, lvl, box.locality,
+                               kernel_.l_wire_bytes(box.level));
+      }
+      if (on_path_[b] && lists_.dag_leaf[b] && box.count > 0 &&
+          cfg_.method != Method::kBarnesHut) {
+        dag_.t_of_box[b] = add(NodeKind::kT, b, lvl, box.locality,
+                               box.count * 40ull);
+      }
+      if (cfg_.method == Method::kBarnesHut && box.is_leaf()) {
+        dag_.t_of_box[b] = add(NodeKind::kT, b, lvl, box.locality,
+                               box.count * 40ull);
+      }
+    }
+  }
+
+  // --- edge enumeration ----------------------------------------------------
+  void emit(NodeIndex from, NodeIndex to, Operator op, std::uint8_t dir,
+            std::uint8_t slot, std::uint32_t bytes, float metric) {
+    AMTFMM_ASSERT(from != kNoNode && to != kNoNode);
+    DagNode& src = dag_.nodes[from];
+    if (counting_) {
+      src.num_edges++;
+      return;
+    }
+    DagEdge e;
+    e.target = to;
+    e.op = op;
+    e.dir = dir;
+    e.slot = slot;
+    e.bytes = bytes;
+    e.cost_metric = metric;
+    dag_.edges[src.first_edge + src.num_edges++] = e;
+    dag_.nodes[to].in_degree++;
+  }
+
+  void enumerate_edges() {
+    if (cfg_.method == Method::kBarnesHut) {
+      enumerate_edges_bh();
+      return;
+    }
+    const auto& sb = dt_.source.boxes();
+    const auto& tb = dt_.target.boxes();
+    const bool advanced = cfg_.method == Method::kFmmAdvanced;
+
+    // Source tree: S->M, M->M, M->I.
+    for (BoxIndex b = 0; b < sb.size(); ++b) {
+      if (!m_needed_[b]) continue;
+      const int lvl = sb[b].level;
+      if (sb[b].is_leaf()) {
+        emit(dag_.s_of_box[b], dag_.m_of_box[b], Operator::kS2M, 0, 0,
+             static_cast<std::uint32_t>(kernel_.m_wire_bytes(lvl)),
+             static_cast<float>(sb[b].count));
+      }
+      const BoxIndex p = sb[b].parent;
+      if (p != kNoBox && m_needed_[p]) {
+        emit(dag_.m_of_box[b], dag_.m_of_box[p], Operator::kM2M, 0, 0,
+             static_cast<std::uint32_t>(kernel_.m_wire_bytes(lvl)), 1.0f);
+      }
+      if (advanced && is_needed_[b]) {
+        emit(dag_.m_of_box[b], dag_.is_of_box[b], Operator::kM2I, 0, 0,
+             static_cast<std::uint32_t>(6 * kernel_.x_wire_bytes(lvl)), 1.0f);
+      }
+    }
+
+    // Target lists: S->T, S->L, M->T, and (basic) M->L.
+    for (BoxIndex b = 0; b < tb.size(); ++b) {
+      if (!on_path_[b]) continue;
+      const int lvl = tb[b].level;
+      for (const BoxIndex s : lists_.l1[b]) {
+        emit(dag_.s_of_box[s], dag_.t_of_box[b], Operator::kS2T, 0, 0,
+             sb[s].count * 32u,
+             static_cast<float>(sb[s].count) * static_cast<float>(tb[b].count));
+      }
+      for (const BoxIndex s : lists_.l4[b]) {
+        emit(dag_.s_of_box[s], dag_.l_of_box[b], Operator::kS2L, 0, 0,
+             static_cast<std::uint32_t>(kernel_.l_wire_bytes(lvl)),
+             static_cast<float>(sb[s].count));
+      }
+      for (const BoxIndex s : lists_.l3[b]) {
+        emit(dag_.m_of_box[s], dag_.t_of_box[b], Operator::kM2T, 0, 0,
+             static_cast<std::uint32_t>(kernel_.m_wire_bytes(sb[s].level)),
+             static_cast<float>(tb[b].count));
+      }
+      if (!advanced) {
+        for (const List2Entry& e : lists_.l2[b]) {
+          emit(dag_.m_of_box[e.src], dag_.l_of_box[b], Operator::kM2L, 0, 0,
+               static_cast<std::uint32_t>(kernel_.m_wire_bytes(lvl)), 1.0f);
+        }
+      }
+    }
+
+    if (advanced) {
+      // Merge legs: Is(src) -> It(parent).fwd, then It(parent) -> It(child).
+      for (const auto& [key, kids] : merge_kids_) {
+        const auto [p, d] = key;
+        const int child_level = tb[p].level + 1;
+        const auto bytes =
+            static_cast<std::uint32_t>(kernel_.x_wire_bytes(child_level));
+        const auto metric = static_cast<float>(kernel_.x_count(child_level));
+        for (const BoxIndex src : shared_[p][static_cast<std::size_t>(d)]) {
+          emit(dag_.is_of_box[src], dag_.it_of_box[p], Operator::kI2I,
+               static_cast<std::uint8_t>(d), 1, bytes, metric);
+        }
+        for (const BoxIndex c : kids) {
+          emit(dag_.it_of_box[p], dag_.it_of_box[c], Operator::kI2I,
+               static_cast<std::uint8_t>(d), 0, bytes, metric);
+        }
+      }
+      // Residual direct legs and the I->L conversions.
+      for (BoxIndex b = 0; b < tb.size(); ++b) {
+        if (!on_path_[b]) continue;
+        const int lvl = tb[b].level;
+        if (it_own_[b]) {
+          for (std::size_t d = 0; d < 6; ++d) {
+            const auto bytes =
+                static_cast<std::uint32_t>(kernel_.x_wire_bytes(lvl));
+            const auto metric = static_cast<float>(kernel_.x_count(lvl));
+            for (const BoxIndex src : residual_[b][d]) {
+              emit(dag_.is_of_box[src], dag_.it_of_box[b], Operator::kI2I,
+                   static_cast<std::uint8_t>(d), 0, bytes, metric);
+            }
+          }
+          emit(dag_.it_of_box[b], dag_.l_of_box[b], Operator::kI2L, 0, 0,
+               static_cast<std::uint32_t>(kernel_.l_wire_bytes(lvl)), 6.0f);
+        }
+      }
+    }
+
+    // Downward L chain.
+    for (BoxIndex b = 0; b < tb.size(); ++b) {
+      if (dag_.l_of_box[b] == kNoNode) continue;
+      const int lvl = tb[b].level;
+      if (lists_.dag_leaf[b]) {
+        emit(dag_.l_of_box[b], dag_.t_of_box[b], Operator::kL2T, 0, 0,
+             static_cast<std::uint32_t>(kernel_.l_wire_bytes(lvl)),
+             static_cast<float>(tb[b].count));
+        continue;
+      }
+      for (const BoxIndex c : tb[b].child) {
+        if (c != kNoBox && dag_.l_of_box[c] != kNoNode) {
+          emit(dag_.l_of_box[b], dag_.l_of_box[c], Operator::kL2L, 0, 0,
+               static_cast<std::uint32_t>(kernel_.l_wire_bytes(lvl)), 1.0f);
+        }
+      }
+    }
+  }
+
+  void enumerate_edges_bh() {
+    const auto& sb = dt_.source.boxes();
+    const auto& tb = dt_.target.boxes();
+    // Source chain as in the FMM.
+    for (BoxIndex b = 0; b < sb.size(); ++b) {
+      if (sb[b].is_leaf()) {
+        emit(dag_.s_of_box[b], dag_.m_of_box[b], Operator::kS2M, 0, 0,
+             static_cast<std::uint32_t>(kernel_.m_wire_bytes(sb[b].level)),
+             static_cast<float>(sb[b].count));
+      }
+      const BoxIndex p = sb[b].parent;
+      if (p != kNoBox) {
+        emit(dag_.m_of_box[b], dag_.m_of_box[p], Operator::kM2M, 0, 0,
+             static_cast<std::uint32_t>(kernel_.m_wire_bytes(sb[b].level)),
+             1.0f);
+      }
+    }
+    // Acceptance traversal per target leaf.
+    for (BoxIndex b = 0; b < tb.size(); ++b) {
+      if (!tb[b].is_leaf()) continue;
+      bh_walk(b, dt_.source.root());
+    }
+  }
+
+  void bh_walk(BoxIndex tgt, BoxIndex src) {
+    const TreeBox& s = dt_.source.box(src);
+    const TreeBox& t = dt_.target.box(tgt);
+    if (s.is_leaf()) {
+      emit(dag_.s_of_box[src], dag_.t_of_box[tgt], Operator::kS2T, 0, 0,
+           s.count * 32u,
+           static_cast<float>(s.count) * static_cast<float>(t.count));
+      return;
+    }
+    // Conservative MAC: opening angle against the nearest point of the
+    // target box.
+    const Vec3 c = s.cube.center();
+    const Vec3 lo = t.cube.low, hi = t.cube.high();
+    const double dx = std::max({lo.x - c.x, c.x - hi.x, 0.0});
+    const double dy = std::max({lo.y - c.y, c.y - hi.y, 0.0});
+    const double dz = std::max({lo.z - c.z, c.z - hi.z, 0.0});
+    const double dist = std::sqrt(dx * dx + dy * dy + dz * dz);
+    if (dist > 0.0 && s.cube.size / dist < cfg_.bh_theta) {
+      emit(dag_.m_of_box[src], dag_.t_of_box[tgt], Operator::kM2T, 0, 0,
+           static_cast<std::uint32_t>(kernel_.m_wire_bytes(s.level)),
+           static_cast<float>(t.count));
+      return;
+    }
+    for (const BoxIndex ch : s.child) {
+      if (ch != kNoBox) bh_walk(tgt, ch);
+    }
+  }
+
+  // --- placement -----------------------------------------------------------
+  void place_nodes() {
+    if (cfg_.placement != Placement::kCommMin || num_localities_ <= 1) return;
+    // Move each It node to the locality that sends it the most bytes
+    // (approximating the paper's communication-minimizing policy; leaf M/L
+    // stay pinned to the data distribution as required).
+    std::unordered_map<NodeIndex, std::unordered_map<std::uint32_t, std::uint64_t>>
+        tally;
+    for (const DagNode& n : dag_.nodes) {
+      for (std::uint32_t e = n.first_edge; e < n.first_edge + n.num_edges;
+           ++e) {
+        const DagEdge& edge = dag_.edges[e];
+        if (dag_.nodes[edge.target].kind == NodeKind::kIt) {
+          tally[edge.target][n.locality] += edge.bytes;
+        }
+      }
+    }
+    for (auto& [node, per_loc] : tally) {
+      std::uint32_t best = dag_.nodes[node].locality;
+      std::uint64_t best_bytes = 0;
+      for (const auto& [loc, bytes] : per_loc) {
+        if (bytes > best_bytes) {
+          best_bytes = bytes;
+          best = loc;
+        }
+      }
+      dag_.nodes[node].locality = best;
+    }
+  }
+
+  void validate() const {
+    for (const DagNode& n : dag_.nodes) {
+      if (n.kind != NodeKind::kS && n.kind != NodeKind::kT) {
+        AMTFMM_ASSERT_MSG(n.in_degree > 0, "non-root DAG node without inputs");
+      }
+      if (n.kind == NodeKind::kS) {
+        AMTFMM_ASSERT(n.in_degree == 0);
+      }
+    }
+  }
+
+  struct PairHash {
+    std::size_t operator()(const std::pair<BoxIndex, int>& p) const {
+      return std::hash<std::uint64_t>()(
+          (static_cast<std::uint64_t>(p.first) << 3) ^
+          static_cast<std::uint64_t>(p.second));
+    }
+  };
+
+  const DualTree& dt_;
+  const InteractionLists& lists_;
+  const Kernel& kernel_;
+  DagBuildConfig cfg_;
+  int num_localities_;
+
+  Dag dag_;
+  bool counting_ = true;
+  std::vector<std::uint8_t> m_needed_, is_needed_, s_used_;
+  std::vector<std::uint8_t> l_active_, it_own_, it_fwd_, on_path_;
+  std::vector<std::array<std::vector<BoxIndex>, 6>> dir_lists_;
+  std::vector<std::array<std::vector<BoxIndex>, 6>> shared_;
+  std::vector<std::array<std::vector<BoxIndex>, 6>> residual_;
+  std::unordered_map<std::pair<BoxIndex, int>, std::vector<BoxIndex>, PairHash>
+      merge_kids_;
+};
+
+}  // namespace
+
+Dag build_dag(const DualTree& dt, const InteractionLists& lists,
+              const Kernel& kernel, const DagBuildConfig& cfg,
+              int num_localities) {
+  return Builder(dt, lists, kernel, cfg, num_localities).run();
+}
+
+DagStats Dag::stats() const {
+  DagStats s;
+  s.total_nodes = nodes.size();
+  s.total_edges = edges.size();
+  for (const DagNode& n : nodes) {
+    auto& cls = s.nodes[static_cast<std::size_t>(n.kind)];
+    cls.count++;
+    cls.min_bytes = std::min(cls.min_bytes, n.payload_bytes);
+    cls.max_bytes = std::max(cls.max_bytes, n.payload_bytes);
+    cls.din_min = std::min(cls.din_min, n.in_degree);
+    cls.din_max = std::max(cls.din_max, n.in_degree);
+    cls.dout_min = std::min(cls.dout_min, n.num_edges);
+    cls.dout_max = std::max(cls.dout_max, n.num_edges);
+    for (std::uint32_t e = n.first_edge; e < n.first_edge + n.num_edges; ++e) {
+      const DagEdge& edge = edges[e];
+      auto& ec = s.edges[static_cast<std::size_t>(edge.op)];
+      ec.count++;
+      ec.min_bytes = std::min<std::uint64_t>(ec.min_bytes, edge.bytes);
+      ec.max_bytes = std::max<std::uint64_t>(ec.max_bytes, edge.bytes);
+      ec.total_bytes += edge.bytes;
+      if (nodes[edge.target].locality != n.locality) s.remote_edges++;
+    }
+  }
+  return s;
+}
+
+}  // namespace amtfmm

@@ -1,0 +1,325 @@
+#include "core/engine.hpp"
+
+#include "support/error.hpp"
+
+namespace amtfmm {
+
+DagEngine::DagEngine(const Dag& dag, const DualTree& dt, const Kernel& kernel,
+                     Executor& ex, EngineOptions opt)
+    : dag_(dag), dt_(dt), kernel_(kernel), ex_(ex), opt_(std::move(opt)) {
+  states_ = std::make_unique<NodeState[]>(dag_.nodes.size());
+}
+
+double DagEngine::execute(std::span<const double> charges,
+                          std::span<double> potentials) {
+  charges_ = charges;
+  potentials_ = potentials;
+  if (opt_.mode == EngineMode::kCompute) {
+    AMTFMM_ASSERT(charges.size() == dt_.source.num_points());
+    AMTFMM_ASSERT(potentials.size() == dt_.target.num_points());
+    std::fill(potentials.begin(), potentials.end(), 0.0);
+  }
+  for (std::size_t i = 0; i < dag_.nodes.size(); ++i) {
+    states_[i].remaining.store(dag_.nodes[i].in_degree,
+                               std::memory_order_relaxed);
+    states_[i].payload.reset();
+  }
+  const double t0 = ex_.now();
+  seed();
+  ex_.drain();
+  return ex_.now() - t0;
+}
+
+void DagEngine::seed() {
+  for (NodeIndex ni = 0; ni < dag_.nodes.size(); ++ni) {
+    const DagNode& n = dag_.nodes[ni];
+    if (n.kind == NodeKind::kS) {
+      trigger(ni);
+    } else if (n.in_degree == 0 && n.kind == NodeKind::kT) {
+      // A target box no source can see: its potentials are exactly zero.
+      Task t;
+      t.locality = n.locality;
+      t.fn = [this, ni] { finalize_target(ni); };
+      ex_.spawn(std::move(t));
+    }
+  }
+}
+
+void DagEngine::set_input(NodeIndex ni) {
+  if (states_[ni].remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    trigger(ni);
+  }
+}
+
+void DagEngine::trigger(NodeIndex ni) {
+  const DagNode& n = dag_.nodes[ni];
+  if (n.kind == NodeKind::kT) {
+    finalize_target(ni);
+    return;
+  }
+  // Detach the payload: continuations share ownership; the buffers free
+  // once the last coalesced parcel has been evaluated.
+  std::shared_ptr<Payload> payload = std::move(states_[ni].payload);
+  spawn_edge_tasks(ni, std::move(payload));
+}
+
+void DagEngine::spawn_edge_tasks(NodeIndex ni,
+                                 std::shared_ptr<Payload> payload) {
+  const DagNode& n = dag_.nodes[ni];
+  if (n.num_edges == 0) return;
+
+  // Bucket out edges: local ones (possibly split by priority) and one
+  // coalesced bucket per remote locality.
+  std::vector<std::uint32_t> local_low, local_high;
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> remote;
+  auto remote_bucket = [&](std::uint32_t loc) -> std::vector<std::uint32_t>& {
+    for (auto& [l, v] : remote) {
+      if (l == loc) return v;
+    }
+    remote.emplace_back(loc, std::vector<std::uint32_t>{});
+    return remote.back().second;
+  };
+  auto is_high = [](Operator op) {
+    return op == Operator::kS2M || op == Operator::kM2M ||
+           op == Operator::kM2I;
+  };
+  for (std::uint32_t e = n.first_edge; e < n.first_edge + n.num_edges; ++e) {
+    const DagEdge& edge = dag_.edges[e];
+    const std::uint32_t tloc = dag_.nodes[edge.target].locality;
+    if (tloc == n.locality) {
+      (opt_.split_priority && is_high(edge.op) ? local_high : local_low)
+          .push_back(e);
+    } else {
+      remote_bucket(tloc).push_back(e);
+    }
+  }
+
+  auto make_task = [&](std::vector<std::uint32_t> ids, std::uint32_t loc,
+                       bool high) {
+    Task t;
+    t.locality = loc;
+    t.high_priority = high;
+    if (opt_.mode == EngineMode::kCostOnly) {
+      t.items.reserve(ids.size());
+      for (const std::uint32_t e : ids) {
+        const DagEdge& edge = dag_.edges[e];
+        t.items.push_back(CostItem{
+            static_cast<std::uint8_t>(edge.op),
+            opt_.cost.cost(edge.op, edge.cost_metric)});
+      }
+    }
+    t.fn = [this, ni, ids = std::move(ids), payload]() {
+      process_edges(ni, ids, payload);
+    };
+    return t;
+  };
+
+  if (!local_high.empty()) {
+    ex_.spawn(make_task(std::move(local_high), n.locality, true));
+  }
+  if (!local_low.empty()) {
+    ex_.spawn(make_task(std::move(local_low), n.locality, false));
+  }
+  for (auto& [loc, ids] : remote) {
+    // One parcel per destination locality: the expansion data travels once,
+    // plus a small record per edge (the paper's manual coalescing).
+    std::uint64_t bytes = 16 * ids.size();
+    std::uint64_t payload_bytes = 0;
+    for (const std::uint32_t e : ids) {
+      payload_bytes = std::max<std::uint64_t>(payload_bytes,
+                                              dag_.edges[e].bytes);
+    }
+    bytes += payload_bytes;
+    const bool high =
+        opt_.split_priority && is_high(dag_.edges[ids.front()].op);
+    ex_.send(n.locality, loc, bytes, make_task(std::move(ids), loc, high));
+  }
+}
+
+void DagEngine::process_edges(NodeIndex ni,
+                              std::span<const std::uint32_t> edge_ids,
+                              const std::shared_ptr<Payload>& payload) {
+  const bool compute = opt_.mode == EngineMode::kCompute;
+  for (const std::uint32_t e : edge_ids) {
+    const DagEdge& edge = dag_.edges[e];
+    if (compute) {
+      ScopedTrace st(ex_, static_cast<std::uint8_t>(edge.op));
+      apply_edge(ni, edge, payload.get());
+    }
+    set_input(edge.target);
+  }
+}
+
+DagEngine::Payload& DagEngine::ensure_payload(NodeIndex ni) {
+  NodeState& st = states_[ni];
+  if (!st.payload) st.payload = std::make_shared<Payload>();
+  return *st.payload;
+}
+
+namespace {
+
+/// Accumulates b into a, resizing on first use.
+void acc(CoeffVec& a, const CoeffVec& b) {
+  if (a.size() < b.size()) a.resize(b.size(), cdouble{});
+  for (std::size_t i = 0; i < b.size(); ++i) a[i] += b[i];
+}
+
+}  // namespace
+
+void DagEngine::apply_edge(NodeIndex from, const DagEdge& e,
+                           const Payload* src) {
+  const DagNode& fn = dag_.nodes[from];
+  const DagNode& tn = dag_.nodes[e.target];
+  const TreeBox& fbox = (fn.kind == NodeKind::kS || fn.kind == NodeKind::kM ||
+                         fn.kind == NodeKind::kIs)
+                            ? dt_.source.box(fn.box)
+                            : dt_.target.box(fn.box);
+  const TreeBox& tbox = (tn.kind == NodeKind::kS || tn.kind == NodeKind::kM ||
+                         tn.kind == NodeKind::kIs)
+                            ? dt_.source.box(tn.box)
+                            : dt_.target.box(tn.box);
+  NodeState& tstate = states_[e.target];
+
+  // Source-side inputs for S-originated edges.
+  const auto src_pts = std::span<const Vec3>(dt_.source.sorted_points())
+                           .subspan(fbox.first, fbox.count);
+  const auto src_q = charges_.subspan(
+      fn.kind == NodeKind::kS ? fbox.first : 0,
+      fn.kind == NodeKind::kS ? fbox.count : 0);
+  const auto tgt_pts = std::span<const Vec3>(dt_.target.sorted_points())
+                           .subspan(tbox.first, tbox.count);
+
+  switch (e.op) {
+    case Operator::kS2M: {
+      CoeffVec m;
+      kernel_.s2m(src_pts, src_q, tbox.cube.center(), tbox.level, m);
+      tstate.lock.lock();
+      acc(ensure_payload(e.target).main, m);
+      tstate.lock.unlock();
+      break;
+    }
+    case Operator::kM2M: {
+      tstate.lock.lock();
+      Payload& p = ensure_payload(e.target);
+      if (p.main.empty()) p.main.assign(kernel_.m_count(tbox.level), cdouble{});
+      kernel_.m2m_acc(src->main, fbox.cube.center(), tbox.cube.center(),
+                      fbox.level, p.main);
+      tstate.lock.unlock();
+      break;
+    }
+    case Operator::kM2L: {
+      tstate.lock.lock();
+      Payload& p = ensure_payload(e.target);
+      if (p.main.empty()) p.main.assign(kernel_.l_count(tbox.level), cdouble{});
+      kernel_.m2l_acc(src->main, fbox.cube.center(), tbox.cube.center(),
+                      tbox.level, p.main);
+      tstate.lock.unlock();
+      break;
+    }
+    case Operator::kS2L: {
+      tstate.lock.lock();
+      Payload& p = ensure_payload(e.target);
+      if (p.main.empty()) p.main.assign(kernel_.l_count(tbox.level), cdouble{});
+      kernel_.s2l_acc(src_pts, src_q, tbox.cube.center(), tbox.level, p.main);
+      tstate.lock.unlock();
+      break;
+    }
+    case Operator::kM2T: {
+      tstate.lock.lock();
+      Payload& p = ensure_payload(e.target);
+      if (p.phi.empty()) p.phi.assign(tbox.count, 0.0);
+      for (std::uint32_t i = 0; i < tbox.count; ++i) {
+        p.phi[i] += kernel_.m2t(src->main, fbox.cube.center(), fbox.level,
+                                tgt_pts[i]);
+      }
+      tstate.lock.unlock();
+      break;
+    }
+    case Operator::kL2L: {
+      tstate.lock.lock();
+      Payload& p = ensure_payload(e.target);
+      if (p.main.empty()) p.main.assign(kernel_.l_count(tbox.level), cdouble{});
+      kernel_.l2l_acc(src->main, fbox.cube.center(), tbox.cube.center(),
+                      tbox.level, p.main);
+      tstate.lock.unlock();
+      break;
+    }
+    case Operator::kL2T: {
+      tstate.lock.lock();
+      Payload& p = ensure_payload(e.target);
+      if (p.phi.empty()) p.phi.assign(tbox.count, 0.0);
+      for (std::uint32_t i = 0; i < tbox.count; ++i) {
+        p.phi[i] += kernel_.l2t(src->main, fbox.cube.center(), fbox.level,
+                                tgt_pts[i]);
+      }
+      tstate.lock.unlock();
+      break;
+    }
+    case Operator::kS2T: {
+      tstate.lock.lock();
+      Payload& p = ensure_payload(e.target);
+      if (p.phi.empty()) p.phi.assign(tbox.count, 0.0);
+      for (std::uint32_t i = 0; i < tbox.count; ++i) {
+        double phi = 0.0;
+        for (std::size_t j = 0; j < src_pts.size(); ++j) {
+          phi += src_q[j] * kernel_.direct(tgt_pts[i], src_pts[j]);
+        }
+        p.phi[i] += phi;
+      }
+      tstate.lock.unlock();
+      break;
+    }
+    case Operator::kM2I: {
+      tstate.lock.lock();
+      Payload& p = ensure_payload(e.target);
+      for (std::size_t d = 0; d < 6; ++d) {
+        kernel_.m2i(src->main, fbox.level, kAllAxes[d], p.own[d]);
+      }
+      tstate.lock.unlock();
+      break;
+    }
+    case Operator::kI2I: {
+      // Quadrature level: the finer of the two endpoints (merge edges rise
+      // a level, shift edges descend one).
+      const int qlevel = std::max(fbox.level, tbox.level);
+      const auto d = static_cast<std::size_t>(e.dir);
+      const CoeffVec& in =
+          (fn.kind == NodeKind::kIs) ? src->own[d] : src->fwd[d];
+      const Vec3 offset = tbox.cube.center() - fbox.cube.center();
+      tstate.lock.lock();
+      Payload& p = ensure_payload(e.target);
+      CoeffVec& out = (e.slot == 1) ? p.fwd[d] : p.own[d];
+      if (out.size() < kernel_.x_count(qlevel)) {
+        out.assign(kernel_.x_count(qlevel), cdouble{});
+      }
+      kernel_.i2i_acc(in, kAllAxes[d], offset, qlevel, out);
+      tstate.lock.unlock();
+      break;
+    }
+    case Operator::kI2L: {
+      tstate.lock.lock();
+      Payload& p = ensure_payload(e.target);
+      if (p.main.empty()) p.main.assign(kernel_.l_count(tbox.level), cdouble{});
+      for (std::size_t d = 0; d < 6; ++d) {
+        if (!src->own[d].empty()) {
+          kernel_.i2l_acc(src->own[d], kAllAxes[d], fbox.level, p.main);
+        }
+      }
+      tstate.lock.unlock();
+      break;
+    }
+  }
+}
+
+void DagEngine::finalize_target(NodeIndex ni) {
+  if (opt_.mode != EngineMode::kCompute) return;
+  const DagNode& n = dag_.nodes[ni];
+  const TreeBox& box = dt_.target.box(n.box);
+  const std::shared_ptr<Payload> p = std::move(states_[ni].payload);
+  if (!p || p->phi.empty()) return;  // no contributions: stays zero
+  for (std::uint32_t i = 0; i < box.count; ++i) {
+    potentials_[box.first + i] = p->phi[i];
+  }
+}
+
+}  // namespace amtfmm

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "core/cost_model.hpp"
+#include "core/dag.hpp"
+#include "runtime/executor.hpp"
+
+namespace amtfmm {
+
+/// How the implicit DAG is driven.
+enum class EngineMode {
+  kCompute,   ///< run the expansion math, produce potentials (real results)
+  kCostOnly,  ///< run only the dataflow; task times come from the CostModel
+};
+
+struct EngineOptions {
+  EngineMode mode = EngineMode::kCompute;
+  CostModel cost;        ///< used in kCostOnly mode
+  bool split_priority = false;  ///< separate high-priority upward-pass tasks
+};
+
+/// Executes the explicit DAG as a dataflow network over an Executor.
+///
+/// Each DAG node behaves as the paper's custom expansion LCO (section IV
+/// and Figure 2): it holds the expansion payload and the out-edge list;
+/// inputs reduce into the payload under the node's lock; the final input
+/// triggers the node, which spawns one continuation that processes the out
+/// edges — local edges are transformed sequentially and fed into their
+/// target LCOs, while edges to each remote locality are coalesced into a
+/// single parcel carrying the expansion data, evaluated on arrival.
+/// Payload buffers are released once every consumer holds its share.
+///
+/// In kCostOnly mode the same trigger/continuation/parcel structure runs
+/// with empty payloads and modelled task durations — this is what the
+/// discrete-event scaling reproduction executes (see DESIGN.md).
+class DagEngine {
+ public:
+  DagEngine(const Dag& dag, const DualTree& dt, const Kernel& kernel,
+            Executor& ex, EngineOptions opt);
+
+  /// Runs the DAG to completion.  In compute mode, `charges` are the
+  /// source strengths and `potentials` receives the target potentials,
+  /// both in *tree-sorted* order (see Tree::original_index).  In cost-only
+  /// mode both spans may be empty.  Returns the makespan reported by the
+  /// executor.
+  double execute(std::span<const double> charges,
+                 std::span<double> potentials);
+
+ private:
+  struct SpinLock {
+    std::atomic_flag flag = ATOMIC_FLAG_INIT;
+    void lock() {
+      while (flag.test_and_set(std::memory_order_acquire)) {}
+    }
+    void unlock() { flag.clear(std::memory_order_release); }
+  };
+
+  /// Expansion payload: which members are used depends on the node kind.
+  struct Payload {
+    CoeffVec main;                 // M or L coefficients
+    std::array<CoeffVec, 6> own;   // Is outgoing / It incoming X
+    std::array<CoeffVec, 6> fwd;   // It forward (merge) accumulators
+    std::vector<double> phi;       // T potential accumulators
+  };
+
+  struct NodeState {
+    std::atomic<std::uint32_t> remaining{0};
+    SpinLock lock;
+    std::shared_ptr<Payload> payload;
+  };
+
+  void seed();
+  void set_input(NodeIndex ni);
+  void trigger(NodeIndex ni);
+  void spawn_edge_tasks(NodeIndex ni, std::shared_ptr<Payload> payload);
+  void process_edges(NodeIndex ni, std::span<const std::uint32_t> edge_ids,
+                     const std::shared_ptr<Payload>& payload);
+  void apply_edge(NodeIndex from, const DagEdge& e, const Payload* src);
+  void finalize_target(NodeIndex ni);
+  Payload& ensure_payload(NodeIndex ni);
+
+  const Dag& dag_;
+  const DualTree& dt_;
+  const Kernel& kernel_;
+  Executor& ex_;
+  EngineOptions opt_;
+  std::unique_ptr<NodeState[]> states_;
+  std::span<const double> charges_;
+  std::span<double> potentials_;
+};
+
+}  // namespace amtfmm

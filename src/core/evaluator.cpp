@@ -1,0 +1,138 @@
+#include "core/evaluator.hpp"
+
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+namespace amtfmm {
+
+Evaluator::Evaluator(std::unique_ptr<Kernel> kernel, EvalConfig cfg)
+    : kernel_(std::move(kernel)), cfg_(cfg) {
+  AMTFMM_ASSERT(kernel_ != nullptr);
+  if (cfg_.threshold < 1 || cfg_.digits < 1) {
+    throw config_error("threshold and digits must be positive");
+  }
+}
+
+Evaluator::~Evaluator() = default;
+
+Evaluator::Prepared Evaluator::make_prepared(std::span<const Vec3> sources,
+                                             std::span<const Vec3> targets,
+                                             int localities) {
+  Prepared p{build_dual_tree(sources, targets, cfg_.threshold, localities),
+             {},
+             {}};
+  kernel_->setup(p.tree.source.domain().size,
+                 std::max(p.tree.source.max_level(),
+                          p.tree.target.max_level()) + 1,
+                 cfg_.digits);
+  p.lists = build_lists(p.tree);
+  DagBuildConfig dcfg;
+  dcfg.method = cfg_.method;
+  dcfg.placement = cfg_.placement;
+  dcfg.bh_theta = cfg_.bh_theta;
+  p.dag = build_dag(p.tree, p.lists, *kernel_, dcfg, localities);
+  return p;
+}
+
+EvalResult Evaluator::run_prepared(const Prepared& p,
+                                   std::span<const double> charges) {
+  AMTFMM_ASSERT(charges.size() == p.tree.source.num_points());
+  EvalResult out;
+  out.dag = p.dag.stats();
+
+  // Charges into tree order.
+  std::vector<double> sorted_q(charges.size());
+  for (std::size_t i = 0; i < charges.size(); ++i) {
+    sorted_q[i] = charges[p.tree.source.original_index()[i]];
+  }
+  std::vector<double> sorted_phi(p.tree.target.num_points(), 0.0);
+
+  ThreadExecutor ex(cfg_.localities, cfg_.cores_per_locality,
+                    cfg_.split_priority ? SchedPolicy::kPriority : cfg_.policy,
+                    cfg_.seed);
+  ex.trace().set_enabled(cfg_.trace);
+  EngineOptions opt;
+  opt.mode = EngineMode::kCompute;
+  opt.split_priority = cfg_.split_priority;
+  DagEngine engine(p.dag, p.tree, *kernel_, ex, opt);
+  out.makespan = engine.execute(sorted_q, sorted_phi);
+
+  out.potentials.assign(sorted_phi.size(), 0.0);
+  for (std::size_t i = 0; i < sorted_phi.size(); ++i) {
+    out.potentials[p.tree.target.original_index()[i]] = sorted_phi[i];
+  }
+  out.bytes_sent = ex.bytes_sent();
+  out.parcels_sent = ex.parcels_sent();
+  if (cfg_.trace) out.trace = ex.trace().collect();
+  return out;
+}
+
+EvalResult Evaluator::evaluate(std::span<const Vec3> sources,
+                               std::span<const double> charges,
+                               std::span<const Vec3> targets) {
+  AMTFMM_ASSERT(sources.size() == charges.size());
+  Timer setup;
+  const Prepared p = make_prepared(sources, targets, cfg_.localities);
+  const double setup_time = setup.seconds();
+  EvalResult out = run_prepared(p, charges);
+  out.setup_time = setup_time;
+  return out;
+}
+
+void Evaluator::prepare(std::span<const Vec3> sources,
+                        std::span<const Vec3> targets) {
+  Timer setup;
+  prepared_ = std::make_unique<Prepared>(
+      make_prepared(sources, targets, cfg_.localities));
+  prepared_setup_time_ = setup.seconds();
+}
+
+EvalResult Evaluator::evaluate_prepared(std::span<const double> charges) {
+  if (!prepared_) {
+    throw config_error("evaluate_prepared() requires a prior prepare()");
+  }
+  EvalResult out = run_prepared(*prepared_, charges);
+  out.setup_time = prepared_setup_time_;  // amortized across calls
+  return out;
+}
+
+SimResult Evaluator::simulate(std::span<const Vec3> sources,
+                              std::span<const Vec3> targets,
+                              const SimConfig& sim) {
+  SimResult out;
+  const Prepared p = make_prepared(sources, targets, sim.localities);
+  out.dag = p.dag.stats();
+  out.total_cores = sim.localities * sim.cores_per_locality;
+
+  SimExecutor ex(sim.localities, sim.cores_per_locality,
+                 sim.split_priority ? SchedPolicy::kPriority : sim.policy,
+                 sim.network, sim.seed);
+  ex.trace().set_enabled(sim.trace);
+  EngineOptions opt;
+  opt.mode = EngineMode::kCostOnly;
+  opt.cost = sim.cost;
+  opt.split_priority = sim.split_priority;
+  DagEngine engine(p.dag, p.tree, *kernel_, ex, opt);
+  out.virtual_time = engine.execute({}, {});
+  out.bytes_sent = ex.bytes_sent();
+  out.parcels_sent = ex.parcels_sent();
+  if (sim.trace) out.trace = ex.trace().collect();
+  return out;
+}
+
+std::vector<double> direct_sum(const Kernel& kernel,
+                               std::span<const Vec3> sources,
+                               std::span<const double> charges,
+                               std::span<const Vec3> targets) {
+  std::vector<double> phi(targets.size(), 0.0);
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    double acc = 0.0;
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      acc += charges[s] * kernel.direct(targets[t], sources[s]);
+    }
+    phi[t] = acc;
+  }
+  return phi;
+}
+
+}  // namespace amtfmm

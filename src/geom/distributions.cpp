@@ -1,0 +1,78 @@
+#include "geom/distributions.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/error.hpp"
+
+namespace amtfmm {
+
+Distribution parse_distribution(const std::string& name) {
+  if (name == "cube") return Distribution::kCube;
+  if (name == "sphere") return Distribution::kSphere;
+  if (name == "plummer") return Distribution::kPlummer;
+  throw config_error("unknown distribution: " + name +
+                     " (expected cube|sphere|plummer)");
+}
+
+const char* to_string(Distribution d) {
+  switch (d) {
+    case Distribution::kCube: return "cube";
+    case Distribution::kSphere: return "sphere";
+    case Distribution::kPlummer: return "plummer";
+  }
+  return "?";
+}
+
+std::vector<Vec3> generate_points(Distribution d, std::size_t n, Rng& rng,
+                                  const Vec3& offset) {
+  std::vector<Vec3> pts;
+  pts.reserve(n);
+  switch (d) {
+    case Distribution::kCube:
+      for (std::size_t i = 0; i < n; ++i) {
+        pts.push_back(Vec3{rng.uniform(), rng.uniform(), rng.uniform()} +
+                      offset);
+      }
+      break;
+    case Distribution::kSphere:
+      for (std::size_t i = 0; i < n; ++i) {
+        // Uniform on the sphere surface via uniform cos(theta) and phi.
+        const double ct = rng.uniform(-1.0, 1.0);
+        const double st = std::sqrt(std::max(0.0, 1.0 - ct * ct));
+        const double phi = rng.uniform(0.0, 2.0 * std::numbers::pi);
+        pts.push_back(Vec3{0.5 * st * std::cos(phi) + 0.5,
+                           0.5 * st * std::sin(phi) + 0.5, 0.5 * ct + 0.5} +
+                      offset);
+      }
+      break;
+    case Distribution::kPlummer:
+      for (std::size_t i = 0; i < n; ++i) {
+        // Plummer sphere with scale radius a = 0.1, truncated at 10a so the
+        // domain stays bounded.
+        const double a = 0.1;
+        double r;
+        do {
+          const double m = rng.uniform(1e-8, 1.0 - 1e-8);
+          r = a / std::sqrt(std::pow(m, -2.0 / 3.0) - 1.0);
+        } while (r > 10.0 * a);
+        const double ct = rng.uniform(-1.0, 1.0);
+        const double st = std::sqrt(std::max(0.0, 1.0 - ct * ct));
+        const double phi = rng.uniform(0.0, 2.0 * std::numbers::pi);
+        pts.push_back(Vec3{r * st * std::cos(phi) + 0.5,
+                           r * st * std::sin(phi) + 0.5, r * ct + 0.5} +
+                      offset);
+      }
+      break;
+  }
+  return pts;
+}
+
+std::vector<double> generate_charges(std::size_t n, Rng& rng, double lo,
+                                     double hi) {
+  std::vector<double> q(n);
+  for (auto& v : q) v = rng.uniform(lo, hi);
+  return q;
+}
+
+}  // namespace amtfmm

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "support/rng.hpp"
+
+namespace amtfmm {
+
+/// Point-ensemble generators for the paper's two test distributions plus a
+/// Plummer model used by the gravity example.
+///
+/// Paper section V.A: "in the first, points were distributed uniformly in a
+/// cube; in the second, points were distributed uniformly on the surface of
+/// a sphere."  Cube data yields uniform dual trees (short critical path);
+/// sphere data yields highly adaptive trees (long critical path).
+enum class Distribution {
+  kCube,    ///< uniform in the unit cube
+  kSphere,  ///< uniform on the surface of a sphere
+  kPlummer  ///< Plummer model (centrally concentrated; gravity example)
+};
+
+/// Parses "cube" / "sphere" / "plummer".  Throws config_error otherwise.
+Distribution parse_distribution(const std::string& name);
+
+const char* to_string(Distribution d);
+
+/// Generates n points from the given distribution.  `offset` shifts the
+/// whole ensemble, which is how the benches make source and target ensembles
+/// distinct-but-overlapping as in the paper's runs.
+std::vector<Vec3> generate_points(Distribution d, std::size_t n, Rng& rng,
+                                  const Vec3& offset = {});
+
+/// Generates n charges/masses uniform in [lo, hi).
+std::vector<double> generate_charges(std::size_t n, Rng& rng, double lo = 0.0,
+                                     double hi = 1.0);
+
+}  // namespace amtfmm

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+#include "geom/box.hpp"
+#include "geom/vec3.hpp"
+
+namespace amtfmm {
+
+/// 63-bit Morton (Z-order) key: 21 bits per dimension.  Used for the coarse
+/// pre-sort that assigns points to localities before per-locality adaptive
+/// partitioning (section IV of the paper).
+inline std::uint64_t morton_expand(std::uint32_t v) {
+  std::uint64_t x = v & 0x1fffff;  // 21 bits
+  x = (x | x << 32) & 0x1f00000000ffffull;
+  x = (x | x << 16) & 0x1f0000ff0000ffull;
+  x = (x | x << 8) & 0x100f00f00f00f00full;
+  x = (x | x << 4) & 0x10c30c30c30c30c3ull;
+  x = (x | x << 2) & 0x1249249249249249ull;
+  return x;
+}
+
+/// Morton key of a point within a domain cube.
+inline std::uint64_t morton_key(const Vec3& p, const Cube& domain) {
+  const double inv = 1.0 / domain.size;
+  auto coord = [&](double v, double lo) {
+    double t = (v - lo) * inv;
+    if (t < 0.0) t = 0.0;
+    if (t > 1.0) t = 1.0;
+    return static_cast<std::uint32_t>(t * 2097151.0);  // 2^21 - 1
+  };
+  return morton_expand(coord(p.x, domain.low.x)) |
+         (morton_expand(coord(p.y, domain.low.y)) << 1) |
+         (morton_expand(coord(p.z, domain.low.z)) << 2);
+}
+
+}  // namespace amtfmm

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cmath>
+
+namespace amtfmm {
+
+/// Plain 3-vector of doubles.  Value type; all operations are constexpr-ish
+/// and allocation-free, suitable for tight inner loops.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  constexpr double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr double norm2() const { return dot(*this); }
+  double norm() const { return std::sqrt(norm2()); }
+
+  constexpr bool operator==(const Vec3&) const = default;
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+/// Spherical coordinates (r, cos(theta), phi) of a vector; the convention
+/// used throughout the expansion math.
+struct Spherical {
+  double r;
+  double cos_theta;
+  double phi;
+};
+
+inline Spherical to_spherical(const Vec3& v) {
+  const double r = v.norm();
+  const double ct = (r > 0.0) ? v.z / r : 1.0;
+  const double phi = std::atan2(v.y, v.x);
+  return {r, ct, phi};
+}
+
+}  // namespace amtfmm

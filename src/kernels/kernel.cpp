@@ -1,0 +1,67 @@
+#include "kernels/kernel.hpp"
+
+#include "kernels/counting.hpp"
+#include "kernels/laplace.hpp"
+#include "kernels/yukawa.hpp"
+#include "support/error.hpp"
+
+namespace amtfmm {
+
+const char* to_string(Operator op) {
+  switch (op) {
+    case Operator::kS2T: return "S->T";
+    case Operator::kS2M: return "S->M";
+    case Operator::kS2L: return "S->L";
+    case Operator::kM2M: return "M->M";
+    case Operator::kM2L: return "M->L";
+    case Operator::kM2T: return "M->T";
+    case Operator::kL2L: return "L->L";
+    case Operator::kL2T: return "L->T";
+    case Operator::kM2I: return "M->I";
+    case Operator::kI2I: return "I->I";
+    case Operator::kI2L: return "I->L";
+  }
+  return "?";
+}
+
+std::size_t Kernel::m_wire_bytes(int level) const {
+  return m_count(level) * sizeof(cdouble);
+}
+std::size_t Kernel::l_wire_bytes(int level) const {
+  return l_count(level) * sizeof(cdouble);
+}
+std::size_t Kernel::x_wire_bytes(int level) const {
+  return x_count(level) * sizeof(cdouble);
+}
+
+Vec3 Kernel::direct_grad(const Vec3&, const Vec3&) const {
+  AMTFMM_ASSERT_MSG(false, "kernel does not support gradients");
+  return {};
+}
+
+Vec3 Kernel::l2t_grad(const CoeffVec&, const Vec3&, int, const Vec3&) const {
+  AMTFMM_ASSERT_MSG(false, "kernel does not support gradients");
+  return {};
+}
+
+void Kernel::m2i(const CoeffVec&, int, Axis, CoeffVec&) const {
+  AMTFMM_ASSERT_MSG(false, "kernel does not support merge-and-shift");
+}
+void Kernel::i2i_acc(const CoeffVec&, Axis, const Vec3&, int,
+                     CoeffVec&) const {
+  AMTFMM_ASSERT_MSG(false, "kernel does not support merge-and-shift");
+}
+void Kernel::i2l_acc(const CoeffVec&, Axis, int, CoeffVec&) const {
+  AMTFMM_ASSERT_MSG(false, "kernel does not support merge-and-shift");
+}
+
+std::unique_ptr<Kernel> make_kernel(const std::string& name,
+                                    double yukawa_lambda) {
+  if (name == "laplace") return std::make_unique<LaplaceKernel>();
+  if (name == "yukawa") return std::make_unique<YukawaKernel>(yukawa_lambda);
+  if (name == "counting") return std::make_unique<CountingKernel>();
+  throw config_error("unknown kernel: " + name +
+                     " (expected laplace|yukawa|counting)");
+}
+
+}  // namespace amtfmm

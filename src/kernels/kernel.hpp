@@ -1,0 +1,116 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "geom/vec3.hpp"
+#include "math/coeffs.hpp"
+#include "math/rotation.hpp"
+
+namespace amtfmm {
+
+/// The eleven FMM operators of the paper's Figure 1c: eight basic (solid
+/// lines) plus the three intermediate-expansion operators of the advanced,
+/// merge-and-shift FMM (dashed lines).
+enum class Operator {
+  kS2T,
+  kS2M,
+  kS2L,
+  kM2M,
+  kM2L,
+  kM2T,
+  kL2L,
+  kL2T,
+  kM2I,
+  kI2I,
+  kI2L,
+};
+
+inline constexpr int kNumOperators = 11;
+const char* to_string(Operator op);
+
+/// Interaction kernel: expansion storage sizes plus the operator set.
+///
+/// A kernel instance is configured once via setup() for a given domain and
+/// accuracy, after which all operator methods are const and thread-safe
+/// (they are invoked concurrently from runtime tasks).
+///
+/// Conventions shared by all kernels:
+///  - expansions are arrays of complex<double> (CoeffVec),
+///  - "level" is the tree level of the box owning the expansion; kernels
+///    that are scale-variant (Yukawa) key their per-level tables on it,
+///  - intermediate (exponential/plane-wave) expansions are per-direction
+///    arrays; directions are the six axes of rotation.hpp,
+///  - all *_acc operators accumulate into their output.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Prepares per-level tables.  `domain_size` is the edge length of the
+  /// root cube; levels run 0..max_level.  `accuracy_digits` selects the
+  /// expansion order (3 digits -> p = 9, the paper's configuration).
+  virtual void setup(double domain_size, int max_level,
+                     int accuracy_digits) = 0;
+
+  /// Expansion lengths in complex doubles.
+  virtual std::size_t m_count(int level) const = 0;
+  virtual std::size_t l_count(int level) const = 0;
+  /// Per-direction intermediate expansion length (0 if unsupported).
+  virtual std::size_t x_count(int level) const = 0;
+
+  /// Bytes actually transferred for each expansion kind (kernels exploiting
+  /// conjugate symmetry report the packed size, as DASHMM does).
+  virtual std::size_t m_wire_bytes(int level) const;
+  virtual std::size_t l_wire_bytes(int level) const;
+  virtual std::size_t x_wire_bytes(int level) const;
+
+  /// Whether the advanced (M->I -> I->I -> I->L) path is implemented.
+  virtual bool supports_merge_and_shift() const { return false; }
+
+  /// Potential at `t` due to a unit charge at `s` (the exact kernel).
+  virtual double direct(const Vec3& t, const Vec3& s) const = 0;
+
+  /// Gradient support (forces); kernels may return false.
+  virtual bool supports_gradient() const { return false; }
+  virtual Vec3 direct_grad(const Vec3& t, const Vec3& s) const;
+
+  // --- Basic operators -----------------------------------------------------
+  virtual void s2m(std::span<const Vec3> pts, std::span<const double> q,
+                   const Vec3& center, int level, CoeffVec& out) const = 0;
+  virtual void m2m_acc(const CoeffVec& in, const Vec3& from, const Vec3& to,
+                       int from_level, CoeffVec& inout) const = 0;
+  virtual void m2l_acc(const CoeffVec& in, const Vec3& from, const Vec3& to,
+                       int level, CoeffVec& inout) const = 0;
+  virtual void s2l_acc(std::span<const Vec3> pts, std::span<const double> q,
+                       const Vec3& center, int level, CoeffVec& inout) const = 0;
+  virtual double m2t(const CoeffVec& in, const Vec3& center, int level,
+                     const Vec3& t) const = 0;
+  virtual void l2l_acc(const CoeffVec& in, const Vec3& from, const Vec3& to,
+                       int to_level, CoeffVec& inout) const = 0;
+  virtual double l2t(const CoeffVec& in, const Vec3& center, int level,
+                     const Vec3& t) const = 0;
+  virtual Vec3 l2t_grad(const CoeffVec& in, const Vec3& center, int level,
+                        const Vec3& t) const;
+
+  // --- Advanced (intermediate-expansion) operators -------------------------
+  /// Outgoing plane-wave expansion of a multipole, for one direction.
+  virtual void m2i(const CoeffVec& m, int level, Axis d, CoeffVec& out) const;
+  /// Diagonal translation of an X expansion by the physical offset
+  /// to_center - from_center, accumulated into the receiver.  `level` keys
+  /// the quadrature (the target child level for merge/shift chains).
+  virtual void i2i_acc(const CoeffVec& in, Axis d, const Vec3& offset,
+                       int level, CoeffVec& inout) const;
+  /// Conversion of an accumulated incoming X expansion into the box's local
+  /// expansion.
+  virtual void i2l_acc(const CoeffVec& in, Axis d, int level,
+                       CoeffVec& inout) const;
+};
+
+/// Factory: "laplace", "yukawa" (with screening parameter), or "counting".
+std::unique_ptr<Kernel> make_kernel(const std::string& name,
+                                    double yukawa_lambda = 1.0);
+
+}  // namespace amtfmm

@@ -1,0 +1,279 @@
+#include "kernels/laplace.hpp"
+
+#include <cmath>
+
+#include "math/solid.hpp"
+#include "math/special.hpp"
+#include "support/error.hpp"
+
+namespace amtfmm {
+namespace {
+
+/// (-i)^m for signed integer m ((-i)^{-1} = i).  The plane-wave expansion of
+/// the conjugated-regular basis carries the signed power (verified
+/// numerically; see tests/kernels/kernel_test.cpp).
+cdouble minus_i_pow(int m) {
+  switch (((m % 4) + 4) & 3) {
+    case 0: return {1.0, 0.0};
+    case 1: return {0.0, -1.0};
+    case 2: return {-1.0, 0.0};
+    default: return {0.0, 1.0};
+  }
+}
+
+}  // namespace
+
+void LaplaceKernel::setup(double domain_size, int max_level,
+                          int accuracy_digits) {
+  AMTFMM_ASSERT(accuracy_digits >= 1 && accuracy_digits <= 10);
+  (void)max_level;
+  domain_size_ = domain_size;
+  p_ = 3 * accuracy_digits;
+  quad_ = make_planewave_quadrature(std::pow(10.0, -accuracy_digits - 1), 0.0);
+  g_multipole_.assign(sq_count(p_), 0.0);
+  g_local_.assign(sq_count(p_), 0.0);
+  for (int n = 0; n <= p_; ++n) {
+    for (int m = -n; m <= n; ++m) {
+      const double sign = (m < 0 && (m & 1)) ? -1.0 : 1.0;
+      g_multipole_[sq_index(n, m)] = sign * factorial(n - std::abs(m));
+      g_local_[sq_index(n, m)] = sign / factorial(n + std::abs(m));
+    }
+  }
+  for (std::size_t d = 0; d < kAllAxes.size(); ++d) {
+    const Mat3 q = axis_to_z(kAllAxes[d]);
+    fwd_[d] = AngularTransform(p_, q);
+    inv_[d] = AngularTransform(p_, q.transpose());
+  }
+}
+
+double LaplaceKernel::scale(int level) const {
+  return domain_size_ / static_cast<double>(1u << level);
+}
+
+double LaplaceKernel::direct(const Vec3& t, const Vec3& s) const {
+  const double r = (t - s).norm();
+  return (r > 0.0) ? 1.0 / r : 0.0;
+}
+
+Vec3 LaplaceKernel::direct_grad(const Vec3& t, const Vec3& s) const {
+  const Vec3 d = t - s;
+  const double r2 = d.norm2();
+  if (r2 == 0.0) return {};
+  return d * (-1.0 / (r2 * std::sqrt(r2)));
+}
+
+void LaplaceKernel::s2m(std::span<const Vec3> pts, std::span<const double> q,
+                        const Vec3& center, int level, CoeffVec& out) const {
+  out.assign(sq_count(p_), cdouble{});
+  const double s = scale(level);
+  CoeffVec r;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    regular_solid(p_, pts[i] - center, s, r);
+    for (std::size_t j = 0; j < r.size(); ++j) out[j] += q[i] * std::conj(r[j]);
+  }
+}
+
+void LaplaceKernel::m2m_acc(const CoeffVec& in, const Vec3& from,
+                            const Vec3& to, int from_level,
+                            CoeffVec& inout) const {
+  const double sc = scale(from_level);
+  const double sp = scale(from_level - 1);
+  CoeffVec r;
+  regular_solid(p_, from - to, sp, r);
+  std::vector<double> ratio(static_cast<std::size_t>(p_) + 1);
+  ratio[0] = 1.0;
+  for (int n = 1; n <= p_; ++n) ratio[static_cast<std::size_t>(n)] = ratio[static_cast<std::size_t>(n - 1)] * (sc / sp);
+  for (int v = 0; v <= p_; ++v) {
+    for (int u = -v; u <= v; ++u) {
+      cdouble acc{};
+      for (int n = 0; n <= v; ++n) {
+        for (int m = std::max(-n, u - (v - n)); m <= std::min(n, u + (v - n));
+             ++m) {
+          acc += std::conj(r[sq_index(v - n, u - m)]) *
+                 ratio[static_cast<std::size_t>(n)] * in[sq_index(n, m)];
+        }
+      }
+      inout[sq_index(v, u)] += acc;
+    }
+  }
+}
+
+void LaplaceKernel::m2l_acc(const CoeffVec& in, const Vec3& from,
+                            const Vec3& to, int level, CoeffVec& inout) const {
+  const double s = scale(level);
+  CoeffVec big;
+  irregular_solid(2 * p_, to - from, s, big);
+  const double inv_s = 1.0 / s;
+  for (int j = 0; j <= p_; ++j) {
+    const double sign = (j & 1) ? -1.0 : 1.0;
+    for (int k = -j; k <= j; ++k) {
+      cdouble acc{};
+      for (int n = 0; n <= p_; ++n) {
+        for (int m = -n; m <= n; ++m) {
+          acc += in[sq_index(n, m)] * big[sq_index(n + j, m + k)];
+        }
+      }
+      inout[sq_index(j, k)] += sign * inv_s * acc;
+    }
+  }
+}
+
+void LaplaceKernel::s2l_acc(std::span<const Vec3> pts,
+                            std::span<const double> q, const Vec3& center,
+                            int level, CoeffVec& inout) const {
+  const double s = scale(level);
+  CoeffVec shat;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    irregular_solid(p_, center - pts[i], s, shat);
+    for (int j = 0; j <= p_; ++j) {
+      const double f = q[i] * ((j & 1) ? -1.0 : 1.0) / s;
+      for (int k = -j; k <= j; ++k) {
+        inout[sq_index(j, k)] += f * shat[sq_index(j, k)];
+      }
+    }
+  }
+}
+
+double LaplaceKernel::m2t(const CoeffVec& in, const Vec3& center, int level,
+                          const Vec3& t) const {
+  return eval_irregular(p_, in, t - center, scale(level));
+}
+
+void LaplaceKernel::l2l_acc(const CoeffVec& in, const Vec3& from,
+                            const Vec3& to, int to_level,
+                            CoeffVec& inout) const {
+  const double sc = scale(to_level);
+  const double sp = scale(to_level - 1);
+  CoeffVec r;
+  regular_solid(p_, to - from, sp, r);
+  std::vector<double> ratio(static_cast<std::size_t>(p_) + 1);
+  ratio[0] = 1.0;
+  for (int i = 1; i <= p_; ++i) ratio[static_cast<std::size_t>(i)] = ratio[static_cast<std::size_t>(i - 1)] * (sc / sp);
+  for (int i = 0; i <= p_; ++i) {
+    for (int l = -i; l <= i; ++l) {
+      cdouble acc{};
+      for (int j = i; j <= p_; ++j) {
+        for (int k = std::max(-j, l - (j - i)); k <= std::min(j, l + (j - i));
+             ++k) {
+          acc += std::conj(r[sq_index(j - i, k - l)]) * in[sq_index(j, k)];
+        }
+      }
+      inout[sq_index(i, l)] += ratio[static_cast<std::size_t>(i)] * acc;
+    }
+  }
+}
+
+double LaplaceKernel::l2t(const CoeffVec& in, const Vec3& center, int level,
+                          const Vec3& t) const {
+  return eval_conj_regular(p_, in, t - center, scale(level));
+}
+
+Vec3 LaplaceKernel::l2t_grad(const CoeffVec& in, const Vec3& center, int level,
+                             const Vec3& t) const {
+  return grad_conj_regular(p_, in, t - center, scale(level));
+}
+
+void LaplaceKernel::m2i(const CoeffVec& m, int level, Axis d,
+                        CoeffVec& out) const {
+  // The Sommerfeld identity is discretized in box units; converting the
+  // 1/r-dimensioned kernel back to physical units costs one 1/box_size.
+  const double inv_w = 1.0 / scale(level);
+  out.assign(quad_.total, cdouble{});
+  CoeffVec mrot;
+  fwd_[static_cast<std::size_t>(d)].apply(m, g_multipole_, 1, mrot);
+  // G(k, mm) = sum_{n >= |mm|} lam_k^n Mrot_n^mm
+  const int s = quad_.count;
+  std::vector<cdouble> g(static_cast<std::size_t>(2 * p_ + 1));
+  for (int k = 0; k < s; ++k) {
+    const double lam = quad_.lambda[static_cast<std::size_t>(k)];
+    for (int mm = -p_; mm <= p_; ++mm) {
+      cdouble acc{};
+      double ln = std::pow(lam, std::abs(mm));
+      for (int n = std::abs(mm); n <= p_; ++n) {
+        acc += ln * mrot[sq_index(n, mm)];
+        ln *= lam;
+      }
+      g[static_cast<std::size_t>(mm + p_)] = acc * minus_i_pow(mm);
+    }
+    const int mk = quad_.m_count[static_cast<std::size_t>(k)];
+    const std::size_t off = quad_.offset[static_cast<std::size_t>(k)];
+    const double wk = inv_w * quad_.weight[static_cast<std::size_t>(k)] / mk;
+    for (int j = 0; j < mk; ++j) {
+      const cdouble e{quad_.cos_alpha[off + static_cast<std::size_t>(j)],
+                      quad_.sin_alpha[off + static_cast<std::size_t>(j)]};
+      // sum_m g_m e^{i m alpha_j} via incremental powers
+      cdouble acc = g[static_cast<std::size_t>(p_)];
+      cdouble ep{1.0, 0.0};
+      for (int mm = 1; mm <= p_; ++mm) {
+        ep *= e;
+        acc += g[static_cast<std::size_t>(p_ + mm)] * ep +
+               g[static_cast<std::size_t>(p_ - mm)] * std::conj(ep);
+      }
+      out[off + static_cast<std::size_t>(j)] = wk * acc;
+    }
+  }
+}
+
+void LaplaceKernel::i2i_acc(const CoeffVec& in, Axis d, const Vec3& offset,
+                            int level, CoeffVec& inout) const {
+  const double w = scale(level);
+  const Vec3 o = axis_to_z(d) * offset;  // rotated-frame offset
+  // Merge legs ascend the cone; the parent->child shift leg may step back
+  // by up to half a (parent) box.  The composed source->target translation
+  // always lands in the valid z in [1,4] range.
+  AMTFMM_ASSERT_MSG(o.z / w > -1.01, "I->I translation leaves the cone");
+  const double dz = o.z / w, dx = o.x / w, dy = o.y / w;
+  for (int k = 0; k < quad_.count; ++k) {
+    const double lam = quad_.lambda[static_cast<std::size_t>(k)];
+    const double damp = std::exp(-quad_.mu[static_cast<std::size_t>(k)] * dz);
+    const int mk = quad_.m_count[static_cast<std::size_t>(k)];
+    const std::size_t off = quad_.offset[static_cast<std::size_t>(k)];
+    for (int j = 0; j < mk; ++j) {
+      const double phase =
+          lam * (dx * quad_.cos_alpha[off + static_cast<std::size_t>(j)] +
+                 dy * quad_.sin_alpha[off + static_cast<std::size_t>(j)]);
+      inout[off + static_cast<std::size_t>(j)] +=
+          in[off + static_cast<std::size_t>(j)] * damp *
+          cdouble{std::cos(phase), std::sin(phase)};
+    }
+  }
+}
+
+void LaplaceKernel::i2l_acc(const CoeffVec& in, Axis d, int level,
+                            CoeffVec& inout) const {
+  (void)level;
+  // F(k, m) = sum_j W(k,j) e^{i m alpha_j}; Lrot_n^m = sum_k (-lam)^n
+  // (-i)^{|m|} F(k, m); then rotate back into the unrotated local frame.
+  CoeffVec lrot(sq_count(p_), cdouble{});
+  std::vector<cdouble> f(static_cast<std::size_t>(2 * p_ + 1));
+  for (int k = 0; k < quad_.count; ++k) {
+    std::fill(f.begin(), f.end(), cdouble{});
+    const int mk = quad_.m_count[static_cast<std::size_t>(k)];
+    const std::size_t off = quad_.offset[static_cast<std::size_t>(k)];
+    for (int j = 0; j < mk; ++j) {
+      const cdouble wkj = in[off + static_cast<std::size_t>(j)];
+      const cdouble e{quad_.cos_alpha[off + static_cast<std::size_t>(j)],
+                      quad_.sin_alpha[off + static_cast<std::size_t>(j)]};
+      f[static_cast<std::size_t>(p_)] += wkj;
+      cdouble ep{1.0, 0.0};
+      for (int mm = 1; mm <= p_; ++mm) {
+        ep *= e;
+        f[static_cast<std::size_t>(p_ + mm)] += wkj * ep;
+        f[static_cast<std::size_t>(p_ - mm)] += wkj * std::conj(ep);
+      }
+    }
+    const double lam = quad_.lambda[static_cast<std::size_t>(k)];
+    for (int n = 0; n <= p_; ++n) {
+      const double radial = std::pow(-lam, n);
+      for (int mm = -n; mm <= n; ++mm) {
+        lrot[sq_index(n, mm)] += radial * minus_i_pow(mm) *
+                                 f[static_cast<std::size_t>(mm + p_)];
+      }
+    }
+  }
+  CoeffVec lback;
+  inv_[static_cast<std::size_t>(d)].apply(lrot, g_local_, -1, lback);
+  for (std::size_t i = 0; i < lback.size(); ++i) inout[i] += lback[i];
+}
+
+}  // namespace amtfmm

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <array>
+
+#include "kernels/kernel.hpp"
+#include "math/planewave.hpp"
+
+namespace amtfmm {
+
+/// Laplace kernel 1/r: electrostatics / Newtonian gravity (the paper's
+/// scale-invariant interaction).
+///
+/// Multipole/local expansions use the normalized solid harmonics of
+/// math/solid.hpp with per-level scale equal to the box size, so all stored
+/// coefficients stay O(q).  The intermediate expansions are plane-wave
+/// (exponential) expansions on the numerically generated Sommerfeld
+/// quadrature of math/planewave.hpp; because 1/r is scale invariant, a
+/// single quadrature serves every tree level.
+///
+/// Operator algebra (derived and verified in tests/math/solid_test.cpp and
+/// tests/kernels/laplace_test.cpp); hats denote per-level scaled bases:
+///   S2M:  Mh_n^m = sum_s q_s conj(Rh_n^m(s - c))
+///   M2M:  Mh'_v^u += sum conj(Rh_{v-n}^{u-m}(t; sp)) (sc/sp)^n Mh_n^m
+///   M2L:  Lh_j^k += (-1)^j / s * sum Mh_n^m Sh_{n+j}^{m+k}(t; s)
+///   S2L:  Lh_j^k += q (-1)^j Sh_j^k(c - p; s) / s
+///   L2L:  Lh'_i^l += (sc/sp)^i sum conj(Rh_{j-i}^{k-l}(u; sp)) Lh_j^k
+///   M2I:  W_d(k,j) = (w_k / M_k) sum_n lam_k^n sum_m (-i)^{|m|} e^{im a_j}
+///                    rot_d(Mh)_n^m
+///   I2I:  diagonal multiply by e^{-mu_k dz'} e^{i lam_k (dx' c + dy' s)}
+///   I2L:  Lrot_n^m = sum_k (-lam_k)^n (-i)^{|m|} sum_j W(k,j) e^{im a_j},
+///         then rotate back.
+class LaplaceKernel final : public Kernel {
+ public:
+  std::string name() const override { return "laplace"; }
+  void setup(double domain_size, int max_level, int accuracy_digits) override;
+
+  std::size_t m_count(int) const override { return sq_count(p_); }
+  std::size_t l_count(int) const override { return sq_count(p_); }
+  std::size_t x_count(int) const override { return quad_.total; }
+  std::size_t m_wire_bytes(int) const override { return wire_bytes(p_); }
+  std::size_t l_wire_bytes(int) const override { return wire_bytes(p_); }
+  bool supports_merge_and_shift() const override { return true; }
+
+  double direct(const Vec3& t, const Vec3& s) const override;
+  bool supports_gradient() const override { return true; }
+  Vec3 direct_grad(const Vec3& t, const Vec3& s) const override;
+
+  void s2m(std::span<const Vec3> pts, std::span<const double> q,
+           const Vec3& center, int level, CoeffVec& out) const override;
+  void m2m_acc(const CoeffVec& in, const Vec3& from, const Vec3& to,
+               int from_level, CoeffVec& inout) const override;
+  void m2l_acc(const CoeffVec& in, const Vec3& from, const Vec3& to, int level,
+               CoeffVec& inout) const override;
+  void s2l_acc(std::span<const Vec3> pts, std::span<const double> q,
+               const Vec3& center, int level, CoeffVec& inout) const override;
+  double m2t(const CoeffVec& in, const Vec3& center, int level,
+             const Vec3& t) const override;
+  void l2l_acc(const CoeffVec& in, const Vec3& from, const Vec3& to,
+               int to_level, CoeffVec& inout) const override;
+  double l2t(const CoeffVec& in, const Vec3& center, int level,
+             const Vec3& t) const override;
+  Vec3 l2t_grad(const CoeffVec& in, const Vec3& center, int level,
+                const Vec3& t) const override;
+
+  void m2i(const CoeffVec& m, int level, Axis d, CoeffVec& out) const override;
+  void i2i_acc(const CoeffVec& in, Axis d, const Vec3& offset, int level,
+               CoeffVec& inout) const override;
+  void i2l_acc(const CoeffVec& in, Axis d, int level,
+               CoeffVec& inout) const override;
+
+  int order() const { return p_; }
+  const PlaneWaveQuadrature& quadrature() const { return quad_; }
+
+ private:
+  double scale(int level) const;
+
+  int p_ = 9;
+  double domain_size_ = 1.0;
+  PlaneWaveQuadrature quad_;
+  std::array<AngularTransform, 6> fwd_;  // indexed by Axis
+  std::array<AngularTransform, 6> inv_;
+  std::vector<double> g_multipole_;  // S-basis angular weights
+  std::vector<double> g_local_;      // conj(R)-basis angular weights
+};
+
+}  // namespace amtfmm

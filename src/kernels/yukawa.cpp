@@ -1,0 +1,367 @@
+#include "kernels/yukawa.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "math/bessel.hpp"
+#include "math/special.hpp"
+#include "support/error.hpp"
+
+namespace amtfmm {
+namespace {
+
+cdouble minus_i_pow(int absm) {
+  switch (absm & 3) {
+    case 0: return {1.0, 0.0};
+    case 1: return {0.0, -1.0};
+    case 2: return {-1.0, 0.0};
+    default: return {0.0, 1.0};
+  }
+}
+
+constexpr double kTwoOverPi = 2.0 / std::numbers::pi;
+
+}  // namespace
+
+void YukawaKernel::setup(double domain_size, int max_level,
+                         int accuracy_digits) {
+  AMTFMM_ASSERT(accuracy_digits >= 1 && accuracy_digits <= 8);
+  AMTFMM_ASSERT(kappa_ > 0.0);
+  domain_size_ = domain_size;
+  max_level_ = max_level;
+  p_ = 3 * accuracy_digits;
+  eps_ = std::pow(10.0, -accuracy_digits - 1);
+
+  quads_.clear();
+  inorm_.clear();
+  phyp_.clear();
+  for (int l = 0; l <= max_level; ++l) {
+    const double w = box_size(l);
+    const double kt = kappa_ * w;
+    quads_.push_back(make_planewave_quadrature(eps_, kt));
+    std::vector<double> iv;
+    sph_bessel_i(p_, kt, iv);
+    inorm_.push_back(iv);
+    // Associated Legendre at the hyperbolic argument mu_k / kt, per node.
+    const PlaneWaveQuadrature& q = quads_.back();
+    std::vector<double> leg;
+    const std::size_t stride = tri_index(p_, p_) + 1;
+    std::vector<double> tab(static_cast<std::size_t>(q.count) * stride, 0.0);
+    for (int k = 0; k < q.count; ++k) {
+      legendre_table(p_, q.mu[static_cast<std::size_t>(k)] / kt, leg);
+      std::copy(leg.begin(), leg.end(),
+                tab.begin() + static_cast<std::size_t>(k) * stride);
+    }
+    phyp_.push_back(std::move(tab));
+  }
+
+  gamma_.assign(sq_count(p_), 0.0);
+  g_unit_.assign(sq_count(p_), 1.0);
+  for (int n = 0; n <= p_; ++n) {
+    for (int m = -n; m <= n; ++m) {
+      gamma_[sq_index(n, m)] = (2 * n + 1) *
+                               factorial(n - std::abs(m)) /
+                               factorial(n + std::abs(m));
+    }
+  }
+  for (std::size_t d = 0; d < kAllAxes.size(); ++d) {
+    const Mat3 q = axis_to_z(kAllAxes[d]);
+    fwd_[d] = AngularTransform(p_, q);
+    inv_[d] = AngularTransform(p_, q.transpose());
+  }
+  proj_rule_ = SphereRule(2 * p_);
+  // Build the projection table now: the translation operators run
+  // concurrently from worker threads and must only read it.
+  proj_rule_.prepare(p_);
+}
+
+int YukawaKernel::clamped(int level) const {
+  if (level < 0) return 0;
+  if (level > max_level_) return max_level_;
+  return level;
+}
+
+double YukawaKernel::box_size(int level) const {
+  return domain_size_ / static_cast<double>(1u << clamped(level));
+}
+
+const std::vector<double>& YukawaKernel::inorm(int level) const {
+  return inorm_[static_cast<std::size_t>(clamped(level))];
+}
+
+double YukawaKernel::direct(const Vec3& t, const Vec3& s) const {
+  const double r = (t - s).norm();
+  return (r > 0.0) ? std::exp(-kappa_ * r) / r : 0.0;
+}
+
+void YukawaKernel::s2m(std::span<const Vec3> pts, std::span<const double> q,
+                       const Vec3& center, int level, CoeffVec& out) const {
+  out.assign(sq_count(p_), cdouble{});
+  const auto& norm = inorm(level);
+  CoeffVec ang;
+  std::vector<double> iv;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Vec3 u = pts[i] - center;
+    angular_basis(p_, u, ang);
+    sph_bessel_i(p_, kappa_ * u.norm(), iv);
+    for (int n = 0; n <= p_; ++n) {
+      const double radial = q[i] * iv[static_cast<std::size_t>(n)] /
+                            norm[static_cast<std::size_t>(n)];
+      for (int m = -n; m <= n; ++m) {
+        out[sq_index(n, m)] +=
+            radial * gamma_[sq_index(n, m)] * ang[sq_index(n, -m)];
+      }
+    }
+  }
+}
+
+double YukawaKernel::m2t(const CoeffVec& in, const Vec3& center, int level,
+                         const Vec3& t) const {
+  const auto& norm = inorm(level);
+  const Vec3 u = t - center;
+  const double r = u.norm();
+  AMTFMM_ASSERT(r > 0.0);
+  CoeffVec ang;
+  angular_basis(p_, u, ang);
+  std::vector<double> kv;
+  sph_bessel_k(p_, kappa_ * r, kv);
+  cdouble acc{};
+  for (int n = 0; n <= p_; ++n) {
+    const double radial =
+        norm[static_cast<std::size_t>(n)] * kv[static_cast<std::size_t>(n)];
+    for (int m = -n; m <= n; ++m) {
+      acc += in[sq_index(n, m)] * radial * ang[sq_index(n, m)];
+    }
+  }
+  return kTwoOverPi * kappa_ * acc.real();
+}
+
+void YukawaKernel::s2l_acc(std::span<const Vec3> pts,
+                           std::span<const double> q, const Vec3& center,
+                           int level, CoeffVec& inout) const {
+  const auto& norm = inorm(level);
+  CoeffVec ang;
+  std::vector<double> kv;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Vec3 d = pts[i] - center;
+    const double r = d.norm();
+    AMTFMM_ASSERT(r > 0.0);
+    angular_basis(p_, d, ang);
+    sph_bessel_k(p_, kappa_ * r, kv);
+    for (int n = 0; n <= p_; ++n) {
+      const double radial = q[i] * kTwoOverPi * kappa_ *
+                            norm[static_cast<std::size_t>(n)] *
+                            kv[static_cast<std::size_t>(n)];
+      for (int m = -n; m <= n; ++m) {
+        inout[sq_index(n, m)] += radial * ang[sq_index(n, -m)];
+      }
+    }
+  }
+}
+
+double YukawaKernel::l2t(const CoeffVec& in, const Vec3& center, int level,
+                         const Vec3& t) const {
+  const auto& norm = inorm(level);
+  const Vec3 u = t - center;
+  CoeffVec ang;
+  angular_basis(p_, u, ang);
+  std::vector<double> iv;
+  sph_bessel_i(p_, kappa_ * u.norm(), iv);
+  cdouble acc{};
+  for (int n = 0; n <= p_; ++n) {
+    const double radial =
+        iv[static_cast<std::size_t>(n)] / norm[static_cast<std::size_t>(n)];
+    for (int m = -n; m <= n; ++m) {
+      acc += in[sq_index(n, m)] * radial * gamma_[sq_index(n, m)] *
+             ang[sq_index(n, m)];
+    }
+  }
+  return acc.real();
+}
+
+void YukawaKernel::m2m_acc(const CoeffVec& in, const Vec3& from,
+                           const Vec3& to, int from_level,
+                           CoeffVec& inout) const {
+  // Numeric translation: evaluate the child expansion on a sphere around
+  // the parent center, project, and rescale by the parent radial basis.
+  const int to_level = from_level - 1;
+  const double radius = 1.5 * box_size(to_level);
+  std::vector<cdouble> samples(proj_rule_.size());
+  for (std::size_t i = 0; i < proj_rule_.size(); ++i) {
+    samples[i] = m2t(in, from, from_level,
+                     to + proj_rule_.directions()[i] * radius);
+  }
+  CoeffVec a;
+  proj_rule_.project(samples, p_, a);
+  const auto& norm = inorm(to_level);
+  std::vector<double> kv;
+  sph_bessel_k(p_, kappa_ * radius, kv);
+  for (int n = 0; n <= p_; ++n) {
+    const double rescale = 1.0 / (kTwoOverPi * kappa_ *
+                                  norm[static_cast<std::size_t>(n)] *
+                                  kv[static_cast<std::size_t>(n)]);
+    for (int m = -n; m <= n; ++m) {
+      inout[sq_index(n, m)] += a[sq_index(n, m)] * rescale;
+    }
+  }
+}
+
+void YukawaKernel::m2l_acc(const CoeffVec& in, const Vec3& from,
+                           const Vec3& to, int level, CoeffVec& inout) const {
+  const double radius = 0.8 * box_size(level);
+  std::vector<cdouble> samples(proj_rule_.size());
+  for (std::size_t i = 0; i < proj_rule_.size(); ++i) {
+    samples[i] =
+        m2t(in, from, level, to + proj_rule_.directions()[i] * radius);
+  }
+  CoeffVec a;
+  proj_rule_.project(samples, p_, a);
+  const auto& norm = inorm(level);
+  std::vector<double> iv;
+  sph_bessel_i(p_, kappa_ * radius, iv);
+  for (int n = 0; n <= p_; ++n) {
+    const double rescale =
+        norm[static_cast<std::size_t>(n)] / iv[static_cast<std::size_t>(n)];
+    for (int m = -n; m <= n; ++m) {
+      inout[sq_index(n, m)] +=
+          a[sq_index(n, m)] * rescale / gamma_[sq_index(n, m)];
+    }
+  }
+}
+
+void YukawaKernel::l2l_acc(const CoeffVec& in, const Vec3& from,
+                           const Vec3& to, int to_level,
+                           CoeffVec& inout) const {
+  const double radius = 0.7 * box_size(to_level);
+  std::vector<cdouble> samples(proj_rule_.size());
+  for (std::size_t i = 0; i < proj_rule_.size(); ++i) {
+    samples[i] = l2t(in, from, to_level - 1,
+                     to + proj_rule_.directions()[i] * radius);
+  }
+  CoeffVec a;
+  proj_rule_.project(samples, p_, a);
+  const auto& norm = inorm(to_level);
+  std::vector<double> iv;
+  sph_bessel_i(p_, kappa_ * radius, iv);
+  for (int n = 0; n <= p_; ++n) {
+    const double rescale =
+        norm[static_cast<std::size_t>(n)] / iv[static_cast<std::size_t>(n)];
+    for (int m = -n; m <= n; ++m) {
+      inout[sq_index(n, m)] +=
+          a[sq_index(n, m)] * rescale / gamma_[sq_index(n, m)];
+    }
+  }
+}
+
+void YukawaKernel::m2i(const CoeffVec& m, int level, Axis d,
+                       CoeffVec& out) const {
+  const int l = clamped(level);
+  const PlaneWaveQuadrature& quad = quads_[static_cast<std::size_t>(l)];
+  out.assign(quad.total, cdouble{});
+  if (quad.count == 0) return;
+  // Box-unit discretization -> physical kernel: one 1/box_size overall.
+  const double inv_w = 1.0 / box_size(l);
+  CoeffVec mrot;
+  fwd_[static_cast<std::size_t>(d)].apply(m, g_unit_, 1, mrot);
+  const auto& norm = inorm(l);
+  const std::size_t stride = tri_index(p_, p_) + 1;
+  const double* phyp = phyp_[static_cast<std::size_t>(l)].data();
+  std::vector<cdouble> g(static_cast<std::size_t>(2 * p_ + 1));
+  for (int k = 0; k < quad.count; ++k) {
+    const double* leg = phyp + static_cast<std::size_t>(k) * stride;
+    for (int mm = -p_; mm <= p_; ++mm) {
+      const int am = std::abs(mm);
+      cdouble acc{};
+      for (int n = am; n <= p_; ++n) {
+        acc += mrot[sq_index(n, mm)] * norm[static_cast<std::size_t>(n)] *
+               leg[tri_index(n, am)];
+      }
+      g[static_cast<std::size_t>(mm + p_)] = acc * minus_i_pow(am);
+    }
+    const int mk = quad.m_count[static_cast<std::size_t>(k)];
+    const std::size_t off = quad.offset[static_cast<std::size_t>(k)];
+    const double wk = inv_w * quad.weight[static_cast<std::size_t>(k)] / mk;
+    for (int j = 0; j < mk; ++j) {
+      const cdouble e{quad.cos_alpha[off + static_cast<std::size_t>(j)],
+                      quad.sin_alpha[off + static_cast<std::size_t>(j)]};
+      cdouble acc = g[static_cast<std::size_t>(p_)];
+      cdouble ep{1.0, 0.0};
+      for (int mm = 1; mm <= p_; ++mm) {
+        ep *= e;
+        acc += g[static_cast<std::size_t>(p_ + mm)] * ep +
+               g[static_cast<std::size_t>(p_ - mm)] * std::conj(ep);
+      }
+      out[off + static_cast<std::size_t>(j)] = wk * acc;
+    }
+  }
+}
+
+void YukawaKernel::i2i_acc(const CoeffVec& in, Axis d, const Vec3& offset,
+                           int level, CoeffVec& inout) const {
+  const int l = clamped(level);
+  const PlaneWaveQuadrature& quad = quads_[static_cast<std::size_t>(l)];
+  if (quad.count == 0) return;
+  const double w = box_size(l);
+  const Vec3 o = axis_to_z(d) * offset;
+  AMTFMM_ASSERT_MSG(o.z / w > -1.01, "I->I translation leaves the cone");
+  const double dz = o.z / w, dx = o.x / w, dy = o.y / w;
+  for (int k = 0; k < quad.count; ++k) {
+    const double lam = quad.lambda[static_cast<std::size_t>(k)];
+    const double damp = std::exp(-quad.mu[static_cast<std::size_t>(k)] * dz);
+    const int mk = quad.m_count[static_cast<std::size_t>(k)];
+    const std::size_t off = quad.offset[static_cast<std::size_t>(k)];
+    for (int j = 0; j < mk; ++j) {
+      const double phase =
+          lam * (dx * quad.cos_alpha[off + static_cast<std::size_t>(j)] +
+                 dy * quad.sin_alpha[off + static_cast<std::size_t>(j)]);
+      inout[off + static_cast<std::size_t>(j)] +=
+          in[off + static_cast<std::size_t>(j)] * damp *
+          cdouble{std::cos(phase), std::sin(phase)};
+    }
+  }
+}
+
+void YukawaKernel::i2l_acc(const CoeffVec& in, Axis d, int level,
+                           CoeffVec& inout) const {
+  const int l = clamped(level);
+  const PlaneWaveQuadrature& quad = quads_[static_cast<std::size_t>(l)];
+  if (quad.count == 0) return;
+  const auto& norm = inorm(l);
+  const std::size_t stride = tri_index(p_, p_) + 1;
+  const double* phyp = phyp_[static_cast<std::size_t>(l)].data();
+  CoeffVec lrot(sq_count(p_), cdouble{});
+  std::vector<cdouble> f(static_cast<std::size_t>(2 * p_ + 1));
+  for (int k = 0; k < quad.count; ++k) {
+    std::fill(f.begin(), f.end(), cdouble{});
+    const int mk = quad.m_count[static_cast<std::size_t>(k)];
+    const std::size_t off = quad.offset[static_cast<std::size_t>(k)];
+    for (int j = 0; j < mk; ++j) {
+      const cdouble wkj = in[off + static_cast<std::size_t>(j)];
+      const cdouble e{quad.cos_alpha[off + static_cast<std::size_t>(j)],
+                      quad.sin_alpha[off + static_cast<std::size_t>(j)]};
+      // F(k, m) = sum_j W(k, j) e^{-i m alpha_j}
+      f[static_cast<std::size_t>(p_)] += wkj;
+      cdouble ep{1.0, 0.0};
+      for (int mm = 1; mm <= p_; ++mm) {
+        ep *= std::conj(e);
+        f[static_cast<std::size_t>(p_ + mm)] += wkj * ep;
+        f[static_cast<std::size_t>(p_ - mm)] += wkj * std::conj(ep);
+      }
+    }
+    const double* leg = phyp + static_cast<std::size_t>(k) * stride;
+    for (int n = 0; n <= p_; ++n) {
+      const double par = (n & 1) ? -1.0 : 1.0;
+      for (int mm = -n; mm <= n; ++mm) {
+        const int am = std::abs(mm);
+        lrot[sq_index(n, mm)] += par * norm[static_cast<std::size_t>(n)] *
+                                 leg[tri_index(n, am)] * minus_i_pow(am) *
+                                 f[static_cast<std::size_t>(mm + p_)];
+      }
+    }
+  }
+  CoeffVec lback;
+  inv_[static_cast<std::size_t>(d)].apply(lrot, gamma_, 1, lback);
+  for (std::size_t i = 0; i < lback.size(); ++i) inout[i] += lback[i];
+}
+
+}  // namespace amtfmm

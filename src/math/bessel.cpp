@@ -1,0 +1,80 @@
+#include "math/bessel.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "math/special.hpp"
+#include "support/error.hpp"
+
+namespace amtfmm {
+
+void sph_bessel_i(int p, double x, std::vector<double>& out) {
+  out.assign(static_cast<std::size_t>(p) + 1, 0.0);
+  AMTFMM_ASSERT(x >= 0.0 && x < 600.0);
+  if (x < 1e-8) {
+    // i_n(x) ~ x^n / (2n+1)!! near zero.
+    double xn = 1.0;
+    for (int n = 0; n <= p; ++n) {
+      out[static_cast<std::size_t>(n)] = xn / double_factorial_odd(n + 1);
+      xn *= x;
+    }
+    return;
+  }
+  // Miller's algorithm: downward recurrence from well above p, normalized
+  // against the analytically known i_0 = sinh(x)/x.
+  const int start = p + 16 + static_cast<int>(x);
+  std::vector<double> t(static_cast<std::size_t>(start) + 2, 0.0);
+  t[static_cast<std::size_t>(start)] = 1e-30;
+  for (int n = start; n >= 1; --n) {
+    t[static_cast<std::size_t>(n - 1)] =
+        t[static_cast<std::size_t>(n + 1)] + (2 * n + 1) / x * t[static_cast<std::size_t>(n)];
+    if (std::abs(t[static_cast<std::size_t>(n - 1)]) > 1e270) {
+      for (auto& v : t) v *= 1e-270;
+    }
+  }
+  const double scale = (std::sinh(x) / x) / t[0];
+  for (int n = 0; n <= p; ++n) {
+    out[static_cast<std::size_t>(n)] = t[static_cast<std::size_t>(n)] * scale;
+  }
+}
+
+void sph_bessel_k(int p, double x, std::vector<double>& out) {
+  out.assign(static_cast<std::size_t>(p) + 1, 0.0);
+  AMTFMM_ASSERT(x > 0.0);
+  const double k0 = 0.5 * std::numbers::pi * std::exp(-x) / x;
+  out[0] = k0;
+  if (p == 0) return;
+  out[1] = k0 * (1.0 + 1.0 / x);
+  for (int n = 2; n <= p; ++n) {
+    // k_n = k_{n-2} + (2n-1)/x k_{n-1}  (upward is stable for k)
+    out[static_cast<std::size_t>(n)] =
+        out[static_cast<std::size_t>(n - 2)] +
+        (2 * n - 1) / x * out[static_cast<std::size_t>(n - 1)];
+  }
+}
+
+void bessel_j(int nmax, double x, std::vector<double>& out) {
+  out.assign(static_cast<std::size_t>(nmax) + 1, 0.0);
+  if (x < 1e-12) {
+    out[0] = 1.0;
+    return;
+  }
+  // Downward recurrence with the sum rule J_0 + 2 sum_{even n>0} J_n = 1.
+  const int start = nmax + 20 + static_cast<int>(1.3 * x);
+  std::vector<double> j(static_cast<std::size_t>(start) + 2, 0.0);
+  j[static_cast<std::size_t>(start)] = 1e-30;
+  for (int n = start; n >= 1; --n) {
+    j[static_cast<std::size_t>(n - 1)] =
+        (2.0 * n) / x * j[static_cast<std::size_t>(n)] - j[static_cast<std::size_t>(n + 1)];
+    if (std::abs(j[static_cast<std::size_t>(n - 1)]) > 1e270) {
+      for (auto& v : j) v *= 1e-270;
+    }
+  }
+  double norm = j[0];
+  for (int n = 2; n <= start; n += 2) norm += 2.0 * j[static_cast<std::size_t>(n)];
+  for (int n = 0; n <= nmax; ++n) {
+    out[static_cast<std::size_t>(n)] = j[static_cast<std::size_t>(n)] / norm;
+  }
+}
+
+}  // namespace amtfmm

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+namespace amtfmm {
+
+/// Modified spherical Bessel functions of the first kind, i_n(x), for
+/// n = 0..p.  Computed by Miller's downward recurrence normalized against
+/// i_0 = sinh(x)/x; near x = 0 a series expansion is used.  These are the
+/// regular radial functions of the Yukawa (screened Coulomb) expansions.
+void sph_bessel_i(int p, double x, std::vector<double>& out);
+
+/// Modified spherical Bessel functions of the second kind, k_n(x), for
+/// n = 0..p, with the convention k_0(x) = (pi/2) e^{-x}/x.  Computed by
+/// (stable) upward recurrence.  These are the singular radial functions of
+/// the Yukawa expansions.
+void sph_bessel_k(int p, double x, std::vector<double>& out);
+
+/// Regular cylindrical Bessel J_n(x) for n = 0..nmax, via downward
+/// recurrence (used when sizing the plane-wave quadrature's angular counts).
+void bessel_j(int nmax, double x, std::vector<double>& out);
+
+}  // namespace amtfmm

@@ -1,0 +1,49 @@
+#include "math/gauss.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/error.hpp"
+
+namespace amtfmm {
+
+Quadrature gauss_legendre(int n) {
+  AMTFMM_ASSERT(n >= 1);
+  Quadrature q;
+  q.x.resize(static_cast<std::size_t>(n));
+  q.w.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // Chebyshev-like initial guess for the i-th root.
+    double x = std::cos(std::numbers::pi * (i + 0.75) / (n + 0.5));
+    double dp = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      // Evaluate P_n(x) and P'_n(x) by recurrence.
+      double p0 = 1.0, p1 = x;
+      for (int k = 2; k <= n; ++k) {
+        const double p2 = ((2 * k - 1) * x * p1 - (k - 1) * p0) / k;
+        p0 = p1;
+        p1 = p2;
+      }
+      dp = n * (x * p1 - p0) / (x * x - 1.0);
+      const double dx = p1 / dp;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    q.x[static_cast<std::size_t>(i)] = x;
+    q.w[static_cast<std::size_t>(i)] = 2.0 / ((1.0 - x * x) * dp * dp);
+  }
+  return q;
+}
+
+Quadrature gauss_legendre(int n, double a, double b) {
+  Quadrature q = gauss_legendre(n);
+  const double mid = 0.5 * (a + b);
+  const double half = 0.5 * (b - a);
+  for (std::size_t i = 0; i < q.x.size(); ++i) {
+    q.x[i] = mid + half * q.x[i];
+    q.w[i] *= half;
+  }
+  return q;
+}
+
+}  // namespace amtfmm

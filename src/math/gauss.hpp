@@ -1,0 +1,20 @@
+#pragma once
+
+#include <vector>
+
+namespace amtfmm {
+
+/// One-dimensional quadrature rule: sum_i w[i] f(x[i]).
+struct Quadrature {
+  std::vector<double> x;
+  std::vector<double> w;
+};
+
+/// n-point Gauss-Legendre rule on [-1, 1], computed by Newton iteration on
+/// the Legendre polynomial (standard Golub-Welsch-free construction).
+Quadrature gauss_legendre(int n);
+
+/// Gauss-Legendre rule mapped to [a, b].
+Quadrature gauss_legendre(int n, double a, double b);
+
+}  // namespace amtfmm

@@ -1,0 +1,134 @@
+#include "math/planewave.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "math/bessel.hpp"
+#include "math/gauss.hpp"
+#include "math/special.hpp"
+#include "support/error.hpp"
+
+namespace amtfmm {
+namespace {
+
+constexpr double kZMin = 1.0;           // validity range in box units
+constexpr double kRhoMax = 5.6568542494923806;  // 4 sqrt 2
+
+/// Estimated relative error of an n-point Gauss-Legendre rule applied to an
+/// oscillation with half-width phase s (standard analytic bound shape).
+double gl_osc_error(int n, double s) {
+  if (2 * n >= 170) return 0.0;
+  return std::pow(s, 2 * n) / factorial(2 * n);
+}
+
+}  // namespace
+
+PlaneWaveQuadrature make_planewave_quadrature(double eps, double kappa) {
+  AMTFMM_ASSERT(eps > 0.0 && eps < 0.1);
+  AMTFMM_ASSERT(kappa >= 0.0);
+  PlaneWaveQuadrature q;
+  q.kappa = kappa;
+  q.eps = eps;
+
+  // Truncation: contributions beyond lambda_max are bounded by
+  // e^{-mu(lambda) zmin}; keep them below eps/100.
+  const double decay_budget = std::log(100.0 / eps);
+  if (kappa >= decay_budget) {
+    // Screening alone kills the far field at one box separation; an empty
+    // expansion is the correct (and GH02-consistent) limit.
+    return q;
+  }
+  const double lambda_max =
+      std::sqrt(decay_budget * decay_budget - kappa * kappa);
+  const int npanel = std::max(1, static_cast<int>(std::ceil(lambda_max)));
+  const double width = lambda_max / npanel;
+
+  // Pass 1: lambda nodes from per-panel Gauss-Legendre rules whose order is
+  // chosen against the J0 oscillation, with the exponential amplitude decay
+  // relaxing the tolerance of later panels.
+  for (int pnl = 0; pnl < npanel; ++pnl) {
+    const double a = pnl * width;
+    const double b = a + width;
+    const double mu_a = std::sqrt(a * a + kappa * kappa);
+    const double amp = std::exp(-mu_a * kZMin);
+    if (amp < 0.01 * eps) break;  // the rest of the tail is negligible
+    // Root-sum-square budget across panels: individual panel errors are
+    // oscillatory and do not add coherently.
+    const double tol =
+        std::min(1.0, 0.3 * eps / (amp * std::sqrt(static_cast<double>(npanel))));
+    const double s = 0.5 * width * kRhoMax;  // half-width phase
+    int order = 3;
+    while (order < 16 && gl_osc_error(order, s) > tol) ++order;
+    const Quadrature gl = gauss_legendre(order, a, b);
+    for (int i = 0; i < order; ++i) {
+      const double lam = gl.x[static_cast<std::size_t>(i)];
+      const double mu = std::sqrt(lam * lam + kappa * kappa);
+      q.lambda.push_back(lam);
+      q.mu.push_back(mu);
+      q.weight.push_back(gl.w[static_cast<std::size_t>(i)] * lam /
+                         std::max(mu, 1e-300));
+    }
+  }
+  q.count = static_cast<int>(q.lambda.size());
+
+  // Pass 2: angular counts.  The M-point trapezoid rule for the alpha
+  // integral has error ~ 2 J_M(lambda rho); size M so the weighted sum of
+  // these stays below eps/4.
+  std::vector<double> jtab;
+  for (int k = 0; k < q.count; ++k) {
+    const double x = q.lambda[static_cast<std::size_t>(k)] * kRhoMax;
+    const double amp = q.weight[static_cast<std::size_t>(k)] *
+                       std::exp(-q.mu[static_cast<std::size_t>(k)] * kZMin);
+    const double tol =
+        0.4 * eps /
+        (std::max(amp, 1e-300) * std::sqrt(static_cast<double>(std::max(1, q.count))));
+    const int nmax = static_cast<int>(x) + 60;
+    bessel_j(nmax, x, jtab);
+    int m = 4;
+    while (m + 1 < nmax &&
+           std::abs(jtab[static_cast<std::size_t>(m)]) +
+                   std::abs(jtab[static_cast<std::size_t>(m + 1)]) >
+               tol) {
+      m += 2;
+    }
+    q.m_count.push_back(m);
+    q.offset.push_back(q.total);
+    q.total += static_cast<std::size_t>(m);
+  }
+
+  // Angular node tables.
+  q.cos_alpha.resize(q.total);
+  q.sin_alpha.resize(q.total);
+  for (int k = 0; k < q.count; ++k) {
+    const int mk = q.m_count[static_cast<std::size_t>(k)];
+    for (int j = 0; j < mk; ++j) {
+      const double alpha = 2.0 * std::numbers::pi * j / mk;
+      q.cos_alpha[q.offset[static_cast<std::size_t>(k)] + static_cast<std::size_t>(j)] = std::cos(alpha);
+      q.sin_alpha[q.offset[static_cast<std::size_t>(k)] + static_cast<std::size_t>(j)] = std::sin(alpha);
+    }
+  }
+  return q;
+}
+
+double planewave_eval(const PlaneWaveQuadrature& q, double x, double y,
+                      double z) {
+  double phi = 0.0;
+  for (int k = 0; k < q.count; ++k) {
+    const int mk = q.m_count[static_cast<std::size_t>(k)];
+    const std::size_t off = q.offset[static_cast<std::size_t>(k)];
+    double ang = 0.0;
+    for (int j = 0; j < mk; ++j) {
+      ang += std::cos(q.lambda[static_cast<std::size_t>(k)] *
+                      (x * q.cos_alpha[off + static_cast<std::size_t>(j)] +
+                       y * q.sin_alpha[off + static_cast<std::size_t>(j)]));
+    }
+    // The 1/(2 pi) prefactor of the Sommerfeld identity cancels against the
+    // 2 pi of the alpha integral once the trapezoid average replaces it.
+    phi += q.weight[static_cast<std::size_t>(k)] *
+           std::exp(-q.mu[static_cast<std::size_t>(k)] * z) * ang / mk;
+  }
+  return phi;
+}
+
+}  // namespace amtfmm

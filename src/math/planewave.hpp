@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace amtfmm {
+
+/// Discretization of the Sommerfeld plane-wave representation
+///
+///   e^{-kappa R}/R = (1/2pi) int_0^inf (lam/mu) e^{-mu z}
+///                    int_0^{2pi} e^{i lam (x cos a + y sin a)} da dlam,
+///   mu = sqrt(lam^2 + kappa^2),  R = sqrt(x^2+y^2+z^2),  z > 0,
+///
+/// valid (to tolerance eps) over the merge-and-shift geometry z in [1, 4],
+/// rho = sqrt(x^2+y^2) in [0, 4 sqrt 2], in units of the box size.  kappa = 0
+/// gives the Laplace kernel 1/R.  This is the mathematical foundation of the
+/// intermediate (exponential) expansions: the "I" nodes of the paper's DAG.
+///
+/// Nodes are generated at startup from panel Gauss-Legendre rules in lambda
+/// with adaptively chosen trapezoid counts in alpha (see DESIGN.md: this is
+/// our substitution for the published generalized-Gaussian tables; it meets
+/// the same tolerance with more terms).
+struct PlaneWaveQuadrature {
+  int count = 0;                    ///< number of lambda nodes s
+  std::vector<double> lambda;       ///< lambda_k (box-size units)
+  std::vector<double> mu;           ///< sqrt(lambda_k^2 + kappa^2)
+  std::vector<double> weight;      ///< w_k * lambda_k / mu_k  (combined weight)
+  std::vector<int> m_count;        ///< angular counts M_k
+  std::vector<std::size_t> offset; ///< start of node k's angular slots
+  std::size_t total = 0;           ///< sum_k M_k = expansion length
+  double kappa = 0.0;              ///< kappa in box-size units
+  double eps = 0.0;                ///< target tolerance
+
+  /// cos/sin tables of alpha_{k,j} = 2 pi j / M_k, laid out per offset.
+  std::vector<double> cos_alpha;
+  std::vector<double> sin_alpha;
+};
+
+/// Builds a quadrature for tolerance eps and (box-size-scaled) kappa.
+/// kappa = 0 selects the Laplace kernel.  The Yukawa kernel calls this per
+/// tree level (kappa * box_size changes with depth), which is exactly the
+/// paper's "the length of the intermediate expansion depends on the depth".
+PlaneWaveQuadrature make_planewave_quadrature(double eps, double kappa);
+
+/// Direct evaluation of the discretized representation at (x, y, z) in
+/// box-size units; used by tests to verify the quadrature against the
+/// analytic kernel over the valid region.
+double planewave_eval(const PlaneWaveQuadrature& q, double x, double y,
+                      double z);
+
+}  // namespace amtfmm

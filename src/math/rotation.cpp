@@ -1,0 +1,86 @@
+#include "math/rotation.hpp"
+
+#include "math/sphere.hpp"
+#include "support/error.hpp"
+
+namespace amtfmm {
+
+AngularTransform::AngularTransform(int p, const Mat3& q) : p_(p) {
+  const Mat3 qt = q.transpose();
+  const SphereRule rule(p);
+  blocks_.resize(static_cast<std::size_t>(p) + 1);
+  std::vector<cdouble> samples(rule.size());
+  CoeffVec basis, proj;
+  for (int n = 0; n <= p; ++n) {
+    auto& block = blocks_[static_cast<std::size_t>(n)];
+    block.assign(static_cast<std::size_t>(2 * n + 1) * (2 * n + 1), cdouble{});
+    for (int m = -n; m <= n; ++m) {
+      // Sample A_n^m(Q^T dir) over the rule and project back onto A_n^{m'}.
+      for (std::size_t s = 0; s < rule.size(); ++s) {
+        angular_basis(n, qt * rule.directions()[s], basis);
+        samples[s] = basis[sq_index(n, m)];
+      }
+      rule.project(std::span<const cdouble>(samples.data(), rule.size()), n,
+                   proj);
+      for (int mp = -n; mp <= n; ++mp) {
+        block[static_cast<std::size_t>(m + n) * (2 * n + 1) +
+              static_cast<std::size_t>(mp + n)] = proj[sq_index(n, mp)];
+      }
+    }
+  }
+}
+
+void AngularTransform::apply(const CoeffVec& in, const std::vector<double>& g,
+                             int s, CoeffVec& out) const {
+  AMTFMM_ASSERT(s == 1 || s == -1);
+  AMTFMM_ASSERT(in.size() == sq_count(p_));
+  out.assign(sq_count(p_), cdouble{});
+  for (int n = 0; n <= p_; ++n) {
+    const auto& block = blocks_[static_cast<std::size_t>(n)];
+    const int w = 2 * n + 1;
+    for (int mp = -n; mp <= n; ++mp) {
+      cdouble acc{};
+      for (int m = -n; m <= n; ++m) {
+        const cdouble e = block[static_cast<std::size_t>(s * m + n) * w +
+                                static_cast<std::size_t>(s * mp + n)];
+        acc += in[sq_index(n, m)] * g[sq_index(n, m)] * e;
+      }
+      out[sq_index(n, mp)] = acc / g[sq_index(n, mp)];
+    }
+  }
+}
+
+Mat3 axis_to_z(Axis d) {
+  switch (d) {
+    case Axis::kPlusZ:
+      return Mat3{{1, 0, 0, 0, 1, 0, 0, 0, 1}};
+    case Axis::kMinusZ:
+      // Rotation by pi about x: (x, y, z) -> (x, -y, -z).
+      return Mat3{{1, 0, 0, 0, -1, 0, 0, 0, -1}};
+    case Axis::kPlusY:
+      return Mat3{{1, 0, 0, 0, 0, -1, 0, 1, 0}};
+    case Axis::kMinusY:
+      return Mat3{{1, 0, 0, 0, 0, 1, 0, -1, 0}};
+    case Axis::kPlusX:
+      return Mat3{{0, 0, -1, 0, 1, 0, 1, 0, 0}};
+    case Axis::kMinusX:
+      return Mat3{{0, 0, 1, 0, 1, 0, -1, 0, 0}};
+  }
+  AMTFMM_ASSERT(false);
+  return {};
+}
+
+Vec3 axis_vector(Axis d) {
+  switch (d) {
+    case Axis::kPlusZ: return {0, 0, 1};
+    case Axis::kMinusZ: return {0, 0, -1};
+    case Axis::kPlusY: return {0, 1, 0};
+    case Axis::kMinusY: return {0, -1, 0};
+    case Axis::kPlusX: return {1, 0, 0};
+    case Axis::kMinusX: return {-1, 0, 0};
+  }
+  AMTFMM_ASSERT(false);
+  return {};
+}
+
+}  // namespace amtfmm

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace amtfmm {
+
+/// n! as a double.  Exact for n <= 22, adequate to double precision for the
+/// expansion orders used here (p <= ~30).
+inline double factorial(int n) {
+  static const std::vector<double> table = [] {
+    std::vector<double> t(171);
+    t[0] = 1.0;
+    for (int i = 1; i < 171; ++i) t[i] = t[i - 1] * i;
+    return t;
+  }();
+  AMTFMM_ASSERT(n >= 0 && n < 171);
+  return table[static_cast<std::size_t>(n)];
+}
+
+/// (2n-1)!! with the convention (-1)!! = 1.
+inline double double_factorial_odd(int n) {
+  double r = 1.0;
+  for (int k = 2 * n - 1; k > 1; k -= 2) r *= k;
+  return r;
+}
+
+/// Associated Legendre functions P_n^m(x) without the Condon-Shortley phase,
+/// for 0 <= m <= n <= p, at real argument x.
+///
+/// Two regimes share the same recurrences:
+///  - |x| <= 1 (angular use):  P_m^m = (2m-1)!! (1-x^2)^{m/2}
+///  - x  >  1 (Gegenbauer/plane-wave use, e.g. P_n^m(mu/kappa) in the Yukawa
+///    exponential expansion): P_m^m = (2m-1)!! (x^2-1)^{m/2}
+///
+/// Output is written row-major into `out` with layout out[n*(n+1)/2 + m].
+inline void legendre_table(int p, double x, std::vector<double>& out) {
+  const std::size_t count = static_cast<std::size_t>((p + 1) * (p + 2) / 2);
+  out.resize(count);
+  auto at = [&](int n, int m) -> double& {
+    return out[static_cast<std::size_t>(n * (n + 1) / 2 + m)];
+  };
+  const double s2 = (x > 1.0) ? (x * x - 1.0) : std::max(0.0, 1.0 - x * x);
+  const double s = std::sqrt(s2);
+  at(0, 0) = 1.0;
+  for (int m = 1; m <= p; ++m) {
+    at(m, m) = at(m - 1, m - 1) * (2 * m - 1) * s;
+  }
+  for (int m = 0; m < p; ++m) {
+    at(m + 1, m) = x * (2 * m + 1) * at(m, m);
+    for (int n = m + 2; n <= p; ++n) {
+      at(n, m) = (x * (2 * n - 1) * at(n - 1, m) - (n + m - 1) * at(n - 2, m)) /
+                 (n - m);
+    }
+  }
+}
+
+/// Index into a triangular (n, m>=0) table laid out as in legendre_table.
+inline std::size_t tri_index(int n, int m) {
+  return static_cast<std::size_t>(n * (n + 1) / 2 + m);
+}
+
+}  // namespace amtfmm

@@ -1,0 +1,83 @@
+#include "math/sphere.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "math/gauss.hpp"
+#include "math/special.hpp"
+#include "support/error.hpp"
+
+namespace amtfmm {
+
+void angular_basis(int p, const Vec3& dir, CoeffVec& out) {
+  out.assign(sq_count(p), cdouble{});
+  const Spherical s = to_spherical(dir);
+  std::vector<double> leg;
+  legendre_table(p, s.cos_theta, leg);
+  std::vector<cdouble> phase(static_cast<std::size_t>(p) + 1);
+  phase[0] = 1.0;
+  const cdouble e{std::cos(s.phi), std::sin(s.phi)};
+  for (int m = 1; m <= p; ++m) phase[static_cast<std::size_t>(m)] = phase[static_cast<std::size_t>(m - 1)] * e;
+  for (int n = 0; n <= p; ++n) {
+    for (int m = 0; m <= n; ++m) {
+      const double pv = leg[tri_index(n, m)];
+      out[sq_index(n, m)] = pv * phase[static_cast<std::size_t>(m)];
+      if (m > 0) out[sq_index(n, -m)] = pv * std::conj(phase[static_cast<std::size_t>(m)]);
+    }
+  }
+}
+
+SphereRule::SphereRule(int band) : band_(band) {
+  AMTFMM_ASSERT(band >= 0);
+  const int ntheta = band + 1;
+  const int nphi = 2 * band + 2;
+  const Quadrature gl = gauss_legendre(ntheta);
+  dirs_.reserve(static_cast<std::size_t>(ntheta) * nphi);
+  w_.reserve(dirs_.capacity());
+  for (int i = 0; i < ntheta; ++i) {
+    const double ct = gl.x[static_cast<std::size_t>(i)];
+    const double st = std::sqrt(std::max(0.0, 1.0 - ct * ct));
+    for (int j = 0; j < nphi; ++j) {
+      const double phi = 2.0 * std::numbers::pi * j / nphi;
+      dirs_.push_back({st * std::cos(phi), st * std::sin(phi), ct});
+      w_.push_back(gl.w[static_cast<std::size_t>(i)] * 2.0 * std::numbers::pi / nphi);
+    }
+  }
+}
+
+void SphereRule::prepare(int pmax) const {
+  AMTFMM_ASSERT_MSG(pmax <= band_, "projection order exceeds rule band");
+  if (table_p_ == pmax) return;
+  // Build the projection table: conj(A_n^m(dir_q)) * w_q / N_nm.
+  table_p_ = pmax;
+  const std::size_t nc = sq_count(pmax);
+  table_.assign(dirs_.size() * nc, cdouble{});
+  CoeffVec basis;
+  for (std::size_t q = 0; q < dirs_.size(); ++q) {
+    angular_basis(pmax, dirs_[q], basis);
+    for (int n = 0; n <= pmax; ++n) {
+      for (int m = -n; m <= n; ++m) {
+        const double nnm = 4.0 * std::numbers::pi / (2 * n + 1) *
+                           factorial(n + std::abs(m)) /
+                           factorial(n - std::abs(m));
+        table_[q * nc + sq_index(n, m)] =
+            std::conj(basis[sq_index(n, m)]) * (w_[q] / nnm);
+      }
+    }
+  }
+}
+
+void SphereRule::project(std::span<const cdouble> samples, int pmax,
+                         CoeffVec& out) const {
+  AMTFMM_ASSERT(samples.size() == dirs_.size());
+  prepare(pmax);
+  const std::size_t nc = sq_count(pmax);
+  out.assign(nc, cdouble{});
+  for (std::size_t q = 0; q < dirs_.size(); ++q) {
+    const cdouble f = samples[q];
+    const cdouble* row = &table_[q * nc];
+    for (std::size_t i = 0; i < nc; ++i) out[i] += f * row[i];
+  }
+}
+
+}  // namespace amtfmm

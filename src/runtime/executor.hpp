@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "runtime/trace.hpp"
+
+namespace amtfmm {
+
+/// One scheduled item of work: in HPX-5 terms this is a parcel that has
+/// reached its destination and become a lightweight thread.
+///
+/// `fn` carries the work (dependency bookkeeping and, in compute mode, the
+/// actual expansion math).  `items` is the task's virtual cost breakdown by
+/// trace class, consumed only by the sim executor; in real mode the work
+/// traces itself via Worker::record.
+struct CostItem {
+  std::uint8_t cls;
+  double cost;  // virtual seconds
+};
+
+struct Task {
+  std::function<void()> fn;
+  std::uint32_t locality = 0;
+  bool high_priority = false;
+  std::vector<CostItem> items;  // sim-mode cost breakdown
+};
+
+/// Scheduler policies matched to the paper:
+///  - kWorkStealing: per-worker deques, local randomized stealing (HPX-5's
+///    configuration in the evaluation),
+///  - kFifo: a per-locality FIFO queue (sim executor baseline),
+///  - kPriority: the two-level priority extension proposed in section VI.
+enum class SchedPolicy { kWorkStealing, kFifo, kPriority };
+
+/// Execution substrate: L localities x C scheduler threads plus an
+/// interconnect.  Two implementations share this interface: a real
+/// std::thread pool (ThreadExecutor) and a discrete-event simulation
+/// (SimExecutor) used for the strong-scaling reproduction (see DESIGN.md).
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  virtual int num_localities() const = 0;
+  virtual int cores_per_locality() const = 0;
+  int total_workers() const { return num_localities() * cores_per_locality(); }
+
+  /// Enqueues a task at task.locality.
+  virtual void spawn(Task t) = 0;
+
+  /// Sends a parcel of `bytes` from one locality to another; the task runs
+  /// at the destination after (modelled) transport.  This is the only way
+  /// work crosses localities.
+  virtual void send(std::uint32_t from, std::uint32_t to, std::size_t bytes,
+                    Task t) = 0;
+
+  /// Runs until no task, parcel, or pending event remains.  Returns the
+  /// makespan in seconds (wall time for real, virtual time for sim).
+  virtual double drain() = 0;
+
+  /// Current time on this executor's clock.
+  virtual double now() const = 0;
+
+  TraceSink& trace() { return *trace_; }
+  const TraceSink& trace() const { return *trace_; }
+
+  /// Total bytes sent across localities (diagnostics).
+  virtual std::uint64_t bytes_sent() const = 0;
+  virtual std::uint64_t parcels_sent() const = 0;
+
+ protected:
+  std::unique_ptr<TraceSink> trace_;
+};
+
+/// Identity of the executing worker thread, for real-mode tracing.
+/// Returns -1 outside a worker.
+int current_worker();
+
+/// Records a trace event on the current worker using the executor clock.
+/// No-op when tracing is disabled or called outside a worker.
+class ScopedTrace {
+ public:
+  ScopedTrace(Executor& ex, std::uint8_t cls);
+  ~ScopedTrace();
+
+ private:
+  Executor& ex_;
+  std::uint8_t cls_;
+  double t0_;
+};
+
+}  // namespace amtfmm

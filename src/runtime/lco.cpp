@@ -1,0 +1,51 @@
+#include "runtime/lco.hpp"
+
+#include "support/error.hpp"
+
+namespace amtfmm {
+
+void LCO::set_input(std::span<const std::byte> data) {
+  bool now_triggered = false;
+  {
+    std::lock_guard lk(mu_);
+    AMTFMM_ASSERT_MSG(!triggered_.load(std::memory_order_relaxed),
+                      "input to an already-triggered LCO");
+    reduce(data);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      now_triggered = true;
+    }
+  }
+  if (now_triggered) fire();
+}
+
+void LCO::fire() {
+  std::vector<Task> to_run;
+  {
+    std::lock_guard lk(mu_);
+    on_trigger();
+    triggered_.store(true, std::memory_order_release);
+    to_run.swap(continuations_);
+  }
+  cv_.notify_all();
+  for (auto& t : to_run) ex_.spawn(std::move(t));
+}
+
+void LCO::register_continuation(Task t) {
+  {
+    std::lock_guard lk(mu_);
+    if (!triggered_.load(std::memory_order_relaxed)) {
+      continuations_.push_back(std::move(t));
+      return;
+    }
+  }
+  ex_.spawn(std::move(t));
+}
+
+void LCO::wait() {
+  AMTFMM_ASSERT_MSG(current_worker() < 0,
+                    "LCO::wait would deadlock a scheduler thread");
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [this] { return triggered_.load(std::memory_order_acquire); });
+}
+
+}  // namespace amtfmm

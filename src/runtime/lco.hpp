@@ -1,0 +1,112 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <span>
+
+#include "runtime/executor.hpp"
+
+namespace amtfmm {
+
+/// Local Control Object: an event-driven, globally addressable
+/// synchronization object co-locating data and control (section III of the
+/// paper).  An LCO has input slots, a predicate (here: a countdown over the
+/// expected number of inputs), and dynamically registered continuations
+/// that are spawned as lightweight tasks exactly once, when the predicate
+/// first holds.
+///
+/// Subclasses define what an input *is* by overriding reduce(); the base
+/// class owns the concurrency: inputs may arrive from any worker, and
+/// continuations may be registered before or after the trigger (a late
+/// registration fires immediately) — the behaviour Figure 2 of the paper
+/// illustrates.
+class LCO {
+ public:
+  LCO(Executor& ex, int inputs_needed)
+      : ex_(ex), remaining_(inputs_needed) {
+    if (inputs_needed == 0) triggered_.store(true, std::memory_order_release);
+  }
+  virtual ~LCO() = default;
+
+  /// Applies one input.  `data` is interpreted by the subclass's reduce().
+  /// Thread safe; the reduction itself is serialized per LCO.
+  void set_input(std::span<const std::byte> data);
+
+  /// Registers a continuation task; spawned when (or immediately if) the
+  /// LCO is triggered.
+  void register_continuation(Task t);
+
+  bool triggered() const { return triggered_.load(std::memory_order_acquire); }
+
+  /// Blocks the calling (non-worker) thread until triggered.  Real-mode
+  /// only; in sim mode drain the executor instead.
+  void wait();
+
+ protected:
+  /// Reduction of one input into the LCO's data; called under the LCO lock.
+  virtual void reduce(std::span<const std::byte> data) = 0;
+  /// Invoked once, after the final input and before continuations run.
+  virtual void on_trigger() {}
+
+  Executor& ex_;
+
+ private:
+  void fire();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Task> continuations_;
+  std::atomic<int> remaining_;
+  std::atomic<bool> triggered_{false};
+};
+
+/// Single-assignment future holding a trivially copyable value.
+template <typename T>
+class FutureLCO final : public LCO {
+ public:
+  explicit FutureLCO(Executor& ex) : LCO(ex, 1) {}
+
+  void set(const T& value) {
+    set_input(std::as_bytes(std::span<const T>(&value, 1)));
+  }
+  const T& get() {
+    wait();
+    return value_;
+  }
+
+ protected:
+  void reduce(std::span<const std::byte> data) override {
+    std::memcpy(&value_, data.data(), sizeof(T));
+  }
+
+ private:
+  T value_{};
+};
+
+/// N-input sum reduction over doubles (the paper's example LCO class).
+class SumLCO final : public LCO {
+ public:
+  SumLCO(Executor& ex, int inputs) : LCO(ex, inputs) {}
+
+  void add(double v) {
+    set_input(std::as_bytes(std::span<const double>(&v, 1)));
+  }
+  double value() {
+    wait();
+    return sum_;
+  }
+
+ protected:
+  void reduce(std::span<const std::byte> data) override {
+    double v;
+    std::memcpy(&v, data.data(), sizeof(double));
+    sum_ += v;
+  }
+
+ private:
+  double sum_ = 0.0;
+};
+
+}  // namespace amtfmm

@@ -1,0 +1,37 @@
+#include "runtime/runtime.hpp"
+
+namespace amtfmm {
+
+Runtime::Runtime(const RuntimeConfig& cfg)
+    : cfg_(cfg), gas_(cfg.localities) {
+  if (cfg.mode == ExecMode::kThreads) {
+    exec_ = std::make_unique<ThreadExecutor>(cfg.localities,
+                                             cfg.cores_per_locality,
+                                             cfg.policy, cfg.seed);
+  } else {
+    exec_ = std::make_unique<SimExecutor>(cfg.localities,
+                                          cfg.cores_per_locality, cfg.policy,
+                                          cfg.network, cfg.seed);
+  }
+}
+
+std::uint32_t Runtime::register_action(ActionFn fn) {
+  actions_.push_back(std::move(fn));
+  return static_cast<std::uint32_t>(actions_.size() - 1);
+}
+
+void Runtime::send_parcel(std::uint32_t from, Parcel p,
+                          std::vector<CostItem> items, bool high_priority) {
+  const std::uint32_t to = p.target.locality;
+  const std::size_t bytes = p.payload.size() + 32;  // header estimate
+  Task t;
+  t.locality = to;
+  t.high_priority = high_priority;
+  t.items = std::move(items);
+  t.fn = [this, parcel = std::move(p)]() {
+    actions_[parcel.action](*this, parcel);
+  };
+  exec_->send(from, to, bytes, std::move(t));
+}
+
+}  // namespace amtfmm

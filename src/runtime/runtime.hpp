@@ -1,0 +1,72 @@
+#pragma once
+
+#include <functional>
+
+#include "runtime/gas.hpp"
+#include "runtime/sim_executor.hpp"
+#include "runtime/thread_executor.hpp"
+
+namespace amtfmm {
+
+/// An active message: the description of an action, its argument data, and
+/// the global address it acts on.  Sending a parcel is the only way to
+/// spawn work, and parcel == lightweight thread once delivered — the HPX-5
+/// equivalence the paper's section III describes.
+struct Parcel {
+  std::uint32_t action = 0;
+  GlobalAddress target;
+  std::vector<std::byte> payload;
+};
+
+class Runtime;
+using ActionFn = std::function<void(Runtime&, const Parcel&)>;
+
+/// Execution substrate selection.
+enum class ExecMode {
+  kThreads,  ///< real std::thread workers (correctness, host benchmarks)
+  kSim,      ///< discrete-event simulation (scaling reproduction)
+};
+
+struct RuntimeConfig {
+  int localities = 1;
+  int cores_per_locality = 1;
+  ExecMode mode = ExecMode::kThreads;
+  SchedPolicy policy = SchedPolicy::kWorkStealing;
+  NetworkModel network{};
+  std::uint64_t seed = 1;
+};
+
+/// The runtime facade: global address space + action registry + executor.
+/// DASHMM-equivalent applications allocate LCOs through gas(), register
+/// actions once, and drive everything by sending parcels.
+class Runtime {
+ public:
+  explicit Runtime(const RuntimeConfig& cfg);
+
+  Executor& executor() { return *exec_; }
+  const Executor& executor() const { return *exec_; }
+  Gas& gas() { return gas_; }
+  const RuntimeConfig& config() const { return cfg_; }
+
+  /// Registers an action handler; returns its id (stable for the runtime's
+  /// lifetime).  Must be called before execution starts.
+  std::uint32_t register_action(ActionFn fn);
+
+  /// Sends a parcel from `from` to the locality owning the target address.
+  /// The action runs at the destination; cost items attribute its virtual
+  /// time in sim mode.
+  void send_parcel(std::uint32_t from, Parcel p,
+                   std::vector<CostItem> items = {},
+                   bool high_priority = false);
+
+  /// Runs to quiescence; returns makespan.
+  double drain() { return exec_->drain(); }
+
+ private:
+  RuntimeConfig cfg_;
+  std::unique_ptr<Executor> exec_;
+  Gas gas_;
+  std::vector<ActionFn> actions_;
+};
+
+}  // namespace amtfmm

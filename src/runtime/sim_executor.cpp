@@ -1,0 +1,118 @@
+#include "runtime/sim_executor.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace amtfmm {
+
+SimExecutor::SimExecutor(int num_localities, int cores_per_locality,
+                         SchedPolicy policy, NetworkModel net,
+                         std::uint64_t seed)
+    : num_localities_(num_localities),
+      cores_(cores_per_locality),
+      policy_(policy),
+      net_(net),
+      locs_(static_cast<std::size_t>(num_localities)) {
+  AMTFMM_ASSERT(num_localities >= 1 && cores_per_locality >= 1);
+  trace_ = std::make_unique<TraceSink>(total_workers());
+  std::uint64_t sm = seed;
+  for (auto& l : locs_) l.rng = Rng(splitmix64(sm));
+}
+
+void SimExecutor::post(double time, std::function<void()> fn) {
+  events_.push(Event{time, seq_++, std::move(fn)});
+}
+
+void SimExecutor::spawn(Task t) {
+  AMTFMM_ASSERT(t.locality < static_cast<std::uint32_t>(num_localities_));
+  const std::uint32_t loc = t.locality;
+  auto& ls = locs_[loc];
+  const bool hi = policy_ == SchedPolicy::kPriority && t.high_priority;
+  (hi ? ls.high : ls.low).push_back(std::move(t));
+  try_dispatch(loc);
+}
+
+void SimExecutor::send(std::uint32_t from, std::uint32_t to,
+                       std::size_t bytes, Task t) {
+  t.locality = to;
+  if (from == to) {
+    spawn(std::move(t));
+    return;
+  }
+  bytes_sent_ += bytes;
+  parcels_sent_ += 1;
+  auto& src = locs_[from];
+  src.nic_free = std::max(src.nic_free, now_) +
+                 static_cast<double>(bytes) / net_.bandwidth;
+  const double arrival = src.nic_free + net_.latency;
+  post(arrival, [this, task = std::move(t)]() mutable {
+    spawn(std::move(task));
+  });
+}
+
+void SimExecutor::try_dispatch(std::uint32_t loc) {
+  auto& ls = locs_[loc];
+  while (ls.busy_cores < cores_ && (!ls.high.empty() || !ls.low.empty())) {
+    Task t;
+    if (!ls.high.empty()) {
+      // Priority class drains oldest-first.
+      t = std::move(ls.high.front());
+      ls.high.pop_front();
+    } else if (policy_ == SchedPolicy::kFifo) {
+      t = std::move(ls.low.front());
+      ls.low.pop_front();
+    } else {
+      // Randomized work stealing in aggregate: with many per-core deques
+      // and random steal victims, the pool is serviced in near-uniform
+      // random order — which is exactly why the paper observes critical
+      // upward-pass tasks being scheduled "up to 83% through the
+      // execution": the scheduler is oblivious to the critical path.
+      const std::size_t idx = ls.rng.below(ls.low.size());
+      std::swap(ls.low[idx], ls.low.back());
+      t = std::move(ls.low.back());
+      ls.low.pop_back();
+    }
+    ls.busy_cores++;
+    run_task(loc, std::move(t));
+  }
+}
+
+void SimExecutor::run_task(std::uint32_t loc, Task t) {
+  const double start = now_ + net_.task_overhead;
+  double finish = start;
+  if (trace_->enabled()) {
+    const int core = locs_[loc].busy_cores - 1;  // stable enough for traces
+    const std::uint32_t worker =
+        loc * static_cast<std::uint32_t>(cores_) +
+        static_cast<std::uint32_t>(std::min(core, cores_ - 1));
+    for (const CostItem& it : t.items) {
+      trace_->record(worker, it.cls, finish, finish + it.cost);
+      finish += it.cost;
+    }
+  } else {
+    for (const CostItem& it : t.items) finish += it.cost;
+  }
+  post(finish, [this, loc, fn = std::move(t.fn)]() {
+    if (fn) fn();
+    auto& ls = locs_[loc];
+    ls.busy_cores--;
+    try_dispatch(loc);
+  });
+}
+
+double SimExecutor::drain() {
+  const double t0 = now_;
+  while (!events_.empty()) {
+    // Pull the event without holding a reference across fn() — handlers
+    // push new events and would invalidate it.
+    Event e = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    AMTFMM_ASSERT(e.time >= now_ - 1e-12);
+    now_ = std::max(now_, e.time);
+    e.fn();
+  }
+  return now_ - t0;
+}
+
+}  // namespace amtfmm

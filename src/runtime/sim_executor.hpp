@@ -1,0 +1,87 @@
+#pragma once
+
+#include <deque>
+#include <queue>
+
+#include "runtime/executor.hpp"
+#include "support/rng.hpp"
+
+namespace amtfmm {
+
+/// Interconnect model for the simulated cluster: per-locality injection
+/// bandwidth plus a flat latency (an alpha-beta model of the paper's Cray
+/// Gemini torus).  Defaults approximate Gemini: ~1.5 us latency, ~6 GB/s
+/// per-NIC injection bandwidth.
+struct NetworkModel {
+  double latency = 1.5e-6;          // seconds per message
+  double bandwidth = 6.0e9;         // bytes per second per locality NIC
+  double task_overhead = 0.25e-6;   // scheduler cost to start a task
+};
+
+/// Discrete-event simulation of the runtime: L localities x C cores on a
+/// virtual clock.  This executes the *actual* DAG — every LCO trigger and
+/// every continuation really runs (with its structural side effects); only
+/// the time each one takes is modelled, via the per-task CostItem
+/// breakdowns supplied by the caller and calibrated from measured operator
+/// times (see core/cost_model.hpp).  This is the substitution for the
+/// paper's 4096-core Big Red II runs — see DESIGN.md.
+///
+/// Scheduling per locality:
+///  - kWorkStealing: a shared pool drained in LIFO order with randomized
+///    tie-breaking (the aggregate behaviour of per-core deques + stealing),
+///  - kFifo: oldest-first,
+///  - kPriority: two-level queue, high first (the section VI proposal).
+///
+/// The simulation is deterministic for a fixed seed.
+class SimExecutor final : public Executor {
+ public:
+  SimExecutor(int num_localities, int cores_per_locality,
+              SchedPolicy policy = SchedPolicy::kWorkStealing,
+              NetworkModel net = {}, std::uint64_t seed = 1);
+
+  int num_localities() const override { return num_localities_; }
+  int cores_per_locality() const override { return cores_; }
+
+  void spawn(Task t) override;
+  void send(std::uint32_t from, std::uint32_t to, std::size_t bytes,
+            Task t) override;
+  double drain() override;
+  double now() const override { return now_; }
+
+  std::uint64_t bytes_sent() const override { return bytes_sent_; }
+  std::uint64_t parcels_sent() const override { return parcels_sent_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      return time > o.time || (time == o.time && seq > o.seq);
+    }
+  };
+  struct LocalityState {
+    std::deque<Task> high;
+    std::deque<Task> low;
+    int busy_cores = 0;
+    double nic_free = 0.0;
+    Rng rng{0};
+  };
+
+  void post(double time, std::function<void()> fn);
+  void try_dispatch(std::uint32_t loc);
+  void run_task(std::uint32_t loc, Task t);
+
+  int num_localities_;
+  int cores_;
+  SchedPolicy policy_;
+  NetworkModel net_;
+  std::vector<LocalityState> locs_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t parcels_sent_ = 0;
+};
+
+}  // namespace amtfmm

@@ -1,0 +1,164 @@
+#include "runtime/thread_executor.hpp"
+
+#include "support/error.hpp"
+
+namespace amtfmm {
+namespace {
+
+thread_local int tls_worker = -1;
+
+}  // namespace
+
+int current_worker() { return tls_worker; }
+
+ScopedTrace::ScopedTrace(Executor& ex, std::uint8_t cls)
+    : ex_(ex), cls_(cls), t0_(ex.trace().enabled() ? ex.now() : 0.0) {}
+
+ScopedTrace::~ScopedTrace() {
+  if (!ex_.trace().enabled()) return;
+  const int w = current_worker();
+  if (w < 0) return;
+  ex_.trace().record(static_cast<std::uint32_t>(w), cls_, t0_, ex_.now());
+}
+
+ThreadExecutor::ThreadExecutor(int num_localities, int cores_per_locality,
+                               SchedPolicy policy, std::uint64_t seed)
+    : num_localities_(num_localities),
+      cores_(cores_per_locality),
+      policy_(policy),
+      epoch_(std::chrono::steady_clock::now()) {
+  AMTFMM_ASSERT(num_localities >= 1 && cores_per_locality >= 1);
+  trace_ = std::make_unique<TraceSink>(total_workers());
+  const int n = total_workers();
+  workers_.reserve(static_cast<std::size_t>(n));
+  std::uint64_t sm = seed;
+  for (int w = 0; w < n; ++w) {
+    auto ws = std::make_unique<WorkerState>();
+    ws->rng = Rng(splitmix64(sm));
+    workers_.push_back(std::move(ws));
+  }
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int w = 0; w < n; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadExecutor::~ThreadExecutor() {
+  drain();
+  stop_.store(true);
+  idle_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+double ThreadExecutor::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void ThreadExecutor::push(int w, Task t) {
+  {
+    std::lock_guard lk(workers_[static_cast<std::size_t>(w)]->mu);
+    auto& ws = *workers_[static_cast<std::size_t>(w)];
+    const bool hi = policy_ == SchedPolicy::kPriority && t.high_priority;
+    (hi ? ws.high : ws.low).push_back(std::move(t));
+  }
+  idle_cv_.notify_one();
+}
+
+void ThreadExecutor::spawn(Task t) {
+  AMTFMM_ASSERT(t.locality < static_cast<std::uint32_t>(num_localities_));
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  const int base = static_cast<int>(t.locality) * cores_;
+  int w = current_worker();
+  if (w >= 0 && w / cores_ == static_cast<int>(t.locality)) {
+    // Stay on the spawning worker's deque (cheap, steals rebalance).
+    push(w, std::move(t));
+    return;
+  }
+  const int offset =
+      static_cast<int>(spawn_rr_.fetch_add(1, std::memory_order_relaxed) %
+                       static_cast<std::uint64_t>(cores_));
+  push(base + offset, std::move(t));
+}
+
+void ThreadExecutor::send(std::uint32_t from, std::uint32_t to,
+                          std::size_t bytes, Task t) {
+  if (from != to) {
+    bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+    parcels_sent_.fetch_add(1, std::memory_order_relaxed);
+  }
+  t.locality = to;
+  spawn(std::move(t));
+}
+
+bool ThreadExecutor::try_pop(int w, Task& out) {
+  auto& ws = *workers_[static_cast<std::size_t>(w)];
+  std::lock_guard lk(ws.mu);
+  if (!ws.high.empty()) {
+    out = std::move(ws.high.back());
+    ws.high.pop_back();
+    return true;
+  }
+  if (!ws.low.empty()) {
+    out = std::move(ws.low.back());
+    ws.low.pop_back();
+    return true;
+  }
+  return false;
+}
+
+bool ThreadExecutor::try_steal(int w, Task& out) {
+  // Randomized stealing restricted to the worker's own locality.
+  auto& me = *workers_[static_cast<std::size_t>(w)];
+  const int loc = w / cores_;
+  const int base = loc * cores_;
+  if (cores_ <= 1) return false;
+  for (int attempt = 0; attempt < 2 * cores_; ++attempt) {
+    const int victim =
+        base + static_cast<int>(me.rng.below(static_cast<std::uint64_t>(cores_)));
+    if (victim == w) continue;
+    auto& vs = *workers_[static_cast<std::size_t>(victim)];
+    std::lock_guard lk(vs.mu);
+    if (!vs.high.empty()) {
+      out = std::move(vs.high.front());
+      vs.high.pop_front();
+      return true;
+    }
+    if (!vs.low.empty()) {
+      out = std::move(vs.low.front());
+      vs.low.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadExecutor::worker_loop(int w) {
+  tls_worker = w;
+  Task t;
+  while (true) {
+    if (try_pop(w, t) || try_steal(w, t)) {
+      if (t.fn) t.fn();
+      t = Task{};
+      if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        drain_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock lk(idle_mu_);
+    if (stop_.load()) return;
+    idle_cv_.wait_for(lk, std::chrono::milliseconds(1));
+  }
+}
+
+double ThreadExecutor::drain() {
+  const double t0 = now();
+  std::unique_lock lk(idle_mu_);
+  drain_cv_.wait(lk, [this] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
+  return now() - t0;
+}
+
+}  // namespace amtfmm

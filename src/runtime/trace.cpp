@@ -1,0 +1,71 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+
+#include "kernels/kernel.hpp"
+#include "support/error.hpp"
+
+namespace amtfmm {
+
+const char* trace_class_name(std::uint8_t cls) {
+  if (cls < kNumOperators) return to_string(static_cast<Operator>(cls));
+  if (cls == kClsNetwork) return "network";
+  return "other";
+}
+
+std::vector<TraceEvent> TraceSink::collect() const {
+  std::vector<TraceEvent> out;
+  std::size_t total = 0;
+  for (const auto& b : buffers_) total += b.size();
+  out.reserve(total);
+  for (const auto& b : buffers_) out.insert(out.end(), b.begin(), b.end());
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) { return a.t0 < b.t0; });
+  return out;
+}
+
+void TraceSink::clear() {
+  for (auto& b : buffers_) b.clear();
+}
+
+UtilizationProfile utilization(std::span<const TraceEvent> events,
+                               double t_begin, double t_end, int intervals,
+                               int num_workers) {
+  AMTFMM_ASSERT(intervals >= 1);
+  AMTFMM_ASSERT(num_workers >= 1);
+  AMTFMM_ASSERT(t_end > t_begin);
+  UtilizationProfile p;
+  p.t_begin = t_begin;
+  p.t_end = t_end;
+  p.total.assign(static_cast<std::size_t>(intervals), 0.0);
+  for (auto& v : p.by_class) v.assign(static_cast<std::size_t>(intervals), 0.0);
+
+  const double dt = (t_end - t_begin) / intervals;
+  for (const TraceEvent& e : events) {
+    double a = std::max(e.t0, t_begin);
+    double b = std::min(e.t1, t_end);
+    if (b <= a) continue;
+    int k0 = static_cast<int>((a - t_begin) / dt);
+    int k1 = static_cast<int>((b - t_begin) / dt);
+    k0 = std::clamp(k0, 0, intervals - 1);
+    k1 = std::clamp(k1, 0, intervals - 1);
+    for (int k = k0; k <= k1; ++k) {
+      const double lo = t_begin + k * dt;
+      const double hi = lo + dt;
+      const double overlap = std::min(b, hi) - std::max(a, lo);
+      if (overlap <= 0.0) continue;
+      p.by_class[e.cls][static_cast<std::size_t>(k)] += overlap;
+    }
+  }
+  const double denom = num_workers * dt;
+  for (int c = 0; c < kNumTraceClasses; ++c) {
+    for (int k = 0; k < intervals; ++k) {
+      p.by_class[static_cast<std::size_t>(c)][static_cast<std::size_t>(k)] /= denom;
+      p.total[static_cast<std::size_t>(k)] +=
+          p.by_class[static_cast<std::size_t>(c)][static_cast<std::size_t>(k)];
+    }
+  }
+  return p;
+}
+
+}  // namespace amtfmm

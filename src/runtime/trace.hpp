@@ -1,0 +1,70 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace amtfmm {
+
+/// Trace event classes: the eleven DAG operators (numbered as
+/// kernels/kernel.hpp Operator) plus runtime-internal work.  Matches the
+/// paper's section V.B instrumentation: "events marking the beginning and
+/// ending of the various operations performed by DASHMM".
+inline constexpr std::uint8_t kClsNetwork = 11;
+inline constexpr std::uint8_t kClsOther = 12;
+inline constexpr int kNumTraceClasses = 13;
+
+const char* trace_class_name(std::uint8_t cls);
+
+/// One traced interval on one scheduler thread (times in seconds — wall
+/// time in real mode, virtual time in sim mode).
+struct TraceEvent {
+  double t0;
+  double t1;
+  std::uint32_t worker;
+  std::uint8_t cls;
+};
+
+/// Collects events from many workers with per-worker buffers (no contention
+/// on the hot path).
+class TraceSink {
+ public:
+  explicit TraceSink(int workers) : buffers_(static_cast<std::size_t>(workers)) {}
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void record(std::uint32_t worker, std::uint8_t cls, double t0, double t1) {
+    if (!enabled_) return;
+    buffers_[worker].push_back(TraceEvent{t0, t1, worker, cls});
+  }
+
+  /// Merges all per-worker buffers (call after drain()).
+  std::vector<TraceEvent> collect() const;
+
+  void clear();
+
+ private:
+  bool enabled_ = false;
+  std::vector<std::vector<TraceEvent>> buffers_;
+};
+
+/// Utilization fractions per the paper's equations (1) and (2):
+///   f_k^(i) = dt_k^(i) / (n dt_k),   f_k = sum_i f_k^(i)
+/// over M uniform intervals of [t_begin, t_end], where n is the total
+/// number of scheduler threads.  Events spanning interval boundaries are
+/// split proportionally.
+struct UtilizationProfile {
+  std::vector<double> total;  // f_k, one per interval
+  std::array<std::vector<double>, kNumTraceClasses> by_class;  // f_k^(i)
+  double t_begin = 0.0;
+  double t_end = 0.0;
+};
+
+UtilizationProfile utilization(std::span<const TraceEvent> events,
+                               double t_begin, double t_end, int intervals,
+                               int num_workers);
+
+}  // namespace amtfmm

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace amtfmm {
+
+/// Thrown for user-visible configuration errors (bad CLI flags, invalid
+/// evaluator parameters).  Internal invariant violations use AMTFMM_ASSERT,
+/// which aborts, because continuing after a broken invariant in an
+/// asynchronous runtime produces undebuggable downstream corruption (the
+/// paper's section VI makes exactly this observation about HPX-5).
+class config_error : public std::runtime_error {
+ public:
+  explicit config_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "amtfmm: assertion `%s` failed at %s:%d%s%s\n", expr,
+               file, line, msg ? ": " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace amtfmm
+
+/// Always-on invariant check (kept in release builds: the checks guard
+/// structural DAG invariants whose cost is negligible next to the math).
+#define AMTFMM_ASSERT(expr)                                              \
+  ((expr) ? (void)0                                                     \
+          : ::amtfmm::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define AMTFMM_ASSERT_MSG(expr, msg)                                  \
+  ((expr) ? (void)0 : ::amtfmm::assert_fail(#expr, __FILE__, __LINE__, msg))

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <chrono>
+
+namespace amtfmm {
+
+/// Monotonic wall-clock stopwatch used for real-mode measurements and for
+/// calibrating the sim-mode cost model.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed microseconds.
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace amtfmm

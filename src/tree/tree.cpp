@@ -1,0 +1,141 @@
+#include "tree/tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "geom/morton.hpp"
+#include "support/error.hpp"
+
+namespace amtfmm {
+namespace {
+
+constexpr int kMaxLevel = 20;  // Morton keys carry 21 levels; keep margin
+
+/// Extracts the octant of a key at `level` (level 1 = children of root).
+int octant_at(std::uint64_t key, int level) {
+  return static_cast<int>((key >> (3 * (21 - level))) & 7u);
+}
+
+}  // namespace
+
+Tree Tree::build(std::span<const Vec3> points, const Cube& domain,
+                 int threshold, int num_localities) {
+  AMTFMM_ASSERT(threshold >= 1);
+  AMTFMM_ASSERT(num_localities >= 1);
+  Tree t;
+  t.domain_ = domain;
+  t.num_localities_ = static_cast<std::uint32_t>(num_localities);
+
+  const std::size_t n = points.size();
+  std::vector<std::uint64_t> keys(n);
+  for (std::size_t i = 0; i < n; ++i) keys[i] = morton_key(points[i], domain);
+
+  t.perm_.resize(n);
+  std::iota(t.perm_.begin(), t.perm_.end(), 0u);
+  std::sort(t.perm_.begin(), t.perm_.end(),
+            [&](std::uint32_t a, std::uint32_t b) { return keys[a] < keys[b]; });
+
+  t.sorted_.resize(n);
+  std::vector<std::uint64_t> skeys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.sorted_[i] = points[t.perm_[i]];
+    skeys[i] = keys[t.perm_[i]];
+  }
+
+  // Iterative refinement with an explicit work stack.  Child point ranges
+  // are found by binary search on the sorted keys.
+  struct Work {
+    BoxIndex box;
+  };
+  t.boxes_.push_back(TreeBox{});
+  t.boxes_[0].cube = domain;
+  t.boxes_[0].first = 0;
+  t.boxes_[0].count = static_cast<std::uint32_t>(n);
+  std::vector<Work> stack{{0}};
+  while (!stack.empty()) {
+    const BoxIndex bi = stack.back().box;
+    stack.pop_back();
+    // Copy the POD fields we need; boxes_ may reallocate below.
+    const std::uint32_t first = t.boxes_[bi].first;
+    const std::uint32_t count = t.boxes_[bi].count;
+    const std::uint16_t level = t.boxes_[bi].level;
+    const Cube cube = t.boxes_[bi].cube;
+    t.max_level_ = std::max(t.max_level_, static_cast<int>(level));
+    if (count <= static_cast<std::uint32_t>(threshold) || level >= kMaxLevel) {
+      continue;  // leaf
+    }
+    const int child_level = level + 1;
+    std::uint32_t begin = first;
+    const std::uint32_t end = first + count;
+    for (int oct = 0; oct < 8 && begin < end; ++oct) {
+      // Range of keys whose octant at child_level equals oct.
+      std::uint32_t stop = begin;
+      if (octant_at(skeys[begin], child_level) == oct) {
+        // Binary search for the end of this octant run.
+        std::uint32_t lo = begin, hi = end;
+        while (lo < hi) {
+          const std::uint32_t mid = lo + (hi - lo) / 2;
+          if (octant_at(skeys[mid], child_level) <= oct) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
+        }
+        stop = lo;
+      }
+      if (stop == begin) continue;  // empty child pruned
+      TreeBox cb;
+      cb.cube = cube.child(oct);
+      cb.parent = bi;
+      cb.first = begin;
+      cb.count = stop - begin;
+      cb.level = static_cast<std::uint16_t>(child_level);
+      const BoxIndex ci = static_cast<BoxIndex>(t.boxes_.size());
+      t.boxes_.push_back(cb);
+      t.boxes_[bi].child[static_cast<std::size_t>(oct)] = ci;
+      t.boxes_[bi].num_children++;
+      stack.push_back({ci});
+      begin = stop;
+    }
+    AMTFMM_ASSERT_MSG(begin == end, "child ranges must cover the parent");
+  }
+
+  // Locality assignment: contiguous Morton chunks of points; a box belongs
+  // to the locality owning its median point (leaf expansions are thereby
+  // pinned to the data distribution, the paper's placement constraint).
+  for (auto& b : t.boxes_) {
+    const std::uint32_t median = b.first + b.count / 2;
+    b.locality = t.point_locality(b.count == 0 ? b.first : median);
+  }
+  return t;
+}
+
+std::uint32_t Tree::point_locality(std::uint32_t sorted_i) const {
+  if (sorted_.empty() || num_localities_ <= 1) return 0;
+  const std::size_t chunk =
+      (sorted_.size() + num_localities_ - 1) / num_localities_;
+  return static_cast<std::uint32_t>(sorted_i / chunk);
+}
+
+std::size_t Tree::num_leaves() const {
+  std::size_t n = 0;
+  for (const auto& b : boxes_) n += b.is_leaf() ? 1 : 0;
+  return n;
+}
+
+std::vector<std::size_t> Tree::boxes_per_level() const {
+  std::vector<std::size_t> out(static_cast<std::size_t>(max_level_) + 1, 0);
+  for (const auto& b : boxes_) out[b.level]++;
+  return out;
+}
+
+DualTree build_dual_tree(std::span<const Vec3> sources,
+                         std::span<const Vec3> targets, int threshold,
+                         int num_localities) {
+  const Cube domain = bounding_cube(sources, targets);
+  DualTree dt{Tree::build(sources, domain, threshold, num_localities),
+              Tree::build(targets, domain, threshold, num_localities)};
+  return dt;
+}
+
+}  // namespace amtfmm

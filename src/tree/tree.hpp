@@ -1,0 +1,90 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "geom/box.hpp"
+#include "geom/vec3.hpp"
+
+namespace amtfmm {
+
+using BoxIndex = std::uint32_t;
+inline constexpr BoxIndex kNoBox = std::numeric_limits<BoxIndex>::max();
+
+/// One box of an adaptive octree.  Boxes are stored contiguously in the
+/// Tree; children hold contiguous Morton-sorted point ranges nested inside
+/// the parent's range.
+struct TreeBox {
+  Cube cube;
+  BoxIndex parent = kNoBox;
+  std::array<BoxIndex, 8> child{kNoBox, kNoBox, kNoBox, kNoBox,
+                                kNoBox, kNoBox, kNoBox, kNoBox};
+  std::uint32_t first = 0;  ///< first point (index into sorted order)
+  std::uint32_t count = 0;  ///< number of points under this box
+  std::uint16_t level = 0;
+  std::uint8_t num_children = 0;
+  std::uint32_t locality = 0;  ///< owning locality (coarse Morton partition)
+
+  bool is_leaf() const { return num_children == 0; }
+};
+
+/// Adaptive octree over one point ensemble (the paper's source or target
+/// tree).  Construction mirrors DASHMM's three steps (section IV):
+///  1. coarse Morton sort assigning contiguous chunks to localities,
+///  2. adaptive partitioning (refine while count > threshold, prune empty
+///     children),
+///  3. a single compact array-of-boxes representation shared by all
+///     localities (our in-process stand-in for the "compactly shared"
+///     exchange).
+class Tree {
+ public:
+  /// Builds the tree.  `domain` must contain every point (use
+  /// bounding_cube over both ensembles so the dual trees share a domain).
+  /// `threshold` is the paper's refinement threshold (60 in all their runs).
+  static Tree build(std::span<const Vec3> points, const Cube& domain,
+                    int threshold, int num_localities);
+
+  const Cube& domain() const { return domain_; }
+  const std::vector<TreeBox>& boxes() const { return boxes_; }
+  const TreeBox& box(BoxIndex b) const { return boxes_[b]; }
+  BoxIndex root() const { return 0; }
+  int max_level() const { return max_level_; }
+  std::size_t num_points() const { return sorted_.size(); }
+
+  /// Points in Morton order; box point ranges index into this.
+  const std::vector<Vec3>& sorted_points() const { return sorted_; }
+
+  /// original_index[i] = index in the caller's array of sorted point i.
+  const std::vector<std::uint32_t>& original_index() const { return perm_; }
+
+  /// Locality owning sorted point i (contiguous chunks).
+  std::uint32_t point_locality(std::uint32_t sorted_i) const;
+
+  /// Number of leaves and per-level box counts (diagnostics).
+  std::size_t num_leaves() const;
+  std::vector<std::size_t> boxes_per_level() const;
+
+ private:
+  Cube domain_;
+  std::vector<TreeBox> boxes_;
+  std::vector<Vec3> sorted_;
+  std::vector<std::uint32_t> perm_;
+  std::uint32_t num_localities_ = 1;
+  int max_level_ = 0;
+};
+
+/// Source and target trees over a common domain: the paper's "dual tree".
+struct DualTree {
+  Tree source;
+  Tree target;
+};
+
+/// Convenience builder handling the shared bounding cube.
+DualTree build_dual_tree(std::span<const Vec3> sources,
+                         std::span<const Vec3> targets, int threshold,
+                         int num_localities);
+
+}  // namespace amtfmm

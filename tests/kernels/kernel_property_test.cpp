@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/kernel.hpp"
+#include "support/rng.hpp"
+
+namespace amtfmm {
+namespace {
+
+constexpr int kLevel = 3;
+constexpr double kW = 1.0 / 8;
+
+std::vector<Vec3> box_points(const Vec3& c, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < n; ++i) {
+    pts.push_back(c + Vec3{rng.uniform(-.5, .5), rng.uniform(-.5, .5),
+                           rng.uniform(-.5, .5)} *
+                          kW);
+  }
+  return pts;
+}
+
+class KernelProperties : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    kernel_ = make_kernel(GetParam(), 2.0);
+    kernel_->setup(1.0, 5, 3);
+  }
+  std::unique_ptr<Kernel> kernel_;
+};
+
+/// Every operator is linear in the sources: expansions of q and 2q differ
+/// by exactly a factor 2 all the way to the evaluated potential.
+TEST_P(KernelProperties, OperatorsAreLinearInCharges) {
+  const Vec3 cs{0.3125, 0.3125, 0.3125};
+  const Vec3 ct = cs + Vec3{2 * kW, kW, 0};
+  const auto pts = box_points(cs, 25, 3);
+  std::vector<double> q(25), q2(25);
+  Rng rng(4);
+  for (int i = 0; i < 25; ++i) {
+    q[static_cast<std::size_t>(i)] = rng.uniform(0.1, 1.0);
+    q2[static_cast<std::size_t>(i)] = 2.0 * q[static_cast<std::size_t>(i)];
+  }
+  CoeffVec m1, m2;
+  kernel_->s2m(pts, q, cs, kLevel, m1);
+  kernel_->s2m(pts, q2, cs, kLevel, m2);
+  for (std::size_t i = 0; i < m1.size(); ++i) {
+    EXPECT_NEAR(std::abs(m2[i] - 2.0 * m1[i]), 0.0,
+                1e-12 * (1.0 + std::abs(m1[i])));
+  }
+  CoeffVec l1(kernel_->l_count(kLevel), cdouble{});
+  CoeffVec l2(kernel_->l_count(kLevel), cdouble{});
+  kernel_->m2l_acc(m1, cs, ct, kLevel, l1);
+  kernel_->m2l_acc(m2, cs, ct, kLevel, l2);
+  const Vec3 t = ct + Vec3{0.2 * kW, -0.1 * kW, 0.3 * kW};
+  EXPECT_NEAR(kernel_->l2t(l2, ct, kLevel, t), 2.0 * kernel_->l2t(l1, ct, kLevel, t),
+              1e-9 * std::abs(kernel_->l2t(l1, ct, kLevel, t)) + 1e-14);
+}
+
+/// Superposition: the expansion of two charge sets equals the sum of their
+/// individual expansions (the reduction the expansion LCOs rely on).
+TEST_P(KernelProperties, ExpansionsSuperpose) {
+  const Vec3 cs{0.3125, 0.3125, 0.3125};
+  const auto pa = box_points(cs, 15, 5);
+  const auto pb = box_points(cs, 10, 6);
+  const std::vector<double> qa(15, 0.7), qb(10, 0.3);
+  CoeffVec ma, mb;
+  kernel_->s2m(pa, qa, cs, kLevel, ma);
+  kernel_->s2m(pb, qb, cs, kLevel, mb);
+  std::vector<Vec3> all = pa;
+  all.insert(all.end(), pb.begin(), pb.end());
+  std::vector<double> qall = qa;
+  qall.insert(qall.end(), qb.begin(), qb.end());
+  CoeffVec mall;
+  kernel_->s2m(all, qall, cs, kLevel, mall);
+  for (std::size_t i = 0; i < mall.size(); ++i) {
+    EXPECT_NEAR(std::abs(mall[i] - (ma[i] + mb[i])), 0.0,
+                1e-12 * (1.0 + std::abs(mall[i])));
+  }
+}
+
+/// The kernel itself must be symmetric in source/target exchange
+/// (potential kernels are), and decay monotonically with distance.
+TEST_P(KernelProperties, KernelSymmetryAndDecay) {
+  Rng rng(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec3 a{rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1)};
+    const Vec3 b{rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1)};
+    EXPECT_DOUBLE_EQ(kernel_->direct(a, b), kernel_->direct(b, a));
+  }
+  const Vec3 s{0.5, 0.5, 0.5};
+  double prev = 1e300;
+  for (double r : {0.1, 0.2, 0.4, 0.8}) {
+    const double v = kernel_->direct(s + Vec3{r, 0, 0}, s);
+    EXPECT_LT(v, prev);
+    EXPECT_GT(v, 0.0);
+    prev = v;
+  }
+}
+
+/// Conjugate symmetry of real-kernel expansions — the invariant behind the
+/// 880-byte wire format.  The phase convention differs per basis: the
+/// solid-harmonic (Laplace) bases carry (-1)^m, the gamma-weighted angular
+/// (Yukawa) bases do not.
+TEST_P(KernelProperties, ExpansionsAreConjugateSymmetric) {
+  const bool condon = std::string(GetParam()) == "laplace";
+  const Vec3 cs{0.3125, 0.3125, 0.3125};
+  const auto pts = box_points(cs, 30, 9);
+  const std::vector<double> q(30, 0.5);
+  CoeffVec m;
+  kernel_->s2m(pts, q, cs, kLevel, m);
+  const int p = static_cast<int>(std::sqrt(static_cast<double>(m.size()))) - 1;
+  for (int nn = 0; nn <= p; ++nn) {
+    for (int mm = 1; mm <= nn; ++mm) {
+      const cdouble expect = ((condon && (mm & 1)) ? -1.0 : 1.0) *
+                             std::conj(m[sq_index(nn, mm)]);
+      EXPECT_NEAR(std::abs(m[sq_index(nn, -mm)] - expect), 0.0,
+                  1e-12 * (1.0 + std::abs(expect)))
+          << "n=" << nn << " m=" << mm;
+    }
+  }
+  // Hence the packed wire format round-trips losslessly.
+  CoeffVec wire, back;
+  pack_wire(p, m, wire);
+  unpack_wire(p, wire, back, condon);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_NEAR(std::abs(back[i] - m[i]), 0.0, 1e-13 * (1.0 + std::abs(m[i])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, KernelProperties,
+                         ::testing::Values("laplace", "yukawa"));
+
+TEST(KernelSizes, WireBytesMatchThePaperAtThreeDigits) {
+  for (const char* name : {"laplace", "yukawa"}) {
+    auto k = make_kernel(name, 2.0);
+    k->setup(1.0, 5, 3);
+    EXPECT_EQ(k->m_wire_bytes(3), 880u) << name;  // Table I M/L size
+    EXPECT_EQ(k->l_wire_bytes(3), 880u) << name;
+  }
+}
+
+TEST(KernelSizes, YukawaIntermediateShrinksWithDepthScaling) {
+  // Scale variance: kappa * box_size falls with depth, so the quadrature
+  // (and X length) changes per level — paper section V.A.
+  auto k = make_kernel("yukawa", 8.0);
+  k->setup(1.0, 6, 3);
+  EXPECT_LT(k->x_count(0), k->x_count(6))
+      << "strong screening at coarse levels must shorten the expansion";
+  auto lap = make_kernel("laplace");
+  lap->setup(1.0, 6, 3);
+  EXPECT_EQ(lap->x_count(0), lap->x_count(6))
+      << "Laplace is scale invariant: one quadrature for all levels";
+}
+
+}  // namespace
+}  // namespace amtfmm

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/planewave.hpp"
+
+namespace amtfmm {
+namespace {
+
+/// The generated quadrature must reproduce e^{-kappa R}/R to the target
+/// tolerance over the full merge-and-shift geometry z in [1,4],
+/// rho in [0, 4 sqrt 2] (box-size units).
+void check_accuracy(double eps, double kappa) {
+  const PlaneWaveQuadrature q = make_planewave_quadrature(eps, kappa);
+  double worst = 0.0;
+  for (double z : {1.0, 1.2, 1.7, 2.5, 3.3, 4.0}) {
+    for (double rho : {0.0, 0.5, 1.5, 3.0, 4.5, 5.6568}) {
+      for (double ang : {0.0, 0.7, 2.1}) {
+        const double x = rho * std::cos(ang), y = rho * std::sin(ang);
+        const double r = std::sqrt(z * z + rho * rho);
+        const double exact = std::exp(-kappa * r) / r;
+        const double got = planewave_eval(q, x, y, z);
+        worst = std::max(worst, std::abs(got - exact));
+      }
+    }
+  }
+  // Absolute error tolerance: values of 1/R are O(1) at the near edge.
+  EXPECT_LT(worst, 3.0 * eps) << "kappa=" << kappa << " eps=" << eps;
+}
+
+TEST(PlaneWave, LaplaceAccuracyThreeDigits) { check_accuracy(1e-4, 0.0); }
+TEST(PlaneWave, LaplaceAccuracySixDigits) { check_accuracy(1e-7, 0.0); }
+TEST(PlaneWave, YukawaAccuracyModerateScreening) { check_accuracy(1e-4, 1.0); }
+TEST(PlaneWave, YukawaAccuracyStrongScreening) { check_accuracy(1e-4, 4.0); }
+
+TEST(PlaneWave, ExtremeScreeningGivesEmptyQuadrature) {
+  const PlaneWaveQuadrature q = make_planewave_quadrature(1e-4, 20.0);
+  EXPECT_EQ(q.count, 0);
+  EXPECT_EQ(q.total, 0u);
+  // And the kernel really is negligible there: e^{-20}/1 ~ 2e-9.
+  EXPECT_LT(std::exp(-20.0), 1e-4 * 0.01);
+}
+
+TEST(PlaneWave, NodeCountsAreReported) {
+  const PlaneWaveQuadrature q = make_planewave_quadrature(1e-4, 0.0);
+  EXPECT_GT(q.count, 0);
+  EXPECT_EQ(q.lambda.size(), static_cast<std::size_t>(q.count));
+  EXPECT_EQ(q.m_count.size(), static_cast<std::size_t>(q.count));
+  std::size_t total = 0;
+  for (int m : q.m_count) {
+    EXPECT_GE(m, 4);
+    EXPECT_EQ(m % 2, 0);
+    total += static_cast<std::size_t>(m);
+  }
+  EXPECT_EQ(total, q.total);
+}
+
+}  // namespace
+}  // namespace amtfmm

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/rotation.hpp"
+#include "math/special.hpp"
+#include "math/sphere.hpp"
+#include "support/rng.hpp"
+
+namespace amtfmm {
+namespace {
+
+Vec3 random_unit(Rng& rng) {
+  const double ct = rng.uniform(-1, 1);
+  const double st = std::sqrt(1 - ct * ct);
+  const double phi = rng.uniform(0, 6.283185307179586);
+  return {st * std::cos(phi), st * std::sin(phi), ct};
+}
+
+TEST(AxisMaps, TakeAxisToPlusZ) {
+  for (Axis d : kAllAxes) {
+    const Mat3 q = axis_to_z(d);
+    const Vec3 img = q * axis_vector(d);
+    EXPECT_NEAR(img.x, 0.0, 1e-15);
+    EXPECT_NEAR(img.y, 0.0, 1e-15);
+    EXPECT_NEAR(img.z, 1.0, 1e-15);
+    // Orthogonality: Q^T Q = I on basis vectors.
+    const Mat3 qt = q.transpose();
+    for (const Vec3& e : {Vec3{1, 0, 0}, Vec3{0, 1, 0}, Vec3{0, 0, 1}}) {
+      const Vec3 r = qt * (q * e);
+      EXPECT_NEAR((r - e).norm(), 0.0, 1e-15);
+    }
+  }
+}
+
+/// The numerically constructed per-degree matrices must satisfy
+/// A_n^m(Q^T dir) = sum_{m'} E_{m,m'} A_n^{m'}(dir) — checked implicitly by
+/// transforming a full expansion and evaluating both sides of
+/// Phi'(x) = Phi(Q^T x) at random directions, with nontrivial basis weights
+/// and both azimuthal orientations (s = +1 multipole-type, s = -1
+/// local-type).
+TEST(AngularTransform, FieldTransformationBothBasisKinds) {
+  const int p = 7;
+  Rng rng(5);
+  CoeffVec coeffs(sq_count(p));
+  for (auto& c : coeffs) c = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  std::vector<double> g(sq_count(p));
+  for (int n = 0; n <= p; ++n)
+    for (int m = -n; m <= n; ++m)
+      g[sq_index(n, m)] = 1.0 / factorial(n + std::abs(m));
+
+  for (Axis d : kAllAxes) {
+    const Mat3 q = axis_to_z(d);
+    const AngularTransform xf(p, q);
+    for (int s : {1, -1}) {
+      CoeffVec out;
+      xf.apply(coeffs, g, s, out);
+      auto eval = [&](const CoeffVec& c, const Vec3& dir) {
+        CoeffVec basis;
+        angular_basis(p, dir, basis);
+        cdouble acc{};
+        for (int n = 0; n <= p; ++n)
+          for (int m = -n; m <= n; ++m)
+            acc += c[sq_index(n, m)] * g[sq_index(n, m)] *
+                   basis[sq_index(n, s * m)];
+        return acc;
+      };
+      for (int trial = 0; trial < 5; ++trial) {
+        const Vec3 dir = random_unit(rng);
+        const cdouble lhs = eval(out, dir);
+        const cdouble rhs = eval(coeffs, q.transpose() * dir);
+        EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-10)
+            << "axis " << static_cast<int>(d) << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(AngularTransform, InverseComposesToIdentity) {
+  const int p = 5;
+  Rng rng(31);
+  CoeffVec coeffs(sq_count(p));
+  for (auto& c : coeffs) c = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  std::vector<double> g(sq_count(p), 1.0);
+  for (Axis d : kAllAxes) {
+    const Mat3 q = axis_to_z(d);
+    const AngularTransform fwd(p, q);
+    const AngularTransform inv(p, q.transpose());
+    CoeffVec mid, back;
+    fwd.apply(coeffs, g, 1, mid);
+    inv.apply(mid, g, 1, back);
+    for (std::size_t i = 0; i < coeffs.size(); ++i) {
+      EXPECT_NEAR(std::abs(back[i] - coeffs[i]), 0.0, 1e-11);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace amtfmm

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/solid.hpp"
+#include "math/special.hpp"
+#include "support/rng.hpp"
+
+namespace amtfmm {
+namespace {
+
+Vec3 random_unit(Rng& rng) {
+  const double ct = rng.uniform(-1, 1);
+  const double st = std::sqrt(1 - ct * ct);
+  const double phi = rng.uniform(0, 6.283185307179586);
+  return {st * std::cos(phi), st * std::sin(phi), ct};
+}
+
+/// 1/|x-y| = sum conj(R_n^m(y)) S_n^m(x) for |y| < |x| (the multipole
+/// expansion identity the whole Laplace kernel rests on).
+TEST(SolidHarmonics, MultipoleExpansionIdentity) {
+  Rng rng(7);
+  const int p = 24;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vec3 y = random_unit(rng) * 0.25;
+    const Vec3 x = random_unit(rng) * 2.0;
+    CoeffVec r, s;
+    regular_solid(p, y, 1.0, r);
+    irregular_solid(p, x, 1.0, s);
+    cdouble acc{};
+    for (std::size_t i = 0; i < r.size(); ++i) acc += std::conj(r[i]) * s[i];
+    const double exact = 1.0 / (x - y).norm();
+    EXPECT_NEAR(acc.real(), exact, 1e-12 * exact);
+    EXPECT_NEAR(acc.imag(), 0.0, 1e-12);
+  }
+}
+
+/// R_n^m(a+b) = sum_{j,k} R_j^k(a) R_{n-j}^{m-k}(b) — exact for all n <= p.
+TEST(SolidHarmonics, RegularAdditionTheorem) {
+  Rng rng(11);
+  const int p = 6;
+  const Vec3 a = random_unit(rng) * 0.7;
+  const Vec3 b = random_unit(rng) * 1.3;
+  CoeffVec ra, rb, rab;
+  regular_solid(p, a, 1.0, ra);
+  regular_solid(p, b, 1.0, rb);
+  regular_solid(p, a + b, 1.0, rab);
+  for (int n = 0; n <= p; ++n) {
+    for (int m = -n; m <= n; ++m) {
+      cdouble acc{};
+      for (int j = 0; j <= n; ++j) {
+        for (int k = -j; k <= j; ++k) {
+          const int n2 = n - j, m2 = m - k;
+          if (m2 < -n2 || m2 > n2) continue;
+          acc += ra[sq_index(j, k)] * rb[sq_index(n2, m2)];
+        }
+      }
+      EXPECT_NEAR(std::abs(acc - rab[sq_index(n, m)]), 0.0, 1e-12)
+          << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+/// S_v^u(x-a) = sum_{j,k} conj(R_j^k(a)) S_{v+j}^{u+k}(x), |a| < |x|.
+TEST(SolidHarmonics, IrregularShiftTheorem) {
+  Rng rng(13);
+  const int p = 22;
+  const Vec3 a = random_unit(rng) * 0.15;
+  const Vec3 x = random_unit(rng) * 2.0;
+  CoeffVec ra, sx, sxa;
+  regular_solid(p, a, 1.0, ra);
+  irregular_solid(p, x, 1.0, sx);
+  const int pv = 3;  // check low orders; tail decays as (|a|/|x|)^(p-v)
+  irregular_solid(pv, x - a, 1.0, sxa);
+  for (int v = 0; v <= pv; ++v) {
+    for (int u = -v; u <= v; ++u) {
+      cdouble acc{};
+      for (int j = 0; j + v <= p; ++j) {
+        for (int k = -j; k <= j; ++k) {
+          const int n2 = v + j, m2 = u + k;
+          if (m2 < -n2 || m2 > n2) continue;
+          acc += std::conj(ra[sq_index(j, k)]) * sx[sq_index(n2, m2)];
+        }
+      }
+      const double mag = std::abs(sxa[sq_index(v, u)]) + 1.0;
+      EXPECT_NEAR(std::abs(acc - sxa[sq_index(v, u)]), 0.0, 1e-10 * mag)
+          << "v=" << v << " u=" << u;
+    }
+  }
+}
+
+TEST(SolidHarmonics, ScaledBasesMatchUnscaled) {
+  Rng rng(17);
+  const int p = 8;
+  const Vec3 v = random_unit(rng) * 0.8;
+  const double s = 0.37;
+  CoeffVec r1, rs, i1, is;
+  regular_solid(p, v, 1.0, r1);
+  regular_solid(p, v, s, rs);
+  irregular_solid(p, v, 1.0, i1);
+  irregular_solid(p, v, s, is);
+  for (int n = 0; n <= p; ++n) {
+    for (int m = -n; m <= n; ++m) {
+      EXPECT_NEAR(std::abs(rs[sq_index(n, m)] -
+                           r1[sq_index(n, m)] / std::pow(s, n)),
+                  0.0, 1e-12 * std::abs(rs[sq_index(n, m)]) + 1e-15);
+      EXPECT_NEAR(std::abs(is[sq_index(n, m)] -
+                           i1[sq_index(n, m)] * std::pow(s, n + 1)),
+                  0.0, 1e-12 * std::abs(is[sq_index(n, m)]) + 1e-15);
+    }
+  }
+}
+
+TEST(SolidHarmonics, EvaluatorsMatchDirectSums) {
+  Rng rng(19);
+  const int p = 9;
+  const double scale = 0.5;
+  // Build a multipole expansion of a few charges, evaluate far away.
+  std::vector<Vec3> src;
+  std::vector<double> q;
+  for (int i = 0; i < 5; ++i) {
+    src.push_back(random_unit(rng) * rng.uniform(0.0, 0.3));
+    q.push_back(rng.uniform(-1, 1));
+  }
+  CoeffVec mcoef(sq_count(p), cdouble{});
+  CoeffVec r;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    regular_solid(p, src[i], scale, r);
+    for (std::size_t j = 0; j < r.size(); ++j) mcoef[j] += q[i] * std::conj(r[j]);
+  }
+  const Vec3 x = random_unit(rng) * 2.5;
+  double exact = 0.0;
+  for (std::size_t i = 0; i < src.size(); ++i) exact += q[i] / (x - src[i]).norm();
+  EXPECT_NEAR(eval_irregular(p, mcoef, x, scale), exact, 2e-9 * std::abs(exact) + 1e-12);
+
+  // Gradient against finite differences.
+  const double h = 1e-6;
+  const Vec3 g = grad_irregular(p, mcoef, x, scale);
+  auto phi = [&](const Vec3& pt) { return eval_irregular(p, mcoef, pt, scale); };
+  EXPECT_NEAR(g.x, (phi(x + Vec3{h, 0, 0}) - phi(x - Vec3{h, 0, 0})) / (2 * h), 1e-5);
+  EXPECT_NEAR(g.y, (phi(x + Vec3{0, h, 0}) - phi(x - Vec3{0, h, 0})) / (2 * h), 1e-5);
+  EXPECT_NEAR(g.z, (phi(x + Vec3{0, 0, h}) - phi(x - Vec3{0, 0, h})) / (2 * h), 1e-5);
+}
+
+TEST(SolidHarmonics, LocalEvaluatorAndGradient) {
+  Rng rng(23);
+  const int p = 12;
+  const double scale = 0.8;
+  // Build a local expansion from a far charge: L_j^k = q (-1)^j S_j^k(c - p)
+  // with the scale algebra of the kernels (L-hat = (-1)^j S-hat / scale).
+  const Vec3 far = random_unit(rng) * 3.0;
+  const double q = 1.7;
+  CoeffVec shat;
+  irregular_solid(p, -far, scale, shat);  // c - p with c at origin
+  CoeffVec lcoef(sq_count(p));
+  for (int j = 0; j <= p; ++j) {
+    for (int m = -j; m <= j; ++m) {
+      lcoef[sq_index(j, m)] =
+          q * ((j & 1) ? -1.0 : 1.0) * shat[sq_index(j, m)] / scale;
+    }
+  }
+  const Vec3 x = random_unit(rng) * 0.3;
+  const double exact = q / (x - far).norm();
+  EXPECT_NEAR(eval_conj_regular(p, lcoef, x, scale), exact, 1e-8 * exact);
+
+  const Vec3 g = grad_conj_regular(p, lcoef, x, scale);
+  const Vec3 d = x - far;
+  const Vec3 gexact = d * (-q / std::pow(d.norm(), 3));
+  EXPECT_NEAR(g.x, gexact.x, 1e-6);
+  EXPECT_NEAR(g.y, gexact.y, 1e-6);
+  EXPECT_NEAR(g.z, gexact.z, 1e-6);
+}
+
+TEST(WireFormat, PackUnpackRoundTrip) {
+  Rng rng(29);
+  const int p = 9;
+  CoeffVec full(sq_count(p));
+  // Conjugate-symmetric coefficients, as produced by real kernels.
+  for (int n = 0; n <= p; ++n) {
+    for (int m = 0; m <= n; ++m) {
+      const cdouble v{rng.uniform(-1, 1), m == 0 ? 0.0 : rng.uniform(-1, 1)};
+      full[sq_index(n, m)] = v;
+      if (m > 0) full[sq_index(n, -m)] = ((m & 1) ? -1.0 : 1.0) * std::conj(v);
+    }
+  }
+  CoeffVec wire, back;
+  pack_wire(p, full, wire);
+  EXPECT_EQ(wire.size(), wire_count(p));
+  EXPECT_EQ(wire_bytes(9), 880u);  // the paper's Table I M/L node size
+  unpack_wire(p, wire, back);
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(full[i], back[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace amtfmm

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "math/bessel.hpp"
+#include "math/gauss.hpp"
+#include "math/special.hpp"
+#include "math/sphere.hpp"
+#include "support/rng.hpp"
+
+namespace amtfmm {
+namespace {
+
+TEST(Factorial, KnownValues) {
+  EXPECT_DOUBLE_EQ(factorial(0), 1.0);
+  EXPECT_DOUBLE_EQ(factorial(5), 120.0);
+  EXPECT_DOUBLE_EQ(factorial(10), 3628800.0);
+  EXPECT_DOUBLE_EQ(double_factorial_odd(0), 1.0);
+  EXPECT_DOUBLE_EQ(double_factorial_odd(1), 1.0);   // 1!!
+  EXPECT_DOUBLE_EQ(double_factorial_odd(3), 15.0);  // 5!!
+}
+
+TEST(Legendre, MatchesClosedFormsInsideUnitInterval) {
+  std::vector<double> t;
+  for (double x : {-0.9, -0.3, 0.0, 0.4, 0.99}) {
+    legendre_table(4, x, t);
+    const double s = std::sqrt(1.0 - x * x);
+    EXPECT_NEAR(t[tri_index(0, 0)], 1.0, 1e-14);
+    EXPECT_NEAR(t[tri_index(1, 0)], x, 1e-14);
+    EXPECT_NEAR(t[tri_index(1, 1)], s, 1e-14);
+    EXPECT_NEAR(t[tri_index(2, 0)], 0.5 * (3 * x * x - 1), 1e-14);
+    EXPECT_NEAR(t[tri_index(2, 1)], 3 * x * s, 1e-13);
+    EXPECT_NEAR(t[tri_index(2, 2)], 3 * (1 - x * x), 1e-13);
+    EXPECT_NEAR(t[tri_index(3, 0)], 0.5 * (5 * x * x * x - 3 * x), 1e-13);
+  }
+}
+
+TEST(Legendre, ArgumentAboveOneUsesHyperbolicBranch) {
+  // P_1^1(x) = sqrt(x^2-1), P_2^2(x) = 3 (x^2 - 1) for x > 1.
+  std::vector<double> t;
+  legendre_table(2, 2.0, t);
+  EXPECT_NEAR(t[tri_index(1, 1)], std::sqrt(3.0), 1e-13);
+  EXPECT_NEAR(t[tri_index(2, 2)], 9.0, 1e-12);
+  EXPECT_NEAR(t[tri_index(2, 0)], 5.5, 1e-12);
+}
+
+TEST(GaussLegendre, IntegratesPolynomialsExactly) {
+  const Quadrature q = gauss_legendre(8);
+  // int_{-1}^{1} x^k dx
+  for (int k = 0; k <= 15; ++k) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < q.x.size(); ++i) sum += q.w[i] * std::pow(q.x[i], k);
+    const double exact = (k % 2 == 0) ? 2.0 / (k + 1) : 0.0;
+    EXPECT_NEAR(sum, exact, 1e-13) << "degree " << k;
+  }
+}
+
+TEST(GaussLegendre, MappedInterval) {
+  const Quadrature q = gauss_legendre(12, 0.0, 3.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < q.x.size(); ++i) sum += q.w[i] * std::exp(-q.x[i]);
+  EXPECT_NEAR(sum, 1.0 - std::exp(-3.0), 1e-12);
+}
+
+TEST(SphBessel, FirstKindMatchesClosedForm) {
+  std::vector<double> i;
+  for (double x : {0.1, 0.5, 2.0, 10.0}) {
+    sph_bessel_i(6, x, i);
+    EXPECT_NEAR(i[0], std::sinh(x) / x, 1e-13 * i[0]);
+    EXPECT_NEAR(i[1], (x * std::cosh(x) - std::sinh(x)) / (x * x),
+                1e-12 * std::abs(i[1]));
+  }
+  // Series limit near zero.
+  sph_bessel_i(4, 1e-10, i);
+  EXPECT_NEAR(i[0], 1.0, 1e-12);
+  EXPECT_NEAR(i[2], 1e-20 / 15.0, 1e-26);
+}
+
+TEST(SphBessel, SecondKindMatchesClosedForm) {
+  std::vector<double> k;
+  for (double x : {0.1, 0.5, 2.0, 10.0}) {
+    sph_bessel_k(6, x, k);
+    const double k0 = 0.5 * std::numbers::pi * std::exp(-x) / x;
+    EXPECT_NEAR(k[0], k0, 1e-13 * k0);
+    EXPECT_NEAR(k[1], k0 * (1 + 1 / x), 1e-12 * k[1]);
+  }
+}
+
+TEST(SphBessel, WronskianIdentity) {
+  // i_n(x) k_{n+1}(x) + i_{n+1}(x) k_n(x) = pi / (2 x^2).
+  std::vector<double> iv, kv;
+  for (double x : {0.3, 1.0, 4.0, 20.0}) {
+    sph_bessel_i(10, x, iv);
+    sph_bessel_k(10, x, kv);
+    const double expect = 0.5 * std::numbers::pi / (x * x);
+    for (int n = 0; n < 10; ++n) {
+      const double w = iv[static_cast<std::size_t>(n)] * kv[static_cast<std::size_t>(n + 1)] +
+                       iv[static_cast<std::size_t>(n + 1)] * kv[static_cast<std::size_t>(n)];
+      EXPECT_NEAR(w, expect, 1e-10 * expect) << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+TEST(BesselJ, KnownValues) {
+  std::vector<double> j;
+  bessel_j(5, 1.0, j);
+  EXPECT_NEAR(j[0], 0.7651976865579666, 1e-12);
+  EXPECT_NEAR(j[1], 0.44005058574493355, 1e-12);
+  bessel_j(5, 10.0, j);
+  EXPECT_NEAR(j[0], -0.24593576445134835, 1e-12);
+  EXPECT_NEAR(j[1], 0.04347274616886144, 1e-12);
+}
+
+TEST(SphereRule, ProjectionRecoversBandlimitedField) {
+  const int p = 7;
+  const SphereRule rule(p);
+  Rng rng(99);
+  CoeffVec coeffs(sq_count(p));
+  for (auto& c : coeffs) c = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  // Sample the field sum c A_n^m and project back.
+  std::vector<cdouble> samples(rule.size());
+  CoeffVec basis;
+  for (std::size_t q = 0; q < rule.size(); ++q) {
+    angular_basis(p, rule.directions()[q], basis);
+    cdouble acc{};
+    for (std::size_t i = 0; i < coeffs.size(); ++i) acc += coeffs[i] * basis[i];
+    samples[q] = acc;
+  }
+  CoeffVec rec;
+  rule.project(samples, p, rec);
+  // The raw basis is unnormalized (magnitudes up to (n+m)! ~ 1e10), so the
+  // achievable absolute accuracy is machine epsilon times that scale.
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    EXPECT_NEAR(std::abs(rec[i] - coeffs[i]), 0.0, 1e-9) << "i=" << i;
+  }
+}
+
+TEST(SphereRule, WeightsSumToSphereArea) {
+  const SphereRule rule(5);
+  double total = 0.0;
+  for (double w : rule.weights()) total += w;
+  EXPECT_NEAR(total, 4.0 * std::numbers::pi, 1e-12);
+}
+
+}  // namespace
+}  // namespace amtfmm

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "runtime/sim_executor.hpp"
+#include "runtime/thread_executor.hpp"
+
+namespace amtfmm {
+namespace {
+
+TEST(ThreadExecutor, RunsAllSpawnedTasks) {
+  ThreadExecutor ex(2, 2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    Task t;
+    t.locality = static_cast<std::uint32_t>(i % 2);
+    t.fn = [&count] { count.fetch_add(1); };
+    ex.spawn(std::move(t));
+  }
+  ex.drain();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadExecutor, TasksSpawnChildrenRecursively) {
+  ThreadExecutor ex(1, 3);
+  std::atomic<int> count{0};
+  std::function<void(int)> fan = [&](int depth) {
+    count.fetch_add(1);
+    if (depth == 0) return;
+    for (int i = 0; i < 2; ++i) {
+      Task t;
+      t.fn = [&fan, depth] { fan(depth - 1); };
+      ex.spawn(std::move(t));
+    }
+  };
+  Task root;
+  root.fn = [&fan] { fan(6); };
+  ex.spawn(std::move(root));
+  ex.drain();
+  EXPECT_EQ(count.load(), 127);  // 2^7 - 1
+}
+
+TEST(ThreadExecutor, TasksRunOnTheirLocality) {
+  const int cores = 2;
+  ThreadExecutor ex(3, cores);
+  std::atomic<int> misplaced{0};
+  for (int i = 0; i < 300; ++i) {
+    Task t;
+    t.locality = static_cast<std::uint32_t>(i % 3);
+    t.fn = [&misplaced, want = i % 3, cores] {
+      if (current_worker() / cores != want) misplaced.fetch_add(1);
+    };
+    ex.spawn(std::move(t));
+  }
+  ex.drain();
+  EXPECT_EQ(misplaced.load(), 0)
+      << "work stealing must stay within a locality";
+}
+
+TEST(ThreadExecutor, SendAccountsOnlyRemoteTraffic) {
+  ThreadExecutor ex(2, 1);
+  std::atomic<int> ran{0};
+  Task a;
+  a.fn = [&ran] { ran.fetch_add(1); };
+  ex.send(0, 0, 1000, std::move(a));  // local: free
+  Task b;
+  b.fn = [&ran] { ran.fetch_add(1); };
+  ex.send(0, 1, 1000, std::move(b));  // remote
+  ex.drain();
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(ex.bytes_sent(), 1000u);
+  EXPECT_EQ(ex.parcels_sent(), 1u);
+}
+
+TEST(ThreadExecutor, ScopedTraceRecordsOperatorEvents) {
+  ThreadExecutor ex(1, 2);
+  ex.trace().set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    Task t;
+    t.fn = [&ex] {
+      ScopedTrace s(ex, 4);
+      volatile double sink = 0;
+      for (int j = 0; j < 1000; ++j) sink = sink + j;
+    };
+    ex.spawn(std::move(t));
+  }
+  ex.drain();
+  const auto ev = ex.trace().collect();
+  EXPECT_EQ(ev.size(), 10u);
+  for (const auto& e : ev) {
+    EXPECT_EQ(e.cls, 4);
+    EXPECT_GE(e.t1, e.t0);
+    EXPECT_LT(e.worker, 2u);
+  }
+}
+
+TEST(SimExecutor, VirtualTimeReflectsCoreCount) {
+  // 8 unit-cost tasks on 2 cores -> ~4 virtual seconds; on 8 cores -> ~1.
+  for (const auto& [cores, expect] : {std::pair{2, 4.0}, {8, 1.0}}) {
+    SimExecutor ex(1, cores, SchedPolicy::kFifo, NetworkModel{0, 1e18, 0});
+    for (int i = 0; i < 8; ++i) {
+      Task t;
+      t.items = {{kClsOther, 1.0}};
+      ex.spawn(std::move(t));
+    }
+    ex.drain();
+    EXPECT_NEAR(ex.now(), expect, 1e-9) << cores << " cores";
+  }
+}
+
+TEST(SimExecutor, DeterministicForFixedSeed) {
+  auto run = [](std::uint64_t seed) {
+    SimExecutor ex(2, 2, SchedPolicy::kWorkStealing, NetworkModel{}, seed);
+    Rng rng(7);
+    for (int i = 0; i < 50; ++i) {
+      Task t;
+      t.locality = static_cast<std::uint32_t>(i % 2);
+      t.items = {{kClsOther, rng.uniform(0.1, 1.0)}};
+      ex.spawn(std::move(t));
+    }
+    ex.drain();
+    return ex.now();
+  };
+  EXPECT_EQ(run(3), run(3));
+}
+
+TEST(SimExecutor, NetworkLatencyAndBandwidthDelayDelivery) {
+  // 1 GB at 1 GB/s + 1 ms latency: arrival at ~1.001 s.
+  NetworkModel net;
+  net.latency = 1e-3;
+  net.bandwidth = 1e9;
+  net.task_overhead = 0.0;
+  SimExecutor ex(2, 1, SchedPolicy::kFifo, net);
+  double arrival = -1;
+  Task t;
+  t.fn = [&arrival, &ex] { arrival = ex.now(); };
+  ex.send(0, 1, 1000000000, std::move(t));
+  ex.drain();
+  EXPECT_NEAR(arrival, 1.001, 1e-9);
+  EXPECT_EQ(ex.bytes_sent(), 1000000000u);
+}
+
+TEST(SimExecutor, NicSerializesSuccessiveSends) {
+  NetworkModel net;
+  net.latency = 0.0;
+  net.bandwidth = 1e6;  // 1 MB/s
+  net.task_overhead = 0.0;
+  SimExecutor ex(2, 1, SchedPolicy::kFifo, net);
+  std::vector<double> arrivals;
+  for (int i = 0; i < 3; ++i) {
+    Task t;
+    t.fn = [&arrivals, &ex] { arrivals.push_back(ex.now()); };
+    ex.send(0, 1, 1000000, std::move(t));  // 1 s of wire time each
+  }
+  ex.drain();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_NEAR(arrivals[0], 1.0, 1e-9);
+  EXPECT_NEAR(arrivals[1], 2.0, 1e-9);
+  EXPECT_NEAR(arrivals[2], 3.0, 1e-9);
+}
+
+TEST(SimExecutor, PriorityPolicyRunsHighFirst) {
+  SimExecutor ex(1, 1, SchedPolicy::kPriority, NetworkModel{0, 1e18, 0});
+  std::vector<int> order;
+  // Seed a task that enqueues mixed-priority children while "running".
+  Task seed;
+  seed.items = {{kClsOther, 1.0}};
+  seed.fn = [&ex, &order] {
+    for (int i = 0; i < 3; ++i) {
+      Task lo;
+      lo.items = {{kClsOther, 1.0}};
+      lo.fn = [&order, i] { order.push_back(i); };
+      ex.spawn(std::move(lo));
+    }
+    Task hi;
+    hi.high_priority = true;
+    hi.items = {{kClsOther, 1.0}};
+    hi.fn = [&order] { order.push_back(99); };
+    ex.spawn(std::move(hi));
+  };
+  ex.spawn(std::move(seed));
+  ex.drain();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), 99) << "high priority task must run first";
+}
+
+TEST(SimExecutor, TraceEventsCarryVirtualTimes) {
+  SimExecutor ex(1, 2, SchedPolicy::kFifo, NetworkModel{0, 1e18, 0});
+  ex.trace().set_enabled(true);
+  for (int i = 0; i < 4; ++i) {
+    Task t;
+    t.items = {{2, 0.5}, {3, 0.25}};
+    ex.spawn(std::move(t));
+  }
+  ex.drain();
+  const auto ev = ex.trace().collect();
+  EXPECT_EQ(ev.size(), 8u);
+  double busy = 0;
+  for (const auto& e : ev) busy += e.t1 - e.t0;
+  EXPECT_NEAR(busy, 4 * 0.75, 1e-9);
+  EXPECT_NEAR(ex.now(), 1.5, 1e-9);  // 3 virtual seconds over 2 cores
+}
+
+}  // namespace
+}  // namespace amtfmm

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "runtime/gas.hpp"
+#include "runtime/runtime.hpp"
+
+namespace amtfmm {
+namespace {
+
+TEST(Lco, SumReductionAcrossTasks) {
+  ThreadExecutor ex(1, 3);
+  SumLCO sum(ex, 100);
+  for (int i = 1; i <= 100; ++i) {
+    Task t;
+    t.fn = [&sum, i] { sum.add(static_cast<double>(i)); };
+    ex.spawn(std::move(t));
+  }
+  ex.drain();
+  EXPECT_TRUE(sum.triggered());
+  EXPECT_DOUBLE_EQ(sum.value(), 5050.0);
+}
+
+TEST(Lco, ContinuationRegisteredBeforeTriggerFiresOnce) {
+  ThreadExecutor ex(1, 2);
+  SumLCO sum(ex, 2);
+  std::atomic<int> fired{0};
+  Task c;
+  c.fn = [&fired] { fired.fetch_add(1); };
+  sum.register_continuation(std::move(c));
+  EXPECT_EQ(fired.load(), 0);
+  sum.add(1.0);
+  ex.drain();
+  EXPECT_EQ(fired.load(), 0) << "predicate not yet satisfied";
+  sum.add(2.0);
+  ex.drain();
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST(Lco, LateContinuationFiresImmediately) {
+  // Figure 2 semantics: registrations may arrive before or after inputs.
+  ThreadExecutor ex(1, 1);
+  FutureLCO<int> f(ex);
+  f.set(42);
+  ex.drain();
+  std::atomic<int> fired{0};
+  Task c;
+  c.fn = [&fired] { fired.fetch_add(1); };
+  f.register_continuation(std::move(c));
+  ex.drain();
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(Lco, FutureRoundTrip) {
+  ThreadExecutor ex(1, 2);
+  FutureLCO<double> f(ex);
+  Task t;
+  t.fn = [&f] { f.set(3.25); };
+  ex.spawn(std::move(t));
+  EXPECT_DOUBLE_EQ(f.get(), 3.25);  // blocks until set
+}
+
+TEST(Gas, AllocateAndResolvePerLocality) {
+  ThreadExecutor ex(3, 1);
+  Gas gas(3);
+  const GlobalAddress a = gas.alloc(1, std::make_unique<SumLCO>(ex, 1));
+  const GlobalAddress b = gas.alloc(1, std::make_unique<SumLCO>(ex, 1));
+  const GlobalAddress c = gas.alloc(2, std::make_unique<SumLCO>(ex, 1));
+  EXPECT_EQ(a.locality, 1u);
+  EXPECT_EQ(a.slot, 0u);
+  EXPECT_EQ(b.slot, 1u);
+  EXPECT_EQ(c.locality, 2u);
+  EXPECT_EQ(gas.objects_on(1), 2u);
+  EXPECT_EQ(gas.objects_on(0), 0u);
+  EXPECT_NE(gas.resolve(a), gas.resolve(b));
+  static_cast<SumLCO*>(gas.resolve(a))->add(7.0);
+  ex.drain();
+  EXPECT_DOUBLE_EQ(static_cast<SumLCO*>(gas.resolve(a))->value(), 7.0);
+}
+
+TEST(RuntimeFacade, ParcelsInvokeActionsAtTheTarget) {
+  RuntimeConfig cfg;
+  cfg.localities = 2;
+  cfg.cores_per_locality = 2;
+  Runtime rt(cfg);
+  // An LCO on locality 1 and an action that feeds it from parcel payload.
+  const GlobalAddress addr =
+      rt.gas().alloc(1, std::make_unique<SumLCO>(rt.executor(), 3));
+  std::atomic<int> wrong_locality{0};
+  const std::uint32_t action =
+      rt.register_action([&wrong_locality](Runtime& r, const Parcel& p) {
+        if (current_worker() / r.config().cores_per_locality !=
+            static_cast<int>(p.target.locality)) {
+          wrong_locality.fetch_add(1);
+        }
+        double v;
+        std::memcpy(&v, p.payload.data(), sizeof v);
+        static_cast<SumLCO*>(r.gas().resolve(p.target))->add(v);
+      });
+  for (int i = 1; i <= 3; ++i) {
+    Parcel p;
+    p.action = action;
+    p.target = addr;
+    const double v = i;
+    p.payload.resize(sizeof v);
+    std::memcpy(p.payload.data(), &v, sizeof v);
+    rt.send_parcel(/*from=*/0, std::move(p));
+  }
+  rt.drain();
+  EXPECT_EQ(wrong_locality.load(), 0);
+  EXPECT_DOUBLE_EQ(static_cast<SumLCO*>(rt.gas().resolve(addr))->value(), 6.0);
+  EXPECT_EQ(rt.executor().parcels_sent(), 3u);
+}
+
+TEST(RuntimeFacade, SimModeParcelsWork) {
+  RuntimeConfig cfg;
+  cfg.localities = 2;
+  cfg.cores_per_locality = 1;
+  cfg.mode = ExecMode::kSim;
+  Runtime rt(cfg);
+  const GlobalAddress addr =
+      rt.gas().alloc(1, std::make_unique<SumLCO>(rt.executor(), 2));
+  const std::uint32_t action = rt.register_action([](Runtime& r, const Parcel& p) {
+    static_cast<SumLCO*>(r.gas().resolve(p.target))->add(1.0);
+  });
+  for (int i = 0; i < 2; ++i) {
+    Parcel p;
+    p.action = action;
+    p.target = addr;
+    rt.send_parcel(0, std::move(p), {{kClsNetwork, 1e-6}});
+  }
+  rt.drain();
+  EXPECT_TRUE(rt.gas().resolve(addr)->triggered());
+  EXPECT_GT(rt.executor().now(), 0.0);
+}
+
+}  // namespace
+}  // namespace amtfmm

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "runtime/trace.hpp"
+
+namespace amtfmm {
+namespace {
+
+TEST(Utilization, SingleFullyBusyWorker) {
+  std::vector<TraceEvent> ev{{0.0, 1.0, 0, 0}};
+  const auto p = utilization(ev, 0.0, 1.0, 4, 1);
+  for (double f : p.total) EXPECT_NEAR(f, 1.0, 1e-12);
+}
+
+TEST(Utilization, EventSplitAcrossIntervals) {
+  // One event covering [0.25, 0.75] of a 1s window, 2 intervals, 1 worker:
+  // each interval gets 0.25s busy out of 0.5s -> f = 0.5.
+  std::vector<TraceEvent> ev{{0.25, 0.75, 0, 3}};
+  const auto p = utilization(ev, 0.0, 1.0, 2, 1);
+  EXPECT_NEAR(p.total[0], 0.5, 1e-12);
+  EXPECT_NEAR(p.total[1], 0.5, 1e-12);
+  EXPECT_NEAR(p.by_class[3][0], 0.5, 1e-12);
+  EXPECT_NEAR(p.by_class[2][0], 0.0, 1e-12);
+}
+
+TEST(Utilization, MultipleWorkersNormalize) {
+  // Two workers, one busy all the time, one idle: f = 1/2 (paper eq. 1's
+  // n-thread denominator).
+  std::vector<TraceEvent> ev{{0.0, 2.0, 0, 1}};
+  const auto p = utilization(ev, 0.0, 2.0, 5, 2);
+  for (double f : p.total) EXPECT_NEAR(f, 0.5, 1e-12);
+}
+
+TEST(Utilization, PerClassFractionsSumToTotal) {
+  std::vector<TraceEvent> ev{
+      {0.0, 0.5, 0, 0}, {0.5, 1.0, 0, 5}, {0.0, 1.0, 1, 9}};
+  const auto p = utilization(ev, 0.0, 1.0, 10, 2);
+  for (int k = 0; k < 10; ++k) {
+    double sum = 0.0;
+    for (const auto& cls : p.by_class) sum += cls[static_cast<std::size_t>(k)];
+    EXPECT_NEAR(sum, p.total[static_cast<std::size_t>(k)], 1e-12);
+  }
+}
+
+TEST(Utilization, EventsOutsideWindowAreClipped) {
+  std::vector<TraceEvent> ev{{-1.0, 0.5, 0, 0}, {0.9, 5.0, 0, 0}};
+  const auto p = utilization(ev, 0.0, 1.0, 1, 1);
+  EXPECT_NEAR(p.total[0], 0.6, 1e-12);
+}
+
+TEST(TraceSink, DisabledRecordsNothing) {
+  TraceSink sink(2);
+  sink.record(0, 1, 0.0, 1.0);
+  EXPECT_TRUE(sink.collect().empty());
+  sink.set_enabled(true);
+  sink.record(1, 2, 0.5, 1.0);
+  sink.record(0, 1, 0.0, 1.0);
+  const auto ev = sink.collect();
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_EQ(ev[0].worker, 0u);  // sorted by start time
+  EXPECT_EQ(ev[1].cls, 2);
+}
+
+TEST(TraceClassNames, CoverOperatorsAndRuntime) {
+  EXPECT_STREQ(trace_class_name(0), "S->T");
+  EXPECT_STREQ(trace_class_name(kClsNetwork), "network");
+  EXPECT_STREQ(trace_class_name(kClsOther), "other");
+}
+
+}  // namespace
+}  // namespace amtfmm

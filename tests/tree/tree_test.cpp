@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geom/distributions.hpp"
+#include "tree/tree.hpp"
+
+namespace amtfmm {
+namespace {
+
+class TreeInvariants : public ::testing::TestWithParam<
+                           std::tuple<Distribution, int, std::uint64_t>> {};
+
+TEST_P(TreeInvariants, StructureIsConsistent) {
+  const auto [dist, threshold, seed] = GetParam();
+  Rng rng(seed);
+  const auto pts = generate_points(dist, 5000, rng);
+  const Cube domain = bounding_cube(pts, {});
+  const Tree t = Tree::build(pts, domain, threshold, 4);
+
+  ASSERT_FALSE(t.boxes().empty());
+  EXPECT_EQ(t.box(t.root()).count, pts.size());
+  EXPECT_EQ(t.box(t.root()).parent, kNoBox);
+
+  std::size_t leaf_points = 0;
+  for (BoxIndex b = 0; b < t.boxes().size(); ++b) {
+    const TreeBox& box = t.box(b);
+    // Points lie inside their box cube.
+    for (std::uint32_t i = box.first; i < box.first + box.count; ++i) {
+      EXPECT_TRUE(box.cube.contains(t.sorted_points()[i]))
+          << "box " << b << " point " << i;
+    }
+    if (box.is_leaf()) {
+      EXPECT_LE(box.count, static_cast<std::uint32_t>(threshold))
+          << "leaf over threshold (unless depth-capped)";
+      leaf_points += box.count;
+      continue;
+    }
+    // Children partition the parent's point range in order.
+    std::uint32_t cursor = box.first;
+    int nchild = 0;
+    for (int oct = 0; oct < 8; ++oct) {
+      const BoxIndex c = box.child[static_cast<std::size_t>(oct)];
+      if (c == kNoBox) continue;
+      ++nchild;
+      const TreeBox& cb = t.box(c);
+      EXPECT_EQ(cb.parent, b);
+      EXPECT_EQ(cb.level, box.level + 1);
+      EXPECT_GT(cb.count, 0u) << "empty children must be pruned";
+      EXPECT_EQ(cb.first, cursor);
+      cursor += cb.count;
+      // Child cube is the expected octant of the parent cube.
+      const Cube expect = box.cube.child(oct);
+      EXPECT_NEAR((cb.cube.low - expect.low).norm(), 0.0, 1e-12);
+      EXPECT_NEAR(cb.cube.size, expect.size, 1e-12);
+    }
+    EXPECT_EQ(nchild, box.num_children);
+    EXPECT_EQ(cursor, box.first + box.count);
+  }
+  EXPECT_EQ(leaf_points, pts.size()) << "leaves must partition the points";
+
+  // The permutation is a bijection matching sorted_points.
+  std::set<std::uint32_t> seen(t.original_index().begin(),
+                               t.original_index().end());
+  EXPECT_EQ(seen.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ((t.sorted_points()[i] - pts[t.original_index()[i]]).norm(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TreeInvariants,
+    ::testing::Combine(::testing::Values(Distribution::kCube,
+                                         Distribution::kSphere,
+                                         Distribution::kPlummer),
+                       ::testing::Values(1, 7, 60, 500),
+                       ::testing::Values(1u, 42u)));
+
+TEST(Tree, LocalityChunksAreContiguousAndBalanced) {
+  Rng rng(3);
+  const auto pts = generate_points(Distribution::kCube, 1000, rng);
+  const Cube domain = bounding_cube(pts, {});
+  const Tree t = Tree::build(pts, domain, 20, 8);
+  std::uint32_t prev = 0;
+  std::vector<std::size_t> counts(8, 0);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    const std::uint32_t loc = t.point_locality(i);
+    EXPECT_GE(loc, prev) << "localities must be contiguous in Morton order";
+    EXPECT_LT(loc, 8u);
+    prev = loc;
+    counts[loc]++;
+  }
+  for (std::size_t c : counts) EXPECT_EQ(c, 125u);
+}
+
+TEST(Tree, EmptyAndSinglePointEdgeCases) {
+  const Cube unit{{0, 0, 0}, 1.0};
+  const Tree empty = Tree::build({}, unit, 10, 2);
+  EXPECT_EQ(empty.boxes().size(), 1u);
+  EXPECT_TRUE(empty.box(0).is_leaf());
+
+  const std::vector<Vec3> one{{0.25, 0.5, 0.75}};
+  const Tree single = Tree::build(one, unit, 10, 2);
+  EXPECT_EQ(single.boxes().size(), 1u);
+  EXPECT_EQ(single.box(0).count, 1u);
+}
+
+TEST(Tree, SphereDataIsDeeperThanCubeData) {
+  // The paper's motivation for the sphere distribution: highly non-uniform
+  // trees with a longer critical path.
+  Rng r1(5), r2(5);
+  const auto cube_pts = generate_points(Distribution::kCube, 20000, r1);
+  const auto sph_pts = generate_points(Distribution::kSphere, 20000, r2);
+  const Tree tc = Tree::build(cube_pts, bounding_cube(cube_pts, {}), 60, 1);
+  const Tree ts = Tree::build(sph_pts, bounding_cube(sph_pts, {}), 60, 1);
+  EXPECT_GT(ts.max_level(), tc.max_level());
+}
+
+}  // namespace
+}  // namespace amtfmm
