@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_grainsize.dir/ablation_grainsize.cpp.o"
+  "CMakeFiles/ablation_grainsize.dir/ablation_grainsize.cpp.o.d"
+  "ablation_grainsize"
+  "ablation_grainsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_grainsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_class_utilization.dir/fig5_class_utilization.cpp.o"
+  "CMakeFiles/fig5_class_utilization.dir/fig5_class_utilization.cpp.o.d"
+  "fig5_class_utilization"
+  "fig5_class_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_class_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tree.dir/micro_tree.cpp.o"
+  "CMakeFiles/micro_tree.dir/micro_tree.cpp.o.d"
+  "micro_tree"
+  "micro_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_dag_nodes.dir/table1_dag_nodes.cpp.o"
+  "CMakeFiles/table1_dag_nodes.dir/table1_dag_nodes.cpp.o.d"
+  "table1_dag_nodes"
+  "table1_dag_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_dag_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_dag_edges.dir/table2_dag_edges.cpp.o"
+  "CMakeFiles/table2_dag_edges.dir/table2_dag_edges.cpp.o.d"
+  "table2_dag_edges"
+  "table2_dag_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_dag_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gravity_plummer.dir/gravity_plummer.cpp.o"
+  "CMakeFiles/gravity_plummer.dir/gravity_plummer.cpp.o.d"
+  "gravity_plummer"
+  "gravity_plummer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gravity_plummer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/screened_coulomb.dir/screened_coulomb.cpp.o"
+  "CMakeFiles/screened_coulomb.dir/screened_coulomb.cpp.o.d"
+  "screened_coulomb"
+  "screened_coulomb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/screened_coulomb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

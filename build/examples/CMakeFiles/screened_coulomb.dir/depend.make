@@ -1,0 +1,2 @@
+# Empty dependencies file for screened_coulomb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amtfmm_core.dir/cost_model.cpp.o"
+  "CMakeFiles/amtfmm_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/amtfmm_core.dir/dag.cpp.o"
+  "CMakeFiles/amtfmm_core.dir/dag.cpp.o.d"
+  "CMakeFiles/amtfmm_core.dir/engine.cpp.o"
+  "CMakeFiles/amtfmm_core.dir/engine.cpp.o.d"
+  "CMakeFiles/amtfmm_core.dir/evaluator.cpp.o"
+  "CMakeFiles/amtfmm_core.dir/evaluator.cpp.o.d"
+  "libamtfmm_core.a"
+  "libamtfmm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amtfmm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libamtfmm_core.a"
+)

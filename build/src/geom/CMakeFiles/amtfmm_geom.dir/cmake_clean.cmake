@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amtfmm_geom.dir/distributions.cpp.o"
+  "CMakeFiles/amtfmm_geom.dir/distributions.cpp.o.d"
+  "libamtfmm_geom.a"
+  "libamtfmm_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amtfmm_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/kernel.cpp" "src/kernels/CMakeFiles/amtfmm_kernels.dir/kernel.cpp.o" "gcc" "src/kernels/CMakeFiles/amtfmm_kernels.dir/kernel.cpp.o.d"
+  "/root/repo/src/kernels/laplace.cpp" "src/kernels/CMakeFiles/amtfmm_kernels.dir/laplace.cpp.o" "gcc" "src/kernels/CMakeFiles/amtfmm_kernels.dir/laplace.cpp.o.d"
+  "/root/repo/src/kernels/yukawa.cpp" "src/kernels/CMakeFiles/amtfmm_kernels.dir/yukawa.cpp.o" "gcc" "src/kernels/CMakeFiles/amtfmm_kernels.dir/yukawa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/amtfmm_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/amtfmm_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/amtfmm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

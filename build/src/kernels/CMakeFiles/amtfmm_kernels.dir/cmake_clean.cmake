@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amtfmm_kernels.dir/kernel.cpp.o"
+  "CMakeFiles/amtfmm_kernels.dir/kernel.cpp.o.d"
+  "CMakeFiles/amtfmm_kernels.dir/laplace.cpp.o"
+  "CMakeFiles/amtfmm_kernels.dir/laplace.cpp.o.d"
+  "CMakeFiles/amtfmm_kernels.dir/yukawa.cpp.o"
+  "CMakeFiles/amtfmm_kernels.dir/yukawa.cpp.o.d"
+  "libamtfmm_kernels.a"
+  "libamtfmm_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amtfmm_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

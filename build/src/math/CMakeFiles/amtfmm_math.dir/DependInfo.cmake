@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/bessel.cpp" "src/math/CMakeFiles/amtfmm_math.dir/bessel.cpp.o" "gcc" "src/math/CMakeFiles/amtfmm_math.dir/bessel.cpp.o.d"
+  "/root/repo/src/math/gauss.cpp" "src/math/CMakeFiles/amtfmm_math.dir/gauss.cpp.o" "gcc" "src/math/CMakeFiles/amtfmm_math.dir/gauss.cpp.o.d"
+  "/root/repo/src/math/planewave.cpp" "src/math/CMakeFiles/amtfmm_math.dir/planewave.cpp.o" "gcc" "src/math/CMakeFiles/amtfmm_math.dir/planewave.cpp.o.d"
+  "/root/repo/src/math/rotation.cpp" "src/math/CMakeFiles/amtfmm_math.dir/rotation.cpp.o" "gcc" "src/math/CMakeFiles/amtfmm_math.dir/rotation.cpp.o.d"
+  "/root/repo/src/math/solid.cpp" "src/math/CMakeFiles/amtfmm_math.dir/solid.cpp.o" "gcc" "src/math/CMakeFiles/amtfmm_math.dir/solid.cpp.o.d"
+  "/root/repo/src/math/sphere.cpp" "src/math/CMakeFiles/amtfmm_math.dir/sphere.cpp.o" "gcc" "src/math/CMakeFiles/amtfmm_math.dir/sphere.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/amtfmm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/amtfmm_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amtfmm_math.dir/bessel.cpp.o"
+  "CMakeFiles/amtfmm_math.dir/bessel.cpp.o.d"
+  "CMakeFiles/amtfmm_math.dir/gauss.cpp.o"
+  "CMakeFiles/amtfmm_math.dir/gauss.cpp.o.d"
+  "CMakeFiles/amtfmm_math.dir/planewave.cpp.o"
+  "CMakeFiles/amtfmm_math.dir/planewave.cpp.o.d"
+  "CMakeFiles/amtfmm_math.dir/rotation.cpp.o"
+  "CMakeFiles/amtfmm_math.dir/rotation.cpp.o.d"
+  "CMakeFiles/amtfmm_math.dir/solid.cpp.o"
+  "CMakeFiles/amtfmm_math.dir/solid.cpp.o.d"
+  "CMakeFiles/amtfmm_math.dir/sphere.cpp.o"
+  "CMakeFiles/amtfmm_math.dir/sphere.cpp.o.d"
+  "libamtfmm_math.a"
+  "libamtfmm_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amtfmm_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/lco.cpp" "src/runtime/CMakeFiles/amtfmm_rt.dir/lco.cpp.o" "gcc" "src/runtime/CMakeFiles/amtfmm_rt.dir/lco.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/runtime/CMakeFiles/amtfmm_rt.dir/runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/amtfmm_rt.dir/runtime.cpp.o.d"
+  "/root/repo/src/runtime/sim_executor.cpp" "src/runtime/CMakeFiles/amtfmm_rt.dir/sim_executor.cpp.o" "gcc" "src/runtime/CMakeFiles/amtfmm_rt.dir/sim_executor.cpp.o.d"
+  "/root/repo/src/runtime/thread_executor.cpp" "src/runtime/CMakeFiles/amtfmm_rt.dir/thread_executor.cpp.o" "gcc" "src/runtime/CMakeFiles/amtfmm_rt.dir/thread_executor.cpp.o.d"
+  "/root/repo/src/runtime/trace.cpp" "src/runtime/CMakeFiles/amtfmm_rt.dir/trace.cpp.o" "gcc" "src/runtime/CMakeFiles/amtfmm_rt.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/amtfmm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/amtfmm_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/amtfmm_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/amtfmm_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

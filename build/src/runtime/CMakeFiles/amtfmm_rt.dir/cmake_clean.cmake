@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amtfmm_rt.dir/lco.cpp.o"
+  "CMakeFiles/amtfmm_rt.dir/lco.cpp.o.d"
+  "CMakeFiles/amtfmm_rt.dir/runtime.cpp.o"
+  "CMakeFiles/amtfmm_rt.dir/runtime.cpp.o.d"
+  "CMakeFiles/amtfmm_rt.dir/sim_executor.cpp.o"
+  "CMakeFiles/amtfmm_rt.dir/sim_executor.cpp.o.d"
+  "CMakeFiles/amtfmm_rt.dir/thread_executor.cpp.o"
+  "CMakeFiles/amtfmm_rt.dir/thread_executor.cpp.o.d"
+  "CMakeFiles/amtfmm_rt.dir/trace.cpp.o"
+  "CMakeFiles/amtfmm_rt.dir/trace.cpp.o.d"
+  "libamtfmm_rt.a"
+  "libamtfmm_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amtfmm_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

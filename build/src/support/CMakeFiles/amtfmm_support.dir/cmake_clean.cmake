@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amtfmm_support.dir/cli.cpp.o"
+  "CMakeFiles/amtfmm_support.dir/cli.cpp.o.d"
+  "libamtfmm_support.a"
+  "libamtfmm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amtfmm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

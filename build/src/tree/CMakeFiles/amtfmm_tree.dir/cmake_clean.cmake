@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amtfmm_tree.dir/lists.cpp.o"
+  "CMakeFiles/amtfmm_tree.dir/lists.cpp.o.d"
+  "CMakeFiles/amtfmm_tree.dir/tree.cpp.o"
+  "CMakeFiles/amtfmm_tree.dir/tree.cpp.o.d"
+  "libamtfmm_tree.a"
+  "libamtfmm_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amtfmm_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libamtfmm_tree.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planewave_test.dir/planewave_test.cpp.o"
+  "CMakeFiles/planewave_test.dir/planewave_test.cpp.o.d"
+  "planewave_test"
+  "planewave_test.pdb"
+  "planewave_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planewave_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/math
+# Build directory: /root/repo/build/tests/math
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/math/special_test[1]_include.cmake")
+include("/root/repo/build/tests/math/solid_test[1]_include.cmake")
+include("/root/repo/build/tests/math/rotation_test[1]_include.cmake")
+include("/root/repo/build/tests/math/planewave_test[1]_include.cmake")

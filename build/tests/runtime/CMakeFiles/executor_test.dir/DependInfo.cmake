@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/executor_test.cpp" "tests/runtime/CMakeFiles/executor_test.dir/executor_test.cpp.o" "gcc" "tests/runtime/CMakeFiles/executor_test.dir/executor_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/amtfmm_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/amtfmm_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/amtfmm_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/amtfmm_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/amtfmm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lco_test.dir/lco_test.cpp.o"
+  "CMakeFiles/lco_test.dir/lco_test.cpp.o.d"
+  "lco_test"
+  "lco_test.pdb"
+  "lco_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lco_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

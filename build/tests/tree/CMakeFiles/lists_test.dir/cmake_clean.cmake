@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lists_test.dir/lists_test.cpp.o"
+  "CMakeFiles/lists_test.dir/lists_test.cpp.o.d"
+  "lists_test"
+  "lists_test.pdb"
+  "lists_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lists_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
