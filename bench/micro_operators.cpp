@@ -4,6 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "kernels/kernel.hpp"
 #include "support/rng.hpp"
 
@@ -74,6 +78,20 @@ void BM_M2L(benchmark::State& state, const std::string& k) {
     f.kernel->m2l_acc(f.m, f.cs, f.ct, kLevel, out);
     benchmark::DoNotOptimize(out.data());
   }
+}
+// The O(p^4) reference path, kept for the rotation-vs-naive comparison
+// (Table II note in EXPERIMENTS.md).  The fixture kernel is shared, so the
+// mode is flipped around the timing loop and restored afterwards.
+void BM_M2L_naive(benchmark::State& state, const std::string& k) {
+  auto& f = fx(k);
+  CoeffVec out(f.kernel->l_count(kLevel), cdouble{});
+  const M2LMode prev = f.kernel->m2l_mode();
+  f.kernel->set_m2l_mode(M2LMode::kNaive);
+  for (auto _ : state) {
+    f.kernel->m2l_acc(f.m, f.cs, f.ct, kLevel, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  f.kernel->set_m2l_mode(prev);
 }
 void BM_M2T(benchmark::State& state, const std::string& k) {
   auto& f = fx(k);
@@ -152,6 +170,7 @@ void BM_I2L(benchmark::State& state, const std::string& k) {
 REGISTER(S2M);
 REGISTER(M2M);
 REGISTER(M2L);
+REGISTER(M2L_naive);
 REGISTER(M2T);
 REGISTER(S2L);
 REGISTER(L2L);
@@ -161,6 +180,67 @@ REGISTER(M2I);
 REGISTER(I2I);
 REGISTER(I2L);
 
+// Console reporter that also collects (name, ns/op) so a machine-readable
+// summary can be written next to the usual console table.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string name;
+    double ns_per_op;
+  };
+  std::vector<Entry> entries;
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type == Run::RT_Iteration && !run.error_occurred) {
+        entries.push_back({run.benchmark_name(), run.GetAdjustedRealTime()});
+      }
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() plus a `--json <path>` flag: when given, a JSON array of
+// {name, p, ns_per_op} records is written to <path> after the run.  The flag
+// is stripped before the remaining argv is handed to the benchmark library.
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered, args.data())) return 1;
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (!out) {
+      std::fprintf(stderr, "micro_operators: cannot open %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    // p = 3 * digits; the fixtures run setup(1.0, 8, 3).
+    constexpr int kP = 9;
+    std::fprintf(out, "[\n");
+    for (std::size_t i = 0; i < reporter.entries.size(); ++i) {
+      const auto& e = reporter.entries[i];
+      std::fprintf(out, "  {\"name\": \"%s\", \"p\": %d, \"ns_per_op\": %.3f}%s\n",
+                   e.name.c_str(), kP, e.ns_per_op,
+                   i + 1 < reporter.entries.size() ? "," : "");
+    }
+    std::fprintf(out, "]\n");
+    std::fclose(out);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

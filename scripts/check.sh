@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full local gate: Release build + complete test suite, then a ThreadSanitizer
+# build of the concurrency-sensitive targets (work-stealing deque and the
+# thread executor) running their stress tests.
+#
+# Usage: scripts/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== Release build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "== ThreadSanitizer build (runtime stress tests) =="
+cmake -B build-tsan -S . -DAMTFMM_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"$JOBS" --target ws_deque_test executor_test
+./build-tsan/tests/runtime/ws_deque_test
+./build-tsan/tests/runtime/executor_test
+
+echo "== All checks passed =="

@@ -11,6 +11,7 @@ Evaluator::Evaluator(std::unique_ptr<Kernel> kernel, EvalConfig cfg)
   if (cfg_.threshold < 1 || cfg_.digits < 1) {
     throw config_error("threshold and digits must be positive");
   }
+  kernel_->set_m2l_mode(cfg_.m2l_mode);
 }
 
 Evaluator::~Evaluator() = default;

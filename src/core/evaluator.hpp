@@ -21,6 +21,7 @@ struct EvalConfig {
   int cores_per_locality = 2;
   SchedPolicy policy = SchedPolicy::kWorkStealing;
   bool split_priority = false;  ///< binary priority for the upward pass
+  M2LMode m2l_mode = M2LMode::kRotation;  ///< rotation (O(p^3)) or naive M2L
   bool trace = false;
   std::uint64_t seed = 1;
 };

@@ -57,11 +57,25 @@ void Kernel::i2l_acc(const CoeffVec&, Axis, int, CoeffVec&) const {
 
 std::unique_ptr<Kernel> make_kernel(const std::string& name,
                                     double yukawa_lambda) {
-  if (name == "laplace") return std::make_unique<LaplaceKernel>();
-  if (name == "yukawa") return std::make_unique<YukawaKernel>(yukawa_lambda);
-  if (name == "counting") return std::make_unique<CountingKernel>();
-  throw config_error("unknown kernel: " + name +
-                     " (expected laplace|yukawa|counting)");
+  return make_kernel(name, KernelConfig{}, yukawa_lambda);
+}
+
+std::unique_ptr<Kernel> make_kernel(const std::string& name,
+                                    const KernelConfig& config,
+                                    double yukawa_lambda) {
+  std::unique_ptr<Kernel> k;
+  if (name == "laplace") {
+    k = std::make_unique<LaplaceKernel>();
+  } else if (name == "yukawa") {
+    k = std::make_unique<YukawaKernel>(yukawa_lambda);
+  } else if (name == "counting") {
+    k = std::make_unique<CountingKernel>();
+  } else {
+    throw config_error("unknown kernel: " + name +
+                       " (expected laplace|yukawa|counting)");
+  }
+  k->set_m2l_mode(config.m2l_mode);
+  return k;
 }
 
 }  // namespace amtfmm

@@ -30,6 +30,19 @@ enum class Operator {
 inline constexpr int kNumOperators = 11;
 const char* to_string(Operator op);
 
+/// M2L evaluation strategy.  kRotation is the default: rotate the multipole
+/// so the translation vector lies along +z, apply the O(p^2) axial
+/// translation (the inner azimuthal sum collapses), rotate back — O(p^3)
+/// total instead of the O(p^4) dense double loop.  kNaive keeps the dense
+/// path for A/B validation and for translation vectors outside the
+/// precomputed integer-offset set.
+enum class M2LMode { kRotation, kNaive };
+
+/// Construction-time kernel options (see make_kernel overload below).
+struct KernelConfig {
+  M2LMode m2l_mode = M2LMode::kRotation;
+};
+
 /// Interaction kernel: expansion storage sizes plus the operator set.
 ///
 /// A kernel instance is configured once via setup() for a given domain and
@@ -70,6 +83,11 @@ class Kernel {
   /// Whether the advanced (M->I -> I->I -> I->L) path is implemented.
   virtual bool supports_merge_and_shift() const { return false; }
 
+  /// M2L strategy switch.  Configuration, not per-call state: set it before
+  /// operators run concurrently.  Kernels without a rotation path ignore it.
+  M2LMode m2l_mode() const { return m2l_mode_; }
+  void set_m2l_mode(M2LMode mode) { m2l_mode_ = mode; }
+
   /// Potential at `t` due to a unit charge at `s` (the exact kernel).
   virtual double direct(const Vec3& t, const Vec3& s) const = 0;
 
@@ -107,10 +125,16 @@ class Kernel {
   /// expansion.
   virtual void i2l_acc(const CoeffVec& in, Axis d, int level,
                        CoeffVec& inout) const;
+
+ private:
+  M2LMode m2l_mode_ = M2LMode::kRotation;
 };
 
 /// Factory: "laplace", "yukawa" (with screening parameter), or "counting".
 std::unique_ptr<Kernel> make_kernel(const std::string& name,
+                                    double yukawa_lambda = 1.0);
+std::unique_ptr<Kernel> make_kernel(const std::string& name,
+                                    const KernelConfig& config,
                                     double yukawa_lambda = 1.0);
 
 }  // namespace amtfmm

@@ -5,6 +5,7 @@
 #include "math/solid.hpp"
 #include "math/special.hpp"
 #include "support/error.hpp"
+#include "support/scratch_arena.hpp"
 
 namespace amtfmm {
 namespace {
@@ -44,6 +45,21 @@ void LaplaceKernel::setup(double domain_size, int max_level,
     fwd_[d] = AngularTransform(p_, q);
     inv_[d] = AngularTransform(p_, q.transpose());
   }
+  // Rotation-based M2L tables.  The axial irregular solid harmonic
+  // Shh_l^0(d zhat; s) = l! (s/d)^{l+1} depends only on d/s = |nu|, so one
+  // F table per distance class serves every level.
+  m2l_rot_ = M2LRotationSet(p_);
+  m2l_axial_.clear();
+  for (std::size_t c = 0; c < m2l_rot_.dist_class_count(); ++c) {
+    const double dist = m2l_rot_.dist(static_cast<int>(c));
+    std::vector<double> f(static_cast<std::size_t>(2 * p_) + 1);
+    double inv_dn = 1.0 / dist;  // |nu|^{-(l+1)}
+    for (int l = 0; l <= 2 * p_; ++l) {
+      f[static_cast<std::size_t>(l)] = factorial(l) * inv_dn;
+      inv_dn /= dist;
+    }
+    m2l_axial_.push_back(std::move(f));
+  }
 }
 
 double LaplaceKernel::scale(int level) const {
@@ -66,7 +82,8 @@ void LaplaceKernel::s2m(std::span<const Vec3> pts, std::span<const double> q,
                         const Vec3& center, int level, CoeffVec& out) const {
   out.assign(sq_count(p_), cdouble{});
   const double s = scale(level);
-  CoeffVec r;
+  auto r_lease = ScratchArena::local().coeffs();
+  CoeffVec& r = *r_lease;
   for (std::size_t i = 0; i < pts.size(); ++i) {
     regular_solid(p_, pts[i] - center, s, r);
     for (std::size_t j = 0; j < r.size(); ++j) out[j] += q[i] * std::conj(r[j]);
@@ -78,9 +95,13 @@ void LaplaceKernel::m2m_acc(const CoeffVec& in, const Vec3& from,
                             CoeffVec& inout) const {
   const double sc = scale(from_level);
   const double sp = scale(from_level - 1);
-  CoeffVec r;
+  auto& arena = ScratchArena::local();
+  auto r_lease = arena.coeffs();
+  auto ratio_lease = arena.reals();
+  CoeffVec& r = *r_lease;
   regular_solid(p_, from - to, sp, r);
-  std::vector<double> ratio(static_cast<std::size_t>(p_) + 1);
+  std::vector<double>& ratio = *ratio_lease;
+  ratio.assign(static_cast<std::size_t>(p_) + 1, 0.0);
   ratio[0] = 1.0;
   for (int n = 1; n <= p_; ++n) ratio[static_cast<std::size_t>(n)] = ratio[static_cast<std::size_t>(n - 1)] * (sc / sp);
   for (int v = 0; v <= p_; ++v) {
@@ -100,8 +121,22 @@ void LaplaceKernel::m2m_acc(const CoeffVec& in, const Vec3& from,
 
 void LaplaceKernel::m2l_acc(const CoeffVec& in, const Vec3& from,
                             const Vec3& to, int level, CoeffVec& inout) const {
+  if (m2l_mode() == M2LMode::kRotation) {
+    const M2LDirection* dir = m2l_rot_.find(to - from, scale(level));
+    if (dir != nullptr) {
+      m2l_rotated(*dir, in, level, inout);
+      return;
+    }
+  }
+  m2l_naive(in, from, to, level, inout);
+}
+
+void LaplaceKernel::m2l_naive(const CoeffVec& in, const Vec3& from,
+                              const Vec3& to, int level,
+                              CoeffVec& inout) const {
   const double s = scale(level);
-  CoeffVec big;
+  auto big_lease = ScratchArena::local().coeffs();
+  CoeffVec& big = *big_lease;
   irregular_solid(2 * p_, to - from, s, big);
   const double inv_s = 1.0 / s;
   for (int j = 0; j <= p_; ++j) {
@@ -118,11 +153,44 @@ void LaplaceKernel::m2l_acc(const CoeffVec& in, const Vec3& from,
   }
 }
 
+void LaplaceKernel::m2l_rotated(const M2LDirection& dir, const CoeffVec& in,
+                                int level, CoeffVec& inout) const {
+  // Point-and-shoot: in the frame where the translation is d*zhat, only the
+  // mu = 0 irregular harmonics survive, collapsing the naive double loop to
+  //   L'_j^k = (-1)^j / s * sum_{n >= |k|} M'_n^{-k} F_{n+j}.
+  auto& arena = ScratchArena::local();
+  auto mrot_lease = arena.coeffs();
+  auto lrot_lease = arena.coeffs();
+  auto back_lease = arena.coeffs();
+  CoeffVec& mrot = *mrot_lease;
+  CoeffVec& lrot = *lrot_lease;
+  CoeffVec& back = *back_lease;
+
+  m2l_rot_.rotate_forward(dir, in, g_multipole_, 1, mrot);
+  const std::vector<double>& f = m2l_axial_[static_cast<std::size_t>(
+      dir.dist_class)];
+  lrot.assign(sq_count(p_), cdouble{});
+  const double inv_s = 1.0 / scale(level);
+  for (int k = -p_; k <= p_; ++k) {
+    const int ak = std::abs(k);
+    for (int j = ak; j <= p_; ++j) {
+      cdouble acc{};
+      for (int n = ak; n <= p_; ++n) {
+        acc += mrot[sq_index(n, -k)] * f[static_cast<std::size_t>(n + j)];
+      }
+      lrot[sq_index(j, k)] = ((j & 1) ? -inv_s : inv_s) * acc;
+    }
+  }
+  m2l_rot_.rotate_inverse(dir, lrot, g_local_, -1, back);
+  for (std::size_t i = 0; i < back.size(); ++i) inout[i] += back[i];
+}
+
 void LaplaceKernel::s2l_acc(std::span<const Vec3> pts,
                             std::span<const double> q, const Vec3& center,
                             int level, CoeffVec& inout) const {
   const double s = scale(level);
-  CoeffVec shat;
+  auto shat_lease = ScratchArena::local().coeffs();
+  CoeffVec& shat = *shat_lease;
   for (std::size_t i = 0; i < pts.size(); ++i) {
     irregular_solid(p_, center - pts[i], s, shat);
     for (int j = 0; j <= p_; ++j) {
@@ -144,9 +212,13 @@ void LaplaceKernel::l2l_acc(const CoeffVec& in, const Vec3& from,
                             CoeffVec& inout) const {
   const double sc = scale(to_level);
   const double sp = scale(to_level - 1);
-  CoeffVec r;
+  auto& arena = ScratchArena::local();
+  auto r_lease = arena.coeffs();
+  auto ratio_lease = arena.reals();
+  CoeffVec& r = *r_lease;
   regular_solid(p_, to - from, sp, r);
-  std::vector<double> ratio(static_cast<std::size_t>(p_) + 1);
+  std::vector<double>& ratio = *ratio_lease;
+  ratio.assign(static_cast<std::size_t>(p_) + 1, 0.0);
   ratio[0] = 1.0;
   for (int i = 1; i <= p_; ++i) ratio[static_cast<std::size_t>(i)] = ratio[static_cast<std::size_t>(i - 1)] * (sc / sp);
   for (int i = 0; i <= p_; ++i) {
@@ -179,11 +251,15 @@ void LaplaceKernel::m2i(const CoeffVec& m, int level, Axis d,
   // 1/r-dimensioned kernel back to physical units costs one 1/box_size.
   const double inv_w = 1.0 / scale(level);
   out.assign(quad_.total, cdouble{});
-  CoeffVec mrot;
+  auto& arena = ScratchArena::local();
+  auto mrot_lease = arena.coeffs();
+  auto g_lease = arena.coeffs();
+  CoeffVec& mrot = *mrot_lease;
   fwd_[static_cast<std::size_t>(d)].apply(m, g_multipole_, 1, mrot);
   // G(k, mm) = sum_{n >= |mm|} lam_k^n Mrot_n^mm
   const int s = quad_.count;
-  std::vector<cdouble> g(static_cast<std::size_t>(2 * p_ + 1));
+  std::vector<cdouble>& g = *g_lease;
+  g.assign(static_cast<std::size_t>(2 * p_ + 1), cdouble{});
   for (int k = 0; k < s; ++k) {
     const double lam = quad_.lambda[static_cast<std::size_t>(k)];
     for (int mm = -p_; mm <= p_; ++mm) {
@@ -244,8 +320,14 @@ void LaplaceKernel::i2l_acc(const CoeffVec& in, Axis d, int level,
   (void)level;
   // F(k, m) = sum_j W(k,j) e^{i m alpha_j}; Lrot_n^m = sum_k (-lam)^n
   // (-i)^{|m|} F(k, m); then rotate back into the unrotated local frame.
-  CoeffVec lrot(sq_count(p_), cdouble{});
-  std::vector<cdouble> f(static_cast<std::size_t>(2 * p_ + 1));
+  auto& arena = ScratchArena::local();
+  auto lrot_lease = arena.coeffs();
+  auto f_lease = arena.coeffs();
+  auto lback_lease = arena.coeffs();
+  CoeffVec& lrot = *lrot_lease;
+  lrot.assign(sq_count(p_), cdouble{});
+  std::vector<cdouble>& f = *f_lease;
+  f.assign(static_cast<std::size_t>(2 * p_ + 1), cdouble{});
   for (int k = 0; k < quad_.count; ++k) {
     std::fill(f.begin(), f.end(), cdouble{});
     const int mk = quad_.m_count[static_cast<std::size_t>(k)];
@@ -271,7 +353,7 @@ void LaplaceKernel::i2l_acc(const CoeffVec& in, Axis d, int level,
       }
     }
   }
-  CoeffVec lback;
+  CoeffVec& lback = *lback_lease;
   inv_[static_cast<std::size_t>(d)].apply(lrot, g_local_, -1, lback);
   for (std::size_t i = 0; i < lback.size(); ++i) inout[i] += lback[i];
 }

@@ -3,6 +3,7 @@
 #include <array>
 
 #include "kernels/kernel.hpp"
+#include "math/m2l_rotation.hpp"
 #include "math/planewave.hpp"
 
 namespace amtfmm {
@@ -73,10 +74,18 @@ class LaplaceKernel final : public Kernel {
 
  private:
   double scale(int level) const;
+  void m2l_naive(const CoeffVec& in, const Vec3& from, const Vec3& to,
+                 int level, CoeffVec& inout) const;
+  void m2l_rotated(const M2LDirection& dir, const CoeffVec& in, int level,
+                   CoeffVec& inout) const;
 
   int p_ = 9;
   double domain_size_ = 1.0;
   PlaneWaveQuadrature quad_;
+  M2LRotationSet m2l_rot_;
+  // Per distance class: F_l = l! / |nu|^{l+1} for l = 0..2p, the axial
+  // irregular-solid values (level independent in box units).
+  std::vector<std::vector<double>> m2l_axial_;
   std::array<AngularTransform, 6> fwd_;  // indexed by Axis
   std::array<AngularTransform, 6> inv_;
   std::vector<double> g_multipole_;  // S-basis angular weights

@@ -1,11 +1,14 @@
 #include "kernels/yukawa.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
 #include "math/bessel.hpp"
+#include "math/gauss.hpp"
 #include "math/special.hpp"
 #include "support/error.hpp"
+#include "support/scratch_arena.hpp"
 
 namespace amtfmm {
 namespace {
@@ -73,6 +76,70 @@ void YukawaKernel::setup(double domain_size, int max_level,
   // Build the projection table now: the translation operators run
   // concurrently from worker threads and must only read it.
   proj_rule_.prepare(p_);
+
+  // Rotation-based M2L: axial translation matrices T^mu_{jn} such that with
+  // the translation d zhat (source -> target) the rotated-frame expansions
+  // couple as L'_j^k = sum_{n >= |k|} T^{|k|}_{jn} M'_n^k.  Projecting the
+  // translated multipole field onto the local angular basis on a sphere of
+  // radius r = d/2 collapses (azimuthal orthogonality) to the 1D integral
+  //   T^mu_{jn} = norm_j norm_n kappa / (pi i_j(kappa r))
+  //               * int_{-1}^{1} k_n(kappa R) P_n^mu(cosTheta) P_j^mu(x) dx,
+  // R = sqrt(d^2 + r^2 + 2 d r x), cosTheta = (d + r x) / R.  The integrand
+  // is smooth (R >= d/2 > 0), so Gauss-Legendre converges spectrally.
+  m2l_rot_ = M2LRotationSet(p_);
+  mu_off_.assign(static_cast<std::size_t>(p_) + 2, 0);
+  for (int mu = 0; mu <= p_; ++mu) {
+    mu_off_[static_cast<std::size_t>(mu) + 1] =
+        mu_off_[static_cast<std::size_t>(mu)] +
+        static_cast<std::size_t>(p_ + 1 - mu) *
+            static_cast<std::size_t>(p_ + 1 - mu);
+  }
+  const std::size_t tab_size = mu_off_[static_cast<std::size_t>(p_) + 1];
+  const Quadrature gl = gauss_legendre(std::max(32, 2 * p_ + 24));
+  std::vector<double> iv_r, kv, leg_src, leg_tgt;
+  yk_axial_.assign(static_cast<std::size_t>(max_level) + 1, {});
+  for (int l = 0; l <= max_level; ++l) {
+    const double w = box_size(l);
+    const auto& norm = inorm_[static_cast<std::size_t>(l)];
+    auto& tables = yk_axial_[static_cast<std::size_t>(l)];
+    tables.reserve(m2l_rot_.dist_class_count());
+    for (std::size_t c = 0; c < m2l_rot_.dist_class_count(); ++c) {
+      const double d = m2l_rot_.dist(static_cast<int>(c)) * w;
+      const double r = 0.5 * d;
+      sph_bessel_i(p_, kappa_ * r, iv_r);
+      std::vector<double> tab(tab_size, 0.0);
+      for (std::size_t q = 0; q < gl.x.size(); ++q) {
+        const double x = gl.x[q];
+        const double big_r = std::sqrt(d * d + r * r + 2.0 * d * r * x);
+        const double ct = std::clamp((d + r * x) / big_r, -1.0, 1.0);
+        legendre_table(p_, ct, leg_src);
+        legendre_table(p_, x, leg_tgt);
+        sph_bessel_k(p_, kappa_ * big_r, kv);
+        for (int mu = 0; mu <= p_; ++mu) {
+          for (int j = mu; j <= p_; ++j) {
+            const double tj = gl.w[q] * leg_tgt[tri_index(j, mu)];
+            double* row = tab.data() + axial_index(mu, j, mu);
+            for (int n = mu; n <= p_; ++n) {
+              row[n - mu] += tj * kv[static_cast<std::size_t>(n)] *
+                             leg_src[tri_index(n, mu)];
+            }
+          }
+        }
+      }
+      const double c0 = kappa_ / std::numbers::pi;
+      for (int mu = 0; mu <= p_; ++mu) {
+        for (int j = mu; j <= p_; ++j) {
+          const double fj =
+              c0 * norm[static_cast<std::size_t>(j)] / iv_r[static_cast<std::size_t>(j)];
+          double* row = tab.data() + axial_index(mu, j, mu);
+          for (int n = mu; n <= p_; ++n) {
+            row[n - mu] *= fj * norm[static_cast<std::size_t>(n)];
+          }
+        }
+      }
+      tables.push_back(std::move(tab));
+    }
+  }
 }
 
 int YukawaKernel::clamped(int level) const {
@@ -98,8 +165,11 @@ void YukawaKernel::s2m(std::span<const Vec3> pts, std::span<const double> q,
                        const Vec3& center, int level, CoeffVec& out) const {
   out.assign(sq_count(p_), cdouble{});
   const auto& norm = inorm(level);
-  CoeffVec ang;
-  std::vector<double> iv;
+  auto& arena = ScratchArena::local();
+  auto ang_lease = arena.coeffs();
+  auto iv_lease = arena.reals();
+  CoeffVec& ang = *ang_lease;
+  std::vector<double>& iv = *iv_lease;
   for (std::size_t i = 0; i < pts.size(); ++i) {
     const Vec3 u = pts[i] - center;
     angular_basis(p_, u, ang);
@@ -121,9 +191,12 @@ double YukawaKernel::m2t(const CoeffVec& in, const Vec3& center, int level,
   const Vec3 u = t - center;
   const double r = u.norm();
   AMTFMM_ASSERT(r > 0.0);
-  CoeffVec ang;
+  auto& arena = ScratchArena::local();
+  auto ang_lease = arena.coeffs();
+  auto kv_lease = arena.reals();
+  CoeffVec& ang = *ang_lease;
   angular_basis(p_, u, ang);
-  std::vector<double> kv;
+  std::vector<double>& kv = *kv_lease;
   sph_bessel_k(p_, kappa_ * r, kv);
   cdouble acc{};
   for (int n = 0; n <= p_; ++n) {
@@ -140,8 +213,11 @@ void YukawaKernel::s2l_acc(std::span<const Vec3> pts,
                            std::span<const double> q, const Vec3& center,
                            int level, CoeffVec& inout) const {
   const auto& norm = inorm(level);
-  CoeffVec ang;
-  std::vector<double> kv;
+  auto& arena = ScratchArena::local();
+  auto ang_lease = arena.coeffs();
+  auto kv_lease = arena.reals();
+  CoeffVec& ang = *ang_lease;
+  std::vector<double>& kv = *kv_lease;
   for (std::size_t i = 0; i < pts.size(); ++i) {
     const Vec3 d = pts[i] - center;
     const double r = d.norm();
@@ -163,9 +239,12 @@ double YukawaKernel::l2t(const CoeffVec& in, const Vec3& center, int level,
                          const Vec3& t) const {
   const auto& norm = inorm(level);
   const Vec3 u = t - center;
-  CoeffVec ang;
+  auto& arena = ScratchArena::local();
+  auto ang_lease = arena.coeffs();
+  auto iv_lease = arena.reals();
+  CoeffVec& ang = *ang_lease;
   angular_basis(p_, u, ang);
-  std::vector<double> iv;
+  std::vector<double>& iv = *iv_lease;
   sph_bessel_i(p_, kappa_ * u.norm(), iv);
   cdouble acc{};
   for (int n = 0; n <= p_; ++n) {
@@ -186,15 +265,20 @@ void YukawaKernel::m2m_acc(const CoeffVec& in, const Vec3& from,
   // the parent center, project, and rescale by the parent radial basis.
   const int to_level = from_level - 1;
   const double radius = 1.5 * box_size(to_level);
-  std::vector<cdouble> samples(proj_rule_.size());
+  auto& arena = ScratchArena::local();
+  auto samples_lease = arena.coeffs();
+  auto a_lease = arena.coeffs();
+  auto kv_lease = arena.reals();
+  std::vector<cdouble>& samples = *samples_lease;
+  samples.assign(proj_rule_.size(), cdouble{});
   for (std::size_t i = 0; i < proj_rule_.size(); ++i) {
     samples[i] = m2t(in, from, from_level,
                      to + proj_rule_.directions()[i] * radius);
   }
-  CoeffVec a;
+  CoeffVec& a = *a_lease;
   proj_rule_.project(samples, p_, a);
   const auto& norm = inorm(to_level);
-  std::vector<double> kv;
+  std::vector<double>& kv = *kv_lease;
   sph_bessel_k(p_, kappa_ * radius, kv);
   for (int n = 0; n <= p_; ++n) {
     const double rescale = 1.0 / (kTwoOverPi * kappa_ *
@@ -208,16 +292,33 @@ void YukawaKernel::m2m_acc(const CoeffVec& in, const Vec3& from,
 
 void YukawaKernel::m2l_acc(const CoeffVec& in, const Vec3& from,
                            const Vec3& to, int level, CoeffVec& inout) const {
+  if (m2l_mode() == M2LMode::kRotation && !yk_axial_.empty()) {
+    const M2LDirection* dir = m2l_rot_.find(to - from, box_size(level));
+    if (dir != nullptr) {
+      m2l_rotated(*dir, in, level, inout);
+      return;
+    }
+  }
+  m2l_naive(in, from, to, level, inout);
+}
+
+void YukawaKernel::m2l_naive(const CoeffVec& in, const Vec3& from,
+                             const Vec3& to, int level, CoeffVec& inout) const {
   const double radius = 0.8 * box_size(level);
-  std::vector<cdouble> samples(proj_rule_.size());
+  auto& arena = ScratchArena::local();
+  auto samples_lease = arena.coeffs();
+  auto a_lease = arena.coeffs();
+  auto iv_lease = arena.reals();
+  std::vector<cdouble>& samples = *samples_lease;
+  samples.assign(proj_rule_.size(), cdouble{});
   for (std::size_t i = 0; i < proj_rule_.size(); ++i) {
     samples[i] =
         m2t(in, from, level, to + proj_rule_.directions()[i] * radius);
   }
-  CoeffVec a;
+  CoeffVec& a = *a_lease;
   proj_rule_.project(samples, p_, a);
   const auto& norm = inorm(level);
-  std::vector<double> iv;
+  std::vector<double>& iv = *iv_lease;
   sph_bessel_i(p_, kappa_ * radius, iv);
   for (int n = 0; n <= p_; ++n) {
     const double rescale =
@@ -229,19 +330,53 @@ void YukawaKernel::m2l_acc(const CoeffVec& in, const Vec3& from,
   }
 }
 
+void YukawaKernel::m2l_rotated(const M2LDirection& dir, const CoeffVec& in,
+                               int level, CoeffVec& inout) const {
+  auto& arena = ScratchArena::local();
+  auto mrot_lease = arena.coeffs();
+  auto lrot_lease = arena.coeffs();
+  auto back_lease = arena.coeffs();
+  CoeffVec& mrot = *mrot_lease;
+  CoeffVec& lrot = *lrot_lease;
+  CoeffVec& back = *back_lease;
+
+  m2l_rot_.rotate_forward(dir, in, g_unit_, 1, mrot);
+  const std::vector<double>& t = yk_axial_[static_cast<std::size_t>(
+      clamped(level))][static_cast<std::size_t>(dir.dist_class)];
+  lrot.assign(sq_count(p_), cdouble{});
+  for (int k = -p_; k <= p_; ++k) {
+    const int ak = std::abs(k);
+    for (int j = ak; j <= p_; ++j) {
+      const double* row = t.data() + axial_index(ak, j, ak);
+      cdouble acc{};
+      for (int n = ak; n <= p_; ++n) {
+        acc += row[n - ak] * mrot[sq_index(n, k)];
+      }
+      lrot[sq_index(j, k)] = acc;
+    }
+  }
+  m2l_rot_.rotate_inverse(dir, lrot, gamma_, 1, back);
+  for (std::size_t i = 0; i < back.size(); ++i) inout[i] += back[i];
+}
+
 void YukawaKernel::l2l_acc(const CoeffVec& in, const Vec3& from,
                            const Vec3& to, int to_level,
                            CoeffVec& inout) const {
   const double radius = 0.7 * box_size(to_level);
-  std::vector<cdouble> samples(proj_rule_.size());
+  auto& arena = ScratchArena::local();
+  auto samples_lease = arena.coeffs();
+  auto a_lease = arena.coeffs();
+  auto iv_lease = arena.reals();
+  std::vector<cdouble>& samples = *samples_lease;
+  samples.assign(proj_rule_.size(), cdouble{});
   for (std::size_t i = 0; i < proj_rule_.size(); ++i) {
     samples[i] = l2t(in, from, to_level - 1,
                      to + proj_rule_.directions()[i] * radius);
   }
-  CoeffVec a;
+  CoeffVec& a = *a_lease;
   proj_rule_.project(samples, p_, a);
   const auto& norm = inorm(to_level);
-  std::vector<double> iv;
+  std::vector<double>& iv = *iv_lease;
   sph_bessel_i(p_, kappa_ * radius, iv);
   for (int n = 0; n <= p_; ++n) {
     const double rescale =
@@ -261,12 +396,16 @@ void YukawaKernel::m2i(const CoeffVec& m, int level, Axis d,
   if (quad.count == 0) return;
   // Box-unit discretization -> physical kernel: one 1/box_size overall.
   const double inv_w = 1.0 / box_size(l);
-  CoeffVec mrot;
+  auto& arena = ScratchArena::local();
+  auto mrot_lease = arena.coeffs();
+  auto g_lease = arena.coeffs();
+  CoeffVec& mrot = *mrot_lease;
   fwd_[static_cast<std::size_t>(d)].apply(m, g_unit_, 1, mrot);
   const auto& norm = inorm(l);
   const std::size_t stride = tri_index(p_, p_) + 1;
   const double* phyp = phyp_[static_cast<std::size_t>(l)].data();
-  std::vector<cdouble> g(static_cast<std::size_t>(2 * p_ + 1));
+  std::vector<cdouble>& g = *g_lease;
+  g.assign(static_cast<std::size_t>(2 * p_ + 1), cdouble{});
   for (int k = 0; k < quad.count; ++k) {
     const double* leg = phyp + static_cast<std::size_t>(k) * stride;
     for (int mm = -p_; mm <= p_; ++mm) {
@@ -329,8 +468,14 @@ void YukawaKernel::i2l_acc(const CoeffVec& in, Axis d, int level,
   const auto& norm = inorm(l);
   const std::size_t stride = tri_index(p_, p_) + 1;
   const double* phyp = phyp_[static_cast<std::size_t>(l)].data();
-  CoeffVec lrot(sq_count(p_), cdouble{});
-  std::vector<cdouble> f(static_cast<std::size_t>(2 * p_ + 1));
+  auto& arena = ScratchArena::local();
+  auto lrot_lease = arena.coeffs();
+  auto f_lease = arena.coeffs();
+  auto lback_lease = arena.coeffs();
+  CoeffVec& lrot = *lrot_lease;
+  lrot.assign(sq_count(p_), cdouble{});
+  std::vector<cdouble>& f = *f_lease;
+  f.assign(static_cast<std::size_t>(2 * p_ + 1), cdouble{});
   for (int k = 0; k < quad.count; ++k) {
     std::fill(f.begin(), f.end(), cdouble{});
     const int mk = quad.m_count[static_cast<std::size_t>(k)];
@@ -359,7 +504,7 @@ void YukawaKernel::i2l_acc(const CoeffVec& in, Axis d, int level,
       }
     }
   }
-  CoeffVec lback;
+  CoeffVec& lback = *lback_lease;
   inv_[static_cast<std::size_t>(d)].apply(lrot, gamma_, 1, lback);
   for (std::size_t i = 0; i < lback.size(); ++i) inout[i] += lback[i];
 }

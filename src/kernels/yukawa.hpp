@@ -3,6 +3,7 @@
 #include <array>
 
 #include "kernels/kernel.hpp"
+#include "math/m2l_rotation.hpp"
 #include "math/planewave.hpp"
 #include "math/sphere.hpp"
 
@@ -79,6 +80,17 @@ class YukawaKernel final : public Kernel {
   double box_size(int level) const;
   /// i_n(kappa * w_level) table for the level.
   const std::vector<double>& inorm(int level) const;
+  void m2l_naive(const CoeffVec& in, const Vec3& from, const Vec3& to,
+                 int level, CoeffVec& inout) const;
+  void m2l_rotated(const M2LDirection& dir, const CoeffVec& in, int level,
+                   CoeffVec& inout) const;
+  /// Packed index of T^mu_{jn} inside a per-(level, dist) axial table.
+  std::size_t axial_index(int mu, int j, int n) const {
+    return mu_off_[static_cast<std::size_t>(mu)] +
+           static_cast<std::size_t>(j - mu) *
+               static_cast<std::size_t>(p_ + 1 - mu) +
+           static_cast<std::size_t>(n - mu);
+  }
 
   double kappa_;
   int p_ = 9;
@@ -93,6 +105,12 @@ class YukawaKernel final : public Kernel {
   std::array<AngularTransform, 6> inv_;
   std::vector<double> g_unit_;   // all-ones basis weight (multipole basis)
   SphereRule proj_rule_{1};      // projection rule for numeric translations
+  M2LRotationSet m2l_rot_;
+  // Axial M2L translation matrices T^mu_{jn}, one packed table per
+  // (level, distance class); kappa * box_size varies with depth so the
+  // tables cannot be shared across levels as in the Laplace kernel.
+  std::vector<std::vector<std::vector<double>>> yk_axial_;
+  std::vector<std::size_t> mu_off_;  // packed offsets: sum_{a<mu} (p+1-a)^2
 };
 
 }  // namespace amtfmm

@@ -1,30 +1,54 @@
 #include "math/rotation.hpp"
 
+#include <cmath>
+#include <numbers>
+
+#include "math/special.hpp"
 #include "math/sphere.hpp"
 #include "support/error.hpp"
 
 namespace amtfmm {
 
 AngularTransform::AngularTransform(int p, const Mat3& q) : p_(p) {
+  // E^n_{m,m'} = sum_q  A_n^m(Q^T dir_q) * conj(A_n^{m'}(dir_q)) w_q / N_nm',
+  // exact because the integrand is bandlimited to degree 2n <= 2p, within
+  // the rule's 2p+1 polynomial exactness.  Both basis tables are sampled
+  // once per quadrature node, so the build is O(rule * p^3) instead of the
+  // O(rule * p^4)-with-allocations of projecting each (n, m) separately.
   const Mat3 qt = q.transpose();
   const SphereRule rule(p);
+  const std::size_t nc = sq_count(p);
+  const std::size_t nq = rule.size();
+  std::vector<cdouble> rot(nq * nc);    // A_n^m(Q^T dir_q)
+  std::vector<cdouble> proj(nq * nc);   // conj(A_n^{m'}(dir_q)) w_q / N_nm'
+  CoeffVec basis;
+  for (std::size_t s = 0; s < nq; ++s) {
+    angular_basis(p, qt * rule.directions()[s], basis);
+    std::copy(basis.begin(), basis.end(), rot.begin() + s * nc);
+    angular_basis(p, rule.directions()[s], basis);
+    const double w = rule.weights()[s];
+    for (int n = 0; n <= p; ++n) {
+      for (int m = -n; m <= n; ++m) {
+        const double nnm = 4.0 * std::numbers::pi / (2 * n + 1) *
+                           factorial(n + std::abs(m)) /
+                           factorial(n - std::abs(m));
+        proj[s * nc + sq_index(n, m)] =
+            std::conj(basis[sq_index(n, m)]) * (w / nnm);
+      }
+    }
+  }
   blocks_.resize(static_cast<std::size_t>(p) + 1);
-  std::vector<cdouble> samples(rule.size());
-  CoeffVec basis, proj;
   for (int n = 0; n <= p; ++n) {
     auto& block = blocks_[static_cast<std::size_t>(n)];
-    block.assign(static_cast<std::size_t>(2 * n + 1) * (2 * n + 1), cdouble{});
-    for (int m = -n; m <= n; ++m) {
-      // Sample A_n^m(Q^T dir) over the rule and project back onto A_n^{m'}.
-      for (std::size_t s = 0; s < rule.size(); ++s) {
-        angular_basis(n, qt * rule.directions()[s], basis);
-        samples[s] = basis[sq_index(n, m)];
-      }
-      rule.project(std::span<const cdouble>(samples.data(), rule.size()), n,
-                   proj);
-      for (int mp = -n; mp <= n; ++mp) {
-        block[static_cast<std::size_t>(m + n) * (2 * n + 1) +
-              static_cast<std::size_t>(mp + n)] = proj[sq_index(n, mp)];
+    const std::size_t w = static_cast<std::size_t>(2 * n + 1);
+    block.assign(w * w, cdouble{});
+    for (std::size_t s = 0; s < nq; ++s) {
+      const cdouble* rrow = rot.data() + s * nc + sq_index(n, -n);
+      const cdouble* prow = proj.data() + s * nc + sq_index(n, -n);
+      for (std::size_t i = 0; i < w; ++i) {
+        const cdouble ri = rrow[i];
+        cdouble* brow = block.data() + i * w;
+        for (std::size_t j = 0; j < w; ++j) brow[j] += ri * prow[j];
       }
     }
   }
@@ -48,6 +72,10 @@ void AngularTransform::apply(const CoeffVec& in, const std::vector<double>& g,
       out[sq_index(n, mp)] = acc / g[sq_index(n, mp)];
     }
   }
+}
+
+Mat3 rotation_y(double cos_a, double sin_a) {
+  return Mat3{{cos_a, 0, sin_a, 0, 1, 0, -sin_a, 0, cos_a}};
 }
 
 Mat3 axis_to_z(Axis d) {

@@ -54,6 +54,10 @@ class AngularTransform {
   std::vector<std::vector<cdouble>> blocks_;
 };
 
+/// Rotation about the y axis by the angle with the given cosine/sine:
+/// (x, y, z) -> (x cos + z sin, y, -x sin + z cos).
+Mat3 rotation_y(double cos_a, double sin_a);
+
 /// The six axis directions of the merge-and-shift decomposition.
 enum class Axis { kPlusZ, kMinusZ, kPlusY, kMinusY, kPlusX, kMinusX };
 

@@ -4,22 +4,30 @@
 
 #include "math/special.hpp"
 #include "support/error.hpp"
+#include "support/scratch_arena.hpp"
 
 namespace amtfmm {
 namespace {
 
 /// Shared scaffolding: legendre values at cos(theta) plus the azimuthal
-/// phases e^{i m phi} for m = 0..p.
+/// phases e^{i m phi} for m = 0..p.  Both tables live in the calling
+/// thread's scratch arena so repeated evaluations stay allocation free.
 struct Angular {
-  std::vector<double> legendre;
-  std::vector<cdouble> phase;  // e^{i m phi}
+  ScratchLease<double> leg_lease;
+  ScratchLease<cdouble> phase_lease;
+  std::vector<double>& legendre;
+  std::vector<cdouble>& phase;  // e^{i m phi}
   double rho;
 
-  Angular(int p, const Vec3& v) {
+  Angular(int p, const Vec3& v)
+      : leg_lease(ScratchArena::local().reals()),
+        phase_lease(ScratchArena::local().coeffs()),
+        legendre(*leg_lease),
+        phase(*phase_lease) {
     const Spherical s = to_spherical(v);
     rho = s.r;
     legendre_table(p, s.cos_theta, legendre);
-    phase.resize(static_cast<std::size_t>(p) + 1);
+    phase.assign(static_cast<std::size_t>(p) + 1, cdouble{});
     phase[0] = 1.0;
     const cdouble e{std::cos(s.phi), std::sin(s.phi)};
     for (int m = 1; m <= p; ++m) phase[m] = phase[m - 1] * e;
@@ -71,7 +79,8 @@ void irregular_solid(int p, const Vec3& v, double scale, CoeffVec& out) {
 
 double eval_conj_regular(int p, const CoeffVec& c, const Vec3& v,
                          double scale) {
-  CoeffVec r;
+  auto r_lease = ScratchArena::local().coeffs();
+  CoeffVec& r = *r_lease;
   regular_solid(p, v, scale, r);
   cdouble acc{};
   for (std::size_t i = 0; i < c.size(); ++i) acc += c[i] * std::conj(r[i]);
@@ -79,7 +88,8 @@ double eval_conj_regular(int p, const CoeffVec& c, const Vec3& v,
 }
 
 double eval_irregular(int p, const CoeffVec& c, const Vec3& v, double scale) {
-  CoeffVec s;
+  auto s_lease = ScratchArena::local().coeffs();
+  CoeffVec& s = *s_lease;
   irregular_solid(p, v, scale, s);
   cdouble acc{};
   for (std::size_t i = 0; i < c.size(); ++i) acc += c[i] * s[i];
@@ -89,7 +99,8 @@ double eval_irregular(int p, const CoeffVec& c, const Vec3& v, double scale) {
 Vec3 grad_conj_regular(int p, const CoeffVec& c, const Vec3& v, double scale) {
   // d/dz conj(Rh_j^k) = conj(Rh_{j-1}^k)/s,
   // (dx - i dy) conj(Rh_j^k) = -conj(Rh_{j-1}^{k+1})/s.
-  CoeffVec r;
+  auto r_lease = ScratchArena::local().coeffs();
+  CoeffVec& r = *r_lease;
   regular_solid(p, v, scale, r);
   cdouble dz{}, dxmidy{};
   for (int j = 1; j <= p; ++j) {
@@ -109,7 +120,8 @@ Vec3 grad_conj_regular(int p, const CoeffVec& c, const Vec3& v, double scale) {
 
 Vec3 grad_irregular(int p, const CoeffVec& c, const Vec3& v, double scale) {
   // Needs irregular harmonics to order p+1.
-  CoeffVec s;
+  auto s_lease = ScratchArena::local().coeffs();
+  CoeffVec& s = *s_lease;
   irregular_solid(p + 1, v, scale, s);
   cdouble dz{}, dxmidy{};
   for (int n = 0; n <= p; ++n) {

@@ -6,15 +6,20 @@
 #include "math/gauss.hpp"
 #include "math/special.hpp"
 #include "support/error.hpp"
+#include "support/scratch_arena.hpp"
 
 namespace amtfmm {
 
 void angular_basis(int p, const Vec3& dir, CoeffVec& out) {
   out.assign(sq_count(p), cdouble{});
   const Spherical s = to_spherical(dir);
-  std::vector<double> leg;
+  auto& arena = ScratchArena::local();
+  auto leg_lease = arena.reals();
+  auto phase_lease = arena.coeffs();
+  std::vector<double>& leg = *leg_lease;
   legendre_table(p, s.cos_theta, leg);
-  std::vector<cdouble> phase(static_cast<std::size_t>(p) + 1);
+  std::vector<cdouble>& phase = *phase_lease;
+  phase.assign(static_cast<std::size_t>(p) + 1, cdouble{});
   phase[0] = 1.0;
   const cdouble e{std::cos(s.phi), std::sin(s.phi)};
   for (int m = 1; m <= p; ++m) phase[static_cast<std::size_t>(m)] = phase[static_cast<std::size_t>(m - 1)] * e;

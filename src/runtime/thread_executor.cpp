@@ -7,6 +7,17 @@ namespace {
 
 thread_local int tls_worker = -1;
 
+constexpr int kSpinRounds = 64;   // busy re-check before yielding
+constexpr int kYieldRounds = 16;  // yields before parking on the cv
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
 }  // namespace
 
 int current_worker() { return tls_worker; }
@@ -45,9 +56,26 @@ ThreadExecutor::ThreadExecutor(int num_localities, int cores_per_locality,
 
 ThreadExecutor::~ThreadExecutor() {
   drain();
-  stop_.store(true);
+  {
+    std::lock_guard lk(idle_mu_);
+    stop_.store(true, std::memory_order_seq_cst);
+    wake_epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
   idle_cv_.notify_all();
   for (auto& t : threads_) t.join();
+  // drain() guarantees no live tasks, but free anything a misuse left behind.
+  for (auto& ws : workers_) {
+    TaskNode* n = ws->inbox.exchange(nullptr, std::memory_order_relaxed);
+    while (n != nullptr) {
+      TaskNode* next = n->next;
+      delete n;
+      n = next;
+    }
+    while (TaskNode* d = ws->high.pop()) delete d;
+    while (TaskNode* d = ws->low.pop()) delete d;
+    for (TaskNode* d : ws->overflow_high) delete d;
+    for (TaskNode* d : ws->overflow_low) delete d;
+  }
 }
 
 double ThreadExecutor::now() const {
@@ -56,30 +84,37 @@ double ThreadExecutor::now() const {
       .count();
 }
 
-void ThreadExecutor::push(int w, Task t) {
-  {
-    std::lock_guard lk(workers_[static_cast<std::size_t>(w)]->mu);
-    auto& ws = *workers_[static_cast<std::size_t>(w)];
-    const bool hi = policy_ == SchedPolicy::kPriority && t.high_priority;
-    (hi ? ws.high : ws.low).push_back(std::move(t));
+void ThreadExecutor::push_local(int w, TaskNode* n) {
+  auto& ws = *workers_[static_cast<std::size_t>(w)];
+  const bool hi = policy_ == SchedPolicy::kPriority && n->task.high_priority;
+  auto& dq = hi ? ws.high : ws.low;
+  if (!dq.push(n)) {
+    (hi ? ws.overflow_high : ws.overflow_low).push_back(n);
   }
-  idle_cv_.notify_one();
 }
 
 void ThreadExecutor::spawn(Task t) {
   AMTFMM_ASSERT(t.locality < static_cast<std::uint32_t>(num_localities_));
   outstanding_.fetch_add(1, std::memory_order_relaxed);
-  const int base = static_cast<int>(t.locality) * cores_;
-  int w = current_worker();
-  if (w >= 0 && w / cores_ == static_cast<int>(t.locality)) {
+  auto* n = new TaskNode{std::move(t), nullptr};
+  const int loc = static_cast<int>(n->task.locality);
+  const int w = current_worker();
+  if (w >= 0 && w < total_workers() && w / cores_ == loc) {
     // Stay on the spawning worker's deque (cheap, steals rebalance).
-    push(w, std::move(t));
-    return;
+    push_local(w, n);
+  } else {
+    // Foreign thread: hand off via the target worker's MPSC inbox.
+    const int offset = static_cast<int>(
+        spawn_rr_.fetch_add(1, std::memory_order_relaxed) %
+        static_cast<std::uint64_t>(cores_));
+    auto& ws = *workers_[static_cast<std::size_t>(loc * cores_ + offset)];
+    TaskNode* head = ws.inbox.load(std::memory_order_relaxed);
+    do {
+      n->next = head;
+    } while (!ws.inbox.compare_exchange_weak(
+        head, n, std::memory_order_seq_cst, std::memory_order_relaxed));
   }
-  const int offset =
-      static_cast<int>(spawn_rr_.fetch_add(1, std::memory_order_relaxed) %
-                       static_cast<std::uint64_t>(cores_));
-  push(base + offset, std::move(t));
+  wake_all();
 }
 
 void ThreadExecutor::send(std::uint32_t from, std::uint32_t to,
@@ -92,63 +127,129 @@ void ThreadExecutor::send(std::uint32_t from, std::uint32_t to,
   spawn(std::move(t));
 }
 
-bool ThreadExecutor::try_pop(int w, Task& out) {
+void ThreadExecutor::drain_inbox(int w) {
   auto& ws = *workers_[static_cast<std::size_t>(w)];
-  std::lock_guard lk(ws.mu);
-  if (!ws.high.empty()) {
-    out = std::move(ws.high.back());
-    ws.high.pop_back();
-    return true;
+  TaskNode* n = ws.inbox.exchange(nullptr, std::memory_order_seq_cst);
+  if (n == nullptr) return;
+  int moved = 0;
+  while (n != nullptr) {
+    TaskNode* next = n->next;
+    push_local(w, n);
+    ++moved;
+    n = next;
   }
-  if (!ws.low.empty()) {
-    out = std::move(ws.low.back());
-    ws.low.pop_back();
-    return true;
+  // The inbox itself is not stealable; now that the tasks sit in a deque,
+  // parked peers can help with everything beyond the one we run next.
+  if (moved > 1) wake_all();
+}
+
+ThreadExecutor::TaskNode* ThreadExecutor::next_task(int w) {
+  auto& ws = *workers_[static_cast<std::size_t>(w)];
+  drain_inbox(w);
+  if (TaskNode* n = ws.high.pop()) return n;
+  if (!ws.overflow_high.empty()) {
+    TaskNode* n = ws.overflow_high.back();
+    ws.overflow_high.pop_back();
+    return n;
+  }
+  if (TaskNode* n = ws.low.pop()) return n;
+  if (!ws.overflow_low.empty()) {
+    TaskNode* n = ws.overflow_low.back();
+    ws.overflow_low.pop_back();
+    return n;
+  }
+  return nullptr;
+}
+
+ThreadExecutor::TaskNode* ThreadExecutor::try_steal(int w) {
+  // Randomized stealing restricted to the worker's own locality.  The draw
+  // excludes the thief itself (cores_ - 1 candidates, remapped around w) so
+  // every attempt lands on a real victim.
+  if (cores_ <= 1) return nullptr;
+  auto& me = *workers_[static_cast<std::size_t>(w)];
+  const int base = (w / cores_) * cores_;
+  const int self = w - base;
+  for (int attempt = 0; attempt < 2 * (cores_ - 1); ++attempt) {
+    const int r = static_cast<int>(
+        me.rng.below(static_cast<std::uint64_t>(cores_ - 1)));
+    const int victim = base + (r >= self ? r + 1 : r);
+    auto& vs = *workers_[static_cast<std::size_t>(victim)];
+    if (TaskNode* n = vs.high.steal()) return n;
+    if (TaskNode* n = vs.low.steal()) return n;
+  }
+  return nullptr;
+}
+
+bool ThreadExecutor::work_available(int w) const {
+  const auto& me = *workers_[static_cast<std::size_t>(w)];
+  if (me.inbox.load(std::memory_order_seq_cst) != nullptr) return true;
+  // Own overflow lists are necessarily empty here: only the owner fills
+  // them, and it never parks without draining them first.
+  const int base = (w / cores_) * cores_;
+  for (int v = base; v < base + cores_; ++v) {
+    const auto& vs = *workers_[static_cast<std::size_t>(v)];
+    if (vs.high.maybe_nonempty() || vs.low.maybe_nonempty()) return true;
   }
   return false;
 }
 
-bool ThreadExecutor::try_steal(int w, Task& out) {
-  // Randomized stealing restricted to the worker's own locality.
-  auto& me = *workers_[static_cast<std::size_t>(w)];
-  const int loc = w / cores_;
-  const int base = loc * cores_;
-  if (cores_ <= 1) return false;
-  for (int attempt = 0; attempt < 2 * cores_; ++attempt) {
-    const int victim =
-        base + static_cast<int>(me.rng.below(static_cast<std::uint64_t>(cores_)));
-    if (victim == w) continue;
-    auto& vs = *workers_[static_cast<std::size_t>(victim)];
-    std::lock_guard lk(vs.mu);
-    if (!vs.high.empty()) {
-      out = std::move(vs.high.front());
-      vs.high.pop_front();
-      return true;
-    }
-    if (!vs.low.empty()) {
-      out = std::move(vs.low.front());
-      vs.low.pop_front();
-      return true;
-    }
+void ThreadExecutor::wake_all() {
+  // Dekker pairing with park(): the producer published its task with a
+  // seq_cst operation before this load, the consumer increments sleepers_
+  // seq_cst before re-checking for work.  Either we observe the sleeper or
+  // it observes the task.
+  if (sleepers_.load(std::memory_order_seq_cst) == 0) return;
+  {
+    std::lock_guard lk(idle_mu_);
+    wake_epoch_.fetch_add(1, std::memory_order_relaxed);
   }
-  return false;
+  idle_cv_.notify_all();
+}
+
+void ThreadExecutor::park(int w) {
+  std::unique_lock lk(idle_mu_);
+  if (stop_.load(std::memory_order_acquire)) return;
+  sleepers_.fetch_add(1, std::memory_order_seq_cst);
+  if (work_available(w)) {  // re-check after announcing ourselves
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::uint64_t e = wake_epoch_.load(std::memory_order_relaxed);
+  idle_cv_.wait(lk, [this, e] {
+    return stop_.load(std::memory_order_acquire) ||
+           wake_epoch_.load(std::memory_order_relaxed) != e;
+  });
+  sleepers_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void ThreadExecutor::worker_loop(int w) {
   tls_worker = w;
-  Task t;
-  while (true) {
-    if (try_pop(w, t) || try_steal(w, t)) {
+  int idle_rounds = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    TaskNode* n = next_task(w);
+    if (n == nullptr) n = try_steal(w);
+    if (n != nullptr) {
+      Task t = std::move(n->task);
+      delete n;
       if (t.fn) t.fn();
-      t = Task{};
       if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Take the mutex so the notify cannot slip between drain()'s
+        // predicate check and its wait.
+        std::lock_guard lk(idle_mu_);
         drain_cv_.notify_all();
       }
+      idle_rounds = 0;
       continue;
     }
-    std::unique_lock lk(idle_mu_);
-    if (stop_.load()) return;
-    idle_cv_.wait_for(lk, std::chrono::milliseconds(1));
+    ++idle_rounds;
+    if (idle_rounds <= kSpinRounds) {
+      cpu_relax();
+    } else if (idle_rounds <= kSpinRounds + kYieldRounds) {
+      std::this_thread::yield();
+    } else {
+      park(w);
+      idle_rounds = 0;
+    }
   }
 }
 

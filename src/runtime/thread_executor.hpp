@@ -1,11 +1,13 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <thread>
 
 #include "runtime/executor.hpp"
+#include "runtime/ws_deque.hpp"
 #include "support/rng.hpp"
 
 namespace amtfmm {
@@ -15,6 +17,16 @@ namespace amtfmm {
 /// HPX-5 configuration ("local randomized workstealing for node-local
 /// thread scheduling").  Localities are in-process; send() delivers the
 /// parcel task to a worker of the destination locality and accounts bytes.
+///
+/// Scheduling fabric (lock-light):
+///  - each worker owns bounded Chase-Lev deques (ws_deque.hpp); push/pop/
+///    steal are lock-free, with an owner-only spill list when a ring fills,
+///  - cross-thread spawns land in the target worker's MPSC inbox (a Treiber
+///    stack) and are drained into its deque by the owner,
+///  - idle workers back off spin -> yield -> park; parking uses a Dekker
+///    protocol (publish work seq_cst, then read sleepers / increment
+///    sleepers seq_cst, then re-check work) with an epoch counter bumped
+///    under the idle mutex so wakeups cannot be lost.
 ///
 /// Under kPriority, each worker keeps a second deque that is always drained
 /// first — the binary priority extension the paper proposes in section VI.
@@ -41,17 +53,29 @@ class ThreadExecutor final : public Executor {
   std::uint64_t parcels_sent() const override { return parcels_sent_.load(); }
 
  private:
+  struct TaskNode {
+    Task task;
+    TaskNode* next = nullptr;
+  };
+
   struct WorkerState {
-    std::mutex mu;
-    std::deque<Task> high;
-    std::deque<Task> low;
+    WsDeque<TaskNode> high{1024};
+    WsDeque<TaskNode> low{1024};
+    std::atomic<TaskNode*> inbox{nullptr};  // MPSC Treiber stack
+    // Owner-only spill when a bounded ring fills; never stolen from.
+    std::deque<TaskNode*> overflow_high;
+    std::deque<TaskNode*> overflow_low;
     Rng rng{0};
   };
 
   void worker_loop(int w);
-  bool try_pop(int w, Task& out);
-  bool try_steal(int w, Task& out);
-  void push(int w, Task t);
+  TaskNode* next_task(int w);
+  TaskNode* try_steal(int w);
+  void push_local(int w, TaskNode* n);
+  void drain_inbox(int w);
+  bool work_available(int w) const;
+  void wake_all();
+  void park(int w);
 
   int num_localities_;
   int cores_;
@@ -62,6 +86,8 @@ class ThreadExecutor final : public Executor {
   std::mutex idle_mu_;
   std::condition_variable idle_cv_;
   std::condition_variable drain_cv_;
+  std::atomic<std::uint64_t> wake_epoch_{0};
+  std::atomic<int> sleepers_{0};
   std::atomic<std::int64_t> outstanding_{0};
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> bytes_sent_{0};

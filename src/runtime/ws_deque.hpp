@@ -1,0 +1,100 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace amtfmm {
+
+/// Bounded Chase-Lev work-stealing deque of pointers.
+///
+/// The owning worker pushes and pops at the bottom; any other thread steals
+/// from the top.  All index operations use seq_cst atomics rather than the
+/// standalone fences of the original formulation: the push/steal and
+/// pop/steal races are Dekker-style and need the total order, and
+/// ThreadSanitizer models seq_cst operations but not fences.  Slot accesses
+/// are relaxed — a thief that loses the top CAS discards whatever pointer it
+/// read, and a successful CAS orders the read before any reuse of the slot.
+///
+/// The deque is bounded (capacity fixed at construction, a power of two);
+/// push() reports failure when full and the caller spills elsewhere.
+template <typename T>
+class WsDeque {
+ public:
+  explicit WsDeque(std::size_t capacity = 1024)
+      : mask_(static_cast<std::int64_t>(capacity) - 1), slots_(capacity) {
+    AMTFMM_ASSERT_MSG(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+                      "WsDeque capacity must be a power of two");
+  }
+
+  WsDeque(const WsDeque&) = delete;
+  WsDeque& operator=(const WsDeque&) = delete;
+
+  /// Owner only.  Returns false when the ring is full.
+  bool push(T* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t > mask_) return false;
+    slots_[static_cast<std::size_t>(b & mask_)].store(
+        item, std::memory_order_relaxed);
+    // Publishes the slot to thieves and takes part in the Dekker protocol
+    // against a concurrent steal of the same element.
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  /// Owner only.  nullptr when empty.
+  T* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // empty: restore
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T* item = slots_[static_cast<std::size_t>(b & mask_)].load(
+        std::memory_order_relaxed);
+    if (t != b) return item;  // more than one element left, no race
+    // Last element: race a concurrent steal for it via the top CAS.
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst)) {
+      item = nullptr;  // a thief got it
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return item;
+  }
+
+  /// Any thread.  nullptr when empty or when the CAS race is lost (callers
+  /// treat both as "try another victim").
+  T* steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    T* item = slots_[static_cast<std::size_t>(t & mask_)].load(
+        std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return item;
+  }
+
+  /// Racy size hint for idle/park decisions; may be stale immediately.
+  std::int64_t size_estimate() const {
+    return bottom_.load(std::memory_order_seq_cst) -
+           top_.load(std::memory_order_seq_cst);
+  }
+  bool maybe_nonempty() const { return size_estimate() > 0; }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::int64_t mask_;
+  std::vector<std::atomic<T*>> slots_;
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace amtfmm

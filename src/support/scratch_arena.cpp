@@ -1,0 +1,52 @@
+#include "support/scratch_arena.hpp"
+
+#include <mutex>
+
+namespace amtfmm {
+namespace {
+
+// Registry of live arenas plus the folded counters of destroyed ones, so
+// total() keeps counting across thread exits.
+std::mutex reg_mu;
+std::vector<const ScratchArena*>& registry() {
+  static std::vector<const ScratchArena*> r;
+  return r;
+}
+ScratchArena::Stats& retired() {
+  static ScratchArena::Stats s;
+  return s;
+}
+
+}  // namespace
+
+ScratchArena::ScratchArena() {
+  std::lock_guard lk(reg_mu);
+  registry().push_back(this);
+}
+
+ScratchArena::~ScratchArena() {
+  std::lock_guard lk(reg_mu);
+  auto& reg = registry();
+  std::erase(reg, this);
+  const Stats s = stats();
+  retired().hits += s.hits;
+  retired().misses += s.misses;
+}
+
+ScratchArena& ScratchArena::local() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+ScratchArena::Stats ScratchArena::total() {
+  std::lock_guard lk(reg_mu);
+  Stats sum = retired();
+  for (const ScratchArena* a : registry()) {
+    const Stats s = a->stats();
+    sum.hits += s.hits;
+    sum.misses += s.misses;
+  }
+  return sum;
+}
+
+}  // namespace amtfmm

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <atomic>
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace amtfmm {
+
+class ScratchArena;
+
+/// RAII lease of a pooled scratch vector.  The buffer's *capacity* is
+/// retained across leases, so a steady-state operator that leases a buffer
+/// and assign()s it to the same size every call performs no heap
+/// allocation.  Contents on acquisition are unspecified; callers must
+/// assign/resize before reading.
+template <typename T>
+class ScratchLease {
+ public:
+  ScratchLease(ScratchArena& arena, std::vector<T>* v)
+      : arena_(&arena), v_(v) {}
+  ScratchLease(ScratchLease&& o) noexcept : arena_(o.arena_), v_(o.v_) {
+    o.v_ = nullptr;
+  }
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+  ScratchLease& operator=(ScratchLease&&) = delete;
+  ~ScratchLease();
+
+  std::vector<T>& operator*() const { return *v_; }
+  std::vector<T>* operator->() const { return v_; }
+
+ private:
+  ScratchArena* arena_;
+  std::vector<T>* v_;
+};
+
+/// Per-worker pool of reusable scratch buffers for the expansion operators.
+///
+/// Every operator in the hot path (S2M, M2M, M2L, L2L, S2L, M2I, I2L and
+/// the solid-harmonic internals) needs a handful of temporaries whose sizes
+/// repeat exactly from call to call.  Allocating them per invocation puts
+/// the allocator on the DAG's dominant edge class; instead each thread owns
+/// an arena and operators borrow buffers via RAII leases.  After warm-up
+/// every lease is a pool hit and the operators run allocation free — the
+/// hit/miss counters make that verifiable (tests/support).
+///
+/// Arenas are strictly thread local: local() returns the calling thread's
+/// instance and leases must be released on the owning thread (guaranteed by
+/// the RAII scope).  Counters are relaxed atomics so stats() / total() may
+/// be read from any thread.
+class ScratchArena {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  ScratchArena();
+  ~ScratchArena();
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// The calling thread's arena.
+  static ScratchArena& local();
+
+  /// Leases a complex scratch buffer (CoeffVec-compatible).
+  ScratchLease<std::complex<double>> coeffs() {
+    return {*this, complex_.acquire(*this)};
+  }
+  /// Leases a real scratch buffer.
+  ScratchLease<double> reals() { return {*this, real_.acquire(*this)}; }
+
+  /// This arena's cumulative lease counters.
+  Stats stats() const {
+    return {hits_.load(std::memory_order_relaxed),
+            misses_.load(std::memory_order_relaxed)};
+  }
+
+  /// Counters aggregated over every arena ever created in the process
+  /// (live threads plus exited ones).
+  static Stats total();
+
+  // Lease return path (used by ScratchLease only).
+  void release(std::vector<std::complex<double>>* v) { complex_.put_back(v); }
+  void release(std::vector<double>* v) { real_.put_back(v); }
+
+ private:
+  template <typename T>
+  struct Pool {
+    // Free buffers; leased buffers are owned by their lease until returned.
+    std::vector<std::unique_ptr<std::vector<T>>> free;
+
+    std::vector<T>* acquire(ScratchArena& a) {
+      if (!free.empty()) {
+        std::vector<T>* v = free.back().release();
+        free.pop_back();
+        a.hits_.fetch_add(1, std::memory_order_relaxed);
+        return v;
+      }
+      a.misses_.fetch_add(1, std::memory_order_relaxed);
+      return new std::vector<T>();
+    }
+    void put_back(std::vector<T>* v) { free.emplace_back(v); }
+  };
+
+  Pool<std::complex<double>> complex_;
+  Pool<double> real_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+template <typename T>
+ScratchLease<T>::~ScratchLease() {
+  if (v_ != nullptr) arena_->release(v_);
+}
+
+}  // namespace amtfmm

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "kernels/kernel.hpp"
+#include "support/rng.hpp"
+#include "support/scratch_arena.hpp"
+
+namespace amtfmm {
+namespace {
+
+TEST(ScratchArena, LeaseReturnsBufferToThePool) {
+  ScratchArena& arena = ScratchArena::local();
+  const auto before = arena.stats();
+  std::complex<double>* data = nullptr;
+  {
+    auto lease = arena.coeffs();
+    lease->assign(128, {});
+    data = lease->data();
+  }
+  {
+    auto lease = arena.coeffs();  // must reuse the freed buffer
+    lease->assign(128, {});
+    EXPECT_EQ(lease->data(), data);
+  }
+  const auto after = arena.stats();
+  EXPECT_GE(after.hits, before.hits + 1);
+}
+
+TEST(ScratchArena, ConcurrentLeasesGetDistinctBuffers) {
+  ScratchArena& arena = ScratchArena::local();
+  auto a = arena.coeffs();
+  auto b = arena.coeffs();
+  a->assign(16, {1.0, 0.0});
+  b->assign(16, {2.0, 0.0});
+  EXPECT_NE(a->data(), b->data());
+  EXPECT_EQ((*a)[0].real(), 1.0);
+  EXPECT_EQ((*b)[0].real(), 2.0);
+}
+
+TEST(ScratchArena, TotalFoldsInExitedThreads) {
+  const auto before = ScratchArena::total();
+  std::thread t([] {
+    auto lease = ScratchArena::local().coeffs();  // one miss on this thread
+    lease->assign(8, {});
+  });
+  t.join();
+  const auto after = ScratchArena::total();
+  EXPECT_GE(after.misses, before.misses + 1);
+}
+
+// The acceptance check for the arena conversion: after one warm-up call,
+// repeated kernel operator invocations must be pool hits only — the arena
+// miss counter (each miss is a heap allocation) stays flat.
+TEST(ScratchArena, KernelOperatorsAreAllocationFreeInSteadyState) {
+  for (const char* name : {"laplace", "yukawa"}) {
+    auto k = make_kernel(name, /*yukawa_lambda=*/2.0);
+    k->setup(1.0, 3, 3);
+    const double w = 1.0 / 8;
+    const Vec3 cs{0.3125, 0.3125, 0.3125};
+    const Vec3 ct = cs + Vec3{2 * w, 0, w};
+    Rng rng(3);
+    std::vector<Vec3> pts;
+    std::vector<double> q;
+    for (int i = 0; i < 20; ++i) {
+      pts.push_back(cs + Vec3{rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5),
+                              rng.uniform(-0.5, 0.5)} *
+                             w);
+      q.push_back(1.0);
+    }
+    CoeffVec m(k->m_count(3)), l(k->l_count(3), cdouble{});
+    auto sweep = [&] {
+      k->s2m(pts, q, cs, 3, m);
+      k->m2l_acc(m, cs, ct, 3, l);
+      CoeffVec up(k->m_count(2), cdouble{});
+      k->m2m_acc(m, cs, cs + Vec3{w / 2, w / 2, w / 2}, 3, up);
+      CoeffVec down(k->l_count(3), cdouble{});
+      k->l2l_acc(l, ct, ct + Vec3{w / 4, w / 4, w / 4}, 3, down);
+      k->s2l_acc(pts, q, ct, 3, l);
+      (void)k->m2t(m, cs, 3, ct);
+      (void)k->l2t(l, ct, 3, ct + Vec3{0.1 * w, 0, 0});
+      CoeffVec x;
+      k->m2i(m, 3, Axis::kPlusZ, x);
+      CoeffVec l2(k->l_count(3), cdouble{});
+      k->i2l_acc(x, Axis::kPlusZ, 3, l2);
+    };
+    sweep();  // warm-up: grows the pools
+    const auto warm = ScratchArena::local().stats();
+    for (int i = 0; i < 50; ++i) sweep();
+    const auto done = ScratchArena::local().stats();
+    EXPECT_EQ(done.misses, warm.misses) << name;
+    EXPECT_GT(done.hits, warm.hits) << name;
+  }
+}
+
+}  // namespace
+}  // namespace amtfmm
