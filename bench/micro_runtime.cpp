@@ -1,11 +1,15 @@
 // Micro-benchmarks of the AMT substrate: task spawn/drain throughput, LCO
-// reduction rate, parcel round-trips, and discrete-event simulation rate —
-// the runtime-overhead side of the paper's grain-size discussion (tasks of
-// a few microseconds must not be swamped by scheduler costs).
+// reduction rate, parcel round-trips, parcel-coalescing fan-out, and
+// discrete-event simulation rate — the runtime-overhead side of the paper's
+// grain-size discussion (tasks of a few microseconds must not be swamped by
+// scheduler costs).
 
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "runtime/runtime.hpp"
 
@@ -80,6 +84,138 @@ void BM_SimEventRate(benchmark::State& state) {
 }
 BENCHMARK(BM_SimEventRate)->Arg(10000)->Arg(100000);
 
+CoalesceConfig coalesce_arg(std::int64_t on) {
+  CoalesceConfig c;
+  c.enabled = on != 0;
+  return c;
+}
+
+// Many small parcels fanned out round-robin to the remote localities —
+// the traffic shape of the engine's per-node edge parcels.  Arg(0)/Arg(1)
+// toggle coalescing; the coalescing_factor counter reports how many
+// parcels shared a wire message.
+void BM_ParcelFanOutReal(benchmark::State& state) {
+  constexpr int kParcels = 4096;
+  RuntimeConfig cfg;
+  cfg.localities = 4;
+  cfg.cores_per_locality = 1;
+  cfg.coalesce = coalesce_arg(state.range(0));
+  Runtime rt(cfg);
+  std::atomic<int> hits{0};
+  const std::uint32_t action = rt.register_action(
+      [&hits](Runtime&, const Parcel&) {
+        hits.fetch_add(1, std::memory_order_relaxed);
+      });
+  for (auto _ : state) {
+    for (int i = 0; i < kParcels; ++i) {
+      Parcel p;
+      p.action = action;
+      p.target = GlobalAddress{static_cast<std::uint32_t>(1 + i % 3), 0};
+      p.payload.resize(64);
+      rt.send_parcel(0, std::move(p));
+    }
+    rt.drain();
+    benchmark::DoNotOptimize(hits.load());
+  }
+  state.SetItemsProcessed(state.iterations() * kParcels);
+  const CommStats s = rt.executor().comm_stats();
+  state.counters["coalescing_factor"] = s.coalescing_factor();
+}
+BENCHMARK(BM_ParcelFanOutReal)->Arg(0)->Arg(1);
+
+// The same fan-out on the simulated alpha-beta network: virtual_time shows
+// the modelled win of paying one alpha per batch instead of one per parcel.
+void BM_ParcelFanOutSim(benchmark::State& state) {
+  constexpr int kParcels = 4096;
+  double virtual_time = 0.0;
+  double factor = 1.0;
+  for (auto _ : state) {
+    SimExecutor ex(4, 1, SchedPolicy::kFifo, NetworkModel{}, 1,
+                   coalesce_arg(state.range(0)));
+    for (int i = 0; i < kParcels; ++i) {
+      Task t;
+      t.fn = [] {};
+      ex.send(0, static_cast<std::uint32_t>(1 + i % 3), 64, std::move(t));
+    }
+    virtual_time = ex.drain();
+    factor = ex.comm_stats().coalescing_factor();
+    benchmark::DoNotOptimize(virtual_time);
+  }
+  state.SetItemsProcessed(state.iterations() * kParcels);
+  state.counters["virtual_time"] = virtual_time;
+  state.counters["coalescing_factor"] = factor;
+}
+BENCHMARK(BM_ParcelFanOutSim)->Arg(0)->Arg(1);
+
+// Console reporter that also collects (name, ns/op, counters) so a
+// machine-readable summary can be written next to the console table.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string name;
+    double ns_per_op;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+  std::vector<Entry> entries;
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type == Run::RT_Iteration && !run.error_occurred) {
+        Entry e{run.benchmark_name(), run.GetAdjustedRealTime(), {}};
+        for (const auto& [name, counter] : run.counters) {
+          e.counters.emplace_back(name, counter.value);
+        }
+        entries.push_back(std::move(e));
+      }
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() plus a `--json <path>` flag: when given, a JSON array of
+// {name, ns_per_op, counters...} records is written to <path> after the
+// run.  The flag is stripped before argv is handed to the benchmark
+// library.
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered, args.data())) return 1;
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (!out) {
+      std::fprintf(stderr, "micro_runtime: cannot open %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "[\n");
+    for (std::size_t i = 0; i < reporter.entries.size(); ++i) {
+      const auto& e = reporter.entries[i];
+      std::fprintf(out, "  {\"name\": \"%s\", \"ns_per_op\": %.3f",
+                   e.name.c_str(), e.ns_per_op);
+      for (const auto& [name, value] : e.counters) {
+        std::fprintf(out, ", \"%s\": %.6g", name.c_str(), value);
+      }
+      std::fprintf(out, "}%s\n",
+                   i + 1 < reporter.entries.size() ? "," : "");
+    }
+    std::fprintf(out, "]\n");
+    std::fclose(out);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Full local gate: Release build + complete test suite, then a ThreadSanitizer
-# build of the concurrency-sensitive targets (work-stealing deque and the
-# thread executor) running their stress tests.
+# Full local gate, mirroring .github/workflows/ci.yml:
+#   1. Release build + complete test suite,
+#   2. ThreadSanitizer build of the concurrency-sensitive targets,
+#   3. AddressSanitizer build + complete test suite,
+#   4. clang-format check (skipped when clang-format is unavailable),
+#   5. benchmark smoke run with JSON output.
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -16,8 +19,32 @@ ctest --test-dir build --output-on-failure -j"$JOBS"
 
 echo "== ThreadSanitizer build (runtime stress tests) =="
 cmake -B build-tsan -S . -DAMTFMM_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j"$JOBS" --target ws_deque_test executor_test
+cmake --build build-tsan -j"$JOBS" --target \
+  ws_deque_test executor_test coalescer_test trace_test
 ./build-tsan/tests/runtime/ws_deque_test
 ./build-tsan/tests/runtime/executor_test
+./build-tsan/tests/runtime/coalescer_test
+./build-tsan/tests/runtime/trace_test
+
+echo "== AddressSanitizer build + full test suite =="
+cmake -B build-asan -S . -DAMTFMM_SANITIZE=address >/dev/null
+cmake --build build-asan -j"$JOBS"
+ctest --test-dir build-asan --output-on-failure -j"$JOBS"
+
+echo "== clang-format check =="
+if command -v clang-format >/dev/null 2>&1; then
+  git ls-files 'src/**/*.hpp' 'src/**/*.cpp' 'bench/*.hpp' 'bench/*.cpp' \
+    'tests/**/*.cpp' 'examples/*.cpp' \
+    | xargs clang-format --dry-run -Werror
+else
+  echo "clang-format not installed; skipping (CI enforces it)"
+fi
+
+echo "== Benchmark smoke (JSON) =="
+mkdir -p build/bench-smoke
+./build/bench/micro_operators --benchmark_min_time=0.05 \
+  --json build/bench-smoke/micro_operators.json
+./build/bench/micro_runtime --benchmark_min_time=0.05 \
+  --json build/bench-smoke/micro_runtime.json
 
 echo "== All checks passed =="

@@ -4,6 +4,10 @@
 
 namespace amtfmm {
 
+/// Wire bytes per out-edge record in a remote edge-batch parcel (edge id,
+/// destination node, operator tag — the metadata beside the expansion).
+constexpr std::uint64_t kRemoteEdgeRecordBytes = 16;
+
 DagEngine::DagEngine(const Dag& dag, const DualTree& dt, const Kernel& kernel,
                      Executor& ex, EngineOptions opt)
     : dag_(dag), dt_(dt), kernel_(kernel), ex_(ex), opt_(std::move(opt)) {
@@ -122,8 +126,9 @@ void DagEngine::spawn_edge_tasks(NodeIndex ni,
   }
   for (auto& [loc, ids] : remote) {
     // One parcel per destination locality: the expansion data travels once,
-    // plus a small record per edge (the paper's manual coalescing).
-    std::uint64_t bytes = 16 * ids.size();
+    // plus a small record per edge (the paper's manual per-node coalescing;
+    // the executor's CoalesceConfig layer batches *across* nodes on top).
+    std::uint64_t bytes = kRemoteEdgeRecordBytes * ids.size();
     std::uint64_t payload_bytes = 0;
     for (const std::uint32_t e : ids) {
       payload_bytes = std::max<std::uint64_t>(payload_bytes,

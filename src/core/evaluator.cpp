@@ -50,7 +50,7 @@ EvalResult Evaluator::run_prepared(const Prepared& p,
 
   ThreadExecutor ex(cfg_.localities, cfg_.cores_per_locality,
                     cfg_.split_priority ? SchedPolicy::kPriority : cfg_.policy,
-                    cfg_.seed);
+                    cfg_.seed, cfg_.coalesce);
   ex.trace().set_enabled(cfg_.trace);
   EngineOptions opt;
   opt.mode = EngineMode::kCompute;
@@ -64,7 +64,11 @@ EvalResult Evaluator::run_prepared(const Prepared& p,
   }
   out.bytes_sent = ex.bytes_sent();
   out.parcels_sent = ex.parcels_sent();
-  if (cfg_.trace) out.trace = ex.trace().collect();
+  out.comm = ex.comm_stats();
+  if (cfg_.trace) {
+    out.trace = ex.trace().collect();
+    out.comm_trace = ex.trace().collect_comm();
+  }
   return out;
 }
 
@@ -107,7 +111,7 @@ SimResult Evaluator::simulate(std::span<const Vec3> sources,
 
   SimExecutor ex(sim.localities, sim.cores_per_locality,
                  sim.split_priority ? SchedPolicy::kPriority : sim.policy,
-                 sim.network, sim.seed);
+                 sim.network, sim.seed, sim.coalesce);
   ex.trace().set_enabled(sim.trace);
   EngineOptions opt;
   opt.mode = EngineMode::kCostOnly;
@@ -117,7 +121,11 @@ SimResult Evaluator::simulate(std::span<const Vec3> sources,
   out.virtual_time = engine.execute({}, {});
   out.bytes_sent = ex.bytes_sent();
   out.parcels_sent = ex.parcels_sent();
-  if (sim.trace) out.trace = ex.trace().collect();
+  out.comm = ex.comm_stats();
+  if (sim.trace) {
+    out.trace = ex.trace().collect();
+    out.comm_trace = ex.trace().collect_comm();
+  }
   return out;
 }
 

@@ -22,6 +22,7 @@ struct EvalConfig {
   SchedPolicy policy = SchedPolicy::kWorkStealing;
   bool split_priority = false;  ///< binary priority for the upward pass
   M2LMode m2l_mode = M2LMode::kRotation;  ///< rotation (O(p^3)) or naive M2L
+  CoalesceConfig coalesce{};  ///< per-locality parcel coalescing
   bool trace = false;
   std::uint64_t seed = 1;
 };
@@ -32,8 +33,10 @@ struct EvalResult {
   double setup_time = 0.0;         ///< tree + lists + DAG construction
   DagStats dag;
   std::vector<TraceEvent> trace;
+  std::vector<CommEvent> comm_trace;
   std::uint64_t bytes_sent = 0;
   std::uint64_t parcels_sent = 0;
+  CommStats comm;
 };
 
 /// Configuration for a simulated (DES) evaluation of the same DAG.
@@ -43,6 +46,7 @@ struct SimConfig {
   SchedPolicy policy = SchedPolicy::kWorkStealing;
   bool split_priority = false;
   NetworkModel network{};
+  CoalesceConfig coalesce{};  ///< per-locality parcel coalescing
   CostModel cost;  ///< fill via CostModel::paper() or ::measured()
   bool trace = false;
   std::uint64_t seed = 1;
@@ -52,8 +56,10 @@ struct SimResult {
   double virtual_time = 0.0;
   DagStats dag;
   std::vector<TraceEvent> trace;
+  std::vector<CommEvent> comm_trace;
   std::uint64_t bytes_sent = 0;
   std::uint64_t parcels_sent = 0;
+  CommStats comm;
   int total_cores = 0;
 };
 

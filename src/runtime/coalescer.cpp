@@ -1,0 +1,196 @@
+#include "runtime/coalescer.hpp"
+
+#include <bit>
+
+#include "support/error.hpp"
+
+namespace amtfmm {
+
+ParcelCoalescer::ParcelCoalescer(int localities, const CoalesceConfig& cfg)
+    : cfg_(cfg),
+      localities_(static_cast<std::uint32_t>(localities)),
+      buffers_(static_cast<std::size_t>(localities) *
+               static_cast<std::size_t>(localities)),
+      pending_per_src_(new std::atomic<std::uint64_t>[
+          static_cast<std::size_t>(localities)]) {
+  AMTFMM_ASSERT(localities >= 1);
+  AMTFMM_ASSERT(cfg_.max_parcels >= 1);
+  AMTFMM_ASSERT(cfg_.max_bytes >= 1);
+  for (int i = 0; i < localities; ++i) {
+    pending_per_src_[static_cast<std::size_t>(i)].store(
+        0, std::memory_order_relaxed);
+  }
+}
+
+ParcelBatch ParcelCoalescer::take_locked(Buffer& b, std::uint32_t src,
+                                         std::uint32_t dst,
+                                         FlushReason reason) {
+  ParcelBatch out;
+  out.src = src;
+  out.dst = dst;
+  out.seq = b.next_seq++;
+  out.bytes = b.bytes;
+  out.any_high = b.any_high;
+  out.reason = reason;
+  out.tasks = std::move(b.tasks);
+  b.tasks.clear();
+  b.bytes = 0;
+  b.any_high = false;
+  b.epoch++;
+  pending_per_src_[src].fetch_sub(out.tasks.size(),
+                                  std::memory_order_seq_cst);
+  return out;
+}
+
+ParcelCoalescer::Enqueued ParcelCoalescer::enqueue(std::uint32_t src,
+                                                   std::uint32_t dst,
+                                                   std::size_t bytes, Task t,
+                                                   double now) {
+  Buffer& b = buffer(src, dst);
+  Enqueued r;
+  std::lock_guard lk(b.mu);
+  if (b.tasks.empty()) {
+    b.oldest = now;
+    r.first = true;
+    r.epoch = b.epoch;
+  }
+  b.tasks.push_back(std::move(t));
+  b.bytes += bytes;
+  b.any_high = b.any_high || b.tasks.back().high_priority;
+  pending_per_src_[src].fetch_add(1, std::memory_order_seq_cst);
+  if (b.tasks.size() >= cfg_.max_parcels || b.bytes >= cfg_.max_bytes) {
+    r.ready = take_locked(b, src, dst, FlushReason::kThreshold);
+  }
+  return r;
+}
+
+std::optional<ParcelBatch> ParcelCoalescer::take_if_epoch(
+    std::uint32_t src, std::uint32_t dst, std::uint64_t epoch) {
+  Buffer& b = buffer(src, dst);
+  std::lock_guard lk(b.mu);
+  if (b.epoch != epoch || b.tasks.empty()) return std::nullopt;
+  return take_locked(b, src, dst, FlushReason::kDeadline);
+}
+
+std::vector<ParcelBatch> ParcelCoalescer::take_expired_from(std::uint32_t src,
+                                                            double now) {
+  std::vector<ParcelBatch> out;
+  if (pending_per_src_[src].load(std::memory_order_seq_cst) == 0) return out;
+  for (std::uint32_t dst = 0; dst < localities_; ++dst) {
+    Buffer& b = buffer(src, dst);
+    std::lock_guard lk(b.mu);
+    if (!b.tasks.empty() && now - b.oldest >= cfg_.flush_deadline) {
+      out.push_back(take_locked(b, src, dst, FlushReason::kDeadline));
+    }
+  }
+  return out;
+}
+
+std::vector<ParcelBatch> ParcelCoalescer::take_all_from(std::uint32_t src) {
+  std::vector<ParcelBatch> out;
+  if (pending_per_src_[src].load(std::memory_order_seq_cst) == 0) return out;
+  for (std::uint32_t dst = 0; dst < localities_; ++dst) {
+    Buffer& b = buffer(src, dst);
+    std::lock_guard lk(b.mu);
+    if (!b.tasks.empty()) {
+      out.push_back(take_locked(b, src, dst, FlushReason::kQuiescence));
+    }
+  }
+  return out;
+}
+
+std::vector<ParcelBatch> ParcelCoalescer::take_all() {
+  std::vector<ParcelBatch> out;
+  for (std::uint32_t src = 0; src < localities_; ++src) {
+    auto from = take_all_from(src);
+    for (auto& b : from) out.push_back(std::move(b));
+  }
+  return out;
+}
+
+bool ParcelCoalescer::pending() const {
+  for (std::uint32_t src = 0; src < localities_; ++src) {
+    if (pending_per_src_[src].load(std::memory_order_seq_cst) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParcelCoalescer::pending_from(std::uint32_t src) const {
+  return pending_per_src_[src].load(std::memory_order_seq_cst) != 0;
+}
+
+CommCounters::CommCounters(int localities)
+    : localities_(localities),
+      parcels_to_(new std::atomic<std::uint64_t>[
+          static_cast<std::size_t>(localities)]),
+      batches_to_(new std::atomic<std::uint64_t>[
+          static_cast<std::size_t>(localities)]),
+      bytes_to_(new std::atomic<std::uint64_t>[
+          static_cast<std::size_t>(localities)]) {
+  for (int i = 0; i < localities; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    parcels_to_[s].store(0, std::memory_order_relaxed);
+    batches_to_[s].store(0, std::memory_order_relaxed);
+    bytes_to_[s].store(0, std::memory_order_relaxed);
+  }
+}
+
+void CommCounters::on_parcel(std::uint32_t dst, std::size_t bytes) {
+  parcels_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  parcels_to_[dst].fetch_add(1, std::memory_order_relaxed);
+  bytes_to_[dst].fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void CommCounters::on_batch(std::uint32_t dst, std::size_t parcels,
+                            std::size_t bytes) {
+  (void)bytes;  // per-parcel bytes already counted in on_parcel
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batches_to_[dst].fetch_add(1, std::memory_order_relaxed);
+  const auto bucket = std::min<std::size_t>(
+      hist_.size() - 1,
+      static_cast<std::size_t>(std::bit_width(std::max<std::size_t>(
+          parcels, 1)) - 1));
+  hist_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+void CommCounters::on_reason(FlushReason r) {
+  switch (r) {
+    case FlushReason::kThreshold:
+      flush_threshold_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FlushReason::kDeadline:
+      flush_deadline_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FlushReason::kQuiescence:
+      flush_quiescence_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+CommStats CommCounters::snapshot() const {
+  CommStats s;
+  s.parcels = parcels_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
+  s.flush_threshold = flush_threshold_.load(std::memory_order_relaxed);
+  s.flush_deadline = flush_deadline_.load(std::memory_order_relaxed);
+  s.flush_quiescence = flush_quiescence_.load(std::memory_order_relaxed);
+  const auto n = static_cast<std::size_t>(localities_);
+  s.parcels_to.resize(n);
+  s.batches_to.resize(n);
+  s.bytes_to.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.parcels_to[i] = parcels_to_[i].load(std::memory_order_relaxed);
+    s.batches_to[i] = batches_to_[i].load(std::memory_order_relaxed);
+    s.bytes_to[i] = bytes_to_[i].load(std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < hist_.size(); ++i) {
+    s.batch_size_log2[i] = hist_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+}  // namespace amtfmm

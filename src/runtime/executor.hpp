@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -26,6 +27,44 @@ struct Task {
   std::uint32_t locality = 0;
   bool high_priority = false;
   std::vector<CostItem> items;  // sim-mode cost breakdown
+};
+
+/// Per-locality parcel coalescing (the HPX-5 behaviour the paper relies on
+/// for its distributed runs): outgoing parcels that target the same
+/// destination locality are buffered per (source, destination) pair and
+/// flushed as one batched wire message when the buffer reaches a parcel or
+/// byte threshold, when the oldest buffered parcel exceeds the flush
+/// deadline, or when the scheduler detects quiescence.  Per-(src,dst) FIFO
+/// delivery order is preserved.  Disabled by default: every parcel is its
+/// own message, the pre-coalescing behaviour.
+struct CoalesceConfig {
+  bool enabled = false;
+  std::uint32_t max_parcels = 32;   ///< flush when this many parcels buffer
+  std::size_t max_bytes = 1 << 15;  ///< ... or this many payload bytes
+  double flush_deadline = 100e-6;   ///< seconds on the executor clock
+};
+
+/// Snapshot of the communication counters kept by every executor.  With
+/// coalescing disabled, batches == parcels and the coalescing factor is 1.
+struct CommStats {
+  std::uint64_t parcels = 0;  ///< logical parcels handed to send()
+  std::uint64_t batches = 0;  ///< physical wire messages delivered
+  std::uint64_t bytes = 0;    ///< summed parcel wire bytes
+  std::uint64_t flush_threshold = 0;   ///< batches flushed on size/bytes cap
+  std::uint64_t flush_deadline = 0;    ///< ... on flush-deadline expiry
+  std::uint64_t flush_quiescence = 0;  ///< ... on scheduler quiescence
+  std::vector<std::uint64_t> parcels_to;  ///< per destination locality
+  std::vector<std::uint64_t> batches_to;
+  std::vector<std::uint64_t> bytes_to;
+  /// Histogram of batch sizes: bucket i counts batches of [2^i, 2^(i+1))
+  /// parcels.
+  std::array<std::uint64_t, 16> batch_size_log2{};
+
+  double coalescing_factor() const {
+    return batches == 0 ? 1.0
+                        : static_cast<double>(parcels) /
+                              static_cast<double>(batches);
+  }
 };
 
 /// Scheduler policies matched to the paper:
@@ -69,6 +108,10 @@ class Executor {
   /// Total bytes sent across localities (diagnostics).
   virtual std::uint64_t bytes_sent() const = 0;
   virtual std::uint64_t parcels_sent() const = 0;
+
+  /// Full communication counters: parcels, batches, bytes, flush triggers,
+  /// per-destination histograms.
+  virtual CommStats comm_stats() const = 0;
 
  protected:
   std::unique_ptr<TraceSink> trace_;

@@ -7,11 +7,13 @@ Runtime::Runtime(const RuntimeConfig& cfg)
   if (cfg.mode == ExecMode::kThreads) {
     exec_ = std::make_unique<ThreadExecutor>(cfg.localities,
                                              cfg.cores_per_locality,
-                                             cfg.policy, cfg.seed);
+                                             cfg.policy, cfg.seed,
+                                             cfg.coalesce);
   } else {
     exec_ = std::make_unique<SimExecutor>(cfg.localities,
                                           cfg.cores_per_locality, cfg.policy,
-                                          cfg.network, cfg.seed);
+                                          cfg.network, cfg.seed,
+                                          cfg.coalesce);
   }
 }
 

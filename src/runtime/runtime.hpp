@@ -33,6 +33,7 @@ struct RuntimeConfig {
   ExecMode mode = ExecMode::kThreads;
   SchedPolicy policy = SchedPolicy::kWorkStealing;
   NetworkModel network{};
+  CoalesceConfig coalesce{};
   std::uint64_t seed = 1;
 };
 

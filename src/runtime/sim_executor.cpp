@@ -1,6 +1,8 @@
 #include "runtime/sim_executor.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "support/error.hpp"
 
@@ -8,11 +10,13 @@ namespace amtfmm {
 
 SimExecutor::SimExecutor(int num_localities, int cores_per_locality,
                          SchedPolicy policy, NetworkModel net,
-                         std::uint64_t seed)
+                         std::uint64_t seed, CoalesceConfig coalesce)
     : num_localities_(num_localities),
       cores_(cores_per_locality),
       policy_(policy),
       net_(net),
+      coalescer_(num_localities, coalesce),
+      counters_(num_localities),
       locs_(static_cast<std::size_t>(num_localities)) {
   AMTFMM_ASSERT(num_localities >= 1 && cores_per_locality >= 1);
   trace_ = std::make_unique<TraceSink>(total_workers());
@@ -20,8 +24,9 @@ SimExecutor::SimExecutor(int num_localities, int cores_per_locality,
   for (auto& l : locs_) l.rng = Rng(splitmix64(sm));
 }
 
-void SimExecutor::post(double time, std::function<void()> fn) {
-  events_.push(Event{time, seq_++, std::move(fn)});
+void SimExecutor::post(double time, std::function<void()> fn, bool live) {
+  if (live) ++live_events_;
+  events_.push(Event{time, seq_++, live, std::move(fn)});
 }
 
 void SimExecutor::spawn(Task t) {
@@ -40,14 +45,57 @@ void SimExecutor::send(std::uint32_t from, std::uint32_t to,
     spawn(std::move(t));
     return;
   }
-  bytes_sent_ += bytes;
-  parcels_sent_ += 1;
-  auto& src = locs_[from];
-  src.nic_free = std::max(src.nic_free, now_) +
-                 static_cast<double>(bytes) / net_.bandwidth;
-  const double arrival = src.nic_free + net_.latency;
-  post(arrival, [this, task = std::move(t)]() mutable {
-    spawn(std::move(task));
+  counters_.on_parcel(to, bytes);
+  const CoalesceConfig& cfg = coalescer_.config();
+  if (!cfg.enabled) {
+    ParcelBatch b;
+    b.src = from;
+    b.dst = to;
+    b.bytes = bytes;
+    b.any_high = t.high_priority;
+    b.tasks.push_back(std::move(t));
+    transmit(std::move(b), /*coalesced=*/false);
+    return;
+  }
+  auto r = coalescer_.enqueue(from, to, bytes, std::move(t), now_);
+  if (r.ready) {
+    transmit(std::move(*r.ready), /*coalesced=*/true);
+  } else if (r.first) {
+    // Arm a deadline flush for this fill of the buffer.  The timer is a
+    // non-live event: if the buffer already flushed (epoch moved on), the
+    // timer is stale and must neither flush nor advance the clock.
+    const double tfire = now_ + cfg.flush_deadline;
+    post(
+        tfire,
+        [this, from, to, epoch = r.epoch, tfire] {
+          if (auto b = coalescer_.take_if_epoch(from, to, epoch)) {
+            now_ = std::max(now_, tfire);
+            transmit(std::move(*b), /*coalesced=*/true);
+          }
+        },
+        /*live=*/false);
+  }
+}
+
+void SimExecutor::transmit(ParcelBatch b, bool coalesced) {
+  counters_.on_batch(b.dst, static_cast<std::uint32_t>(b.tasks.size()),
+                     b.bytes);
+  if (coalesced) counters_.on_reason(b.reason);
+  // One wire message occupies the destination NIC for alpha + beta * bytes
+  // and is delivered when the occupancy ends.
+  auto& dst = locs_[b.dst];
+  const double start = std::max(dst.nic_free, now_);
+  dst.nic_free =
+      start + net_.latency + static_cast<double>(b.bytes) / net_.bandwidth;
+  const double arrival = dst.nic_free;
+  if (trace_->enabled()) {
+    trace_->record_comm(CommEvent{start, arrival, b.src, b.dst,
+                                  static_cast<std::uint32_t>(b.tasks.size()),
+                                  b.bytes});
+  }
+  auto batch = std::make_shared<ParcelBatch>(std::move(b));
+  post(arrival, [this, batch] {
+    for (Task& t : batch->tasks) spawn(std::move(t));
   });
 }
 
@@ -103,13 +151,25 @@ void SimExecutor::run_task(std::uint32_t loc, Task t) {
 
 double SimExecutor::drain() {
   const double t0 = now_;
-  while (!events_.empty()) {
+  for (;;) {
+    // Quiescence: no live work left, only (possibly stale) deadline timers
+    // — flush everything still buffered before giving up.
+    if (live_events_ == 0 && coalescer_.pending()) {
+      for (auto& b : coalescer_.take_all()) {
+        transmit(std::move(b), /*coalesced=*/true);
+      }
+      continue;
+    }
+    if (events_.empty()) break;
     // Pull the event without holding a reference across fn() — handlers
     // push new events and would invalidate it.
     Event e = std::move(const_cast<Event&>(events_.top()));
     events_.pop();
-    AMTFMM_ASSERT(e.time >= now_ - 1e-12);
-    now_ = std::max(now_, e.time);
+    if (e.live) {
+      --live_events_;
+      AMTFMM_ASSERT(e.time >= now_ - 1e-12);
+      now_ = std::max(now_, e.time);
+    }
     e.fn();
   }
   return now_ - t0;

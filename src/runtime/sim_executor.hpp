@@ -3,17 +3,23 @@
 #include <deque>
 #include <queue>
 
+#include "runtime/coalescer.hpp"
 #include "runtime/executor.hpp"
 #include "support/rng.hpp"
 
 namespace amtfmm {
 
-/// Interconnect model for the simulated cluster: per-locality injection
-/// bandwidth plus a flat latency (an alpha-beta model of the paper's Cray
-/// Gemini torus).  Defaults approximate Gemini: ~1.5 us latency, ~6 GB/s
-/// per-NIC injection bandwidth.
+/// Interconnect model for the simulated cluster: per-locality NIC occupancy
+/// plus a per-message latency (an alpha-beta model of the paper's Cray
+/// Gemini torus).  Each wire message — a parcel, or a coalesced batch of
+/// parcels — occupies the destination locality's NIC for
+/// `latency + bytes / bandwidth` seconds and is delivered when the
+/// occupancy ends, so successive messages to one locality serialize and
+/// the per-message alpha is what coalescing amortizes (the Gemini
+/// small-message regime the paper depends on).  Defaults approximate
+/// Gemini: ~1.5 us latency, ~6 GB/s per-NIC injection bandwidth.
 struct NetworkModel {
-  double latency = 1.5e-6;          // seconds per message
+  double latency = 1.5e-6;          // seconds per message (alpha)
   double bandwidth = 6.0e9;         // bytes per second per locality NIC
   double task_overhead = 0.25e-6;   // scheduler cost to start a task
 };
@@ -32,12 +38,21 @@ struct NetworkModel {
 ///  - kFifo: oldest-first,
 ///  - kPriority: two-level queue, high first (the section VI proposal).
 ///
+/// Parcel coalescing (CoalesceConfig.enabled): remote sends buffer per
+/// (src, dst) pair; a batch transmits on threshold, on a flush-deadline
+/// timer event armed when a buffer first fills, or when the event loop
+/// finds no live work (quiescence).  A batch costs one alpha plus the
+/// summed beta * bytes on the destination NIC, so the model rewards
+/// coalescing exactly as the paper's interconnect did.  Per-(src,dst)
+/// delivery order stays FIFO (NIC occupancy is monotone per destination).
+///
 /// The simulation is deterministic for a fixed seed.
 class SimExecutor final : public Executor {
  public:
   SimExecutor(int num_localities, int cores_per_locality,
               SchedPolicy policy = SchedPolicy::kWorkStealing,
-              NetworkModel net = {}, std::uint64_t seed = 1);
+              NetworkModel net = {}, std::uint64_t seed = 1,
+              CoalesceConfig coalesce = {});
 
   int num_localities() const override { return num_localities_; }
   int cores_per_locality() const override { return cores_; }
@@ -48,13 +63,18 @@ class SimExecutor final : public Executor {
   double drain() override;
   double now() const override { return now_; }
 
-  std::uint64_t bytes_sent() const override { return bytes_sent_; }
-  std::uint64_t parcels_sent() const override { return parcels_sent_; }
+  std::uint64_t bytes_sent() const override { return counters_.bytes(); }
+  std::uint64_t parcels_sent() const override { return counters_.parcels(); }
+  CommStats comm_stats() const override { return counters_.snapshot(); }
 
  private:
   struct Event {
     double time;
     std::uint64_t seq;
+    /// Live events are task completions and batch arrivals; timer events
+    /// (deadline flushes) do not advance the clock unless they fire and do
+    /// not keep quiescence detection from flushing buffers.
+    bool live;
     std::function<void()> fn;
     bool operator>(const Event& o) const {
       return time > o.time || (time == o.time && seq > o.seq);
@@ -68,20 +88,23 @@ class SimExecutor final : public Executor {
     Rng rng{0};
   };
 
-  void post(double time, std::function<void()> fn);
+  void post(double time, std::function<void()> fn, bool live = true);
   void try_dispatch(std::uint32_t loc);
   void run_task(std::uint32_t loc, Task t);
+  /// Puts one wire message on the destination NIC and schedules delivery.
+  void transmit(ParcelBatch b, bool coalesced);
 
   int num_localities_;
   int cores_;
   SchedPolicy policy_;
   NetworkModel net_;
+  ParcelCoalescer coalescer_;
+  CommCounters counters_;
   std::vector<LocalityState> locs_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   double now_ = 0.0;
   std::uint64_t seq_ = 0;
-  std::uint64_t bytes_sent_ = 0;
-  std::uint64_t parcels_sent_ = 0;
+  std::uint64_t live_events_ = 0;
 };
 
 }  // namespace amtfmm

@@ -33,10 +33,15 @@ ScopedTrace::~ScopedTrace() {
 }
 
 ThreadExecutor::ThreadExecutor(int num_localities, int cores_per_locality,
-                               SchedPolicy policy, std::uint64_t seed)
+                               SchedPolicy policy, std::uint64_t seed,
+                               CoalesceConfig coalesce)
     : num_localities_(num_localities),
       cores_(cores_per_locality),
       policy_(policy),
+      coalescer_(num_localities, coalesce),
+      counters_(num_localities),
+      inorder_(static_cast<std::size_t>(num_localities) *
+               static_cast<std::size_t>(num_localities)),
       epoch_(std::chrono::steady_clock::now()) {
   AMTFMM_ASSERT(num_localities >= 1 && cores_per_locality >= 1);
   trace_ = std::make_unique<TraceSink>(total_workers());
@@ -119,12 +124,100 @@ void ThreadExecutor::spawn(Task t) {
 
 void ThreadExecutor::send(std::uint32_t from, std::uint32_t to,
                           std::size_t bytes, Task t) {
-  if (from != to) {
-    bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
-    parcels_sent_.fetch_add(1, std::memory_order_relaxed);
-  }
   t.locality = to;
-  spawn(std::move(t));
+  if (from == to) {
+    spawn(std::move(t));
+    return;
+  }
+  counters_.on_parcel(to, bytes);
+  if (!coalescer_.config().enabled) {
+    counters_.on_batch(to, 1, bytes);
+    if (trace_->enabled()) {
+      const double tn = now();
+      trace_->record_comm({tn, tn, from, to, 1, bytes});
+    }
+    spawn(std::move(t));
+    return;
+  }
+  buffered_.fetch_add(1, std::memory_order_seq_cst);
+  auto r = coalescer_.enqueue(from, to, bytes, std::move(t), now());
+  if (r.ready) deliver(std::move(*r.ready));
+  // Below threshold: deadline and quiescence flushes are driven by idle
+  // workers of the source locality and by drain().
+}
+
+void ThreadExecutor::deliver(ParcelBatch b) {
+  const auto n = static_cast<std::int64_t>(b.tasks.size());
+  counters_.on_batch(b.dst, b.tasks.size(), b.bytes);
+  counters_.on_reason(b.reason);
+  if (trace_->enabled()) {
+    const double tn = now();
+    trace_->record_comm({tn, tn, b.src, b.dst,
+                         static_cast<std::uint32_t>(b.tasks.size()), b.bytes});
+  }
+  Task w;
+  w.locality = b.dst;
+  w.high_priority = b.any_high;
+  // shared_ptr keeps the wrapper copyable for std::function.
+  w.fn = [this, batch = std::make_shared<ParcelBatch>(std::move(b))]() {
+    run_batch_in_order(std::move(*batch));
+  };
+  // Spawn before dropping the buffered count: quiescence detection must
+  // never observe the parcels in neither counter (see buffered_ invariant).
+  spawn(std::move(w));
+  buffered_.fetch_sub(n, std::memory_order_seq_cst);
+}
+
+void ThreadExecutor::run_batch_in_order(ParcelBatch b) {
+  InOrder& io = inorder_[static_cast<std::size_t>(b.src) *
+                             static_cast<std::size_t>(num_localities_) +
+                         b.dst];
+  {
+    std::lock_guard lk(io.mu);
+    io.ready.emplace(b.seq, std::move(b));
+    // A single runner per pair keeps batches strictly serialized.  If the
+    // next expected batch is missing, its (already spawned) wrapper task
+    // will become the runner when it arrives.
+    if (io.running || io.ready.begin()->first != io.expected) return;
+    io.running = true;
+  }
+  for (;;) {
+    ParcelBatch cur;
+    {
+      std::lock_guard lk(io.mu);
+      auto it = io.ready.find(io.expected);
+      if (it == io.ready.end()) {
+        io.running = false;
+        return;
+      }
+      cur = std::move(it->second);
+      io.ready.erase(it);
+      ++io.expected;
+    }
+    for (Task& t : cur.tasks) {
+      if (t.fn) t.fn();
+    }
+  }
+}
+
+bool ThreadExecutor::flush_expired(int w) {
+  const auto loc = static_cast<std::uint32_t>(w / cores_);
+  if (!coalescer_.config().enabled || !coalescer_.pending_from(loc)) {
+    return false;
+  }
+  auto batches = coalescer_.take_expired_from(loc, now());
+  for (auto& b : batches) deliver(std::move(b));
+  return !batches.empty();
+}
+
+bool ThreadExecutor::flush_outbound(int w) {
+  const auto loc = static_cast<std::uint32_t>(w / cores_);
+  if (!coalescer_.config().enabled || !coalescer_.pending_from(loc)) {
+    return false;
+  }
+  auto batches = coalescer_.take_all_from(loc);
+  for (auto& b : batches) deliver(std::move(b));
+  return !batches.empty();
 }
 
 void ThreadExecutor::drain_inbox(int w) {
@@ -245,8 +338,17 @@ void ThreadExecutor::worker_loop(int w) {
     if (idle_rounds <= kSpinRounds) {
       cpu_relax();
     } else if (idle_rounds <= kSpinRounds + kYieldRounds) {
+      // Deadline flushes ride the idle path: an idle worker acts as the
+      // communication agent of its locality.
+      flush_expired(w);
       std::this_thread::yield();
     } else {
+      // About to park: nothing runnable anywhere in this locality, so
+      // treat it as (local) quiescence and push out everything buffered.
+      if (flush_outbound(w)) {
+        idle_rounds = kSpinRounds;  // re-check queues, skip the spin phase
+        continue;
+      }
       park(w);
       idle_rounds = 0;
     }
@@ -255,11 +357,26 @@ void ThreadExecutor::worker_loop(int w) {
 
 double ThreadExecutor::drain() {
   const double t0 = now();
-  std::unique_lock lk(idle_mu_);
-  drain_cv_.wait(lk, [this] {
-    return outstanding_.load(std::memory_order_acquire) == 0;
-  });
-  return now() - t0;
+  for (;;) {
+    // Wait for running tasks first, flush second: a flush while senders
+    // are still running would split their buffers mid-fill.  Delivering a
+    // batch re-raises outstanding_, hence the loop.
+    {
+      std::unique_lock lk(idle_mu_);
+      drain_cv_.wait(lk, [this] {
+        return outstanding_.load(std::memory_order_acquire) == 0;
+      });
+    }
+    bool flushed = false;
+    for (auto& b : coalescer_.take_all()) {
+      deliver(std::move(b));
+      flushed = true;
+    }
+    if (!flushed && buffered_.load(std::memory_order_seq_cst) == 0 &&
+        outstanding_.load(std::memory_order_acquire) == 0) {
+      return now() - t0;
+    }
+  }
 }
 
 }  // namespace amtfmm

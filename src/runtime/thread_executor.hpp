@@ -3,9 +3,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <thread>
 
+#include "runtime/coalescer.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/ws_deque.hpp"
 #include "support/rng.hpp"
@@ -30,11 +32,19 @@ namespace amtfmm {
 ///
 /// Under kPriority, each worker keeps a second deque that is always drained
 /// first — the binary priority extension the paper proposes in section VI.
+///
+/// Parcel coalescing (CoalesceConfig.enabled): remote sends buffer per
+/// (src, dst) locality pair and flush as one batch task on threshold; idle
+/// workers flush their locality's expired buffers (deadline) and flush
+/// everything outbound before parking (quiescence), and drain() flushes any
+/// remainder, so no parcel is ever stranded.  Batches of one pair are
+/// re-sequenced at the destination, so per-(src,dst) parcel delivery stays
+/// FIFO even when batch tasks land on different workers.
 class ThreadExecutor final : public Executor {
  public:
   ThreadExecutor(int num_localities, int cores_per_locality,
                  SchedPolicy policy = SchedPolicy::kWorkStealing,
-                 std::uint64_t seed = 1);
+                 std::uint64_t seed = 1, CoalesceConfig coalesce = {});
   ~ThreadExecutor() override;
 
   ThreadExecutor(const ThreadExecutor&) = delete;
@@ -49,8 +59,9 @@ class ThreadExecutor final : public Executor {
   double drain() override;
   double now() const override;
 
-  std::uint64_t bytes_sent() const override { return bytes_sent_.load(); }
-  std::uint64_t parcels_sent() const override { return parcels_sent_.load(); }
+  std::uint64_t bytes_sent() const override { return counters_.bytes(); }
+  std::uint64_t parcels_sent() const override { return counters_.parcels(); }
+  CommStats comm_stats() const override { return counters_.snapshot(); }
 
  private:
   struct TaskNode {
@@ -68,6 +79,16 @@ class ThreadExecutor final : public Executor {
     Rng rng{0};
   };
 
+  /// Destination-side re-sequencing of one (src, dst) pair's batches:
+  /// batch tasks may land on any destination worker, so arrivals are
+  /// reordered by sequence number and run serially, preserving FIFO.
+  struct InOrder {
+    std::mutex mu;
+    std::uint64_t expected = 0;
+    bool running = false;
+    std::map<std::uint64_t, ParcelBatch> ready;
+  };
+
   void worker_loop(int w);
   TaskNode* next_task(int w);
   TaskNode* try_steal(int w);
@@ -76,6 +97,15 @@ class ThreadExecutor final : public Executor {
   bool work_available(int w) const;
   void wake_all();
   void park(int w);
+
+  /// Wraps a flushed batch into one task at the destination and spawns it.
+  void deliver(ParcelBatch b);
+  /// Runs at the destination: re-sequences and executes batches in order.
+  void run_batch_in_order(ParcelBatch b);
+  /// Deadline flush of the worker's locality; returns true if any flushed.
+  bool flush_expired(int w);
+  /// Quiescence flush of everything outbound from the worker's locality.
+  bool flush_outbound(int w);
 
   int num_localities_;
   int cores_;
@@ -89,9 +119,15 @@ class ThreadExecutor final : public Executor {
   std::atomic<std::uint64_t> wake_epoch_{0};
   std::atomic<int> sleepers_{0};
   std::atomic<std::int64_t> outstanding_{0};
+  /// Parcels sitting in coalescing buffers.  Invariant: a parcel moves from
+  /// buffered_ to outstanding_ by spawning its batch task *before* the
+  /// buffered_ decrement, so outstanding_ == 0 && buffered_ == 0 implies
+  /// true quiescence.
+  std::atomic<std::int64_t> buffered_{0};
   std::atomic<bool> stop_{false};
-  std::atomic<std::uint64_t> bytes_sent_{0};
-  std::atomic<std::uint64_t> parcels_sent_{0};
+  ParcelCoalescer coalescer_;
+  CommCounters counters_;
+  std::vector<InOrder> inorder_;  // src * L + dst
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<std::uint64_t> spawn_rr_{0};
 };

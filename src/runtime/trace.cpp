@@ -24,8 +24,24 @@ std::vector<TraceEvent> TraceSink::collect() const {
   return out;
 }
 
+void TraceSink::record_comm(const CommEvent& e) {
+  if (!enabled_) return;
+  std::lock_guard lk(comm_mu_);
+  comm_.push_back(e);
+}
+
+std::vector<CommEvent> TraceSink::collect_comm() const {
+  std::lock_guard lk(comm_mu_);
+  std::vector<CommEvent> out = comm_;
+  std::sort(out.begin(), out.end(),
+            [](const CommEvent& a, const CommEvent& b) { return a.t0 < b.t0; });
+  return out;
+}
+
 void TraceSink::clear() {
   for (auto& b : buffers_) b.clear();
+  std::lock_guard lk(comm_mu_);
+  comm_.clear();
 }
 
 UtilizationProfile utilization(std::span<const TraceEvent> events,

@@ -27,6 +27,19 @@ struct TraceEvent {
   std::uint8_t cls;
 };
 
+/// One wire message on the interconnect: a parcel, or a coalesced batch of
+/// parcels, from one locality to another.  In sim mode [t0, t1] is the NIC
+/// occupancy interval (departure to arrival on the modelled network); in
+/// real mode both ends carry the flush time (delivery is in-process).
+struct CommEvent {
+  double t0;
+  double t1;
+  std::uint32_t src;
+  std::uint32_t dst;
+  std::uint32_t parcels;  ///< logical parcels carried by this message
+  std::uint64_t bytes;
+};
+
 /// Collects events from many workers with per-worker buffers (no contention
 /// on the hot path).
 class TraceSink {
@@ -41,14 +54,23 @@ class TraceSink {
     buffers_[worker].push_back(TraceEvent{t0, t1, worker, cls});
   }
 
+  /// Records one wire message.  Thread safe; no-op when disabled.  Flushes
+  /// are orders of magnitude rarer than task events, so a mutex suffices.
+  void record_comm(const CommEvent& e);
+
   /// Merges all per-worker buffers (call after drain()).
   std::vector<TraceEvent> collect() const;
+
+  /// Wire messages in departure order (call after drain()).
+  std::vector<CommEvent> collect_comm() const;
 
   void clear();
 
  private:
   bool enabled_ = false;
   std::vector<std::vector<TraceEvent>> buffers_;
+  mutable std::mutex comm_mu_;
+  std::vector<CommEvent> comm_;
 };
 
 /// Utilization fractions per the paper's equations (1) and (2):
