@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "core/expansion_lco.hpp"
+#include "kernels/kernel.hpp"
 #include "runtime/runtime.hpp"
 
 namespace {
@@ -83,6 +85,98 @@ void BM_SimEventRate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * tasks);
 }
 BENCHMARK(BM_SimEventRate)->Arg(10000)->Arg(100000);
+
+/// Coefficient-accumulating LCO with the ExpansionLCO reduction shape:
+/// parses WireRecord kMain messages and adds into a vector under the lock.
+class CoeffSinkLCO final : public LCO {
+ public:
+  CoeffSinkLCO(Executor& ex, int inputs) : LCO(ex, inputs) {}
+
+ protected:
+  void reduce(std::span<const std::byte> data) override {
+    WireRecord h;
+    std::memcpy(&h, data.data(), sizeof(h));
+    const auto* in =
+        reinterpret_cast<const cdouble*>(data.data() + sizeof(h));
+    if (acc_.size() < h.count) acc_.resize(h.count);
+    for (std::uint32_t i = 0; i < h.count; ++i) acc_[i] += in[i];
+  }
+
+ private:
+  CoeffVec acc_;
+};
+
+// Fan-in: N set_input calls, each carrying one wire-record message with a
+// coefficient payload, racing from every worker into one LCO — the
+// contention shape of a high-in-degree expansion node.
+void BM_LcoFanIn(benchmark::State& state) {
+  const int inputs = 4096;
+  const std::uint32_t coeffs = static_cast<std::uint32_t>(state.range(0));
+  ThreadExecutor ex(1, 4);
+  std::vector<std::byte> msg;
+  const CoeffVec contribution(coeffs, cdouble(1.0, -1.0));
+  append_record(msg, Operator::kM2M, PayloadSlot::kMain, 0,
+                contribution.data(), coeffs * sizeof(cdouble), coeffs);
+  for (auto _ : state) {
+    CoeffSinkLCO sink(ex, inputs);
+    for (int i = 0; i < inputs; ++i) {
+      Task t;
+      t.fn = [&sink, &msg] { sink.set_input(msg); };
+      ex.spawn(std::move(t));
+    }
+    ex.drain();
+    benchmark::DoNotOptimize(sink.triggered());
+  }
+  state.SetItemsProcessed(state.iterations() * inputs);
+  state.SetBytesProcessed(state.iterations() * inputs *
+                          static_cast<std::int64_t>(msg.size()));
+}
+BENCHMARK(BM_LcoFanIn)->Arg(1)->Arg(55)->Arg(220);
+
+// Fan-out: one trigger spawning N registered continuations — the shape of
+// a root expansion feeding a wide out-edge CSR.
+void BM_LcoFanOut(benchmark::State& state) {
+  const int outs = static_cast<int>(state.range(0));
+  ThreadExecutor ex(1, 4);
+  std::atomic<int> hits{0};
+  for (auto _ : state) {
+    hits.store(0);
+    CoeffSinkLCO src(ex, 1);
+    for (int i = 0; i < outs; ++i) {
+      Task t;
+      t.fn = [&hits] { hits.fetch_add(1, std::memory_order_relaxed); };
+      src.register_continuation(std::move(t));
+    }
+    src.set_input(dep_record());
+    ex.drain();
+    benchmark::DoNotOptimize(hits.load());
+  }
+  state.SetItemsProcessed(state.iterations() * outs);
+}
+BENCHMARK(BM_LcoFanOut)->Arg(64)->Arg(1024);
+
+// Serialize + deserialize cost of one expansion through the kernel wire
+// codec — the per-parcel CPU price of the no-pointers-cross-localities
+// rule.  Arg is the expansion order stand-in: accuracy digits.
+void BM_ExpansionSerialize(benchmark::State& state) {
+  auto kernel = make_kernel("laplace");
+  kernel->setup(1.0, 4, static_cast<int>(state.range(0)));
+  const int level = 2;
+  CoeffVec m(kernel->m_count(level), cdouble(0.5, -0.25));
+  std::vector<std::byte> wire(kernel->m_wire_bytes(level));
+  CoeffVec back;
+  for (auto _ : state) {
+    kernel->pack_m(m, level, wire.data());
+    kernel->unpack_m(wire, level, back);
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wire.size()));
+  state.counters["wire_bytes"] = static_cast<double>(wire.size());
+  state.counters["full_bytes"] =
+      static_cast<double>(m.size() * sizeof(cdouble));
+}
+BENCHMARK(BM_ExpansionSerialize)->Arg(3)->Arg(6);
 
 CoalesceConfig coalesce_arg(std::int64_t on) {
   CoalesceConfig c;

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Full local gate, mirroring .github/workflows/ci.yml:
 #   1. Release build + complete test suite,
-#   2. ThreadSanitizer build of the concurrency-sensitive targets,
-#   3. AddressSanitizer build + complete test suite,
-#   4. clang-format check (skipped when clang-format is unavailable),
-#   5. benchmark smoke run with JSON output.
+#   2. Debug build of the multi-locality parity / LCO-semantics tests
+#      (assertions and the GAS/ownership debug checks enabled),
+#   3. ThreadSanitizer build of the concurrency-sensitive targets,
+#   4. AddressSanitizer build + complete test suite,
+#   5. UndefinedBehaviorSanitizer build + complete test suite,
+#   6. clang-format check (skipped when clang-format is unavailable),
+#   7. benchmark smoke run with JSON output.
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -17,6 +20,13 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
+echo "== Debug build (multi-locality parity, LCO semantics, GAS checks) =="
+cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug >/dev/null
+cmake --build build-debug -j"$JOBS" --target \
+  expansion_lco_test gas_test evaluator_test sim_test
+ctest --test-dir build-debug --output-on-failure -j"$JOBS" \
+  -R 'MultiLocality|ExpansionLco|GasTest|GasDeathTest'
+
 echo "== ThreadSanitizer build (runtime stress tests) =="
 cmake -B build-tsan -S . -DAMTFMM_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS" --target \
@@ -25,11 +35,17 @@ cmake --build build-tsan -j"$JOBS" --target \
 ./build-tsan/tests/runtime/executor_test
 ./build-tsan/tests/runtime/coalescer_test
 ./build-tsan/tests/runtime/trace_test
+./build-tsan/tests/runtime/gas_test
 
 echo "== AddressSanitizer build + full test suite =="
 cmake -B build-asan -S . -DAMTFMM_SANITIZE=address >/dev/null
 cmake --build build-asan -j"$JOBS"
 ctest --test-dir build-asan --output-on-failure -j"$JOBS"
+
+echo "== UndefinedBehaviorSanitizer build + full test suite =="
+cmake -B build-ubsan -S . -DAMTFMM_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j"$JOBS"
+ctest --test-dir build-ubsan --output-on-failure -j"$JOBS"
 
 echo "== clang-format check =="
 if command -v clang-format >/dev/null 2>&1; then

@@ -1,18 +1,74 @@
 #include "core/engine.hpp"
 
+#include <cstring>
+#include <utility>
+
 #include "support/error.hpp"
+#include "support/scratch_arena.hpp"
 
 namespace amtfmm {
+namespace {
 
-/// Wire bytes per out-edge record in a remote edge-batch parcel (edge id,
-/// destination node, operator tag — the metadata beside the expansion).
-constexpr std::uint64_t kRemoteEdgeRecordBytes = 16;
+/// Fixed header of an eval parcel: the serialized source expansion plus the
+/// out-edge ids it feeds at the destination locality.
+struct ParcelHeader {
+  std::uint32_t source;      ///< source DAG node
+  std::uint16_t num_edges;
+  std::uint16_t num_sections;
+};
+static_assert(sizeof(ParcelHeader) == 8);
+
+/// One serialized payload section of an eval parcel.  Sections follow the
+/// edge-id table, so their payloads are *not* alignment-guaranteed —
+/// deserialization always memcpys into local storage.
+struct SectionHeader {
+  std::uint8_t slot;  ///< PayloadSlot
+  std::uint8_t dir;
+  std::uint16_t reserved;
+  std::uint32_t bytes;
+};
+static_assert(sizeof(SectionHeader) == 8);
+
+/// Fixed header of a source-computed contribution parcel (S2L, I2L): the
+/// packed L payload follows.
+struct ContribHeader {
+  std::uint32_t target;  ///< destination DAG node
+  std::uint8_t op;
+  std::uint8_t pad8 = 0;
+  std::uint16_t pad16 = 0;
+};
+static_assert(sizeof(ContribHeader) == 8);
+
+constexpr std::size_t kBytesPerPoint = 32;  // x, y, z, q doubles
+
+const CoeffVec kEmptyCoeffs;
+
+const CoeffVec& view(const CoeffVec* p) { return p ? *p : kEmptyCoeffs; }
+
+/// Zero-pads `v` to exactly `want` coefficients (staging through `stage`
+/// when the stored vector is shorter, e.g. a never-accumulated direction).
+const CoeffVec& sized(const CoeffVec& v, std::size_t want, CoeffVec& stage) {
+  if (v.size() == want) return v;
+  AMTFMM_ASSERT(v.size() < want);
+  stage = v;
+  stage.resize(want, cdouble{});
+  return stage;
+}
+
+bool is_high(Operator op) {
+  return op == Operator::kS2M || op == Operator::kM2M || op == Operator::kM2I;
+}
+
+}  // namespace
 
 DagEngine::DagEngine(const Dag& dag, const DualTree& dt, const Kernel& kernel,
                      Executor& ex, EngineOptions opt)
-    : dag_(dag), dt_(dt), kernel_(kernel), ex_(ex), opt_(std::move(opt)) {
-  states_ = std::make_unique<NodeState[]>(dag_.nodes.size());
-}
+    : dag_(dag),
+      dt_(dt),
+      kernel_(kernel),
+      ex_(ex),
+      opt_(std::move(opt)),
+      gas_(ex.num_localities()) {}
 
 double DagEngine::execute(std::span<const double> charges,
                           std::span<double> potentials) {
@@ -23,22 +79,32 @@ double DagEngine::execute(std::span<const double> charges,
     AMTFMM_ASSERT(potentials.size() == dt_.target.num_points());
     std::fill(potentials.begin(), potentials.end(), 0.0);
   }
-  for (std::size_t i = 0; i < dag_.nodes.size(); ++i) {
-    states_[i].remaining.store(dag_.nodes[i].in_degree,
-                               std::memory_order_relaxed);
-    states_[i].payload.reset();
-  }
+  wire_bytes_.store(0, std::memory_order_relaxed);
+  instantiate();
   const double t0 = ex_.now();
   seed();
   ex_.drain();
   return ex_.now() - t0;
 }
 
+void DagEngine::instantiate() {
+  gas_.reset();
+  addr_.resize(dag_.nodes.size());
+  for (NodeIndex ni = 0; ni < dag_.nodes.size(); ++ni) {
+    const DagNode& n = dag_.nodes[ni];
+    addr_[ni] = gas_.alloc(
+        n.locality, std::make_unique<ExpansionLCO>(
+                        *this, ex_, ni, n.locality,
+                        static_cast<int>(n.in_degree)));
+  }
+}
+
 void DagEngine::seed() {
   for (NodeIndex ni = 0; ni < dag_.nodes.size(); ++ni) {
     const DagNode& n = dag_.nodes[ni];
     if (n.kind == NodeKind::kS) {
-      trigger(ni);
+      // Sources have no inputs: walk their out-edges directly.
+      spawn_edge_tasks(ni);
     } else if (n.in_degree == 0 && n.kind == NodeKind::kT) {
       // A target box no source can see: its potentials are exactly zero.
       Task t;
@@ -49,32 +115,42 @@ void DagEngine::seed() {
   }
 }
 
-void DagEngine::set_input(NodeIndex ni) {
-  if (states_[ni].remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    trigger(ni);
-  }
-}
-
-void DagEngine::trigger(NodeIndex ni) {
-  const DagNode& n = dag_.nodes[ni];
-  if (n.kind == NodeKind::kT) {
+void DagEngine::on_node_triggered(NodeIndex ni) {
+  if (dag_.nodes[ni].kind == NodeKind::kT) {
     finalize_target(ni);
     return;
   }
-  // Detach the payload: continuations share ownership; the buffers free
-  // once the last coalesced parcel has been evaluated.
-  std::shared_ptr<Payload> payload = std::move(states_[ni].payload);
-  spawn_edge_tasks(ni, std::move(payload));
+  spawn_edge_tasks(ni);
 }
 
-void DagEngine::spawn_edge_tasks(NodeIndex ni,
-                                 std::shared_ptr<Payload> payload) {
+DagEngine::SourceView DagEngine::local_view(NodeIndex ni) {
+  const DagNode& n = dag_.nodes[ni];
+  SourceView v;
+  if (n.kind == NodeKind::kS) {
+    const TreeBox& box = dt_.source.box(n.box);
+    v.pts = std::span<const Vec3>(dt_.source.sorted_points())
+                .subspan(box.first, box.count);
+    v.q = charges_.subspan(box.first, box.count);
+  } else {
+    ExpansionPayload& p = lco(ni)->payload();
+    v.main = &p.main;
+    for (std::size_t d = 0; d < 6; ++d) {
+      v.own[d] = &p.own[d];
+      v.fwd[d] = &p.fwd[d];
+    }
+  }
+  return v;
+}
+
+void DagEngine::spawn_edge_tasks(NodeIndex ni) {
   const DagNode& n = dag_.nodes[ni];
   if (n.num_edges == 0) return;
+  const bool compute = opt_.mode == EngineMode::kCompute;
 
-  // Bucket out edges: local ones (possibly split by priority) and one
-  // coalesced bucket per remote locality.
-  std::vector<std::uint32_t> local_low, local_high;
+  // Bucket out edges: local ones (possibly split by priority), one eval
+  // parcel per remote locality, and per-edge contribution parcels for the
+  // source-computed operators.
+  std::vector<std::uint32_t> local_low, local_high, contrib;
   std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> remote;
   auto remote_bucket = [&](std::uint32_t loc) -> std::vector<std::uint32_t>& {
     for (auto& [l, v] : remote) {
@@ -83,96 +159,154 @@ void DagEngine::spawn_edge_tasks(NodeIndex ni,
     remote.emplace_back(loc, std::vector<std::uint32_t>{});
     return remote.back().second;
   };
-  auto is_high = [](Operator op) {
-    return op == Operator::kS2M || op == Operator::kM2M ||
-           op == Operator::kM2I;
-  };
   for (std::uint32_t e = n.first_edge; e < n.first_edge + n.num_edges; ++e) {
     const DagEdge& edge = dag_.edges[e];
     const std::uint32_t tloc = dag_.nodes[edge.target].locality;
     if (tloc == n.locality) {
       (opt_.split_priority && is_high(edge.op) ? local_high : local_low)
           .push_back(e);
+    } else if (source_computed(edge.op)) {
+      contrib.push_back(e);
     } else {
       remote_bucket(tloc).push_back(e);
     }
   }
 
-  auto make_task = [&](std::vector<std::uint32_t> ids, std::uint32_t loc,
-                       bool high) {
-    Task t;
-    t.locality = loc;
-    t.high_priority = high;
-    if (opt_.mode == EngineMode::kCostOnly) {
-      t.items.reserve(ids.size());
-      for (const std::uint32_t e : ids) {
-        const DagEdge& edge = dag_.edges[e];
-        t.items.push_back(CostItem{
-            static_cast<std::uint8_t>(edge.op),
-            opt_.cost.cost(edge.op, edge.cost_metric)});
-      }
+  auto cost_items = [&](std::span<const std::uint32_t> ids) {
+    std::vector<CostItem> items;
+    items.reserve(ids.size());
+    for (const std::uint32_t e : ids) {
+      const DagEdge& edge = dag_.edges[e];
+      items.push_back(CostItem{static_cast<std::uint8_t>(edge.op),
+                               opt_.cost.cost(edge.op, edge.cost_metric)});
     }
-    t.fn = [this, ni, ids = std::move(ids), payload]() {
-      process_edges(ni, ids, payload);
-    };
+    return items;
+  };
+
+  auto make_local_task = [&](std::vector<std::uint32_t> ids, bool high) {
+    Task t;
+    t.locality = n.locality;
+    t.high_priority = high;
+    if (compute) {
+      t.fn = [this, ni, ids = std::move(ids)] { process_local(ni, ids); };
+    } else {
+      t.items = cost_items(ids);
+      t.fn = [this, ids = std::move(ids)] {
+        for (const std::uint32_t e : ids) {
+          lco(dag_.edges[e].target)->set_input(dep_record());
+        }
+      };
+    }
     return t;
   };
 
+  // Serialize eval parcels before any consumer can release the payload
+  // (this thread is on the node's home locality — the last input always
+  // arrives there).
+  struct PendingParcel {
+    std::uint32_t loc;
+    bool high;
+    std::shared_ptr<std::vector<std::byte>> buf;  // wire buffer (compute)
+    std::uint64_t bytes;
+    std::vector<std::uint32_t> ids;
+  };
+  std::vector<PendingParcel> parcels;
+  parcels.reserve(remote.size());
+  for (auto& [loc, ids] : remote) {
+    PendingParcel p;
+    p.loc = loc;
+    p.high = opt_.split_priority && is_high(dag_.edges[ids.front()].op);
+    if (compute) {
+      p.buf = std::make_shared<std::vector<std::byte>>(
+          serialize_parcel(ni, ids));
+      p.bytes = p.buf->size();
+      AMTFMM_ASSERT(p.bytes == parcel_wire_bytes(ni, ids));
+    } else {
+      p.bytes = parcel_wire_bytes(ni, ids);
+    }
+    p.ids = std::move(ids);
+    parcels.push_back(std::move(p));
+  }
+
+  const bool has_payload = compute && n.kind != NodeKind::kS;
+  if (has_payload) {
+    const int consumers = static_cast<int>(!local_high.empty()) +
+                          static_cast<int>(!local_low.empty()) +
+                          static_cast<int>(contrib.size());
+    lco(ni)->retain_payload(consumers + 1);
+  }
+
   if (!local_high.empty()) {
-    ex_.spawn(make_task(std::move(local_high), n.locality, true));
+    ex_.spawn(make_local_task(std::move(local_high), true));
   }
   if (!local_low.empty()) {
-    ex_.spawn(make_task(std::move(local_low), n.locality, false));
+    ex_.spawn(make_local_task(std::move(local_low), false));
   }
-  for (auto& [loc, ids] : remote) {
-    // One parcel per destination locality: the expansion data travels once,
-    // plus a small record per edge (the paper's manual per-node coalescing;
-    // the executor's CoalesceConfig layer batches *across* nodes on top).
-    std::uint64_t bytes = kRemoteEdgeRecordBytes * ids.size();
-    std::uint64_t payload_bytes = 0;
-    for (const std::uint32_t e : ids) {
-      payload_bytes = std::max<std::uint64_t>(payload_bytes,
-                                              dag_.edges[e].bytes);
+
+  for (const std::uint32_t e : contrib) {
+    const DagEdge& edge = dag_.edges[e];
+    const std::uint32_t tloc = dag_.nodes[edge.target].locality;
+    if (compute) {
+      // The contribution is computed by a task on the source locality
+      // (reading the payload), then shipped packed.
+      Task t;
+      t.locality = n.locality;
+      t.fn = [this, ni, e] { send_contribution(ni, e); };
+      ex_.spawn(std::move(t));
+    } else {
+      const std::uint64_t bytes = contribution_wire_bytes(edge);
+      wire_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+      Task t;
+      t.locality = tloc;
+      t.items = cost_items(std::span<const std::uint32_t>(&e, 1));
+      t.fn = [this, target = edge.target] {
+        lco(target)->set_input(dep_record());
+      };
+      ex_.send(n.locality, tloc, bytes, std::move(t));
     }
-    bytes += payload_bytes;
-    const bool high =
-        opt_.split_priority && is_high(dag_.edges[ids.front()].op);
-    ex_.send(n.locality, loc, bytes, make_task(std::move(ids), loc, high));
   }
+
+  for (PendingParcel& p : parcels) {
+    wire_bytes_.fetch_add(p.bytes, std::memory_order_relaxed);
+    Task t;
+    t.locality = p.loc;
+    t.high_priority = p.high;
+    if (compute) {
+      t.fn = [this, buf = std::move(p.buf)] { process_parcel(*buf); };
+    } else {
+      t.items = cost_items(p.ids);
+      t.fn = [this, ids = std::move(p.ids)] {
+        for (const std::uint32_t e : ids) {
+          lco(dag_.edges[e].target)->set_input(dep_record());
+        }
+      };
+    }
+    ex_.send(n.locality, p.loc, p.bytes, std::move(t));
+  }
+
+  if (has_payload) lco(ni)->release_payload();
 }
 
-void DagEngine::process_edges(NodeIndex ni,
-                              std::span<const std::uint32_t> edge_ids,
-                              const std::shared_ptr<Payload>& payload) {
-  const bool compute = opt_.mode == EngineMode::kCompute;
+void DagEngine::process_local(NodeIndex ni,
+                              std::span<const std::uint32_t> edge_ids) {
+  const DagNode& n = dag_.nodes[ni];
+  const SourceView src = local_view(ni);
+  auto msg = ScratchArena::local().bytes();
   for (const std::uint32_t e : edge_ids) {
     const DagEdge& edge = dag_.edges[e];
-    if (compute) {
+    {
       ScopedTrace st(ex_, static_cast<std::uint8_t>(edge.op));
-      apply_edge(ni, edge, payload.get());
+      msg->clear();
+      apply_edge(ni, edge, src, *msg);
     }
-    set_input(edge.target);
+    lco(edge.target)->set_input({msg->data(), msg->size()});
   }
+  if (n.kind != NodeKind::kS) lco(ni)->release_payload();
 }
-
-DagEngine::Payload& DagEngine::ensure_payload(NodeIndex ni) {
-  NodeState& st = states_[ni];
-  if (!st.payload) st.payload = std::make_shared<Payload>();
-  return *st.payload;
-}
-
-namespace {
-
-/// Accumulates b into a, resizing on first use.
-void acc(CoeffVec& a, const CoeffVec& b) {
-  if (a.size() < b.size()) a.resize(b.size(), cdouble{});
-  for (std::size_t i = 0; i < b.size(); ++i) a[i] += b[i];
-}
-
-}  // namespace
 
 void DagEngine::apply_edge(NodeIndex from, const DagEdge& e,
-                           const Payload* src) {
+                           const SourceView& src,
+                           std::vector<std::byte>& msg) {
   const DagNode& fn = dag_.nodes[from];
   const DagNode& tn = dag_.nodes[e.target];
   const TreeBox& fbox = (fn.kind == NodeKind::kS || fn.kind == NodeKind::kM ||
@@ -183,104 +317,99 @@ void DagEngine::apply_edge(NodeIndex from, const DagEdge& e,
                          tn.kind == NodeKind::kIs)
                             ? dt_.source.box(tn.box)
                             : dt_.target.box(tn.box);
-  NodeState& tstate = states_[e.target];
-
-  // Source-side inputs for S-originated edges.
-  const auto src_pts = std::span<const Vec3>(dt_.source.sorted_points())
-                           .subspan(fbox.first, fbox.count);
-  const auto src_q = charges_.subspan(
-      fn.kind == NodeKind::kS ? fbox.first : 0,
-      fn.kind == NodeKind::kS ? fbox.count : 0);
   const auto tgt_pts = std::span<const Vec3>(dt_.target.sorted_points())
                            .subspan(tbox.first, tbox.count);
 
+  auto coeffs = ScratchArena::local().coeffs();
+  auto append_main = [&] {
+    append_record(msg, e.op, PayloadSlot::kMain, 0, coeffs->data(),
+                  coeffs->size() * sizeof(cdouble),
+                  static_cast<std::uint32_t>(coeffs->size()));
+  };
+
   switch (e.op) {
     case Operator::kS2M: {
-      CoeffVec m;
-      kernel_.s2m(src_pts, src_q, tbox.cube.center(), tbox.level, m);
-      tstate.lock.lock();
-      acc(ensure_payload(e.target).main, m);
-      tstate.lock.unlock();
+      coeffs->clear();
+      kernel_.s2m(src.pts, src.q, tbox.cube.center(), tbox.level, *coeffs);
+      append_main();
       break;
     }
     case Operator::kM2M: {
-      tstate.lock.lock();
-      Payload& p = ensure_payload(e.target);
-      if (p.main.empty()) p.main.assign(kernel_.m_count(tbox.level), cdouble{});
-      kernel_.m2m_acc(src->main, fbox.cube.center(), tbox.cube.center(),
-                      fbox.level, p.main);
-      tstate.lock.unlock();
+      coeffs->assign(kernel_.m_count(tbox.level), cdouble{});
+      kernel_.m2m_acc(view(src.main), fbox.cube.center(), tbox.cube.center(),
+                      fbox.level, *coeffs);
+      append_main();
       break;
     }
     case Operator::kM2L: {
-      tstate.lock.lock();
-      Payload& p = ensure_payload(e.target);
-      if (p.main.empty()) p.main.assign(kernel_.l_count(tbox.level), cdouble{});
-      kernel_.m2l_acc(src->main, fbox.cube.center(), tbox.cube.center(),
-                      tbox.level, p.main);
-      tstate.lock.unlock();
+      coeffs->assign(kernel_.l_count(tbox.level), cdouble{});
+      kernel_.m2l_acc(view(src.main), fbox.cube.center(), tbox.cube.center(),
+                      tbox.level, *coeffs);
+      append_main();
       break;
     }
     case Operator::kS2L: {
-      tstate.lock.lock();
-      Payload& p = ensure_payload(e.target);
-      if (p.main.empty()) p.main.assign(kernel_.l_count(tbox.level), cdouble{});
-      kernel_.s2l_acc(src_pts, src_q, tbox.cube.center(), tbox.level, p.main);
-      tstate.lock.unlock();
+      coeffs->assign(kernel_.l_count(tbox.level), cdouble{});
+      kernel_.s2l_acc(src.pts, src.q, tbox.cube.center(), tbox.level,
+                      *coeffs);
+      append_main();
       break;
     }
     case Operator::kM2T: {
-      tstate.lock.lock();
-      Payload& p = ensure_payload(e.target);
-      if (p.phi.empty()) p.phi.assign(tbox.count, 0.0);
+      auto phi = ScratchArena::local().reals();
+      phi->assign(tbox.count, 0.0);
       for (std::uint32_t i = 0; i < tbox.count; ++i) {
-        p.phi[i] += kernel_.m2t(src->main, fbox.cube.center(), fbox.level,
-                                tgt_pts[i]);
+        (*phi)[i] += kernel_.m2t(view(src.main), fbox.cube.center(),
+                                 fbox.level, tgt_pts[i]);
       }
-      tstate.lock.unlock();
+      append_record(msg, e.op, PayloadSlot::kPhi, 0, phi->data(),
+                    phi->size() * sizeof(double),
+                    static_cast<std::uint32_t>(phi->size()));
       break;
     }
     case Operator::kL2L: {
-      tstate.lock.lock();
-      Payload& p = ensure_payload(e.target);
-      if (p.main.empty()) p.main.assign(kernel_.l_count(tbox.level), cdouble{});
-      kernel_.l2l_acc(src->main, fbox.cube.center(), tbox.cube.center(),
-                      tbox.level, p.main);
-      tstate.lock.unlock();
+      coeffs->assign(kernel_.l_count(tbox.level), cdouble{});
+      kernel_.l2l_acc(view(src.main), fbox.cube.center(), tbox.cube.center(),
+                      tbox.level, *coeffs);
+      append_main();
       break;
     }
     case Operator::kL2T: {
-      tstate.lock.lock();
-      Payload& p = ensure_payload(e.target);
-      if (p.phi.empty()) p.phi.assign(tbox.count, 0.0);
+      auto phi = ScratchArena::local().reals();
+      phi->assign(tbox.count, 0.0);
       for (std::uint32_t i = 0; i < tbox.count; ++i) {
-        p.phi[i] += kernel_.l2t(src->main, fbox.cube.center(), fbox.level,
-                                tgt_pts[i]);
+        (*phi)[i] += kernel_.l2t(view(src.main), fbox.cube.center(),
+                                 fbox.level, tgt_pts[i]);
       }
-      tstate.lock.unlock();
+      append_record(msg, e.op, PayloadSlot::kPhi, 0, phi->data(),
+                    phi->size() * sizeof(double),
+                    static_cast<std::uint32_t>(phi->size()));
       break;
     }
     case Operator::kS2T: {
-      tstate.lock.lock();
-      Payload& p = ensure_payload(e.target);
-      if (p.phi.empty()) p.phi.assign(tbox.count, 0.0);
+      auto phi = ScratchArena::local().reals();
+      phi->assign(tbox.count, 0.0);
       for (std::uint32_t i = 0; i < tbox.count; ++i) {
-        double phi = 0.0;
-        for (std::size_t j = 0; j < src_pts.size(); ++j) {
-          phi += src_q[j] * kernel_.direct(tgt_pts[i], src_pts[j]);
+        double acc = 0.0;
+        for (std::size_t j = 0; j < src.pts.size(); ++j) {
+          acc += src.q[j] * kernel_.direct(tgt_pts[i], src.pts[j]);
         }
-        p.phi[i] += phi;
+        (*phi)[i] += acc;
       }
-      tstate.lock.unlock();
+      append_record(msg, e.op, PayloadSlot::kPhi, 0, phi->data(),
+                    phi->size() * sizeof(double),
+                    static_cast<std::uint32_t>(phi->size()));
       break;
     }
     case Operator::kM2I: {
-      tstate.lock.lock();
-      Payload& p = ensure_payload(e.target);
-      for (std::size_t d = 0; d < 6; ++d) {
-        kernel_.m2i(src->main, fbox.level, kAllAxes[d], p.own[d]);
+      // One record per direction; still one input (one edge).
+      for (std::uint8_t d = 0; d < 6; ++d) {
+        coeffs->clear();
+        kernel_.m2i(view(src.main), fbox.level, kAllAxes[d], *coeffs);
+        append_record(msg, e.op, PayloadSlot::kOwn, d, coeffs->data(),
+                      coeffs->size() * sizeof(cdouble),
+                      static_cast<std::uint32_t>(coeffs->size()));
       }
-      tstate.lock.unlock();
       break;
     }
     case Operator::kI2I: {
@@ -288,43 +417,305 @@ void DagEngine::apply_edge(NodeIndex from, const DagEdge& e,
       // a level, shift edges descend one).
       const int qlevel = std::max(fbox.level, tbox.level);
       const auto d = static_cast<std::size_t>(e.dir);
-      const CoeffVec& in =
-          (fn.kind == NodeKind::kIs) ? src->own[d] : src->fwd[d];
+      const CoeffVec& in = (fn.kind == NodeKind::kIs) ? view(src.own[d])
+                                                      : view(src.fwd[d]);
       const Vec3 offset = tbox.cube.center() - fbox.cube.center();
-      tstate.lock.lock();
-      Payload& p = ensure_payload(e.target);
-      CoeffVec& out = (e.slot == 1) ? p.fwd[d] : p.own[d];
-      if (out.size() < kernel_.x_count(qlevel)) {
-        out.assign(kernel_.x_count(qlevel), cdouble{});
-      }
-      kernel_.i2i_acc(in, kAllAxes[d], offset, qlevel, out);
-      tstate.lock.unlock();
+      coeffs->assign(kernel_.x_count(qlevel), cdouble{});
+      kernel_.i2i_acc(in, kAllAxes[d], offset, qlevel, *coeffs);
+      append_record(msg, e.op,
+                    e.slot == 1 ? PayloadSlot::kFwd : PayloadSlot::kOwn,
+                    e.dir, coeffs->data(), coeffs->size() * sizeof(cdouble),
+                    static_cast<std::uint32_t>(coeffs->size()));
       break;
     }
     case Operator::kI2L: {
-      tstate.lock.lock();
-      Payload& p = ensure_payload(e.target);
-      if (p.main.empty()) p.main.assign(kernel_.l_count(tbox.level), cdouble{});
+      coeffs->assign(kernel_.l_count(tbox.level), cdouble{});
       for (std::size_t d = 0; d < 6; ++d) {
-        if (!src->own[d].empty()) {
-          kernel_.i2l_acc(src->own[d], kAllAxes[d], fbox.level, p.main);
+        const CoeffVec& in = view(src.own[d]);
+        if (!in.empty()) {
+          kernel_.i2l_acc(in, kAllAxes[d], fbox.level, *coeffs);
         }
       }
-      tstate.lock.unlock();
+      append_main();
       break;
     }
   }
+}
+
+std::uint64_t DagEngine::parcel_wire_bytes(
+    NodeIndex ni, std::span<const std::uint32_t> edge_ids) const {
+  const DagNode& n = dag_.nodes[ni];
+  std::uint64_t b =
+      sizeof(ParcelHeader) + sizeof(std::uint32_t) * edge_ids.size();
+  switch (n.kind) {
+    case NodeKind::kS: {
+      const TreeBox& box = dt_.source.box(n.box);
+      b += sizeof(SectionHeader) +
+           static_cast<std::uint64_t>(box.count) * kBytesPerPoint;
+      break;
+    }
+    case NodeKind::kM:
+      b += sizeof(SectionHeader) + kernel_.m_wire_bytes(n.level);
+      break;
+    case NodeKind::kL:
+      b += sizeof(SectionHeader) + kernel_.l_wire_bytes(n.level);
+      break;
+    case NodeKind::kIs:
+    case NodeKind::kIt: {
+      // One section per direction actually used by the shipped edges.  The
+      // It accumulators live at the child quadrature level.
+      bool used[6] = {};
+      for (const std::uint32_t e : edge_ids) used[dag_.edges[e].dir] = true;
+      const int lvl = n.level + (n.kind == NodeKind::kIt ? 1 : 0);
+      for (int d = 0; d < 6; ++d) {
+        if (used[d]) b += sizeof(SectionHeader) + kernel_.x_wire_bytes(lvl);
+      }
+      break;
+    }
+    case NodeKind::kT:
+      AMTFMM_ASSERT_MSG(false, "target nodes have no out-edges");
+      break;
+  }
+  return b;
+}
+
+std::uint64_t DagEngine::contribution_wire_bytes(const DagEdge& e) const {
+  // Header + the packed L expansion (== the DAG's per-edge byte model).
+  AMTFMM_ASSERT(e.bytes ==
+                kernel_.l_wire_bytes(dag_.nodes[e.target].level));
+  return sizeof(ContribHeader) + e.bytes;
+}
+
+std::vector<std::byte> DagEngine::serialize_parcel(
+    NodeIndex ni, std::span<const std::uint32_t> edge_ids) {
+  const DagNode& n = dag_.nodes[ni];
+  const SourceView src = local_view(ni);
+  AMTFMM_ASSERT(edge_ids.size() <= 0xffff);
+
+  std::vector<std::byte> buf(sizeof(ParcelHeader) +
+                             sizeof(std::uint32_t) * edge_ids.size());
+  std::memcpy(buf.data() + sizeof(ParcelHeader), edge_ids.data(),
+              sizeof(std::uint32_t) * edge_ids.size());
+
+  std::uint16_t num_sections = 0;
+  auto open_section = [&](PayloadSlot slot, std::uint8_t dir,
+                          std::size_t bytes) -> std::byte* {
+    SectionHeader sh{static_cast<std::uint8_t>(slot), dir, 0,
+                     static_cast<std::uint32_t>(bytes)};
+    const std::size_t off = buf.size();
+    buf.resize(off + sizeof(sh) + bytes);
+    std::memcpy(buf.data() + off, &sh, sizeof(sh));
+    ++num_sections;
+    return buf.data() + off + sizeof(sh);
+  };
+
+  auto stage = ScratchArena::local().coeffs();
+  switch (n.kind) {
+    case NodeKind::kS: {
+      std::byte* out = open_section(PayloadSlot::kPoints, 0,
+                                    src.pts.size() * kBytesPerPoint);
+      for (std::size_t i = 0; i < src.pts.size(); ++i) {
+        const double rec[4] = {src.pts[i].x, src.pts[i].y, src.pts[i].z,
+                               src.q[i]};
+        std::memcpy(out + i * kBytesPerPoint, rec, kBytesPerPoint);
+      }
+      break;
+    }
+    case NodeKind::kM: {
+      std::byte* out = open_section(PayloadSlot::kMain, 0,
+                                    kernel_.m_wire_bytes(n.level));
+      kernel_.pack_m(sized(view(src.main), kernel_.m_count(n.level), *stage),
+                     n.level, out);
+      break;
+    }
+    case NodeKind::kL: {
+      std::byte* out = open_section(PayloadSlot::kMain, 0,
+                                    kernel_.l_wire_bytes(n.level));
+      kernel_.pack_l(sized(view(src.main), kernel_.l_count(n.level), *stage),
+                     n.level, out);
+      break;
+    }
+    case NodeKind::kIs:
+    case NodeKind::kIt: {
+      bool used[6] = {};
+      for (const std::uint32_t e : edge_ids) used[dag_.edges[e].dir] = true;
+      const bool fwd = n.kind == NodeKind::kIt;
+      const int lvl = n.level + (fwd ? 1 : 0);
+      const PayloadSlot slot = fwd ? PayloadSlot::kFwd : PayloadSlot::kOwn;
+      for (std::uint8_t d = 0; d < 6; ++d) {
+        if (!used[d]) continue;
+        std::byte* out = open_section(slot, d, kernel_.x_wire_bytes(lvl));
+        kernel_.pack_x(sized(fwd ? view(src.fwd[d]) : view(src.own[d]),
+                             kernel_.x_count(lvl), *stage),
+                       lvl, out);
+      }
+      break;
+    }
+    case NodeKind::kT:
+      AMTFMM_ASSERT_MSG(false, "target nodes have no out-edges");
+      break;
+  }
+
+  const ParcelHeader h{ni, static_cast<std::uint16_t>(edge_ids.size()),
+                       num_sections};
+  std::memcpy(buf.data(), &h, sizeof(h));
+  return buf;
+}
+
+void DagEngine::process_parcel(const std::vector<std::byte>& buf) {
+  ParcelHeader h;
+  AMTFMM_ASSERT(buf.size() >= sizeof(h));
+  std::memcpy(&h, buf.data(), sizeof(h));
+  const DagNode& n = dag_.nodes[h.source];
+
+  std::vector<std::uint32_t> ids(h.num_edges);
+  std::memcpy(ids.data(), buf.data() + sizeof(h),
+              sizeof(std::uint32_t) * h.num_edges);
+  std::size_t off = sizeof(h) + sizeof(std::uint32_t) * h.num_edges;
+
+  // Deserialized source data (sections are unaligned: memcpy everything).
+  CoeffVec main;
+  std::array<CoeffVec, 6> own{};
+  std::array<CoeffVec, 6> fwd{};
+  std::vector<Vec3> pts;
+  std::vector<double> q;
+  for (std::uint16_t s = 0; s < h.num_sections; ++s) {
+    SectionHeader sh;
+    AMTFMM_ASSERT(off + sizeof(sh) <= buf.size());
+    std::memcpy(&sh, buf.data() + off, sizeof(sh));
+    off += sizeof(sh);
+    AMTFMM_ASSERT(off + sh.bytes <= buf.size());
+    const std::span<const std::byte> payload(buf.data() + off, sh.bytes);
+    off += sh.bytes;
+    switch (static_cast<PayloadSlot>(sh.slot)) {
+      case PayloadSlot::kPoints: {
+        const std::size_t count = sh.bytes / kBytesPerPoint;
+        std::vector<double> tmp(count * 4);
+        std::memcpy(tmp.data(), payload.data(), sh.bytes);
+        pts.resize(count);
+        q.resize(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          pts[i] = Vec3{tmp[4 * i], tmp[4 * i + 1], tmp[4 * i + 2]};
+          q[i] = tmp[4 * i + 3];
+        }
+        break;
+      }
+      case PayloadSlot::kMain:
+        if (n.kind == NodeKind::kM) {
+          kernel_.unpack_m(payload, n.level, main);
+        } else {
+          kernel_.unpack_l(payload, n.level, main);
+        }
+        break;
+      case PayloadSlot::kOwn:
+        AMTFMM_ASSERT(sh.dir < 6);
+        kernel_.unpack_x(payload, n.level, own[sh.dir]);
+        break;
+      case PayloadSlot::kFwd:
+        AMTFMM_ASSERT(sh.dir < 6);
+        kernel_.unpack_x(payload, n.level + 1, fwd[sh.dir]);
+        break;
+      case PayloadSlot::kPhi:
+      case PayloadSlot::kNone:
+        AMTFMM_ASSERT_MSG(false, "unexpected parcel section slot");
+        break;
+    }
+  }
+  AMTFMM_ASSERT_MSG(off == buf.size(), "malformed eval parcel");
+
+  SourceView src;
+  src.main = &main;
+  for (std::size_t d = 0; d < 6; ++d) {
+    src.own[d] = &own[d];
+    src.fwd[d] = &fwd[d];
+  }
+  src.pts = pts;
+  src.q = q;
+
+  auto msg = ScratchArena::local().bytes();
+  for (const std::uint32_t e : ids) {
+    const DagEdge& edge = dag_.edges[e];
+    {
+      ScopedTrace st(ex_, static_cast<std::uint8_t>(edge.op));
+      msg->clear();
+      apply_edge(h.source, edge, src, *msg);
+    }
+    lco(edge.target)->set_input({msg->data(), msg->size()});
+  }
+}
+
+void DagEngine::send_contribution(NodeIndex ni, std::uint32_t edge_id) {
+  const DagEdge& e = dag_.edges[edge_id];
+  const DagNode& n = dag_.nodes[ni];
+  const DagNode& tn = dag_.nodes[e.target];
+  const TreeBox& tbox = dt_.target.box(tn.box);
+  const SourceView src = local_view(ni);
+
+  auto out = ScratchArena::local().coeffs();
+  out->assign(kernel_.l_count(tbox.level), cdouble{});
+  {
+    ScopedTrace st(ex_, static_cast<std::uint8_t>(e.op));
+    if (e.op == Operator::kS2L) {
+      kernel_.s2l_acc(src.pts, src.q, tbox.cube.center(), tbox.level, *out);
+    } else {
+      AMTFMM_ASSERT(e.op == Operator::kI2L);
+      const TreeBox& fbox = dt_.target.box(n.box);  // It lives in target tree
+      for (std::size_t d = 0; d < 6; ++d) {
+        const CoeffVec& in = view(src.own[d]);
+        if (!in.empty()) {
+          kernel_.i2l_acc(in, kAllAxes[d], fbox.level, *out);
+        }
+      }
+    }
+  }
+
+  const std::size_t lw = kernel_.l_wire_bytes(tbox.level);
+  auto buf =
+      std::make_shared<std::vector<std::byte>>(sizeof(ContribHeader) + lw);
+  const ContribHeader h{e.target, static_cast<std::uint8_t>(e.op), 0, 0};
+  std::memcpy(buf->data(), &h, sizeof(h));
+  kernel_.pack_l(*out, tbox.level, buf->data() + sizeof(h));
+  AMTFMM_ASSERT(buf->size() == contribution_wire_bytes(e));
+  wire_bytes_.fetch_add(buf->size(), std::memory_order_relaxed);
+
+  Task t;
+  t.locality = tn.locality;
+  const std::size_t bytes = buf->size();
+  t.fn = [this, buf] { process_contribution(*buf); };
+  ex_.send(n.locality, tn.locality, bytes, std::move(t));
+
+  if (n.kind != NodeKind::kS) lco(ni)->release_payload();
+}
+
+void DagEngine::process_contribution(const std::vector<std::byte>& buf) {
+  ContribHeader h;
+  AMTFMM_ASSERT(buf.size() > sizeof(h));
+  std::memcpy(&h, buf.data(), sizeof(h));
+  const DagNode& tn = dag_.nodes[h.target];
+
+  auto full = ScratchArena::local().coeffs();
+  kernel_.unpack_l({buf.data() + sizeof(h), buf.size() - sizeof(h)}, tn.level,
+                   *full);
+
+  auto msg = ScratchArena::local().bytes();
+  msg->clear();
+  append_record(*msg, static_cast<Operator>(h.op), PayloadSlot::kMain, 0,
+                full->data(), full->size() * sizeof(cdouble),
+                static_cast<std::uint32_t>(full->size()));
+  lco(h.target)->set_input({msg->data(), msg->size()});
 }
 
 void DagEngine::finalize_target(NodeIndex ni) {
   if (opt_.mode != EngineMode::kCompute) return;
   const DagNode& n = dag_.nodes[ni];
   const TreeBox& box = dt_.target.box(n.box);
-  const std::shared_ptr<Payload> p = std::move(states_[ni].payload);
-  if (!p || p->phi.empty()) return;  // no contributions: stays zero
+  ExpansionPayload& p = lco(ni)->payload();
+  if (p.phi.empty()) return;  // no contributions: stays zero
+  AMTFMM_ASSERT(p.phi.size() == box.count);
   for (std::uint32_t i = 0; i < box.count; ++i) {
-    potentials_[box.first + i] = p->phi[i];
+    potentials_[box.first + i] = p.phi[i];
   }
+  p.release();
 }
 
 }  // namespace amtfmm

@@ -2,10 +2,13 @@
 
 #include <atomic>
 #include <memory>
+#include <vector>
 
 #include "core/cost_model.hpp"
 #include "core/dag.hpp"
+#include "core/expansion_lco.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/gas.hpp"
 
 namespace amtfmm {
 
@@ -21,20 +24,33 @@ struct EngineOptions {
   bool split_priority = false;  ///< separate high-priority upward-pass tasks
 };
 
-/// Executes the explicit DAG as a dataflow network over an Executor.
+/// Executes the explicit DAG as an implicit network of GAS-resident
+/// expansion LCOs over an Executor — the paper's section IV architecture.
 ///
-/// Each DAG node behaves as the paper's custom expansion LCO (section IV
-/// and Figure 2): it holds the expansion payload and the out-edge list;
-/// inputs reduce into the payload under the node's lock; the final input
-/// triggers the node, which spawns one continuation that processes the out
-/// edges — local edges are transformed sequentially and fed into their
-/// target LCOs, while edges to each remote locality are coalesced into a
-/// single parcel carrying the expansion data, evaluated on arrival.
-/// Payload buffers are released once every consumer holds its share.
+/// Instantiation allocates one ExpansionLCO per DAG node in the Gas heap of
+/// its placement locality; all per-node state (countdown, payload,
+/// continuation) lives in those LCOs, the engine itself holds only the
+/// address table.  Inputs arrive via LCO::set_input carrying serialized
+/// wire records (operator tag, payload slot/direction, coefficients); the
+/// final input triggers the node and the engine walks its out-edge CSR:
 ///
-/// In kCostOnly mode the same trigger/continuation/parcel structure runs
-/// with empty payloads and modelled task durations — this is what the
-/// discrete-event scaling reproduction executes (see DESIGN.md).
+///  - local edges are bucketed into tasks that compute each contribution in
+///    the *target's* basis and set_input it into the target LCO,
+///  - edges to a remote locality are coalesced into one *eval parcel* per
+///    destination carrying the serialized source expansion plus the edge
+///    ids; the destination deserializes and evaluates the operators there
+///    (the DASHMM scheme — expansion data travels once per locality),
+///  - source-computed operators (S2L, I2L, whose DAG edge bytes are the
+///    *result* L expansion) ship one *contribution parcel* per edge with
+///    the packed L payload computed at the source.
+///
+/// No pointer crosses a locality boundary: every remote byte is serialized
+/// into the parcel buffer and deserialized at the destination, so
+/// Executor::bytes_sent() equals the true serialized wire bytes
+/// (wire_bytes() cross-checks this).  In kCostOnly mode the identical
+/// LCO/parcel dataflow runs with 8-byte dependency records and modelled
+/// task durations; parcel sizes come from the same wire-format arithmetic,
+/// so simulated bytes match real bytes by construction.
 class DagEngine {
  public:
   DagEngine(const Dag& dag, const DualTree& dt, const Kernel& kernel,
@@ -48,45 +64,76 @@ class DagEngine {
   double execute(std::span<const double> charges,
                  std::span<double> potentials);
 
+  /// Serialized bytes of every parcel handed to Executor::send during the
+  /// last execute(); equals Executor::bytes_sent() when the engine is the
+  /// only sender.
+  std::uint64_t wire_bytes() const {
+    return wire_bytes_.load(std::memory_order_relaxed);
+  }
+
+  const Gas& gas() const { return gas_; }
+  GlobalAddress address_of(NodeIndex ni) const { return addr_[ni]; }
+
+  /// Callback from ExpansionLCO::on_fire (runs on the triggering thread,
+  /// which is always on the node's home locality).
+  void on_node_triggered(NodeIndex ni);
+
+  /// Wire size of the eval parcel shipping `edge_ids` (out-edges of `ni`)
+  /// to one destination: header + edge ids + serialized source sections.
+  /// Pure arithmetic over the kernel's wire-byte functions — usable in
+  /// cost-only mode and by tests.
+  std::uint64_t parcel_wire_bytes(NodeIndex ni,
+                                  std::span<const std::uint32_t> edge_ids)
+      const;
+  /// Wire size of a source-computed contribution parcel for one edge.
+  std::uint64_t contribution_wire_bytes(const DagEdge& e) const;
+  /// Operators whose remote edges ship the computed L contribution instead
+  /// of the source expansion.
+  static bool source_computed(Operator op) {
+    return op == Operator::kS2L || op == Operator::kI2L;
+  }
+
  private:
-  struct SpinLock {
-    std::atomic_flag flag = ATOMIC_FLAG_INIT;
-    void lock() {
-      while (flag.test_and_set(std::memory_order_acquire)) {}
-    }
-    void unlock() { flag.clear(std::memory_order_release); }
+  /// Borrowed views of one node's source data, local or deserialized.
+  /// Pointers (not copies): operators take const CoeffVec&.
+  struct SourceView {
+    const CoeffVec* main = nullptr;
+    std::array<const CoeffVec*, 6> own{};
+    std::array<const CoeffVec*, 6> fwd{};
+    std::span<const Vec3> pts;
+    std::span<const double> q;
   };
 
-  /// Expansion payload: which members are used depends on the node kind.
-  struct Payload {
-    CoeffVec main;                 // M or L coefficients
-    std::array<CoeffVec, 6> own;   // Is outgoing / It incoming X
-    std::array<CoeffVec, 6> fwd;   // It forward (merge) accumulators
-    std::vector<double> phi;       // T potential accumulators
-  };
-
-  struct NodeState {
-    std::atomic<std::uint32_t> remaining{0};
-    SpinLock lock;
-    std::shared_ptr<Payload> payload;
-  };
-
+  void instantiate();
   void seed();
-  void set_input(NodeIndex ni);
-  void trigger(NodeIndex ni);
-  void spawn_edge_tasks(NodeIndex ni, std::shared_ptr<Payload> payload);
-  void process_edges(NodeIndex ni, std::span<const std::uint32_t> edge_ids,
-                     const std::shared_ptr<Payload>& payload);
-  void apply_edge(NodeIndex from, const DagEdge& e, const Payload* src);
+  void spawn_edge_tasks(NodeIndex ni);
+  void process_local(NodeIndex ni, std::span<const std::uint32_t> edge_ids);
+  /// Computes the contribution of one edge in the target's basis and
+  /// appends it to `msg` as wire records.
+  void apply_edge(NodeIndex from, const DagEdge& e, const SourceView& src,
+                  std::vector<std::byte>& msg);
   void finalize_target(NodeIndex ni);
-  Payload& ensure_payload(NodeIndex ni);
+
+  ExpansionLCO* lco(NodeIndex ni) const {
+    return static_cast<ExpansionLCO*>(gas_.resolve(addr_[ni]));
+  }
+  /// View of a node's payload for same-locality reads (plus source points
+  /// and charges for S nodes).
+  SourceView local_view(NodeIndex ni);
+  std::vector<std::byte> serialize_parcel(
+      NodeIndex ni, std::span<const std::uint32_t> edge_ids);
+  void process_parcel(const std::vector<std::byte>& buf);
+  void send_contribution(NodeIndex ni, std::uint32_t edge_id);
+  void process_contribution(const std::vector<std::byte>& buf);
 
   const Dag& dag_;
   const DualTree& dt_;
   const Kernel& kernel_;
   Executor& ex_;
   EngineOptions opt_;
-  std::unique_ptr<NodeState[]> states_;
+  Gas gas_;
+  std::vector<GlobalAddress> addr_;
+  std::atomic<std::uint64_t> wire_bytes_{0};
   std::span<const double> charges_;
   std::span<double> potentials_;
 };

@@ -64,6 +64,10 @@ EvalResult Evaluator::run_prepared(const Prepared& p,
   }
   out.bytes_sent = ex.bytes_sent();
   out.parcels_sent = ex.parcels_sent();
+  out.wire_bytes = engine.wire_bytes();
+  // The engine is the executor's only sender, and every remote byte is
+  // serialized — the transport count must equal the wire-format count.
+  AMTFMM_ASSERT(out.wire_bytes == out.bytes_sent);
   out.comm = ex.comm_stats();
   if (cfg_.trace) {
     out.trace = ex.trace().collect();
@@ -121,6 +125,8 @@ SimResult Evaluator::simulate(std::span<const Vec3> sources,
   out.virtual_time = engine.execute({}, {});
   out.bytes_sent = ex.bytes_sent();
   out.parcels_sent = ex.parcels_sent();
+  out.wire_bytes = engine.wire_bytes();
+  AMTFMM_ASSERT(out.wire_bytes == out.bytes_sent);
   out.comm = ex.comm_stats();
   if (sim.trace) {
     out.trace = ex.trace().collect();

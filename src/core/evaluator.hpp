@@ -36,6 +36,9 @@ struct EvalResult {
   std::vector<CommEvent> comm_trace;
   std::uint64_t bytes_sent = 0;
   std::uint64_t parcels_sent = 0;
+  /// Serialized bytes of every remote parcel as counted by the engine's
+  /// wire format; always equals bytes_sent (asserted).
+  std::uint64_t wire_bytes = 0;
   CommStats comm;
 };
 
@@ -59,6 +62,8 @@ struct SimResult {
   std::vector<CommEvent> comm_trace;
   std::uint64_t bytes_sent = 0;
   std::uint64_t parcels_sent = 0;
+  /// Engine-side wire-format byte count; always equals bytes_sent.
+  std::uint64_t wire_bytes = 0;
   CommStats comm;
   int total_cores = 0;
 };

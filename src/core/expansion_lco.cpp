@@ -1,0 +1,78 @@
+#include "core/expansion_lco.hpp"
+
+#include "core/engine.hpp"
+#include "support/error.hpp"
+
+namespace amtfmm {
+
+std::span<const std::byte> dep_record() {
+  static const WireRecord kDep{0, static_cast<std::uint8_t>(PayloadSlot::kNone),
+                               0, 0, 0};
+  return std::as_bytes(std::span<const WireRecord>(&kDep, 1));
+}
+
+namespace {
+
+/// Accumulates `count` elements at `ptr` into `a`, growing it on first use.
+/// Message buffers are built with every payload at an 8-byte-aligned
+/// offset (see WireRecord), so the reinterpret_cast is well defined.
+template <typename T>
+void accumulate(std::vector<T>& a, const std::byte* ptr, std::uint32_t count) {
+  AMTFMM_ASSERT(reinterpret_cast<std::uintptr_t>(ptr) % alignof(T) == 0);
+  const T* in = reinterpret_cast<const T*>(ptr);
+  if (a.size() < count) a.resize(count, T{});
+  for (std::uint32_t i = 0; i < count; ++i) a[i] += in[i];
+}
+
+}  // namespace
+
+void ExpansionLCO::reduce(std::span<const std::byte> data) {
+#ifndef NDEBUG
+  check_home();
+#endif
+  std::size_t off = 0;
+  while (off < data.size()) {
+    WireRecord h;
+    AMTFMM_ASSERT(off + sizeof(h) <= data.size());
+    std::memcpy(&h, data.data() + off, sizeof(h));
+    off += sizeof(h);
+    const auto slot = static_cast<PayloadSlot>(h.slot);
+    const std::byte* ptr = data.data() + off;
+    switch (slot) {
+      case PayloadSlot::kNone:
+        break;
+      case PayloadSlot::kMain:
+        accumulate(payload_.main, ptr, h.count);
+        off += h.count * sizeof(cdouble);
+        break;
+      case PayloadSlot::kOwn:
+        AMTFMM_ASSERT(h.dir < 6);
+        accumulate(payload_.own[h.dir], ptr, h.count);
+        off += h.count * sizeof(cdouble);
+        break;
+      case PayloadSlot::kFwd:
+        AMTFMM_ASSERT(h.dir < 6);
+        accumulate(payload_.fwd[h.dir], ptr, h.count);
+        off += h.count * sizeof(cdouble);
+        break;
+      case PayloadSlot::kPhi:
+        accumulate(payload_.phi, ptr, h.count);
+        off += h.count * sizeof(double);
+        break;
+      case PayloadSlot::kPoints:
+        AMTFMM_ASSERT_MSG(false, "kPoints is a parcel section, not an input");
+        break;
+    }
+  }
+  AMTFMM_ASSERT_MSG(off == data.size(), "malformed set_input message");
+}
+
+void ExpansionLCO::on_fire() { engine_.on_node_triggered(node_); }
+
+void ExpansionLCO::check_home() const {
+  const int loc = ex_.current_locality();
+  AMTFMM_ASSERT_MSG(loc < 0 || loc == static_cast<int>(home_),
+                    "expansion payload touched off its home locality");
+}
+
+}  // namespace amtfmm

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "core/dag.hpp"
+#include "math/coeffs.hpp"
+#include "runtime/lco.hpp"
+
+namespace amtfmm {
+
+class DagEngine;
+
+/// Which accumulator of an expansion payload a wire record targets.
+/// kPoints appears only in parcel section headers (source-point shipping),
+/// never in set_input records; kNone is the cost-only dependency record.
+enum class PayloadSlot : std::uint8_t {
+  kMain = 0,    ///< M or L coefficients
+  kOwn = 1,     ///< per-direction outgoing / incoming X (dir selects axis)
+  kFwd = 2,     ///< per-direction forward (merge) X accumulator
+  kPhi = 3,     ///< target potential accumulators (doubles)
+  kPoints = 4,  ///< source points + charges (parcel sections only)
+  kNone = 5,    ///< dependency-only record (cost mode)
+};
+
+/// Fixed 8-byte header of one record in a set_input message or one section
+/// of a parcel.  A set_input message is a sequence of
+/// (WireRecord, payload) pairs; `count` is the element count of the payload
+/// (cdouble for coefficient slots, double for kPhi, 0 for kNone).  Payload
+/// sizes are multiples of 8 bytes, so every record header within a message
+/// stays 8-byte aligned.
+struct WireRecord {
+  std::uint8_t op;    ///< Operator that produced the contribution
+  std::uint8_t slot;  ///< PayloadSlot
+  std::uint8_t dir;   ///< Axis index for kOwn/kFwd
+  std::uint8_t pad = 0;
+  std::uint32_t count;  ///< payload element count
+};
+static_assert(sizeof(WireRecord) == 8);
+
+/// Appends one (header, payload) record to a set_input message buffer.
+inline void append_record(std::vector<std::byte>& buf, Operator op,
+                          PayloadSlot slot, std::uint8_t dir, const void* data,
+                          std::size_t bytes, std::uint32_t count) {
+  WireRecord h{static_cast<std::uint8_t>(op),
+               static_cast<std::uint8_t>(slot), dir, 0, count};
+  const std::size_t off = buf.size();
+  buf.resize(off + sizeof(h) + bytes);
+  std::memcpy(buf.data() + off, &h, sizeof(h));
+  if (bytes != 0) std::memcpy(buf.data() + off + sizeof(h), data, bytes);
+}
+
+/// The 8-byte dependency-only input used in cost-only mode: the LCO
+/// countdown runs, no data moves.
+std::span<const std::byte> dep_record();
+
+/// The expansion accumulators of one DAG node; which members are used
+/// depends on the node kind (M/L: main; Is/It: own/fwd; T: phi).
+struct ExpansionPayload {
+  CoeffVec main;
+  std::array<CoeffVec, 6> own;
+  std::array<CoeffVec, 6> fwd;
+  std::vector<double> phi;
+
+  void release() {
+    main = CoeffVec{};
+    for (auto& v : own) v = CoeffVec{};
+    for (auto& v : fwd) v = CoeffVec{};
+    phi = std::vector<double>{};
+  }
+};
+
+/// The paper's custom expansion LCO (section IV, Figure 2): one per DAG
+/// node, GAS-resident, holding the expansion payload and counting down the
+/// node's in-edges.  Inputs arrive as serialized wire records (set_input)
+/// and reduce into the payload under the LCO lock; the final input fires
+/// on_fire(), which hands control back to the engine to walk the node's
+/// out-edge CSR (local tasks, serialized parcels to remote localities).
+///
+/// Ownership discipline: the payload may only be touched by code running on
+/// the LCO's home locality (or outside any task — instantiation, tests);
+/// check_home() enforces this in debug builds.  Cross-locality readers get
+/// a serialized copy via the engine's parcels, never a pointer.
+class ExpansionLCO final : public LCO {
+ public:
+  ExpansionLCO(DagEngine& engine, Executor& ex, NodeIndex node,
+               std::uint32_t home, int inputs)
+      : LCO(ex, inputs), engine_(engine), node_(node), home_(home) {}
+
+  NodeIndex node() const { return node_; }
+  std::uint32_t home() const { return home_; }
+
+  ExpansionPayload& payload() {
+#ifndef NDEBUG
+    check_home();
+#endif
+    return payload_;
+  }
+
+  /// Reference counting of payload readers: the engine retains once per
+  /// spawned consumer task; the last release frees the buffers (the
+  /// "buffers free once every consumer holds its share" lifecycle).
+  void retain_payload(int n) {
+    consumers_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void release_payload() {
+    if (consumers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      payload_.release();
+    }
+  }
+
+ protected:
+  void reduce(std::span<const std::byte> data) override;
+  void on_fire() override;
+
+ private:
+  void check_home() const;
+
+  DagEngine& engine_;
+  NodeIndex node_;
+  std::uint32_t home_;
+  ExpansionPayload payload_;
+  std::atomic<int> consumers_{0};
+};
+
+}  // namespace amtfmm

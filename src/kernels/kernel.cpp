@@ -1,9 +1,12 @@
 #include "kernels/kernel.hpp"
 
+#include <cstring>
+
 #include "kernels/counting.hpp"
 #include "kernels/laplace.hpp"
 #include "kernels/yukawa.hpp"
 #include "support/error.hpp"
+#include "support/scratch_arena.hpp"
 
 namespace amtfmm {
 
@@ -32,6 +35,60 @@ std::size_t Kernel::l_wire_bytes(int level) const {
 }
 std::size_t Kernel::x_wire_bytes(int level) const {
   return x_count(level) * sizeof(cdouble);
+}
+
+namespace {
+
+// Default codec: coefficients travel raw (wire bytes == count * 16).
+void copy_raw_out(const CoeffVec& full, std::size_t count, std::byte* out) {
+  AMTFMM_ASSERT(full.size() >= count);
+  std::memcpy(out, full.data(), count * sizeof(cdouble));
+}
+
+void copy_raw_in(std::span<const std::byte> wire, std::size_t count,
+                 CoeffVec& out) {
+  AMTFMM_ASSERT(wire.size() == count * sizeof(cdouble));
+  out.resize(count);
+  std::memcpy(out.data(), wire.data(), wire.size());
+}
+
+}  // namespace
+
+void Kernel::pack_m(const CoeffVec& full, int level, std::byte* out) const {
+  copy_raw_out(full, m_count(level), out);
+}
+void Kernel::unpack_m(std::span<const std::byte> wire, int level,
+                      CoeffVec& out) const {
+  copy_raw_in(wire, m_count(level), out);
+}
+void Kernel::pack_l(const CoeffVec& full, int level, std::byte* out) const {
+  copy_raw_out(full, l_count(level), out);
+}
+void Kernel::unpack_l(std::span<const std::byte> wire, int level,
+                      CoeffVec& out) const {
+  copy_raw_in(wire, l_count(level), out);
+}
+void Kernel::pack_x(const CoeffVec& full, int level, std::byte* out) const {
+  copy_raw_out(full, x_count(level), out);
+}
+void Kernel::unpack_x(std::span<const std::byte> wire, int level,
+                      CoeffVec& out) const {
+  copy_raw_in(wire, x_count(level), out);
+}
+
+void Kernel::pack_symmetric(int p, const CoeffVec& full, std::byte* out) {
+  auto scratch = ScratchArena::local().coeffs();
+  pack_wire(p, full, *scratch);
+  std::memcpy(out, scratch->data(), wire_bytes(p));
+}
+
+void Kernel::unpack_symmetric(int p, bool condon_phase,
+                              std::span<const std::byte> wire, CoeffVec& out) {
+  AMTFMM_ASSERT(wire.size() == wire_bytes(p));
+  auto scratch = ScratchArena::local().coeffs();
+  scratch->resize(wire_count(p));
+  std::memcpy(scratch->data(), wire.data(), wire.size());
+  unpack_wire(p, *scratch, out, condon_phase);
 }
 
 Vec3 Kernel::direct_grad(const Vec3&, const Vec3&) const {

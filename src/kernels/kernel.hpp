@@ -80,6 +80,23 @@ class Kernel {
   virtual std::size_t l_wire_bytes(int level) const;
   virtual std::size_t x_wire_bytes(int level) const;
 
+  // --- Wire serialization --------------------------------------------------
+  /// Serializes an expansion into exactly *_wire_bytes(level) bytes at
+  /// `out` / reconstructs full square-layout storage from the wire bytes.
+  /// The defaults copy the raw coefficients; kernels exploiting conjugate
+  /// symmetry (Laplace, Yukawa) override with the packed m >= 0 format.
+  /// These are the hooks the engine's parcels use, so wire accounting and
+  /// wire content agree by construction.
+  virtual void pack_m(const CoeffVec& full, int level, std::byte* out) const;
+  virtual void unpack_m(std::span<const std::byte> wire, int level,
+                        CoeffVec& out) const;
+  virtual void pack_l(const CoeffVec& full, int level, std::byte* out) const;
+  virtual void unpack_l(std::span<const std::byte> wire, int level,
+                        CoeffVec& out) const;
+  virtual void pack_x(const CoeffVec& full, int level, std::byte* out) const;
+  virtual void unpack_x(std::span<const std::byte> wire, int level,
+                        CoeffVec& out) const;
+
   /// Whether the advanced (M->I -> I->I -> I->L) path is implemented.
   virtual bool supports_merge_and_shift() const { return false; }
 
@@ -125,6 +142,13 @@ class Kernel {
   /// expansion.
   virtual void i2l_acc(const CoeffVec& in, Axis d, int level,
                        CoeffVec& inout) const;
+
+ protected:
+  /// Packed conjugate-symmetric wire codec shared by the Laplace and Yukawa
+  /// overrides (wire_count(p) complex values; see math/coeffs.hpp).
+  static void pack_symmetric(int p, const CoeffVec& full, std::byte* out);
+  static void unpack_symmetric(int p, bool condon_phase,
+                               std::span<const std::byte> wire, CoeffVec& out);
 
  private:
   M2LMode m2l_mode_ = M2LMode::kRotation;

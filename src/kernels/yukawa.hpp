@@ -49,6 +49,22 @@ class YukawaKernel final : public Kernel {
   std::size_t l_wire_bytes(int) const override { return wire_bytes(p_); }
   bool supports_merge_and_shift() const override { return true; }
 
+  // Gamma-weighted angular bases: c_n^{-m} = conj(c_n^m) on the wire.
+  void pack_m(const CoeffVec& full, int, std::byte* out) const override {
+    pack_symmetric(p_, full, out);
+  }
+  void unpack_m(std::span<const std::byte> wire, int,
+                CoeffVec& out) const override {
+    unpack_symmetric(p_, /*condon_phase=*/false, wire, out);
+  }
+  void pack_l(const CoeffVec& full, int, std::byte* out) const override {
+    pack_symmetric(p_, full, out);
+  }
+  void unpack_l(std::span<const std::byte> wire, int,
+                CoeffVec& out) const override {
+    unpack_symmetric(p_, /*condon_phase=*/false, wire, out);
+  }
+
   double direct(const Vec3& t, const Vec3& s) const override;
 
   void s2m(std::span<const Vec3> pts, std::span<const double> q,

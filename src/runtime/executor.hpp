@@ -74,17 +74,28 @@ struct CommStats {
 ///  - kPriority: the two-level priority extension proposed in section VI.
 enum class SchedPolicy { kWorkStealing, kFifo, kPriority };
 
+class LocalityRuntime;
+
 /// Execution substrate: L localities x C scheduler threads plus an
 /// interconnect.  Two implementations share this interface: a real
 /// std::thread pool (ThreadExecutor) and a discrete-event simulation
 /// (SimExecutor) used for the strong-scaling reproduction (see DESIGN.md).
+/// Both are thin schedulers over one shared LocalityRuntime, which owns
+/// the coalescing buffers, comm counters, trace sink, and quiescence
+/// bookkeeping.
 class Executor {
  public:
-  virtual ~Executor() = default;
+  virtual ~Executor();
 
   virtual int num_localities() const = 0;
   virtual int cores_per_locality() const = 0;
   int total_workers() const { return num_localities() * cores_per_locality(); }
+
+  /// Locality of the task currently executing on this thread, or -1 when
+  /// called outside a task (main thread, tests).  Used by the engine's
+  /// debug ownership checks: expansion payloads may only be touched by
+  /// tasks running on the owning locality.
+  virtual int current_locality() const = 0;
 
   /// Enqueues a task at task.locality.
   virtual void spawn(Task t) = 0;
@@ -102,19 +113,22 @@ class Executor {
   /// Current time on this executor's clock.
   virtual double now() const = 0;
 
-  TraceSink& trace() { return *trace_; }
-  const TraceSink& trace() const { return *trace_; }
+  TraceSink& trace();
+  const TraceSink& trace() const;
 
   /// Total bytes sent across localities (diagnostics).
-  virtual std::uint64_t bytes_sent() const = 0;
-  virtual std::uint64_t parcels_sent() const = 0;
+  std::uint64_t bytes_sent() const;
+  std::uint64_t parcels_sent() const;
 
   /// Full communication counters: parcels, batches, bytes, flush triggers,
   /// per-destination histograms.
-  virtual CommStats comm_stats() const = 0;
+  CommStats comm_stats() const;
+
+  /// The shared runtime core backing this executor.
+  LocalityRuntime& runtime();
 
  protected:
-  std::unique_ptr<TraceSink> trace_;
+  std::unique_ptr<LocalityRuntime> rt_;
 };
 
 /// Identity of the executing worker thread, for real-mode tracing.

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -22,42 +24,108 @@ struct GlobalAddress {
 /// The global address space: per-locality heaps of globally addressable
 /// LCOs.  In this in-process reproduction, "address translation" resolves
 /// to a local pointer on every locality — the distributed behaviour (who
-/// pays for access) is carried by the executors' send() accounting, which
-/// is the part the paper's evaluation measures.
+/// pays for access) is carried by the executors' send() accounting and the
+/// engine's serialized parcels, which is the part the paper's evaluation
+/// measures.
+///
+/// Storage is a per-locality slab: fixed-size chunks of object slots,
+/// appended under that locality's lock only, so concurrent allocation on
+/// different localities never serializes (DAG instantiation allocates tens
+/// of thousands of LCOs).  resolve() is lock free: it acquire-loads the
+/// published size and the chunk pointer, both release-stored by alloc(),
+/// and never touches a mutex.  Chunks are never moved or freed before the
+/// heap itself dies, so resolved pointers stay stable for the heap's
+/// lifetime.
 ///
 /// Allocation supports the block-cyclic and user-defined placements of
 /// HPX-5's allocators via the explicit locality argument; DASHMM's
 /// distribution policy picks the locality per DAG node.
 class Gas {
  public:
-  explicit Gas(int num_localities)
-      : heaps_(static_cast<std::size_t>(num_localities)) {}
+  static constexpr std::uint32_t kChunkBits = 9;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkBits;  // 512 slots
+  static constexpr std::uint32_t kMaxChunks = 1u << 12;  // 2M objects/locality
 
-  /// Allocates an object on the given locality; returns its address.
-  GlobalAddress alloc(std::uint32_t locality, std::unique_ptr<LCO> obj) {
-    std::lock_guard lk(mu_);
-    AMTFMM_ASSERT(locality < heaps_.size());
-    auto& heap = heaps_[locality];
-    heap.push_back(std::move(obj));
-    return GlobalAddress{locality,
-                         static_cast<std::uint32_t>(heap.size() - 1)};
+  explicit Gas(int num_localities) {
+    heaps_.reserve(static_cast<std::size_t>(num_localities));
+    for (int i = 0; i < num_localities; ++i) {
+      heaps_.push_back(std::make_unique<Heap>());
+    }
   }
 
-  /// Resolves an address to the object.  Valid from any locality (shared
-  /// memory); remote use must go through parcels for correct accounting.
+  /// Allocates an object on the given locality; returns its address.
+  /// Serializes only with other allocations on the *same* locality.
+  GlobalAddress alloc(std::uint32_t locality, std::unique_ptr<LCO> obj) {
+    AMTFMM_ASSERT(locality < heaps_.size());
+    Heap& h = *heaps_[locality];
+    std::lock_guard lk(h.mu);
+    const std::uint32_t slot = h.size.load(std::memory_order_relaxed);
+    const std::uint32_t ci = slot >> kChunkBits;
+    AMTFMM_ASSERT_MSG(ci < kMaxChunks, "GAS locality heap exhausted");
+    Chunk* chunk = h.chunks[ci].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new Chunk();
+      h.chunks[ci].store(chunk, std::memory_order_release);
+    }
+    (*chunk)[slot & (kChunkSize - 1)] = std::move(obj);
+    // Publish after the slot is filled: a resolve() that observes the new
+    // size also observes the object (release/acquire on size).
+    h.size.store(slot + 1, std::memory_order_release);
+    return GlobalAddress{locality, slot};
+  }
+
+  /// Resolves an address to the object; lock free.  Valid from any locality
+  /// (shared memory); remote use must go through parcels for correct
+  /// accounting — the engine's debug ownership check enforces this for
+  /// expansion payloads.
   LCO* resolve(const GlobalAddress& a) const {
     AMTFMM_ASSERT(a.locality < heaps_.size());
-    AMTFMM_ASSERT(a.slot < heaps_[a.locality].size());
-    return heaps_[a.locality][a.slot].get();
+    const Heap& h = *heaps_[a.locality];
+#ifndef NDEBUG
+    AMTFMM_ASSERT_MSG(a.slot < h.size.load(std::memory_order_acquire),
+                      "resolve of an unallocated GAS slot");
+#endif
+    Chunk* chunk = h.chunks[a.slot >> kChunkBits].load(std::memory_order_acquire);
+    AMTFMM_ASSERT(chunk != nullptr);
+    return (*chunk)[a.slot & (kChunkSize - 1)].get();
   }
 
   std::size_t objects_on(std::uint32_t locality) const {
-    return heaps_[locality].size();
+    AMTFMM_ASSERT(locality < heaps_.size());
+    return heaps_[locality]->size.load(std::memory_order_acquire);
+  }
+
+  /// Destroys every object and empties all heaps.  Not thread safe: the
+  /// caller must guarantee no concurrent alloc/resolve (the engine calls
+  /// this between evaluations, when the executor is drained).
+  void reset() {
+    for (auto& hp : heaps_) {
+      Heap& h = *hp;
+      const std::uint32_t n = h.size.load(std::memory_order_relaxed);
+      for (std::uint32_t ci = 0; ci <= (n >> kChunkBits) && ci < kMaxChunks;
+           ++ci) {
+        if (Chunk* c = h.chunks[ci].load(std::memory_order_relaxed)) {
+          for (auto& slot : *c) slot.reset();
+        }
+      }
+      h.size.store(0, std::memory_order_release);
+    }
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::vector<std::unique_ptr<LCO>>> heaps_;
+  using Chunk = std::array<std::unique_ptr<LCO>, kChunkSize>;
+
+  struct Heap {
+    std::mutex mu;
+    std::atomic<std::uint32_t> size{0};
+    std::array<std::atomic<Chunk*>, kMaxChunks> chunks{};
+
+    ~Heap() {
+      for (auto& c : chunks) delete c.load(std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::unique_ptr<Heap>> heaps_;
 };
 
 }  // namespace amtfmm

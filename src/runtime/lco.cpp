@@ -27,6 +27,7 @@ void LCO::fire() {
     to_run.swap(continuations_);
   }
   cv_.notify_all();
+  on_fire();
   for (auto& t : to_run) ex_.spawn(std::move(t));
 }
 

@@ -49,6 +49,11 @@ class LCO {
   virtual void reduce(std::span<const std::byte> data) = 0;
   /// Invoked once, after the final input and before continuations run.
   virtual void on_trigger() {}
+  /// Invoked once, outside the LCO lock, after the trigger is published and
+  /// before the registered continuations are spawned.  Subclasses use this
+  /// to run trigger-time work that itself takes locks or spawns tasks
+  /// (e.g. ExpansionLCO walking its out-edges).
+  virtual void on_fire() {}
 
   Executor& ex_;
 

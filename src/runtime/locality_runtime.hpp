@@ -1,0 +1,125 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "runtime/coalescer.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/trace.hpp"
+
+namespace amtfmm {
+
+/// The executor-agnostic per-process runtime core shared by both execution
+/// substrates: parcel coalescing buffers, communication counters, the trace
+/// sink, and the buffered-parcel quiescence bookkeeping.  ThreadExecutor
+/// and SimExecutor are thin schedulers over this one component — they own
+/// *when* tasks run and what transport costs, while LocalityRuntime owns
+/// *what* is buffered, counted, and traced.
+class LocalityRuntime {
+ public:
+  /// The outcome of handing one remote parcel to the runtime.
+  struct Outgoing {
+    /// A wire message to put on the transport now (threshold flush, or the
+    /// whole single-parcel message when coalescing is off).
+    std::optional<ParcelBatch> batch;
+    bool coalesced = false;   ///< batch came from the coalescing buffers
+    bool first = false;       ///< parcel landed in an empty buffer
+    std::uint64_t epoch = 0;  ///< buffer epoch, for deadline timers
+  };
+
+  LocalityRuntime(int num_localities, int total_workers,
+                  const CoalesceConfig& coalesce)
+      : coalescer_(num_localities, coalesce),
+        counters_(num_localities),
+        trace_(total_workers) {}
+
+  /// Accounts one logical parcel and either returns it as a ready wire
+  /// message or buffers it.  With coalescing off the parcel always comes
+  /// back as a single-parcel batch (coalesced == false) for the executor to
+  /// transmit directly; with coalescing on, a batch is returned only when
+  /// the append crossed a threshold, and the buffered_ quiescence counter
+  /// is raised *before* the parcel enters the buffer.
+  Outgoing submit(std::uint32_t from, std::uint32_t to, std::size_t bytes,
+                  Task t, double now) {
+    counters_.on_parcel(to, bytes);
+    Outgoing out;
+    if (!coalescer_.config().enabled) {
+      ParcelBatch b;
+      b.src = from;
+      b.dst = to;
+      b.bytes = bytes;
+      b.any_high = t.high_priority;
+      b.tasks.push_back(std::move(t));
+      out.batch = std::move(b);
+      return out;
+    }
+    out.coalesced = true;
+    buffered_.fetch_add(1, std::memory_order_seq_cst);
+    auto r = coalescer_.enqueue(from, to, bytes, std::move(t), now);
+    if (r.ready) out.batch = std::move(*r.ready);
+    out.first = r.first;
+    out.epoch = r.epoch;
+    return out;
+  }
+
+  /// Accounts one wire message at transmission: batch counters, flush
+  /// reason (coalesced batches only), and the comm trace event with the
+  /// executor-supplied start/arrival times.
+  void account_batch(const ParcelBatch& b, double start, double arrival,
+                     bool coalesced) {
+    counters_.on_batch(b.dst, b.tasks.size(), b.bytes);
+    if (coalesced) counters_.on_reason(b.reason);
+    if (trace_.enabled()) {
+      trace_.record_comm(CommEvent{start, arrival, b.src, b.dst,
+                                   static_cast<std::uint32_t>(b.tasks.size()),
+                                   b.bytes});
+    }
+  }
+
+  /// Parcels sitting in coalescing buffers.  Invariant (kept by the
+  /// executors): a parcel moves from buffered to scheduled by making its
+  /// batch runnable *before* note_batch_consumed(), so buffered() == 0
+  /// together with the executor's own task count implies true quiescence.
+  std::int64_t buffered() const {
+    return buffered_.load(std::memory_order_seq_cst);
+  }
+  void note_batch_consumed(std::int64_t parcels) {
+    buffered_.fetch_sub(parcels, std::memory_order_seq_cst);
+  }
+
+  // Flush-policy forwarders (see ParcelCoalescer for semantics).
+  std::optional<ParcelBatch> take_if_epoch(std::uint32_t src,
+                                           std::uint32_t dst,
+                                           std::uint64_t epoch) {
+    return coalescer_.take_if_epoch(src, dst, epoch);
+  }
+  std::vector<ParcelBatch> take_expired_from(std::uint32_t src, double now) {
+    return coalescer_.take_expired_from(src, now);
+  }
+  std::vector<ParcelBatch> take_all() { return coalescer_.take_all(); }
+  std::vector<ParcelBatch> take_all_from(std::uint32_t src) {
+    return coalescer_.take_all_from(src);
+  }
+  bool pending() const { return coalescer_.pending(); }
+  bool pending_from(std::uint32_t src) const {
+    return coalescer_.pending_from(src);
+  }
+
+  const CoalesceConfig& coalesce_config() const { return coalescer_.config(); }
+
+  TraceSink& trace() { return trace_; }
+  const TraceSink& trace() const { return trace_; }
+
+  std::uint64_t bytes() const { return counters_.bytes(); }
+  std::uint64_t parcels() const { return counters_.parcels(); }
+  CommStats comm_stats() const { return counters_.snapshot(); }
+
+ private:
+  ParcelCoalescer coalescer_;
+  CommCounters counters_;
+  TraceSink trace_;
+  std::atomic<std::int64_t> buffered_{0};
+};
+
+}  // namespace amtfmm

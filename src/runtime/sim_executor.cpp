@@ -15,11 +15,10 @@ SimExecutor::SimExecutor(int num_localities, int cores_per_locality,
       cores_(cores_per_locality),
       policy_(policy),
       net_(net),
-      coalescer_(num_localities, coalesce),
-      counters_(num_localities),
       locs_(static_cast<std::size_t>(num_localities)) {
   AMTFMM_ASSERT(num_localities >= 1 && cores_per_locality >= 1);
-  trace_ = std::make_unique<TraceSink>(total_workers());
+  rt_ = std::make_unique<LocalityRuntime>(num_localities, total_workers(),
+                                          coalesce);
   std::uint64_t sm = seed;
   for (auto& l : locs_) l.rng = Rng(splitmix64(sm));
 }
@@ -45,30 +44,18 @@ void SimExecutor::send(std::uint32_t from, std::uint32_t to,
     spawn(std::move(t));
     return;
   }
-  counters_.on_parcel(to, bytes);
-  const CoalesceConfig& cfg = coalescer_.config();
-  if (!cfg.enabled) {
-    ParcelBatch b;
-    b.src = from;
-    b.dst = to;
-    b.bytes = bytes;
-    b.any_high = t.high_priority;
-    b.tasks.push_back(std::move(t));
-    transmit(std::move(b), /*coalesced=*/false);
-    return;
-  }
-  auto r = coalescer_.enqueue(from, to, bytes, std::move(t), now_);
-  if (r.ready) {
-    transmit(std::move(*r.ready), /*coalesced=*/true);
-  } else if (r.first) {
+  auto out = rt_->submit(from, to, bytes, std::move(t), now_);
+  if (out.batch) {
+    transmit(std::move(*out.batch), out.coalesced);
+  } else if (out.first) {
     // Arm a deadline flush for this fill of the buffer.  The timer is a
     // non-live event: if the buffer already flushed (epoch moved on), the
     // timer is stale and must neither flush nor advance the clock.
-    const double tfire = now_ + cfg.flush_deadline;
+    const double tfire = now_ + rt_->coalesce_config().flush_deadline;
     post(
         tfire,
-        [this, from, to, epoch = r.epoch, tfire] {
-          if (auto b = coalescer_.take_if_epoch(from, to, epoch)) {
+        [this, from, to, epoch = out.epoch, tfire] {
+          if (auto b = rt_->take_if_epoch(from, to, epoch)) {
             now_ = std::max(now_, tfire);
             transmit(std::move(*b), /*coalesced=*/true);
           }
@@ -78,9 +65,6 @@ void SimExecutor::send(std::uint32_t from, std::uint32_t to,
 }
 
 void SimExecutor::transmit(ParcelBatch b, bool coalesced) {
-  counters_.on_batch(b.dst, static_cast<std::uint32_t>(b.tasks.size()),
-                     b.bytes);
-  if (coalesced) counters_.on_reason(b.reason);
   // One wire message occupies the destination NIC for alpha + beta * bytes
   // and is delivered when the occupancy ends.
   auto& dst = locs_[b.dst];
@@ -88,10 +72,9 @@ void SimExecutor::transmit(ParcelBatch b, bool coalesced) {
   dst.nic_free =
       start + net_.latency + static_cast<double>(b.bytes) / net_.bandwidth;
   const double arrival = dst.nic_free;
-  if (trace_->enabled()) {
-    trace_->record_comm(CommEvent{start, arrival, b.src, b.dst,
-                                  static_cast<std::uint32_t>(b.tasks.size()),
-                                  b.bytes});
+  rt_->account_batch(b, start, arrival, coalesced);
+  if (coalesced) {
+    rt_->note_batch_consumed(static_cast<std::int64_t>(b.tasks.size()));
   }
   auto batch = std::make_shared<ParcelBatch>(std::move(b));
   post(arrival, [this, batch] {
@@ -129,20 +112,22 @@ void SimExecutor::try_dispatch(std::uint32_t loc) {
 void SimExecutor::run_task(std::uint32_t loc, Task t) {
   const double start = now_ + net_.task_overhead;
   double finish = start;
-  if (trace_->enabled()) {
+  if (rt_->trace().enabled()) {
     const int core = locs_[loc].busy_cores - 1;  // stable enough for traces
     const std::uint32_t worker =
         loc * static_cast<std::uint32_t>(cores_) +
         static_cast<std::uint32_t>(std::min(core, cores_ - 1));
     for (const CostItem& it : t.items) {
-      trace_->record(worker, it.cls, finish, finish + it.cost);
+      rt_->trace().record(worker, it.cls, finish, finish + it.cost);
       finish += it.cost;
     }
   } else {
     for (const CostItem& it : t.items) finish += it.cost;
   }
   post(finish, [this, loc, fn = std::move(t.fn)]() {
+    current_loc_ = static_cast<int>(loc);
     if (fn) fn();
+    current_loc_ = -1;
     auto& ls = locs_[loc];
     ls.busy_cores--;
     try_dispatch(loc);
@@ -154,8 +139,8 @@ double SimExecutor::drain() {
   for (;;) {
     // Quiescence: no live work left, only (possibly stale) deadline timers
     // — flush everything still buffered before giving up.
-    if (live_events_ == 0 && coalescer_.pending()) {
-      for (auto& b : coalescer_.take_all()) {
+    if (live_events_ == 0 && rt_->pending()) {
+      for (auto& b : rt_->take_all()) {
         transmit(std::move(b), /*coalesced=*/true);
       }
       continue;

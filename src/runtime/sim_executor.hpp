@@ -3,8 +3,8 @@
 #include <deque>
 #include <queue>
 
-#include "runtime/coalescer.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/locality_runtime.hpp"
 #include "support/rng.hpp"
 
 namespace amtfmm {
@@ -56,16 +56,13 @@ class SimExecutor final : public Executor {
 
   int num_localities() const override { return num_localities_; }
   int cores_per_locality() const override { return cores_; }
+  int current_locality() const override { return current_loc_; }
 
   void spawn(Task t) override;
   void send(std::uint32_t from, std::uint32_t to, std::size_t bytes,
             Task t) override;
   double drain() override;
   double now() const override { return now_; }
-
-  std::uint64_t bytes_sent() const override { return counters_.bytes(); }
-  std::uint64_t parcels_sent() const override { return counters_.parcels(); }
-  CommStats comm_stats() const override { return counters_.snapshot(); }
 
  private:
   struct Event {
@@ -98,13 +95,15 @@ class SimExecutor final : public Executor {
   int cores_;
   SchedPolicy policy_;
   NetworkModel net_;
-  ParcelCoalescer coalescer_;
-  CommCounters counters_;
   std::vector<LocalityState> locs_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   double now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t live_events_ = 0;
+  /// Locality of the task body currently running inside the event loop, or
+  /// -1 between tasks; backs current_locality() for the engine's debug
+  /// ownership checks.
+  int current_loc_ = -1;
 };
 
 }  // namespace amtfmm

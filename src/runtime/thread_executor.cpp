@@ -38,13 +38,12 @@ ThreadExecutor::ThreadExecutor(int num_localities, int cores_per_locality,
     : num_localities_(num_localities),
       cores_(cores_per_locality),
       policy_(policy),
-      coalescer_(num_localities, coalesce),
-      counters_(num_localities),
       inorder_(static_cast<std::size_t>(num_localities) *
                static_cast<std::size_t>(num_localities)),
       epoch_(std::chrono::steady_clock::now()) {
   AMTFMM_ASSERT(num_localities >= 1 && cores_per_locality >= 1);
-  trace_ = std::make_unique<TraceSink>(total_workers());
+  rt_ = std::make_unique<LocalityRuntime>(num_localities, total_workers(),
+                                          coalesce);
   const int n = total_workers();
   workers_.reserve(static_cast<std::size_t>(n));
   std::uint64_t sm = seed;
@@ -81,6 +80,11 @@ ThreadExecutor::~ThreadExecutor() {
     for (TaskNode* d : ws->overflow_high) delete d;
     for (TaskNode* d : ws->overflow_low) delete d;
   }
+}
+
+int ThreadExecutor::current_locality() const {
+  const int w = current_worker();
+  return (w >= 0 && w < total_workers()) ? w / cores_ : -1;
 }
 
 double ThreadExecutor::now() const {
@@ -129,32 +133,27 @@ void ThreadExecutor::send(std::uint32_t from, std::uint32_t to,
     spawn(std::move(t));
     return;
   }
-  counters_.on_parcel(to, bytes);
-  if (!coalescer_.config().enabled) {
-    counters_.on_batch(to, 1, bytes);
-    if (trace_->enabled()) {
-      const double tn = now();
-      trace_->record_comm({tn, tn, from, to, 1, bytes});
-    }
-    spawn(std::move(t));
+  auto out = rt_->submit(from, to, bytes, std::move(t), now());
+  if (!out.batch) {
+    // Below threshold: deadline and quiescence flushes are driven by idle
+    // workers of the source locality and by drain().
     return;
   }
-  buffered_.fetch_add(1, std::memory_order_seq_cst);
-  auto r = coalescer_.enqueue(from, to, bytes, std::move(t), now());
-  if (r.ready) deliver(std::move(*r.ready));
-  // Below threshold: deadline and quiescence flushes are driven by idle
-  // workers of the source locality and by drain().
+  if (out.coalesced) {
+    deliver(std::move(*out.batch));
+    return;
+  }
+  // Coalescing off: transmit the single-parcel message directly, no
+  // destination re-sequencing (each message carries exactly one task).
+  const double tn = now();
+  rt_->account_batch(*out.batch, tn, tn, /*coalesced=*/false);
+  for (Task& bt : out.batch->tasks) spawn(std::move(bt));
 }
 
 void ThreadExecutor::deliver(ParcelBatch b) {
   const auto n = static_cast<std::int64_t>(b.tasks.size());
-  counters_.on_batch(b.dst, b.tasks.size(), b.bytes);
-  counters_.on_reason(b.reason);
-  if (trace_->enabled()) {
-    const double tn = now();
-    trace_->record_comm({tn, tn, b.src, b.dst,
-                         static_cast<std::uint32_t>(b.tasks.size()), b.bytes});
-  }
+  const double tn = now();
+  rt_->account_batch(b, tn, tn, /*coalesced=*/true);
   Task w;
   w.locality = b.dst;
   w.high_priority = b.any_high;
@@ -163,9 +162,10 @@ void ThreadExecutor::deliver(ParcelBatch b) {
     run_batch_in_order(std::move(*batch));
   };
   // Spawn before dropping the buffered count: quiescence detection must
-  // never observe the parcels in neither counter (see buffered_ invariant).
+  // never observe the parcels in neither counter (see the LocalityRuntime
+  // buffered invariant).
   spawn(std::move(w));
-  buffered_.fetch_sub(n, std::memory_order_seq_cst);
+  rt_->note_batch_consumed(n);
 }
 
 void ThreadExecutor::run_batch_in_order(ParcelBatch b) {
@@ -202,20 +202,20 @@ void ThreadExecutor::run_batch_in_order(ParcelBatch b) {
 
 bool ThreadExecutor::flush_expired(int w) {
   const auto loc = static_cast<std::uint32_t>(w / cores_);
-  if (!coalescer_.config().enabled || !coalescer_.pending_from(loc)) {
+  if (!rt_->coalesce_config().enabled || !rt_->pending_from(loc)) {
     return false;
   }
-  auto batches = coalescer_.take_expired_from(loc, now());
+  auto batches = rt_->take_expired_from(loc, now());
   for (auto& b : batches) deliver(std::move(b));
   return !batches.empty();
 }
 
 bool ThreadExecutor::flush_outbound(int w) {
   const auto loc = static_cast<std::uint32_t>(w / cores_);
-  if (!coalescer_.config().enabled || !coalescer_.pending_from(loc)) {
+  if (!rt_->coalesce_config().enabled || !rt_->pending_from(loc)) {
     return false;
   }
-  auto batches = coalescer_.take_all_from(loc);
+  auto batches = rt_->take_all_from(loc);
   for (auto& b : batches) deliver(std::move(b));
   return !batches.empty();
 }
@@ -368,11 +368,11 @@ double ThreadExecutor::drain() {
       });
     }
     bool flushed = false;
-    for (auto& b : coalescer_.take_all()) {
+    for (auto& b : rt_->take_all()) {
       deliver(std::move(b));
       flushed = true;
     }
-    if (!flushed && buffered_.load(std::memory_order_seq_cst) == 0 &&
+    if (!flushed && rt_->buffered() == 0 &&
         outstanding_.load(std::memory_order_acquire) == 0) {
       return now() - t0;
     }

@@ -7,8 +7,8 @@
 #include <mutex>
 #include <thread>
 
-#include "runtime/coalescer.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/locality_runtime.hpp"
 #include "runtime/ws_deque.hpp"
 #include "support/rng.hpp"
 
@@ -52,16 +52,13 @@ class ThreadExecutor final : public Executor {
 
   int num_localities() const override { return num_localities_; }
   int cores_per_locality() const override { return cores_; }
+  int current_locality() const override;
 
   void spawn(Task t) override;
   void send(std::uint32_t from, std::uint32_t to, std::size_t bytes,
             Task t) override;
   double drain() override;
   double now() const override;
-
-  std::uint64_t bytes_sent() const override { return counters_.bytes(); }
-  std::uint64_t parcels_sent() const override { return counters_.parcels(); }
-  CommStats comm_stats() const override { return counters_.snapshot(); }
 
  private:
   struct TaskNode {
@@ -119,14 +116,11 @@ class ThreadExecutor final : public Executor {
   std::atomic<std::uint64_t> wake_epoch_{0};
   std::atomic<int> sleepers_{0};
   std::atomic<std::int64_t> outstanding_{0};
-  /// Parcels sitting in coalescing buffers.  Invariant: a parcel moves from
-  /// buffered_ to outstanding_ by spawning its batch task *before* the
-  /// buffered_ decrement, so outstanding_ == 0 && buffered_ == 0 implies
-  /// true quiescence.
-  std::atomic<std::int64_t> buffered_{0};
+  // Buffered-parcel quiescence counter lives in the shared LocalityRuntime
+  // (rt_).  Invariant: a parcel moves from buffered to outstanding_ by
+  // spawning its batch task *before* note_batch_consumed(), so
+  // outstanding_ == 0 && rt_->buffered() == 0 implies true quiescence.
   std::atomic<bool> stop_{false};
-  ParcelCoalescer coalescer_;
-  CommCounters counters_;
   std::vector<InOrder> inorder_;  // src * L + dst
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<std::uint64_t> spawn_rr_{0};

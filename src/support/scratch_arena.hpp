@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <complex>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -71,6 +72,8 @@ class ScratchArena {
   }
   /// Leases a real scratch buffer.
   ScratchLease<double> reals() { return {*this, real_.acquire(*this)}; }
+  /// Leases a raw byte buffer (wire-format staging).
+  ScratchLease<std::byte> bytes() { return {*this, byte_.acquire(*this)}; }
 
   /// This arena's cumulative lease counters.
   Stats stats() const {
@@ -85,6 +88,7 @@ class ScratchArena {
   // Lease return path (used by ScratchLease only).
   void release(std::vector<std::complex<double>>* v) { complex_.put_back(v); }
   void release(std::vector<double>* v) { real_.put_back(v); }
+  void release(std::vector<std::byte>* v) { byte_.put_back(v); }
 
  private:
   template <typename T>
@@ -107,6 +111,7 @@ class ScratchArena {
 
   Pool<std::complex<double>> complex_;
   Pool<double> real_;
+  Pool<std::byte> byte_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
 };

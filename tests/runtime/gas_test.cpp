@@ -1,0 +1,115 @@
+// Tests of the GAS slab heap: address round-trips, chunk growth, pointer
+// stability, lock-free resolve under concurrent allocation, and the debug
+// bounds checking.
+
+#include "runtime/gas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_executor.hpp"
+
+namespace amtfmm {
+namespace {
+
+std::unique_ptr<LCO> make_obj(Executor& ex) {
+  return std::make_unique<SumLCO>(ex, 1);
+}
+
+TEST(GasTest, AllocResolveRoundTrip) {
+  ThreadExecutor ex(2, 1);
+  Gas gas(2);
+  const GlobalAddress a = gas.alloc(0, make_obj(ex));
+  const GlobalAddress b = gas.alloc(1, make_obj(ex));
+  const GlobalAddress c = gas.alloc(0, make_obj(ex));
+  EXPECT_EQ(a, (GlobalAddress{0, 0}));
+  EXPECT_EQ(b, (GlobalAddress{1, 0}));
+  EXPECT_EQ(c, (GlobalAddress{0, 1}));
+  EXPECT_NE(gas.resolve(a), nullptr);
+  EXPECT_NE(gas.resolve(a), gas.resolve(c));
+  EXPECT_EQ(gas.objects_on(0), 2u);
+  EXPECT_EQ(gas.objects_on(1), 1u);
+}
+
+TEST(GasTest, GrowsPastChunkBoundaryWithStablePointers) {
+  ThreadExecutor ex(1, 1);
+  Gas gas(1);
+  const std::uint32_t n = 3 * Gas::kChunkSize + 17;
+  std::vector<LCO*> seen;
+  seen.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const GlobalAddress a = gas.alloc(0, make_obj(ex));
+    ASSERT_EQ(a.slot, i);
+    seen.push_back(gas.resolve(a));
+  }
+  // Later growth must not have moved earlier objects.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(gas.resolve(GlobalAddress{0, i}), seen[i]);
+  }
+  EXPECT_EQ(gas.objects_on(0), n);
+}
+
+TEST(GasTest, ResetDestroysEverything) {
+  ThreadExecutor ex(1, 1);
+  Gas gas(1);
+  for (int i = 0; i < 700; ++i) gas.alloc(0, make_obj(ex));
+  gas.reset();
+  EXPECT_EQ(gas.objects_on(0), 0u);
+  // The heap is reusable after a reset.
+  const GlobalAddress a = gas.alloc(0, make_obj(ex));
+  EXPECT_EQ(a.slot, 0u);
+  EXPECT_NE(gas.resolve(a), nullptr);
+}
+
+// Allocation on distinct localities runs concurrently while every thread
+// resolves the addresses every other thread has already published — the
+// DAG-instantiation access pattern.  Run under TSan in CI.
+TEST(GasTest, ConcurrentAllocAndResolve) {
+  constexpr int kLocalities = 4;
+  constexpr std::uint32_t kPerLocality = 2 * Gas::kChunkSize + 5;
+  ThreadExecutor ex(kLocalities, 1);
+  Gas gas(kLocalities);
+  std::atomic<std::uint32_t> published[kLocalities] = {};
+  std::vector<std::thread> threads;
+  for (int loc = 0; loc < kLocalities; ++loc) {
+    threads.emplace_back([&, loc] {
+      for (std::uint32_t i = 0; i < kPerLocality; ++i) {
+        const GlobalAddress a =
+            gas.alloc(static_cast<std::uint32_t>(loc), make_obj(ex));
+        ASSERT_EQ(a.slot, i);
+        published[loc].store(i + 1, std::memory_order_release);
+        // Read everyone else's published prefix through the lock-free path.
+        for (int other = 0; other < kLocalities; ++other) {
+          const std::uint32_t n =
+              published[other].load(std::memory_order_acquire);
+          if (n == 0) continue;
+          const GlobalAddress peek{static_cast<std::uint32_t>(other),
+                                   (i * 7 + 3) % n};
+          ASSERT_NE(gas.resolve(peek), nullptr);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int loc = 0; loc < kLocalities; ++loc) {
+    EXPECT_EQ(gas.objects_on(static_cast<std::uint32_t>(loc)), kPerLocality);
+  }
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(GasDeathTest, ResolveOfUnallocatedSlotAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ThreadExecutor ex(1, 1);
+  Gas gas(1);
+  gas.alloc(0, make_obj(ex));
+  // Far past the allocated prefix: debug builds fail the bounds check,
+  // release builds fail the unpublished-chunk check.
+  EXPECT_DEATH(gas.resolve(GlobalAddress{0, 10 * Gas::kChunkSize}), "");
+}
+#endif
+
+}  // namespace
+}  // namespace amtfmm
