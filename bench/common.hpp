@@ -2,11 +2,14 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/evaluator.hpp"
 #include "geom/distributions.hpp"
+#include "runtime/trace_export.hpp"
 #include "support/cli.hpp"
+#include "support/json.hpp"
 
 namespace amtfmm::bench {
 
@@ -39,6 +42,89 @@ inline std::string byte_range(std::uint64_t lo, std::uint64_t hi) {
   if (lo > hi) return "-";  // empty class
   if (lo == hi) return std::to_string(lo);
   return std::to_string(lo) + "-" + std::to_string(hi);
+}
+
+/// One row of a micro-benchmark `--json` summary.
+struct BenchEntry {
+  std::string name;
+  double ns_per_op = 0.0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// Writes entries as a JSON array of flat {name, ns_per_op, counters...}
+/// objects — the single writer behind every bench `--json` output, so the
+/// schema (escaping, number formatting) is identical everywhere.
+inline bool write_bench_json(const std::string& path,
+                             const std::vector<BenchEntry>& entries) {
+  JsonWriter w;
+  w.begin_array();
+  for (const auto& e : entries) {
+    w.begin_object();
+    w.kv("name", e.name);
+    w.kv("ns_per_op", e.ns_per_op);
+    for (const auto& [k, v] : e.counters) w.kv(k, v);
+    w.end_object();
+  }
+  w.end_array();
+  return w.write_file(path);
+}
+
+/// Serializes comm statistics under the given key — shared by the fig
+/// benches' `--json` outputs.
+inline void append_comm_json(JsonWriter& w, const CommStats& c) {
+  w.begin_object();
+  w.kv("parcels", static_cast<std::uint64_t>(c.parcels));
+  w.kv("batches", static_cast<std::uint64_t>(c.batches));
+  w.kv("bytes", static_cast<std::uint64_t>(c.bytes));
+  w.kv("coalescing_factor", c.coalescing_factor());
+  w.end_object();
+}
+
+/// Registers the shared `--trace-out=FILE` flag.
+inline void add_trace_out_flag(Cli& cli) {
+  cli.add_flag("trace-out", std::string(),
+               "write a Chrome/Perfetto trace of the run to FILE");
+}
+
+/// Exports a run as a Chrome trace when `--trace-out` was given.  Returns
+/// false only when the flag was set and the export failed.
+inline bool export_trace_if_requested(const Cli& cli, const SimResult& r,
+                                      int cores_per_locality) {
+  const std::string path = cli.str("trace-out");
+  if (path.empty()) return true;
+  ChromeTraceOptions opt;
+  opt.cores_per_locality = cores_per_locality;
+  opt.makespan = r.virtual_time;
+  opt.sim = true;
+  opt.dag_edges = r.dag_edges;
+  opt.counters = r.counters.empty() ? nullptr : &r.counters;
+  const bool ok =
+      trace_export_chrome(path, r.trace, r.comm_trace, r.instants, opt);
+  std::printf(ok ? "\ntrace written to %s (open in ui.perfetto.dev or run "
+                   "tools/trace_report)\n"
+                 : "\nERROR: could not write trace to %s\n",
+              path.c_str());
+  return ok;
+}
+
+/// Wall-clock-run overload (EvalResult from the threaded executor).
+inline bool export_trace_if_requested(const Cli& cli, const EvalResult& r,
+                                      int cores_per_locality) {
+  const std::string path = cli.str("trace-out");
+  if (path.empty()) return true;
+  ChromeTraceOptions opt;
+  opt.cores_per_locality = cores_per_locality;
+  opt.makespan = r.makespan;
+  opt.sim = false;
+  opt.dag_edges = r.dag_edges;
+  opt.counters = r.counters.empty() ? nullptr : &r.counters;
+  const bool ok =
+      trace_export_chrome(path, r.trace, r.comm_trace, r.instants, opt);
+  std::printf(ok ? "\ntrace written to %s (open in ui.perfetto.dev or run "
+                   "tools/trace_report)\n"
+                 : "\nERROR: could not write trace to %s\n",
+              path.c_str());
+  return ok;
 }
 
 }  // namespace amtfmm::bench

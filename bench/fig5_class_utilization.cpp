@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   cli.add_flag("threshold", static_cast<std::int64_t>(60), "refinement threshold");
   cli.add_flag("cores", static_cast<std::int64_t>(128), "total cores");
   cli.add_flag("intervals", static_cast<std::int64_t>(100), "time intervals M");
+  add_trace_out_flag(cli);
   cli.parse(argc, argv);
 
   const auto n = static_cast<std::size_t>(cli.i64("n"));
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
   sim.cores_per_locality = 32;
   sim.cost = CostModel::paper("laplace");
   sim.trace = true;
+  sim.counters = true;
   const SimResult r = eval.simulate(e.sources, e.targets, sim);
   const UtilizationProfile p =
       utilization(r.trace, 0.0, r.virtual_time, intervals, r.total_cores);
@@ -64,5 +66,6 @@ int main(int argc, char** argv) {
   std::printf("\nupward-pass work still scheduled at %d%% of the execution "
               "(paper: \"up to 83%%\" without priorities)\n",
               100 * last_up / intervals);
+  if (!export_trace_if_requested(cli, r, 32)) return 1;
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common.hpp"
 #include "kernels/kernel.hpp"
 #include "support/rng.hpp"
 
@@ -184,16 +185,14 @@ REGISTER(I2L);
 // summary can be written next to the usual console table.
 class CollectingReporter : public benchmark::ConsoleReporter {
  public:
-  struct Entry {
-    std::string name;
-    double ns_per_op;
-  };
-  std::vector<Entry> entries;
+  std::vector<bench::BenchEntry> entries;
 
   void ReportRuns(const std::vector<Run>& runs) override {
     for (const Run& run : runs) {
       if (run.run_type == Run::RT_Iteration && !run.error_occurred) {
-        entries.push_back({run.benchmark_name(), run.GetAdjustedRealTime()});
+        // p = 3 * digits; the fixtures run setup(1.0, 8, 3).
+        entries.push_back({run.benchmark_name(), run.GetAdjustedRealTime(),
+                           {{"p", 9.0}}});
       }
     }
     benchmark::ConsoleReporter::ReportRuns(runs);
@@ -222,24 +221,11 @@ int main(int argc, char** argv) {
   CollectingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
 
-  if (!json_path.empty()) {
-    std::FILE* out = std::fopen(json_path.c_str(), "w");
-    if (!out) {
-      std::fprintf(stderr, "micro_operators: cannot open %s\n",
-                   json_path.c_str());
-      return 1;
-    }
-    // p = 3 * digits; the fixtures run setup(1.0, 8, 3).
-    constexpr int kP = 9;
-    std::fprintf(out, "[\n");
-    for (std::size_t i = 0; i < reporter.entries.size(); ++i) {
-      const auto& e = reporter.entries[i];
-      std::fprintf(out, "  {\"name\": \"%s\", \"p\": %d, \"ns_per_op\": %.3f}%s\n",
-                   e.name.c_str(), kP, e.ns_per_op,
-                   i + 1 < reporter.entries.size() ? "," : "");
-    }
-    std::fprintf(out, "]\n");
-    std::fclose(out);
+  if (!json_path.empty() &&
+      !bench::write_bench_json(json_path, reporter.entries)) {
+    std::fprintf(stderr, "micro_operators: cannot write %s\n",
+                 json_path.c_str());
+    return 1;
   }
   benchmark::Shutdown();
   return 0;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common.hpp"
 #include "core/expansion_lco.hpp"
 #include "kernels/kernel.hpp"
 #include "runtime/runtime.hpp"
@@ -245,17 +246,13 @@ BENCHMARK(BM_ParcelFanOutSim)->Arg(0)->Arg(1);
 // machine-readable summary can be written next to the console table.
 class CollectingReporter : public benchmark::ConsoleReporter {
  public:
-  struct Entry {
-    std::string name;
-    double ns_per_op;
-    std::vector<std::pair<std::string, double>> counters;
-  };
-  std::vector<Entry> entries;
+  std::vector<bench::BenchEntry> entries;
 
   void ReportRuns(const std::vector<Run>& runs) override {
     for (const Run& run : runs) {
       if (run.run_type == Run::RT_Iteration && !run.error_occurred) {
-        Entry e{run.benchmark_name(), run.GetAdjustedRealTime(), {}};
+        bench::BenchEntry e{run.benchmark_name(), run.GetAdjustedRealTime(),
+                            {}};
         for (const auto& [name, counter] : run.counters) {
           e.counters.emplace_back(name, counter.value);
         }
@@ -289,26 +286,11 @@ int main(int argc, char** argv) {
   CollectingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
 
-  if (!json_path.empty()) {
-    std::FILE* out = std::fopen(json_path.c_str(), "w");
-    if (!out) {
-      std::fprintf(stderr, "micro_runtime: cannot open %s\n",
-                   json_path.c_str());
-      return 1;
-    }
-    std::fprintf(out, "[\n");
-    for (std::size_t i = 0; i < reporter.entries.size(); ++i) {
-      const auto& e = reporter.entries[i];
-      std::fprintf(out, "  {\"name\": \"%s\", \"ns_per_op\": %.3f",
-                   e.name.c_str(), e.ns_per_op);
-      for (const auto& [name, value] : e.counters) {
-        std::fprintf(out, ", \"%s\": %.6g", name.c_str(), value);
-      }
-      std::fprintf(out, "}%s\n",
-                   i + 1 < reporter.entries.size() ? "," : "");
-    }
-    std::fprintf(out, "]\n");
-    std::fclose(out);
+  if (!json_path.empty() &&
+      !bench::write_bench_json(json_path, reporter.entries)) {
+    std::fprintf(stderr, "micro_runtime: cannot write %s\n",
+                 json_path.c_str());
+    return 1;
   }
   benchmark::Shutdown();
   return 0;

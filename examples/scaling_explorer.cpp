@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "../bench/common.hpp"
 #include "core/evaluator.hpp"
 #include "geom/distributions.hpp"
 #include "support/cli.hpp"
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
   cli.add_flag("policy", std::string("worksteal"), "worksteal|fifo|priority");
   cli.add_flag("threshold", static_cast<std::int64_t>(60), "refinement threshold");
   cli.add_flag("cost-profile", std::string("paper"), "paper|host");
+  bench::add_trace_out_flag(cli);
   cli.parse(argc, argv);
 
   const auto n = static_cast<std::size_t>(cli.i64("n"));
@@ -40,6 +42,7 @@ int main(int argc, char** argv) {
   SimConfig sim;
   sim.cores_per_locality = 32;
   sim.trace = true;
+  sim.counters = true;
   if (cli.str("policy") == "fifo") {
     sim.policy = SchedPolicy::kFifo;
   } else if (cli.str("policy") == "priority") {
@@ -86,5 +89,6 @@ int main(int argc, char** argv) {
   std::printf("  utilization (20 intervals):");
   for (double f : u.total) std::printf(" %3.0f%%", 100.0 * f);
   std::printf("\n");
+  if (!bench::export_trace_if_requested(cli, r, 32)) return 1;
   return 0;
 }

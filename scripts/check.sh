@@ -30,12 +30,13 @@ ctest --test-dir build-debug --output-on-failure -j"$JOBS" \
 echo "== ThreadSanitizer build (runtime stress tests) =="
 cmake -B build-tsan -S . -DAMTFMM_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS" --target \
-  ws_deque_test executor_test coalescer_test trace_test
+  ws_deque_test executor_test coalescer_test trace_test gas_test counters_test
 ./build-tsan/tests/runtime/ws_deque_test
 ./build-tsan/tests/runtime/executor_test
 ./build-tsan/tests/runtime/coalescer_test
 ./build-tsan/tests/runtime/trace_test
 ./build-tsan/tests/runtime/gas_test
+./build-tsan/tests/runtime/counters_test
 
 echo "== AddressSanitizer build + full test suite =="
 cmake -B build-asan -S . -DAMTFMM_SANITIZE=address >/dev/null
@@ -62,5 +63,15 @@ mkdir -p build/bench-smoke
   --json build/bench-smoke/micro_operators.json
 ./build/bench/micro_runtime --benchmark_min_time=0.05 \
   --json build/bench-smoke/micro_runtime.json
+
+echo "== Trace export + critical-path analysis =="
+./build/bench/fig4_utilization --n 20000 --intervals 20 \
+  --trace-out=build/bench-smoke/fig4_trace.json \
+  --json=build/bench-smoke/fig4_summary.json
+./build/tools/trace_report build/bench-smoke/fig4_trace.json \
+  --out build/bench-smoke/fig4_report.json
+python3 -m json.tool build/bench-smoke/fig4_trace.json > /dev/null
+python3 -m json.tool build/bench-smoke/fig4_summary.json > /dev/null
+python3 -m json.tool build/bench-smoke/fig4_report.json > /dev/null
 
 echo "== All checks passed =="

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "runtime/locality_runtime.hpp"
 #include "support/error.hpp"
 #include "support/scratch_arena.hpp"
 
@@ -81,6 +82,15 @@ double DagEngine::execute(std::span<const double> charges,
   }
   wire_bytes_.store(0, std::memory_order_relaxed);
   instantiate();
+  auto& ctr = ex_.counters();
+  if (ctr.enabled()) {
+    // GAS slab occupancy high-water: every node's LCO is resident for the
+    // whole run, so the peak is the post-instantiate per-locality count.
+    const auto gas_id = ex_.runtime().ids().gas_objects_hw;
+    for (int l = 0; l < ex_.num_localities(); ++l) {
+      ctr.gauge_max(0, gas_id, gas_.objects_on(l));
+    }
+  }
   const double t0 = ex_.now();
   seed();
   ex_.drain();
@@ -159,8 +169,15 @@ void DagEngine::spawn_edge_tasks(NodeIndex ni) {
     remote.emplace_back(loc, std::vector<std::uint32_t>{});
     return remote.back().second;
   };
+  auto& ctr = ex_.counters();
+  const bool counting = ctr.enabled();
+  const int cw = counting ? LocalityRuntime::metric_worker() : 0;
   for (std::uint32_t e = n.first_edge; e < n.first_edge + n.num_edges; ++e) {
     const DagEdge& edge = dag_.edges[e];
+    if (counting) {
+      ctr.add(cw, ex_.runtime().ids().op_tasks[static_cast<std::size_t>(
+                      edge.op)]);
+    }
     const std::uint32_t tloc = dag_.nodes[edge.target].locality;
     if (tloc == n.locality) {
       (opt_.split_priority && is_high(edge.op) ? local_high : local_low)
@@ -178,7 +195,7 @@ void DagEngine::spawn_edge_tasks(NodeIndex ni) {
     for (const std::uint32_t e : ids) {
       const DagEdge& edge = dag_.edges[e];
       items.push_back(CostItem{static_cast<std::uint8_t>(edge.op),
-                               opt_.cost.cost(edge.op, edge.cost_metric)});
+                               opt_.cost.cost(edge.op, edge.cost_metric), e});
     }
     return items;
   };
@@ -295,7 +312,7 @@ void DagEngine::process_local(NodeIndex ni,
   for (const std::uint32_t e : edge_ids) {
     const DagEdge& edge = dag_.edges[e];
     {
-      ScopedTrace st(ex_, static_cast<std::uint8_t>(edge.op));
+      ScopedTrace st(ex_, static_cast<std::uint8_t>(edge.op), e);
       msg->clear();
       apply_edge(ni, edge, src, *msg);
     }
@@ -636,7 +653,7 @@ void DagEngine::process_parcel(const std::vector<std::byte>& buf) {
   for (const std::uint32_t e : ids) {
     const DagEdge& edge = dag_.edges[e];
     {
-      ScopedTrace st(ex_, static_cast<std::uint8_t>(edge.op));
+      ScopedTrace st(ex_, static_cast<std::uint8_t>(edge.op), e);
       msg->clear();
       apply_edge(h.source, edge, src, *msg);
     }
@@ -654,7 +671,7 @@ void DagEngine::send_contribution(NodeIndex ni, std::uint32_t edge_id) {
   auto out = ScratchArena::local().coeffs();
   out->assign(kernel_.l_count(tbox.level), cdouble{});
   {
-    ScopedTrace st(ex_, static_cast<std::uint8_t>(e.op));
+    ScopedTrace st(ex_, static_cast<std::uint8_t>(e.op), edge_id);
     if (e.op == Operator::kS2L) {
       kernel_.s2l_acc(src.pts, src.q, tbox.cube.center(), tbox.level, *out);
     } else {

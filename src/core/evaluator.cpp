@@ -1,9 +1,28 @@
 #include "core/evaluator.hpp"
 
+#include "runtime/locality_runtime.hpp"
 #include "support/error.hpp"
 #include "support/timer.hpp"
 
 namespace amtfmm {
+namespace {
+
+/// Dag::edges flattened to [src, dst, ...] in edge-id order, recovering the
+/// implicit CSR source from each node's [first_edge, first_edge+num_edges).
+std::vector<std::uint32_t> flatten_edges(const Dag& dag) {
+  std::vector<std::uint32_t> flat(2 * dag.edges.size());
+  for (NodeIndex ni = 0; ni < dag.nodes.size(); ++ni) {
+    const DagNode& n = dag.nodes[ni];
+    for (std::uint32_t e = n.first_edge; e < n.first_edge + n.num_edges;
+         ++e) {
+      flat[2 * e] = ni;
+      flat[2 * e + 1] = dag.edges[e].target;
+    }
+  }
+  return flat;
+}
+
+}  // namespace
 
 Evaluator::Evaluator(std::unique_ptr<Kernel> kernel, EvalConfig cfg)
     : kernel_(std::move(kernel)), cfg_(cfg) {
@@ -52,6 +71,7 @@ EvalResult Evaluator::run_prepared(const Prepared& p,
                     cfg_.split_priority ? SchedPolicy::kPriority : cfg_.policy,
                     cfg_.seed, cfg_.coalesce);
   ex.trace().set_enabled(cfg_.trace);
+  ex.counters().set_enabled(cfg_.counters);
   EngineOptions opt;
   opt.mode = EngineMode::kCompute;
   opt.split_priority = cfg_.split_priority;
@@ -72,7 +92,10 @@ EvalResult Evaluator::run_prepared(const Prepared& p,
   if (cfg_.trace) {
     out.trace = ex.trace().collect();
     out.comm_trace = ex.trace().collect_comm();
+    out.instants = ex.trace().collect_instants();
+    out.dag_edges = flatten_edges(p.dag);
   }
+  if (cfg_.counters) out.counters = ex.counters().snapshot();
   return out;
 }
 
@@ -117,6 +140,7 @@ SimResult Evaluator::simulate(std::span<const Vec3> sources,
                  sim.split_priority ? SchedPolicy::kPriority : sim.policy,
                  sim.network, sim.seed, sim.coalesce);
   ex.trace().set_enabled(sim.trace);
+  ex.counters().set_enabled(sim.counters);
   EngineOptions opt;
   opt.mode = EngineMode::kCostOnly;
   opt.cost = sim.cost;
@@ -131,7 +155,10 @@ SimResult Evaluator::simulate(std::span<const Vec3> sources,
   if (sim.trace) {
     out.trace = ex.trace().collect();
     out.comm_trace = ex.trace().collect_comm();
+    out.instants = ex.trace().collect_instants();
+    out.dag_edges = flatten_edges(p.dag);
   }
+  if (sim.counters) out.counters = ex.counters().snapshot();
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "core/engine.hpp"
+#include "runtime/counters.hpp"
 #include "runtime/runtime.hpp"
 
 namespace amtfmm {
@@ -24,6 +25,7 @@ struct EvalConfig {
   M2LMode m2l_mode = M2LMode::kRotation;  ///< rotation (O(p^3)) or naive M2L
   CoalesceConfig coalesce{};  ///< per-locality parcel coalescing
   bool trace = false;
+  bool counters = false;  ///< runtime counter registry (see counters.hpp)
   std::uint64_t seed = 1;
 };
 
@@ -34,12 +36,18 @@ struct EvalResult {
   DagStats dag;
   std::vector<TraceEvent> trace;
   std::vector<CommEvent> comm_trace;
+  std::vector<InstantEvent> instants;
+  /// DAG edges flattened as [src0, dst0, src1, dst1, ...] in edge-id order
+  /// (so TraceEvent::arg indexes pair `arg`).  Filled when trace is on;
+  /// embedded in Chrome exports for the critical-path analyzer.
+  std::vector<std::uint32_t> dag_edges;
   std::uint64_t bytes_sent = 0;
   std::uint64_t parcels_sent = 0;
   /// Serialized bytes of every remote parcel as counted by the engine's
   /// wire format; always equals bytes_sent (asserted).
   std::uint64_t wire_bytes = 0;
   CommStats comm;
+  CounterSnapshot counters;  ///< filled when EvalConfig::counters is on
 };
 
 /// Configuration for a simulated (DES) evaluation of the same DAG.
@@ -52,6 +60,7 @@ struct SimConfig {
   CoalesceConfig coalesce{};  ///< per-locality parcel coalescing
   CostModel cost;  ///< fill via CostModel::paper() or ::measured()
   bool trace = false;
+  bool counters = false;  ///< runtime counter registry (see counters.hpp)
   std::uint64_t seed = 1;
 };
 
@@ -60,11 +69,16 @@ struct SimResult {
   DagStats dag;
   std::vector<TraceEvent> trace;
   std::vector<CommEvent> comm_trace;
+  std::vector<InstantEvent> instants;
+  /// DAG edges flattened as [src, dst, ...] in edge-id order (see
+  /// EvalResult::dag_edges).
+  std::vector<std::uint32_t> dag_edges;
   std::uint64_t bytes_sent = 0;
   std::uint64_t parcels_sent = 0;
   /// Engine-side wire-format byte count; always equals bytes_sent.
   std::uint64_t wire_bytes = 0;
   CommStats comm;
+  CounterSnapshot counters;  ///< filled when SimConfig::counters is on
   int total_cores = 0;
 };
 

@@ -1,0 +1,135 @@
+#include "runtime/counters.hpp"
+
+#include <algorithm>
+
+#include "support/json.hpp"
+
+namespace amtfmm {
+
+std::uint64_t CounterSnapshot::value(const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  for (const auto& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0;
+}
+
+void CounterSnapshot::append_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& c : counters) w.kv(c.name, c.value);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& g : gauges) w.kv(g.name, g.value);
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& h : histograms) {
+    w.key(h.name);
+    w.begin_object();
+    w.kv("count", h.count);
+    w.kv("sum", h.sum);
+    w.key("buckets");
+    w.begin_array();
+    // Trailing zero buckets are elided; bucket i spans [2^i, 2^(i+1)).
+    std::size_t last = h.buckets.size();
+    while (last > 0 && h.buckets[last - 1] == 0) --last;
+    for (std::size_t i = 0; i < last; ++i) w.value(h.buckets[i]);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+CounterRegistry::CounterRegistry(int workers) {
+  const int n = std::max(workers, 1);
+  shards_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+CounterRegistry::Id CounterRegistry::reg(const std::string& name, Kind kind) {
+  for (std::size_t i = 0; i < scalar_names_.size(); ++i) {
+    if (scalar_names_[i] == name) {
+      AMTFMM_ASSERT_MSG(scalar_kinds_[i] == kind,
+                        "counter/gauge kind mismatch on re-registration");
+      return static_cast<Id>(i);
+    }
+  }
+  AMTFMM_ASSERT_MSG(scalar_names_.size() < kMaxScalars,
+                    "CounterRegistry scalar capacity exhausted");
+  scalar_names_.push_back(name);
+  scalar_kinds_.push_back(kind);
+  return static_cast<Id>(scalar_names_.size() - 1);
+}
+
+CounterRegistry::Id CounterRegistry::histogram(const std::string& name) {
+  for (std::size_t i = 0; i < hist_names_.size(); ++i) {
+    if (hist_names_[i] == name) return static_cast<Id>(i);
+  }
+  AMTFMM_ASSERT_MSG(hist_names_.size() < kMaxHistograms,
+                    "CounterRegistry histogram capacity exhausted");
+  hist_names_.push_back(name);
+  return static_cast<Id>(hist_names_.size() - 1);
+}
+
+CounterRegistry::Id CounterRegistry::find(const std::string& name) const {
+  for (std::size_t i = 0; i < scalar_names_.size(); ++i) {
+    if (scalar_names_[i] == name) return static_cast<Id>(i);
+  }
+  for (std::size_t i = 0; i < hist_names_.size(); ++i) {
+    if (hist_names_[i] == name) return static_cast<Id>(i);
+  }
+  return kNoId;
+}
+
+CounterSnapshot CounterRegistry::snapshot() const {
+  CounterSnapshot snap;
+  for (std::size_t i = 0; i < scalar_names_.size(); ++i) {
+    std::uint64_t sum = 0;
+    std::uint64_t mx = 0;
+    for (const auto& s : shards_) {
+      const std::uint64_t v = s->scalars[i].load(std::memory_order_relaxed);
+      sum += v;
+      mx = std::max(mx, v);
+    }
+    CounterSnapshot::Scalar out{scalar_names_[i],
+                                scalar_kinds_[i] == Kind::kGauge ? mx : sum};
+    if (scalar_kinds_[i] == Kind::kGauge) {
+      snap.gauges.push_back(std::move(out));
+    } else {
+      snap.counters.push_back(std::move(out));
+    }
+  }
+  for (std::size_t i = 0; i < hist_names_.size(); ++i) {
+    CounterSnapshot::Histogram h;
+    h.name = hist_names_[i];
+    for (const auto& s : shards_) {
+      const auto& hs = s->hists[i];
+      h.count += hs.count.load(std::memory_order_relaxed);
+      h.sum += hs.sum.load(std::memory_order_relaxed);
+      for (std::size_t b = 0; b < kHistBuckets; ++b) {
+        h.buckets[b] += hs.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void CounterRegistry::clear() {
+  for (auto& s : shards_) {
+    for (auto& v : s->scalars) v.store(0, std::memory_order_relaxed);
+    for (auto& h : s->hists) {
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+      h.count.store(0, std::memory_order_relaxed);
+      h.sum.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace amtfmm

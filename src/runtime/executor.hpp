@@ -20,6 +20,8 @@ namespace amtfmm {
 struct CostItem {
   std::uint8_t cls;
   double cost;  // virtual seconds
+  /// DAG attribution carried into the sim trace (see TraceEvent::arg).
+  std::uint32_t arg = kNoTraceArg;
 };
 
 struct Task {
@@ -75,6 +77,7 @@ struct CommStats {
 enum class SchedPolicy { kWorkStealing, kFifo, kPriority };
 
 class LocalityRuntime;
+class CounterRegistry;
 
 /// Execution substrate: L localities x C scheduler threads plus an
 /// interconnect.  Two implementations share this interface: a real
@@ -116,6 +119,10 @@ class Executor {
   TraceSink& trace();
   const TraceSink& trace() const;
 
+  /// The runtime's counter registry (sched/coalesce/lco/gas/op metrics).
+  CounterRegistry& counters();
+  const CounterRegistry& counters() const;
+
   /// Total bytes sent across localities (diagnostics).
   std::uint64_t bytes_sent() const;
   std::uint64_t parcels_sent() const;
@@ -139,12 +146,13 @@ int current_worker();
 /// No-op when tracing is disabled or called outside a worker.
 class ScopedTrace {
  public:
-  ScopedTrace(Executor& ex, std::uint8_t cls);
+  ScopedTrace(Executor& ex, std::uint8_t cls, std::uint32_t arg = kNoTraceArg);
   ~ScopedTrace();
 
  private:
   Executor& ex_;
   std::uint8_t cls_;
+  std::uint32_t arg_;
   double t0_;
 };
 

@@ -1,5 +1,6 @@
 #include "runtime/lco.hpp"
 
+#include "runtime/locality_runtime.hpp"
 #include "support/error.hpp"
 
 namespace amtfmm {
@@ -10,6 +11,11 @@ void LCO::set_input(std::span<const std::byte> data) {
     std::lock_guard lk(mu_);
     AMTFMM_ASSERT_MSG(!triggered_.load(std::memory_order_relaxed),
                       "input to an already-triggered LCO");
+    // Input-wait latency: stamp the first arrival, observe on trigger.  The
+    // clock read is skipped entirely while the registry is disabled.
+    if (first_input_t_ < 0.0 && ex_.counters().enabled()) {
+      first_input_t_ = ex_.now();
+    }
     reduce(data);
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       now_triggered = true;
@@ -27,6 +33,20 @@ void LCO::fire() {
     to_run.swap(continuations_);
   }
   cv_.notify_all();
+  const double tn =
+      (ex_.counters().enabled() || ex_.trace().enabled()) ? ex_.now() : -1.0;
+  if (tn >= 0.0) {
+    const int w = LocalityRuntime::metric_worker();
+    if (first_input_t_ >= 0.0) {
+      ex_.counters().observe(
+          w, ex_.runtime().ids().lco_input_wait_us,
+          static_cast<std::uint64_t>((tn - first_input_t_) * 1e6));
+    }
+    if (ex_.trace().enabled()) {
+      ex_.trace().record_instant(static_cast<std::uint32_t>(w),
+                                 InstantKind::kLcoFire, tn);
+    }
+  }
   on_fire();
   for (auto& t : to_run) ex_.spawn(std::move(t));
 }

@@ -65,6 +65,9 @@ class LCO {
   std::vector<Task> continuations_;
   std::atomic<int> remaining_;
   std::atomic<bool> triggered_{false};
+  /// Executor-clock time of the first input (-1 until seen); written under
+  /// mu_, read by fire() after the final input — feeds lco.input_wait_us.
+  double first_input_t_ = -1.0;
 };
 
 /// Single-assignment future holding a trivially copyable value.

@@ -1,14 +1,42 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <optional>
+#include <string>
 
+#include "kernels/kernel.hpp"
 #include "runtime/coalescer.hpp"
+#include "runtime/counters.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/trace.hpp"
 
 namespace amtfmm {
+
+/// Ids of the standard runtime metrics, registered by LocalityRuntime at
+/// construction so hot paths never pay a name lookup.  Taxonomy (see
+/// DESIGN.md "Observability"): `sched.*` scheduler behaviour, `coalesce.*`
+/// the parcel coalescing layer, `lco.*` dataflow synchronization, `gas.*`
+/// global-address-space occupancy, `op.<name>.tasks` per-operator task
+/// counts filled by the DAG engine.
+struct RuntimeCounterIds {
+  CounterRegistry::Id steal_attempts = 0;
+  CounterRegistry::Id steal_success = 0;
+  CounterRegistry::Id park_count = 0;
+  CounterRegistry::Id park_time_us = 0;
+  CounterRegistry::Id inbox_drains = 0;
+  CounterRegistry::Id inbox_tasks = 0;
+  CounterRegistry::Id tasks_run = 0;
+  CounterRegistry::Id deque_depth_hw = 0;       ///< gauge
+  CounterRegistry::Id coalesce_buffered_hw = 0; ///< gauge
+  CounterRegistry::Id flush_threshold = 0;
+  CounterRegistry::Id flush_deadline = 0;
+  CounterRegistry::Id flush_quiescence = 0;
+  CounterRegistry::Id gas_objects_hw = 0;       ///< gauge
+  CounterRegistry::Id lco_input_wait_us = 0;    ///< histogram
+  std::array<CounterRegistry::Id, kNumOperators> op_tasks{};
+};
 
 /// The executor-agnostic per-process runtime core shared by both execution
 /// substrates: parcel coalescing buffers, communication counters, the trace
@@ -32,7 +60,28 @@ class LocalityRuntime {
                   const CoalesceConfig& coalesce)
       : coalescer_(num_localities, coalesce),
         counters_(num_localities),
-        trace_(total_workers) {}
+        trace_(total_workers),
+        metrics_(total_workers) {
+    ids_.steal_attempts = metrics_.counter("sched.steal_attempts");
+    ids_.steal_success = metrics_.counter("sched.steal_success");
+    ids_.park_count = metrics_.counter("sched.park_count");
+    ids_.park_time_us = metrics_.counter("sched.park_time_us");
+    ids_.inbox_drains = metrics_.counter("sched.inbox_drains");
+    ids_.inbox_tasks = metrics_.counter("sched.inbox_tasks");
+    ids_.tasks_run = metrics_.counter("sched.tasks_run");
+    ids_.deque_depth_hw = metrics_.gauge("sched.deque_depth_hw");
+    ids_.coalesce_buffered_hw = metrics_.gauge("coalesce.buffered_hw");
+    ids_.flush_threshold = metrics_.counter("coalesce.flush_threshold");
+    ids_.flush_deadline = metrics_.counter("coalesce.flush_deadline");
+    ids_.flush_quiescence = metrics_.counter("coalesce.flush_quiescence");
+    ids_.gas_objects_hw = metrics_.gauge("gas.objects_hw");
+    ids_.lco_input_wait_us = metrics_.histogram("lco.input_wait_us");
+    for (int op = 0; op < kNumOperators; ++op) {
+      ids_.op_tasks[static_cast<std::size_t>(op)] = metrics_.counter(
+          std::string("op.") + to_string(static_cast<Operator>(op)) +
+          ".tasks");
+    }
+  }
 
   /// Accounts one logical parcel and either returns it as a ready wire
   /// message or buffers it.  With coalescing off the parcel always comes
@@ -55,7 +104,10 @@ class LocalityRuntime {
       return out;
     }
     out.coalesced = true;
-    buffered_.fetch_add(1, std::memory_order_seq_cst);
+    const std::int64_t cur =
+        buffered_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    metrics_.gauge_max(metric_worker(), ids_.coalesce_buffered_hw,
+                       static_cast<std::uint64_t>(cur));
     auto r = coalescer_.enqueue(from, to, bytes, std::move(t), now);
     if (r.ready) out.batch = std::move(*r.ready);
     out.first = r.first;
@@ -69,7 +121,21 @@ class LocalityRuntime {
   void account_batch(const ParcelBatch& b, double start, double arrival,
                      bool coalesced) {
     counters_.on_batch(b.dst, b.tasks.size(), b.bytes);
-    if (coalesced) counters_.on_reason(b.reason);
+    if (coalesced) {
+      counters_.on_reason(b.reason);
+      const int w = metric_worker();
+      switch (b.reason) {
+        case FlushReason::kThreshold:
+          metrics_.add(w, ids_.flush_threshold);
+          break;
+        case FlushReason::kDeadline:
+          metrics_.add(w, ids_.flush_deadline);
+          break;
+        case FlushReason::kQuiescence:
+          metrics_.add(w, ids_.flush_quiescence);
+          break;
+      }
+    }
     if (trace_.enabled()) {
       trace_.record_comm(CommEvent{start, arrival, b.src, b.dst,
                                    static_cast<std::uint32_t>(b.tasks.size()),
@@ -111,6 +177,17 @@ class LocalityRuntime {
   TraceSink& trace() { return trace_; }
   const TraceSink& trace() const { return trace_; }
 
+  CounterRegistry& counters() { return metrics_; }
+  const CounterRegistry& counters() const { return metrics_; }
+  const RuntimeCounterIds& ids() const { return ids_; }
+
+  /// Shard for metric updates from the calling thread: the worker id, or
+  /// shard 0 for non-worker threads (main thread, sim event loop).
+  static int metric_worker() {
+    const int w = current_worker();
+    return w >= 0 ? w : 0;
+  }
+
   std::uint64_t bytes() const { return counters_.bytes(); }
   std::uint64_t parcels() const { return counters_.parcels(); }
   CommStats comm_stats() const { return counters_.snapshot(); }
@@ -119,6 +196,8 @@ class LocalityRuntime {
   ParcelCoalescer coalescer_;
   CommCounters counters_;
   TraceSink trace_;
+  CounterRegistry metrics_;
+  RuntimeCounterIds ids_;
   std::atomic<std::int64_t> buffered_{0};
 };
 

@@ -118,12 +118,13 @@ void SimExecutor::run_task(std::uint32_t loc, Task t) {
         loc * static_cast<std::uint32_t>(cores_) +
         static_cast<std::uint32_t>(std::min(core, cores_ - 1));
     for (const CostItem& it : t.items) {
-      rt_->trace().record(worker, it.cls, finish, finish + it.cost);
+      rt_->trace().record(worker, it.cls, finish, finish + it.cost, it.arg);
       finish += it.cost;
     }
   } else {
     for (const CostItem& it : t.items) finish += it.cost;
   }
+  rt_->counters().add(0, rt_->ids().tasks_run);
   post(finish, [this, loc, fn = std::move(t.fn)]() {
     current_loc_ = static_cast<int>(loc);
     if (fn) fn();

@@ -22,14 +22,16 @@ inline void cpu_relax() {
 
 int current_worker() { return tls_worker; }
 
-ScopedTrace::ScopedTrace(Executor& ex, std::uint8_t cls)
-    : ex_(ex), cls_(cls), t0_(ex.trace().enabled() ? ex.now() : 0.0) {}
+ScopedTrace::ScopedTrace(Executor& ex, std::uint8_t cls, std::uint32_t arg)
+    : ex_(ex), cls_(cls), arg_(arg),
+      t0_(ex.trace().enabled() ? ex.now() : 0.0) {}
 
 ScopedTrace::~ScopedTrace() {
   if (!ex_.trace().enabled()) return;
   const int w = current_worker();
   if (w < 0) return;
-  ex_.trace().record(static_cast<std::uint32_t>(w), cls_, t0_, ex_.now());
+  ex_.trace().record(static_cast<std::uint32_t>(w), cls_, t0_, ex_.now(),
+                     arg_);
 }
 
 ThreadExecutor::ThreadExecutor(int num_localities, int cores_per_locality,
@@ -100,6 +102,10 @@ void ThreadExecutor::push_local(int w, TaskNode* n) {
   if (!dq.push(n)) {
     (hi ? ws.overflow_high : ws.overflow_low).push_back(n);
   }
+  auto& ctr = rt_->counters();
+  if (ctr.enabled()) {
+    ctr.gauge_max(w, rt_->ids().deque_depth_hw, dq.size_estimate());
+  }
 }
 
 void ThreadExecutor::spawn(Task t) {
@@ -147,6 +153,12 @@ void ThreadExecutor::send(std::uint32_t from, std::uint32_t to,
   // destination re-sequencing (each message carries exactly one task).
   const double tn = now();
   rt_->account_batch(*out.batch, tn, tn, /*coalesced=*/false);
+  if (rt_->trace().enabled()) {
+    const auto w =
+        static_cast<std::uint32_t>(LocalityRuntime::metric_worker());
+    rt_->trace().record_instant(w, InstantKind::kParcelSend, tn, to);
+    rt_->trace().record_instant(w, InstantKind::kParcelRecv, tn, from);
+  }
   for (Task& bt : out.batch->tasks) spawn(std::move(bt));
 }
 
@@ -154,6 +166,11 @@ void ThreadExecutor::deliver(ParcelBatch b) {
   const auto n = static_cast<std::int64_t>(b.tasks.size());
   const double tn = now();
   rt_->account_batch(b, tn, tn, /*coalesced=*/true);
+  if (rt_->trace().enabled()) {
+    rt_->trace().record_instant(
+        static_cast<std::uint32_t>(LocalityRuntime::metric_worker()),
+        InstantKind::kParcelSend, tn, b.dst);
+  }
   Task w;
   w.locality = b.dst;
   w.high_priority = b.any_high;
@@ -169,6 +186,11 @@ void ThreadExecutor::deliver(ParcelBatch b) {
 }
 
 void ThreadExecutor::run_batch_in_order(ParcelBatch b) {
+  if (rt_->trace().enabled()) {
+    rt_->trace().record_instant(
+        static_cast<std::uint32_t>(LocalityRuntime::metric_worker()),
+        InstantKind::kParcelRecv, now(), b.src);
+  }
   InOrder& io = inorder_[static_cast<std::size_t>(b.src) *
                              static_cast<std::size_t>(num_localities_) +
                          b.dst];
@@ -231,6 +253,12 @@ void ThreadExecutor::drain_inbox(int w) {
     ++moved;
     n = next;
   }
+  auto& ctr = rt_->counters();
+  if (ctr.enabled()) {
+    const auto& ids = rt_->ids();
+    ctr.add(w, ids.inbox_drains);
+    ctr.add(w, ids.inbox_tasks, static_cast<std::uint64_t>(moved));
+  }
   // The inbox itself is not stealable; now that the tasks sit in a deque,
   // parked peers can help with everything beyond the one we run next.
   if (moved > 1) wake_all();
@@ -262,13 +290,25 @@ ThreadExecutor::TaskNode* ThreadExecutor::try_steal(int w) {
   auto& me = *workers_[static_cast<std::size_t>(w)];
   const int base = (w / cores_) * cores_;
   const int self = w - base;
+  auto& ctr = rt_->counters();
+  const bool counting = ctr.enabled();
   for (int attempt = 0; attempt < 2 * (cores_ - 1); ++attempt) {
     const int r = static_cast<int>(
         me.rng.below(static_cast<std::uint64_t>(cores_ - 1)));
     const int victim = base + (r >= self ? r + 1 : r);
     auto& vs = *workers_[static_cast<std::size_t>(victim)];
-    if (TaskNode* n = vs.high.steal()) return n;
-    if (TaskNode* n = vs.low.steal()) return n;
+    if (counting) ctr.add(w, rt_->ids().steal_attempts);
+    TaskNode* n = vs.high.steal();
+    if (n == nullptr) n = vs.low.steal();
+    if (n != nullptr) {
+      if (counting) ctr.add(w, rt_->ids().steal_success);
+      if (rt_->trace().enabled()) {
+        rt_->trace().record_instant(static_cast<std::uint32_t>(w),
+                                    InstantKind::kSteal, now(),
+                                    static_cast<std::uint32_t>(victim));
+      }
+      return n;
+    }
   }
   return nullptr;
 }
@@ -307,12 +347,21 @@ void ThreadExecutor::park(int w) {
     sleepers_.fetch_sub(1, std::memory_order_relaxed);
     return;
   }
+  auto& ctr = rt_->counters();
+  const bool counting = ctr.enabled();
+  const double t0 = counting ? now() : 0.0;
   const std::uint64_t e = wake_epoch_.load(std::memory_order_relaxed);
   idle_cv_.wait(lk, [this, e] {
     return stop_.load(std::memory_order_acquire) ||
            wake_epoch_.load(std::memory_order_relaxed) != e;
   });
   sleepers_.fetch_sub(1, std::memory_order_relaxed);
+  if (counting) {
+    const auto& ids = rt_->ids();
+    ctr.add(w, ids.park_count);
+    ctr.add(w, ids.park_time_us,
+            static_cast<std::uint64_t>((now() - t0) * 1e6));
+  }
 }
 
 void ThreadExecutor::worker_loop(int w) {
@@ -325,6 +374,7 @@ void ThreadExecutor::worker_loop(int w) {
       Task t = std::move(n->task);
       delete n;
       if (t.fn) t.fn();
+      rt_->counters().add(w, rt_->ids().tasks_run);
       if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         // Take the mutex so the notify cannot slip between drain()'s
         // predicate check and its wait.

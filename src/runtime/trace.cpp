@@ -10,7 +10,18 @@ namespace amtfmm {
 const char* trace_class_name(std::uint8_t cls) {
   if (cls < kNumOperators) return to_string(static_cast<Operator>(cls));
   if (cls == kClsNetwork) return "network";
-  return "other";
+  if (cls == kClsOther) return "other";
+  return "?";
+}
+
+const char* instant_kind_name(InstantKind kind) {
+  switch (kind) {
+    case InstantKind::kSteal: return "steal";
+    case InstantKind::kParcelSend: return "parcel_send";
+    case InstantKind::kParcelRecv: return "parcel_recv";
+    case InstantKind::kLcoFire: return "lco_fire";
+  }
+  return "?";
 }
 
 std::vector<TraceEvent> TraceSink::collect() const {
@@ -24,8 +35,19 @@ std::vector<TraceEvent> TraceSink::collect() const {
   return out;
 }
 
+std::vector<InstantEvent> TraceSink::collect_instants() const {
+  std::vector<InstantEvent> out;
+  std::size_t total = 0;
+  for (const auto& b : instants_) total += b.size();
+  out.reserve(total);
+  for (const auto& b : instants_) out.insert(out.end(), b.begin(), b.end());
+  std::sort(out.begin(), out.end(),
+            [](const InstantEvent& a, const InstantEvent& b) { return a.t < b.t; });
+  return out;
+}
+
 void TraceSink::record_comm(const CommEvent& e) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   std::lock_guard lk(comm_mu_);
   comm_.push_back(e);
 }
@@ -40,6 +62,7 @@ std::vector<CommEvent> TraceSink::collect_comm() const {
 
 void TraceSink::clear() {
   for (auto& b : buffers_) b.clear();
+  for (auto& b : instants_) b.clear();
   std::lock_guard lk(comm_mu_);
   comm_.clear();
 }
@@ -49,12 +72,13 @@ UtilizationProfile utilization(std::span<const TraceEvent> events,
                                int num_workers) {
   AMTFMM_ASSERT(intervals >= 1);
   AMTFMM_ASSERT(num_workers >= 1);
-  AMTFMM_ASSERT(t_end > t_begin);
   UtilizationProfile p;
   p.t_begin = t_begin;
   p.t_end = t_end;
   p.total.assign(static_cast<std::size_t>(intervals), 0.0);
   for (auto& v : p.by_class) v.assign(static_cast<std::size_t>(intervals), 0.0);
+  // Degenerate window: all-zero fractions, never divide by zero below.
+  if (!(t_end > t_begin)) return p;
 
   const double dt = (t_end - t_begin) / intervals;
   for (const TraceEvent& e : events) {

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <mutex>
 #include <span>
@@ -18,13 +20,22 @@ inline constexpr int kNumTraceClasses = 13;
 
 const char* trace_class_name(std::uint8_t cls);
 
+/// Sentinel for TraceEvent::arg / InstantEvent::arg: "no attribution".
+inline constexpr std::uint32_t kNoTraceArg = 0xffffffffu;
+
 /// One traced interval on one scheduler thread (times in seconds — wall
-/// time in real mode, virtual time in sim mode).
+/// time in real mode, virtual time in sim mode).  `arg` attributes the span
+/// to a DAG entity: for operator-class spans it is the DAG edge id whose
+/// apply produced the work (kNoTraceArg when the span covers runtime work
+/// with no single edge, e.g. parcel deserialization).  Edge ids index
+/// Dag::edges, which the Chrome exporter embeds in the trace file so the
+/// analyzer can rebuild the weighted dependency graph.
 struct TraceEvent {
   double t0;
   double t1;
   std::uint32_t worker;
   std::uint8_t cls;
+  std::uint32_t arg = kNoTraceArg;
 };
 
 /// One wire message on the interconnect: a parcel, or a coalesced batch of
@@ -40,18 +51,49 @@ struct CommEvent {
   std::uint64_t bytes;
 };
 
+/// Zero-duration scheduler events, rendered as Chrome instant events.
+enum class InstantKind : std::uint8_t {
+  kSteal = 0,       ///< successful steal; arg = victim worker
+  kParcelSend = 1,  ///< batch handed to the wire; arg = destination locality
+  kParcelRecv = 2,  ///< batch delivered; arg = source locality
+  kLcoFire = 3,     ///< LCO trigger (all inputs arrived); arg = kNoTraceArg
+};
+inline constexpr int kNumInstantKinds = 4;
+
+const char* instant_kind_name(InstantKind kind);
+
+struct InstantEvent {
+  double t;
+  std::uint32_t worker;
+  InstantKind kind;
+  std::uint32_t arg = kNoTraceArg;
+};
+
 /// Collects events from many workers with per-worker buffers (no contention
 /// on the hot path).
 class TraceSink {
  public:
-  explicit TraceSink(int workers) : buffers_(static_cast<std::size_t>(workers)) {}
+  explicit TraceSink(int workers)
+      : buffers_(static_cast<std::size_t>(workers)),
+        instants_(static_cast<std::size_t>(workers)) {}
 
-  void set_enabled(bool on) { enabled_ = on; }
-  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  /// Relaxed atomic: workers read this on idle paths (steal/park) while the
+  /// main thread may toggle it, so a plain bool would race under TSan.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  void record(std::uint32_t worker, std::uint8_t cls, double t0, double t1) {
-    if (!enabled_) return;
-    buffers_[worker].push_back(TraceEvent{t0, t1, worker, cls});
+  void record(std::uint32_t worker, std::uint8_t cls, double t0, double t1,
+              std::uint32_t arg = kNoTraceArg) {
+    if (!enabled()) return;
+    assert(worker < buffers_.size() && "trace worker id out of range");
+    buffers_[worker].push_back(TraceEvent{t0, t1, worker, cls, arg});
+  }
+
+  void record_instant(std::uint32_t worker, InstantKind kind, double t,
+                      std::uint32_t arg = kNoTraceArg) {
+    if (!enabled()) return;
+    assert(worker < instants_.size() && "trace worker id out of range");
+    instants_[worker].push_back(InstantEvent{t, worker, kind, arg});
   }
 
   /// Records one wire message.  Thread safe; no-op when disabled.  Flushes
@@ -61,14 +103,18 @@ class TraceSink {
   /// Merges all per-worker buffers (call after drain()).
   std::vector<TraceEvent> collect() const;
 
+  /// Merges all per-worker instant buffers (call after drain()).
+  std::vector<InstantEvent> collect_instants() const;
+
   /// Wire messages in departure order (call after drain()).
   std::vector<CommEvent> collect_comm() const;
 
   void clear();
 
  private:
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
   std::vector<std::vector<TraceEvent>> buffers_;
+  std::vector<std::vector<InstantEvent>> instants_;
   mutable std::mutex comm_mu_;
   std::vector<CommEvent> comm_;
 };
@@ -77,7 +123,9 @@ class TraceSink {
 ///   f_k^(i) = dt_k^(i) / (n dt_k),   f_k = sum_i f_k^(i)
 /// over M uniform intervals of [t_begin, t_end], where n is the total
 /// number of scheduler threads.  Events spanning interval boundaries are
-/// split proportionally.
+/// split proportionally; events entirely at or past t_end and zero-length
+/// events contribute nothing.  A degenerate window (t_end <= t_begin)
+/// yields all-zero fractions rather than NaN.
 struct UtilizationProfile {
   std::vector<double> total;  // f_k, one per interval
   std::array<std::vector<double>, kNumTraceClasses> by_class;  // f_k^(i)

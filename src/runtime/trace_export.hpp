@@ -1,0 +1,37 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "runtime/counters.hpp"
+#include "runtime/trace.hpp"
+
+namespace amtfmm {
+
+/// Options for trace_export_chrome().  `dag_edges` is the DAG flattened as
+/// [src0, dst0, src1, dst1, ...] in edge-id order (EvalResult::dag_edges);
+/// it is embedded under the custom top-level "amtfmm" key so the trace file
+/// is self-contained for the critical-path analyzer (tools/trace_report).
+/// Perfetto and chrome://tracing ignore unknown top-level keys.
+struct ChromeTraceOptions {
+  int cores_per_locality = 1;
+  double makespan = 0.0;  ///< seconds; echoed into the "amtfmm" metadata
+  bool sim = false;       ///< virtual-time (DES) run vs wall-clock run
+  std::span<const std::uint32_t> dag_edges;
+  const CounterSnapshot* counters = nullptr;  ///< optional snapshot echo
+};
+
+/// Writes Chrome/Perfetto `trace_event` JSON: one process per locality, one
+/// thread per worker plus a "net" pseudo-thread per locality; operator
+/// spans as "X" complete events (args.edge carries the DAG edge id),
+/// scheduler instants as "i" events, and wire messages as NIC-occupancy
+/// slices on the destination's net thread connected by "s"/"f" flow
+/// arrows.  Timestamps are microseconds; events are emitted in
+/// non-decreasing ts order.  Returns false on I/O failure.
+bool trace_export_chrome(const std::string& path,
+                         std::span<const TraceEvent> spans,
+                         std::span<const CommEvent> comm,
+                         std::span<const InstantEvent> instants,
+                         const ChromeTraceOptions& opt);
+
+}  // namespace amtfmm

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "runtime/counters.hpp"
+
+namespace amtfmm {
+namespace {
+
+TEST(CounterRegistry, RegistrationReturnsStableIds) {
+  CounterRegistry reg(2);
+  const auto a = reg.counter("sched.tasks_run");
+  const auto b = reg.counter("sched.steal_attempts");
+  EXPECT_NE(a, b);
+  // Re-registering an existing name returns the existing id.
+  EXPECT_EQ(reg.counter("sched.tasks_run"), a);
+  EXPECT_EQ(reg.find("sched.steal_attempts"), b);
+  EXPECT_EQ(reg.find("no.such.metric"), CounterRegistry::kNoId);
+}
+
+TEST(CounterRegistry, DisabledUpdatesAreDropped) {
+  CounterRegistry reg(1);
+  const auto c = reg.counter("c");
+  const auto g = reg.gauge("g");
+  const auto h = reg.histogram("h");
+  reg.add(0, c, 7);
+  reg.gauge_max(0, g, 9);
+  reg.observe(0, h, 3);
+  const CounterSnapshot s = reg.snapshot();
+  EXPECT_EQ(s.value("c"), 0u);
+  EXPECT_EQ(s.value("g"), 0u);
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].count, 0u);
+}
+
+TEST(CounterRegistry, CountersSumAcrossWorkerShards) {
+  CounterRegistry reg(4);
+  const auto c = reg.counter("c");
+  reg.set_enabled(true);
+  for (int w = 0; w < 4; ++w) reg.add(w, c, static_cast<std::uint64_t>(w + 1));
+  EXPECT_EQ(reg.snapshot().value("c"), 1u + 2 + 3 + 4);
+  // Out-of-range worker ids (main thread, sim event loop) fold to shard 0.
+  reg.add(99, c, 5);
+  reg.add(-1, c, 5);
+  EXPECT_EQ(reg.snapshot().value("c"), 20u);
+}
+
+TEST(CounterRegistry, GaugesMergeByMaximum) {
+  CounterRegistry reg(3);
+  const auto g = reg.gauge("depth_hw");
+  reg.set_enabled(true);
+  reg.gauge_max(0, g, 5);
+  reg.gauge_max(1, g, 17);
+  reg.gauge_max(2, g, 11);
+  reg.gauge_max(1, g, 3);  // lower value must not regress the high-water
+  EXPECT_EQ(reg.snapshot().value("depth_hw"), 17u);
+}
+
+TEST(CounterRegistry, HistogramBucketsAreLog2) {
+  EXPECT_EQ(CounterRegistry::bucket_of(0), 0u);
+  EXPECT_EQ(CounterRegistry::bucket_of(1), 0u);
+  EXPECT_EQ(CounterRegistry::bucket_of(2), 1u);
+  EXPECT_EQ(CounterRegistry::bucket_of(3), 1u);
+  EXPECT_EQ(CounterRegistry::bucket_of(4), 2u);
+  EXPECT_EQ(CounterRegistry::bucket_of(7), 2u);
+  EXPECT_EQ(CounterRegistry::bucket_of(8), 3u);
+  // Values past the last bucket boundary clamp into the final bucket.
+  EXPECT_EQ(CounterRegistry::bucket_of(~0ull), CounterRegistry::kHistBuckets - 1);
+
+  CounterRegistry reg(2);
+  const auto h = reg.histogram("lat");
+  reg.set_enabled(true);
+  reg.observe(0, h, 1);
+  reg.observe(0, h, 6);
+  reg.observe(1, h, 6);
+  const CounterSnapshot s = reg.snapshot();
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].count, 3u);
+  EXPECT_EQ(s.histograms[0].sum, 13u);
+  EXPECT_EQ(s.histograms[0].buckets[0], 1u);
+  EXPECT_EQ(s.histograms[0].buckets[2], 2u);
+}
+
+TEST(CounterRegistry, ClearZeroesButKeepsRegistrations) {
+  CounterRegistry reg(1);
+  const auto c = reg.counter("c");
+  reg.set_enabled(true);
+  reg.add(0, c, 42);
+  reg.clear();
+  const CounterSnapshot s = reg.snapshot();
+  EXPECT_EQ(s.value("c"), 0u);
+  ASSERT_EQ(s.counters.size(), 1u);  // still registered
+  EXPECT_EQ(reg.counter("c"), c);
+}
+
+// Concurrency hammer: many threads updating the same metrics through their
+// own shards (and deliberately through a shared shard) while the registry
+// is live.  Snapshot totals must be exact — run under TSan in CI.
+TEST(CounterRegistry, ConcurrentUpdatesAreExact) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kIters = 50000;
+  CounterRegistry reg(kThreads);
+  const auto c = reg.counter("hits");
+  const auto shared = reg.counter("shared_hits");
+  const auto g = reg.gauge("peak");
+  const auto h = reg.histogram("lat");
+  reg.set_enabled(true);
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      for (std::uint64_t i = 0; i < kIters; ++i) {
+        reg.add(w, c);
+        reg.add(0, shared);  // every thread hammers one shard
+        reg.gauge_max(w, g, i);
+        if ((i & 1023) == 0) reg.observe(w, h, i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const CounterSnapshot s = reg.snapshot();
+  EXPECT_EQ(s.value("hits"), kThreads * kIters);
+  EXPECT_EQ(s.value("shared_hits"), kThreads * kIters);
+  EXPECT_EQ(s.value("peak"), kIters - 1);
+  std::uint64_t hist_count = 0;
+  for (const auto& hist : s.histograms)
+    if (hist.name == "lat") hist_count = hist.count;
+  EXPECT_EQ(hist_count, kThreads * ((kIters + 1023) / 1024));
+}
+
+// Toggling enabled while workers update: no torn counts, no data race (the
+// gate is a relaxed atomic).  The final total just has to be <= the number
+// of attempted increments and stable after join.
+TEST(CounterRegistry, ConcurrentEnableToggle) {
+  CounterRegistry reg(4);
+  const auto c = reg.counter("c");
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < 20000; ++i) reg.add(w, c);
+    });
+  }
+  for (int i = 0; i < 100; ++i) reg.set_enabled(i % 2 == 0);
+  reg.set_enabled(true);
+  for (auto& t : threads) t.join();
+  EXPECT_LE(reg.snapshot().value("c"), 4u * 20000u);
+}
+
+}  // namespace
+}  // namespace amtfmm

@@ -1,0 +1,57 @@
+// Post-mortem analyzer for Chrome traces written by trace_export_chrome()
+// (bench --trace-out=FILE).  Prints a compact JSON report to stdout —
+// critical-path length, per-class time totals, per-worker utilization, and
+// steal/coalescing counters — and exits nonzero when the trace fails its
+// structural or consistency checks, so CI can gate on it directly.
+//
+// Usage: trace_report TRACE.json [--out REPORT.json]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "runtime/trace_report.hpp"
+
+int main(int argc, char** argv) {
+  std::string in;
+  std::string out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: trace_report TRACE.json [--out REPORT.json]\n");
+      return 0;
+    } else if (in.empty()) {
+      in = argv[i];
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (in.empty()) {
+    std::fprintf(stderr, "usage: trace_report TRACE.json [--out REPORT.json]\n");
+    return 2;
+  }
+
+  const amtfmm::TraceReport report = amtfmm::analyze_trace_file(in);
+  const std::string json = report_json(report);
+  std::printf("%s\n", json.c_str());
+  if (!out.empty()) {
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 2;
+    }
+    std::fputs(json.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+  if (!report.valid) {
+    std::fprintf(stderr, "trace_report: INVALID trace: %s\n",
+                 report.error.c_str());
+    return 1;
+  }
+  return 0;
+}
