@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Full local gate, mirroring .github/workflows/ci.yml:
-#   1. Release build + complete test suite,
-#   2. Debug build of the multi-locality parity / LCO-semantics tests
+#   1. invariant lint (threading / memory-order / payload / seed rules),
+#   2. Release build + complete test suite,
+#   3. rtcheck model-checker sweep (exhaustive DFS + seeded mutations + PCT),
+#   4. Debug build of the multi-locality parity / LCO-semantics tests
 #      (assertions and the GAS/ownership debug checks enabled),
-#   3. ThreadSanitizer build of the concurrency-sensitive targets,
-#   4. AddressSanitizer build + complete test suite,
-#   5. UndefinedBehaviorSanitizer build + complete test suite,
-#   6. clang-format check (skipped when clang-format is unavailable),
-#   7. benchmark smoke run with JSON output.
+#   5. ThreadSanitizer build of the concurrency-sensitive targets,
+#   6. AddressSanitizer build + complete test suite,
+#   7. UndefinedBehaviorSanitizer build + complete test suite,
+#   8. clang-format check (skipped when clang-format is unavailable),
+#   9. benchmark smoke run with JSON output.
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -15,10 +17,24 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
+echo "== Invariant lint =="
+python3 scripts/lint_invariants.py
+
 echo "== Release build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "== rtcheck: exhaustive DFS sweep =="
+./build/tools/rtcheck --mode dfs
+echo "== rtcheck: seeded-mutation detection =="
+for m in steal-bottom-relaxed lco-set-input-no-lock \
+         coalescer-count-after-insert gas-resolve-relaxed \
+         counters-count-early; do
+  ./build/tools/rtcheck --mutation "$m"
+done
+echo "== rtcheck: randomized (PCT) quick pass =="
+./build/tools/rtcheck --mode pct --executions 64 --seed 1
 
 echo "== Debug build (multi-locality parity, LCO semantics, GAS checks) =="
 cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug >/dev/null

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Repository concurrency/robustness invariant linter.
+
+Machine-checkable rules the code review relies on:
+
+  1. threading-primitives: raw std::thread / std::mutex /
+     std::condition_variable only inside src/runtime/ (the execution
+     substrate) and src/rtcheck/ (the model checker's own machinery).
+     Everything else goes through the Executor interface or SyncMutex /
+     SyncCondVar.  Escape: `// thread-ok: <reason>` on the line or within
+     two lines above, for the rare documented exception.
+
+  2. relaxed-ordering: `memory_order_relaxed` needs a
+     `// relaxed-ok: <reason>` comment (same line or up to two lines
+     above) stating why the weak order is safe.  Exempt files, where
+     relaxed is the reviewed default: src/runtime/counters.* (sharded
+     statistics, snapshot() documents the merge ordering),
+     src/runtime/ws_deque.hpp (the Chase-Lev memory-order table lives in
+     DESIGN.md §3d), src/runtime/sync_hook.hpp (hook dispatch constants,
+     not atomic operations), and src/rtcheck/ (the harness serializes all
+     model threads; its control flags carry no data).
+
+  3. payload-raw-pointers: parcel payload structs (serialized with memcpy
+     and shipped between localities) must not contain raw pointers —
+     addresses are meaningless on the wire.  Checked structurally for the
+     known wire structs: WireRecord, ExpansionPayload, ParcelHeader,
+     SectionHeader, ContribHeader.
+
+  4. seeded-randomness: no rand()/srand()/std::random_device in src/ —
+     every stochastic component (PCT exploration, benchmark point clouds)
+     takes an explicit seed so runs replay exactly.  Escape:
+     `// rand-ok: <reason>`.
+
+Exit status 0 when clean, 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+THREAD_RE = re.compile(
+    r"std::(thread|jthread|mutex|recursive_mutex|shared_mutex|timed_mutex|"
+    r"condition_variable(_any)?)\b"
+)
+RELAXED_RE = re.compile(r"memory_order_relaxed")
+RANDOM_RE = re.compile(r"std::random_device|(?<![\w.])s?rand\s*\(")
+# A struct member that is (or contains) a raw pointer:  `T* name;`,
+# `T *name = ...;`, `std::array<T*, N> name;`.
+POINTER_MEMBER_RE = re.compile(r"^\s*[\w:<>,\s]+\*+\s*\w+\s*(=[^;]*)?;|<[^>]*\*")
+
+THREAD_DIRS = ("src/runtime/", "src/rtcheck/")
+RELAXED_EXEMPT = (
+    "src/runtime/counters.hpp",
+    "src/runtime/counters.cpp",
+    "src/runtime/ws_deque.hpp",
+    "src/runtime/sync_hook.hpp",
+)
+RELAXED_EXEMPT_DIRS = ("src/rtcheck/",)
+PAYLOAD_STRUCTS = (
+    "WireRecord",
+    "ExpansionPayload",
+    "ParcelHeader",
+    "SectionHeader",
+    "ContribHeader",
+)
+
+
+def has_escape(lines: list[str], idx: int, tag: str) -> bool:
+    """True when `// <tag>:` appears on the line or up to two lines above."""
+    for j in range(max(0, idx - 2), idx + 1):
+        if f"// {tag}:" in lines[j]:
+            return True
+    return False
+
+
+def struct_body(lines: list[str], start: int):
+    """Yields (index, line) of a struct body starting at its `struct` line."""
+    depth = 0
+    opened = False
+    for i in range(start, len(lines)):
+        depth += lines[i].count("{") - lines[i].count("}")
+        if "{" in lines[i]:
+            opened = True
+        if opened:
+            yield i, lines[i]
+        if opened and depth <= 0:
+            return
+
+
+def main() -> int:
+    violations: list[str] = []
+    for path in sorted(SRC.rglob("*")):
+        if path.suffix not in (".hpp", ".cpp"):
+            continue
+        rel = path.relative_to(REPO).as_posix()
+        lines = path.read_text().splitlines()
+
+        in_thread_zone = rel.startswith(THREAD_DIRS)
+        relaxed_exempt = rel in RELAXED_EXEMPT or rel.startswith(
+            RELAXED_EXEMPT_DIRS
+        )
+
+        for i, line in enumerate(lines):
+            code = line.split("//")[0]
+            if not in_thread_zone and THREAD_RE.search(code):
+                if not has_escape(lines, i, "thread-ok"):
+                    violations.append(
+                        f"{rel}:{i + 1}: threading primitive outside "
+                        "src/runtime/ (use the Executor / SyncMutex layer, "
+                        "or add '// thread-ok: <reason>')"
+                    )
+            if not relaxed_exempt and RELAXED_RE.search(code):
+                if not has_escape(lines, i, "relaxed-ok"):
+                    violations.append(
+                        f"{rel}:{i + 1}: memory_order_relaxed without a "
+                        "'// relaxed-ok: <reason>' comment"
+                    )
+            if RANDOM_RE.search(code):
+                if not has_escape(lines, i, "rand-ok"):
+                    violations.append(
+                        f"{rel}:{i + 1}: unseeded randomness (rand/"
+                        "random_device); use an explicit seed or add "
+                        "'// rand-ok: <reason>'"
+                    )
+
+        for i, line in enumerate(lines):
+            m = re.match(r"\s*struct\s+(\w+)\b(?!.*;\s*$)", line)
+            if not m or m.group(1) not in PAYLOAD_STRUCTS:
+                continue
+            for j, body_line in struct_body(lines, i):
+                code = body_line.split("//")[0]
+                if "(" in code or ")" in code:
+                    continue  # member functions may take/return pointers
+                if POINTER_MEMBER_RE.search(code):
+                    violations.append(
+                        f"{rel}:{j + 1}: raw pointer member in parcel "
+                        f"payload struct {m.group(1)} (addresses do not "
+                        "survive the wire)"
+                    )
+
+    if violations:
+        print(f"lint_invariants: {len(violations)} violation(s)")
+        for v in violations:
+            print("  " + v)
+        return 1
+    print("lint_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

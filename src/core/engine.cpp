@@ -80,6 +80,8 @@ double DagEngine::execute(std::span<const double> charges,
     AMTFMM_ASSERT(potentials.size() == dt_.target.num_points());
     std::fill(potentials.begin(), potentials.end(), 0.0);
   }
+  // relaxed-ok: statistic reset before any worker runs; executor spawn
+  // publishes it.
   wire_bytes_.store(0, std::memory_order_relaxed);
   instantiate();
   auto& ctr = ex_.counters();
@@ -272,6 +274,7 @@ void DagEngine::spawn_edge_tasks(NodeIndex ni) {
       ex_.spawn(std::move(t));
     } else {
       const std::uint64_t bytes = contribution_wire_bytes(edge);
+      // relaxed-ok: byte statistic, read only after drain().
       wire_bytes_.fetch_add(bytes, std::memory_order_relaxed);
       Task t;
       t.locality = tloc;
@@ -284,6 +287,7 @@ void DagEngine::spawn_edge_tasks(NodeIndex ni) {
   }
 
   for (PendingParcel& p : parcels) {
+    // relaxed-ok: byte statistic, read only after drain().
     wire_bytes_.fetch_add(p.bytes, std::memory_order_relaxed);
     Task t;
     t.locality = p.loc;
@@ -693,6 +697,7 @@ void DagEngine::send_contribution(NodeIndex ni, std::uint32_t edge_id) {
   std::memcpy(buf->data(), &h, sizeof(h));
   kernel_.pack_l(*out, tbox.level, buf->data() + sizeof(h));
   AMTFMM_ASSERT(buf->size() == contribution_wire_bytes(e));
+  // relaxed-ok: byte statistic, read only after drain().
   wire_bytes_.fetch_add(buf->size(), std::memory_order_relaxed);
 
   Task t;

@@ -68,6 +68,7 @@ class DagEngine {
   /// last execute(); equals Executor::bytes_sent() when the engine is the
   /// only sender.
   std::uint64_t wire_bytes() const {
+    // relaxed-ok: statistic; callers read it after drain() quiesces workers.
     return wire_bytes_.load(std::memory_order_relaxed);
   }
 

@@ -104,6 +104,8 @@ class ExpansionLCO final : public LCO {
   /// spawned consumer task; the last release frees the buffers (the
   /// "buffers free once every consumer holds its share" lifecycle).
   void retain_payload(int n) {
+    // relaxed-ok: retains precede the consumer spawns (spawn publishes);
+    // the final release (acq_rel below) orders the free against readers.
     consumers_.fetch_add(n, std::memory_order_relaxed);
   }
   void release_payload() {

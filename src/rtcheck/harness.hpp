@@ -1,0 +1,231 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rtcheck/hb.hpp"
+#include "rtcheck/strategy.hpp"
+#include "runtime/sync_hook.hpp"
+
+namespace amtfmm {
+class JsonWriter;
+}
+
+namespace amtfmm::rtcheck {
+
+/// How the harness walks the schedule space of a scenario.
+struct RtOptions {
+  enum class Mode { kDfs, kPct, kReplay };
+
+  Mode mode = Mode::kDfs;
+  /// DFS: involuntary-context-switch budget per schedule.
+  int preemption_bound = 2;
+  /// DFS: schedule budget; exploration reports complete=false when hit.
+  std::uint64_t max_executions = 1u << 20;
+  /// Per-execution schedule-point budget (runaway/livelock guard).
+  std::uint64_t max_steps = 1u << 16;
+  /// PCT: base seed; execution i runs from seed + i and replays from that
+  /// seed alone.
+  std::uint64_t seed = 1;
+  std::uint64_t pct_executions = 256;
+  int pct_depth = 3;
+  /// Replay: the pick sequence of a previously reported failure.
+  std::vector<int> replay_schedule;
+  /// Fault injection: which seeded bug to enable (kNone for clean runs).
+  Mutation mutation = Mutation::kNone;
+};
+
+/// One schedule-point record of the failing execution.
+struct RtTraceEvent {
+  std::uint32_t step = 0;
+  int tid = -1;
+  SyncKind kind = SyncKind::kAtomicLoad;
+  std::uint64_t info = 0;
+  std::string label;  ///< scenario label of the address, or its hex form
+};
+
+/// Result of exploring one scenario.
+struct RtReport {
+  std::string scenario;
+  std::string mode;
+  Mutation mutation = Mutation::kNone;
+  bool failed = false;
+  bool complete = false;  ///< DFS: bounded space exhausted within budgets
+  bool diverged = false;  ///< replay: recorded schedule did not match
+  std::uint64_t executions = 0;  ///< schedules explored
+  std::uint64_t seed = 0;        ///< failing execution's seed (PCT)
+  std::string message;
+  std::vector<int> schedule;  ///< failing execution's pick sequence
+  std::vector<RtTraceEvent> trace;
+
+  /// Serializes the report (schedule as a pick array, trace inline).
+  void append_json(JsonWriter& w) const;
+};
+
+class Harness;
+
+/// Handed to a scenario's make(): labels addresses for reports, tracks
+/// scenario-owned plain shared data, and raises checked failures.
+class ScenarioContext {
+ public:
+  explicit ScenarioContext(Harness* h) : h_(h) {}
+
+  void label(const void* addr, std::string name);
+  /// Declare a non-atomic access to scenario-owned shared data; the
+  /// happens-before checker verifies it against all concurrent accesses.
+  void plain_read(const void* addr) const { sync_plain_read(addr); }
+  void plain_write(const void* addr) const { sync_plain_write(addr); }
+  /// Fails the current execution (recording its schedule) when !cond.
+  void check(bool cond, const std::string& msg);
+  void fail(const std::string& msg);
+
+ private:
+  Harness* h_;
+};
+
+/// One execution's thread bodies plus an optional post-join check, built
+/// fresh for every explored schedule.
+struct ScenarioRun {
+  std::vector<std::function<void()>> bodies;
+  std::function<void()> finish;  ///< runs single-threaded after all bodies
+};
+
+/// A named concurrency scenario over real runtime code.
+struct Scenario {
+  std::string name;     ///< "suite.case", e.g. "deque.steal_vs_pop"
+  std::string summary;
+  bool dfs_feasible = true;  ///< false: schedule space too large, PCT only
+  bool expect_fail = false;  ///< self-check scenarios that must be flagged
+  std::function<ScenarioRun(ScenarioContext&)> make;
+};
+
+const std::vector<Scenario>& all_scenarios();
+const Scenario* find_scenario(const std::string& name);
+
+/// The canonical scenario that detects a given seeded mutation.
+const char* mutation_scenario(Mutation m);
+const char* mutation_name(Mutation m);
+/// kNone for "" or "none"; aborts on unknown names via config_error.
+Mutation mutation_from_name(const std::string& name);
+const char* sync_kind_name(SyncKind k);
+std::string format_schedule(const std::vector<int>& s);
+std::vector<int> parse_schedule(const std::string& csv);
+
+/// The model checker: runs a scenario's threads as real OS threads under a
+/// serialized token-passing scheduler whose only switch points are the
+/// sync_hook sites, explores schedules with the configured strategy, and
+/// layers the happens-before checker plus protocol invariants (LCO fires
+/// at most once, the coalescer's pending counter never under-reports its
+/// buffers) over the event stream.  Deterministic: a pick sequence or a
+/// PCT seed replays an execution exactly.
+class Harness final : public SyncObserver {
+ public:
+  Harness(const Scenario& sc, const RtOptions& opt);
+  ~Harness() override = default;
+
+  RtReport run();
+
+  // SyncObserver (called from model threads only):
+  void pre(SyncKind k, const void* addr, std::memory_order mo,
+           std::uint64_t info) override;
+  void post_load(const void* addr, std::memory_order mo) override;
+  void post_store(const void* addr, std::memory_order mo) override;
+  void post_rmw(const void* addr, std::memory_order mo) override;
+  void mutex_lock(const void* m) override;
+  bool mutex_try_lock(const void* m) override;
+  void mutex_unlock(const void* m) override;
+  void cv_register(const void* cv) override;
+  void cv_block(const void* cv) override;
+  void cv_notify_all(const void* cv) override;
+  std::memory_order order_at(Mutation point, std::memory_order d) override;
+  bool mutation_on(Mutation point) override;
+
+ private:
+  friend class ScenarioContext;
+
+  /// Unwind token: thrown through scenario/runtime frames to stop a model
+  /// thread at its current schedule point when the execution aborts.
+  struct AbortExecution {};
+
+  enum class TState : std::uint8_t {
+    kNotStarted,
+    kRunnable,
+    kBlockedMutex,
+    kBlockedCv,
+    kFinished,
+  };
+  struct ModelThread {
+    TState state = TState::kNotStarted;
+    const void* wait_addr = nullptr;
+    const void* cv_wait = nullptr;  ///< cv registered on (pre-block window)
+    bool cv_notified = false;
+    std::thread th;
+  };
+
+  static constexpr std::size_t kMaxTraceEvents = 1u << 16;
+
+  void run_one(Strategy& strat);
+  void thread_main(int tid);
+  void on_thread_done(int me);
+
+  /// Entry guard for hooks that may yield: false when the caller is not a
+  /// model thread or the execution is tearing down mid-unwind; throws
+  /// AbortExecution when the execution aborted and we can still unwind.
+  bool enter_hook();
+  bool enter_hook_nothrow() const;
+  void bump_step_or_fail();
+  void record(int tid, SyncKind k, const void* addr, std::uint64_t info);
+  std::string label_of(const void* addr) const;
+
+  /// Consults the strategy; records the pick.  Returns -1 when every
+  /// thread finished; raises a deadlock failure (and throws) when all
+  /// remaining threads are blocked.
+  int select_next(int me, bool me_runnable);
+  /// Standard schedule point of a runnable thread: pick and hand over.
+  void yield_point(int me);
+  void resume(int next);
+  void resume_and_wait(int next, int me);
+  [[noreturn]] void fail_now(const std::string& msg);
+  void scenario_fail(const std::string& msg);
+  void do_abort();
+  void check_coalescer(const void* c);
+  std::string deadlock_message() const;
+
+  const Scenario& sc_;
+  RtOptions opt_;
+  ScenarioContext ctx_;
+  Strategy* strat_ = nullptr;
+  ScenarioRun run_state_;
+
+  // Token passing: cmu_/ccv_ guard active_ only; all other model state is
+  // touched exclusively by the token holder (execution is serialized).
+  std::mutex cmu_;
+  std::condition_variable ccv_;
+  int active_ = -1;  ///< tid holding the token (-1: controller)
+  std::atomic<bool> abort_{false};
+
+  std::vector<ModelThread> threads_;
+  std::uint32_t step_ = 0;
+  std::vector<int> schedule_;
+  std::vector<RtTraceEvent> trace_;
+  HbChecker hb_;
+  std::map<const void*, int> mutexes_;  ///< model holder tid, -1 free
+  std::map<const void*, int> fires_;
+  std::map<const void*, std::int64_t> buffered_;
+  std::map<const void*, std::int64_t> pending_;
+  std::map<const void*, std::string> labels_;
+  mutable std::map<const void*, std::size_t> anon_;  ///< see label_of()
+
+  std::string failure_;
+  std::vector<int> failed_schedule_;
+  std::vector<RtTraceEvent> failed_trace_;
+};
+
+}  // namespace amtfmm::rtcheck

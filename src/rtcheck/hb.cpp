@@ -1,0 +1,101 @@
+#include "rtcheck/hb.hpp"
+
+namespace amtfmm::rtcheck {
+
+void HbChecker::reset(int threads) {
+  clocks_.assign(static_cast<std::size_t>(threads),
+                 VClock(static_cast<std::size_t>(threads)));
+  atomic_rel_.clear();
+  mutex_rel_.clear();
+  plain_.clear();
+}
+
+void HbChecker::atomic_load(int tid, const void* a, std::memory_order mo) {
+  if (!acquires(mo)) return;
+  auto it = atomic_rel_.find(a);
+  if (it != atomic_rel_.end()) {
+    clocks_[static_cast<std::size_t>(tid)].join(it->second);
+  }
+}
+
+void HbChecker::atomic_store(int tid, const void* a, std::memory_order mo) {
+  auto& c = clocks_[static_cast<std::size_t>(tid)];
+  c.tick(static_cast<std::size_t>(tid));
+  if (releases(mo)) {
+    atomic_rel_[a] = c;
+  } else {
+    // A relaxed store replaces the location's value without releasing: a
+    // later acquire that reads it synchronizes with nothing, so the
+    // location's release clock is dropped (the serialized scheduler means
+    // the last store is the one every later load reads).
+    atomic_rel_.erase(a);
+  }
+}
+
+void HbChecker::atomic_rmw(int tid, const void* a, std::memory_order mo) {
+  auto& c = clocks_[static_cast<std::size_t>(tid)];
+  if (acquires(mo)) {
+    auto it = atomic_rel_.find(a);
+    if (it != atomic_rel_.end()) c.join(it->second);
+  }
+  c.tick(static_cast<std::size_t>(tid));
+  if (releases(mo)) {
+    // Merge, not assign: an RMW continues the release sequence headed by
+    // the earlier release store, so prior releasers stay visible.
+    atomic_rel_[a].join(c);
+  }
+  // A relaxed RMW also continues the release sequence (C++20 [intro.races]),
+  // so the existing release clock is kept as-is.
+}
+
+void HbChecker::mutex_acquire(int tid, const void* m) {
+  auto it = mutex_rel_.find(m);
+  if (it != mutex_rel_.end()) {
+    clocks_[static_cast<std::size_t>(tid)].join(it->second);
+  }
+}
+
+void HbChecker::mutex_release(int tid, const void* m) {
+  auto& c = clocks_[static_cast<std::size_t>(tid)];
+  c.tick(static_cast<std::size_t>(tid));
+  // Assign suffices: the next locker joins this clock, which already
+  // includes every earlier critical section (joined at our own lock).
+  mutex_rel_[m] = c;
+}
+
+std::optional<HbChecker::Race> HbChecker::plain_access(int tid, const void* a,
+                                                       bool write,
+                                                       std::uint32_t step) {
+  auto& st = plain_[a];
+  std::optional<Race> race;
+  if (st.has_write && !ordered(st.write, tid)) {
+    race = Race{st.write.tid, st.write.step, true};
+  }
+  if (write && !race) {
+    for (const Access& r : st.reads) {
+      if (!ordered(r, tid)) {
+        race = Race{r.tid, r.step, false};
+        break;
+      }
+    }
+  }
+  auto& c = clocks_[static_cast<std::size_t>(tid)];
+  c.tick(static_cast<std::size_t>(tid));
+  const Access now{tid, c.at(static_cast<std::size_t>(tid)), step};
+  if (write) {
+    st.has_write = true;
+    st.write = now;
+    st.reads.clear();
+  } else {
+    for (Access& r : st.reads) {
+      if (r.tid == tid) {
+        r = now;
+        return race;
+      }
+    }
+    st.reads.push_back(now);
+  }
+  return race;
+}
+
+}  // namespace amtfmm::rtcheck

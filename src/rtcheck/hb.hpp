@@ -1,0 +1,88 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "rtcheck/vclock.hpp"
+
+namespace amtfmm::rtcheck {
+
+/// FastTrack-style happens-before race checker driven by the sync_hook
+/// event stream (DESIGN.md §3d).
+///
+/// Per-thread vector clocks advance on every tracked access; every atomic
+/// location and mutex carries a release clock.  A release store assigns the
+/// writer's clock to the location, a release RMW merges into it (RMWs
+/// continue a release sequence), an acquire load/RMW joins it into the
+/// reader, and relaxed operations create no edges at all.  Mutex unlock
+/// assigns, lock joins.
+///
+/// Deliberate modeling choice: seq_cst operations contribute only their
+/// acquire/release halves — there is NO global seq_cst clock.  The single
+/// total order of seq_cst operations can order *other* locations' accesses
+/// in ways this per-location model does not credit, so the checker verifies
+/// the stronger per-location release/acquire discipline the runtime
+/// documents.  This is what keeps a weakened fence detectable: crediting SC
+/// totality would hand the deque's steal exactly the edge the
+/// kStealBottomLoadRelaxed mutation removes.
+class HbChecker {
+ public:
+  /// What a flagged plain access conflicted with.
+  struct Race {
+    int other_tid = -1;
+    std::uint32_t other_step = 0;
+    bool other_write = false;
+  };
+
+  void reset(int threads);
+
+  void atomic_load(int tid, const void* a, std::memory_order mo);
+  void atomic_store(int tid, const void* a, std::memory_order mo);
+  void atomic_rmw(int tid, const void* a, std::memory_order mo);
+  void mutex_acquire(int tid, const void* m);
+  void mutex_release(int tid, const void* m);
+
+  /// Checks one non-atomic shared access; returns the conflicting prior
+  /// access when the two are not happens-before ordered.  `step` is the
+  /// harness's schedule-point index, echoed back in reports.  Condition
+  /// variables need no handling here: a waiter re-acquires the mutex, and
+  /// the mutex edges carry the ordering.
+  std::optional<Race> plain_access(int tid, const void* a, bool write,
+                                   std::uint32_t step);
+
+ private:
+  struct Access {
+    int tid = -1;
+    std::uint32_t clk = 0;
+    std::uint32_t step = 0;
+  };
+  struct PlainState {
+    bool has_write = false;
+    Access write;
+    std::vector<Access> reads;  ///< one live entry per reading thread
+  };
+
+  static bool acquires(std::memory_order mo) {
+    return mo == std::memory_order_acquire || mo == std::memory_order_consume ||
+           mo == std::memory_order_acq_rel || mo == std::memory_order_seq_cst;
+  }
+  static bool releases(std::memory_order mo) {
+    return mo == std::memory_order_release ||
+           mo == std::memory_order_acq_rel || mo == std::memory_order_seq_cst;
+  }
+  /// True when the recorded access happens-before thread `tid`'s present.
+  bool ordered(const Access& a, int tid) const {
+    return clocks_[static_cast<std::size_t>(tid)].at(
+               static_cast<std::size_t>(a.tid)) >= a.clk;
+  }
+
+  std::vector<VClock> clocks_;
+  std::map<const void*, VClock> atomic_rel_;
+  std::map<const void*, VClock> mutex_rel_;
+  std::map<const void*, PlainState> plain_;
+};
+
+}  // namespace amtfmm::rtcheck

@@ -1,0 +1,43 @@
+#include "rtcheck/model_executor.hpp"
+
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "runtime/locality_runtime.hpp"
+
+namespace amtfmm::rtcheck {
+
+ModelExecutor::ModelExecutor(int localities) : localities_(localities) {
+  rt_ = std::make_unique<LocalityRuntime>(localities, /*total_workers=*/1,
+                                          CoalesceConfig{});
+}
+
+void ModelExecutor::spawn(Task t) {
+  std::lock_guard lk(mu_);
+  queue_.push_back(std::move(t));
+  ++spawned_total_;
+}
+
+void ModelExecutor::send(std::uint32_t from, std::uint32_t to,
+                         std::size_t bytes, Task t) {
+  (void)from;
+  (void)bytes;
+  t.locality = to;
+  spawn(std::move(t));
+}
+
+double ModelExecutor::drain() {
+  for (;;) {
+    Task t;
+    {
+      std::lock_guard lk(mu_);
+      if (queue_.empty()) return 0.0;
+      t = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (t.fn) t.fn();
+  }
+}
+
+}  // namespace amtfmm::rtcheck

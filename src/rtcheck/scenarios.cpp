@@ -1,0 +1,615 @@
+#include <array>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <span>
+
+#include "rtcheck/harness.hpp"
+#include "rtcheck/model_executor.hpp"
+#include "runtime/coalescer.hpp"
+#include "runtime/counters.hpp"
+#include "runtime/gas.hpp"
+#include "runtime/lco.hpp"
+#include "runtime/ws_deque.hpp"
+
+// The scenario suites: each builds fresh runtime objects per execution and
+// runs *unmodified* runtime code on the harness's model threads; the sync
+// hooks inside WsDeque/LCO/ParcelCoalescer/Gas/CounterRegistry are the
+// schedule points.  Scenario-owned payloads are declared to the checker via
+// ScenarioContext::plain_read/plain_write so the happens-before verifier
+// covers the ownership-transfer edges the structures promise.
+
+namespace amtfmm::rtcheck {
+
+namespace {
+
+struct DequeItem {
+  int payload = 0;
+};
+
+/// LCO whose reduction writes a plain accumulator, making the "reductions
+/// are serialized per LCO" promise visible to the happens-before checker.
+class ProbeLco final : public LCO {
+ public:
+  ProbeLco(Executor& ex, int inputs) : LCO(ex, inputs) {}
+
+  void add(int v) { set_input(std::as_bytes(std::span<const int>(&v, 1))); }
+  int total() const { return total_; }
+
+ protected:
+  void reduce(std::span<const std::byte> data) override {
+    int v = 0;
+    std::memcpy(&v, data.data(), sizeof v);
+    sync_plain_write(&total_);
+    total_ += v;
+  }
+
+ private:
+  int total_ = 0;
+};
+
+Task make_task(std::function<void()> fn) {
+  Task t;
+  t.fn = std::move(fn);
+  return t;
+}
+
+CoalesceConfig coalesce_cfg() {
+  CoalesceConfig cfg;
+  cfg.enabled = true;
+  cfg.max_parcels = 8;
+  cfg.max_bytes = 1 << 20;
+  return cfg;
+}
+
+Scenario deque_steal_vs_pop() {
+  Scenario s;
+  s.name = "deque.steal_vs_pop";
+  s.summary =
+      "owner pushes two items and pops; one thief steals — verifies the "
+      "payload ownership transfer and that no item is lost or duplicated";
+  s.make = [](ScenarioContext& ctx) {
+    struct St {
+      WsDeque<DequeItem> dq{8};
+      std::array<DequeItem, 2> items{};
+      std::array<DequeItem*, 2> popped{};
+      DequeItem* stolen = nullptr;
+      int stolen_val = -1;
+      std::array<int, 2> popped_val{-1, -1};
+    };
+    auto st = std::make_shared<St>();
+    ctx.label(&st->items[0].payload, "items[0].payload");
+    ctx.label(&st->items[1].payload, "items[1].payload");
+    ScenarioRun run;
+    run.bodies.push_back([st, &ctx] {  // T0: owner
+      for (int i = 0; i < 2; ++i) {
+        ctx.plain_write(&st->items[static_cast<std::size_t>(i)].payload);
+        st->items[static_cast<std::size_t>(i)].payload = 10 + i;
+        st->dq.push(&st->items[static_cast<std::size_t>(i)]);
+      }
+      for (int i = 0; i < 2; ++i) {
+        DequeItem* it = st->dq.pop();
+        st->popped[static_cast<std::size_t>(i)] = it;
+        if (it != nullptr) {
+          ctx.plain_read(&it->payload);
+          st->popped_val[static_cast<std::size_t>(i)] = it->payload;
+        }
+      }
+    });
+    run.bodies.push_back([st, &ctx] {  // T1: thief
+      DequeItem* it = st->dq.steal();
+      st->stolen = it;
+      if (it != nullptr) {
+        ctx.plain_read(&it->payload);
+        st->stolen_val = it->payload;
+      }
+    });
+    run.finish = [st, &ctx] {
+      std::set<DequeItem*> seen;
+      int delivered = 0;
+      for (DequeItem* p : {st->popped[0], st->popped[1], st->stolen}) {
+        if (p == nullptr) continue;
+        ++delivered;
+        ctx.check(seen.insert(p).second, "item delivered twice");
+      }
+      ctx.check(delivered == 2, "an item was lost");
+      if (st->stolen != nullptr) {
+        ctx.check(st->stolen_val == st->stolen->payload,
+                  "thief read a torn payload");
+      }
+    };
+    return run;
+  };
+  return s;
+}
+
+Scenario deque_two_thieves() {
+  Scenario s;
+  s.name = "deque.two_thieves";
+  s.summary =
+      "two thieves race each other and the owner's pop for two items — "
+      "verifies the top-CAS hands each item to exactly one consumer";
+  s.make = [](ScenarioContext& ctx) {
+    struct St {
+      WsDeque<DequeItem> dq{8};
+      std::array<DequeItem, 2> items{};
+      std::array<DequeItem*, 3> got{};  // [owner, thief1, thief2]
+    };
+    auto st = std::make_shared<St>();
+    ctx.label(&st->items[0].payload, "items[0].payload");
+    ctx.label(&st->items[1].payload, "items[1].payload");
+    ScenarioRun run;
+    run.bodies.push_back([st, &ctx] {  // T0: owner pushes 2, pops 1
+      for (int i = 0; i < 2; ++i) {
+        ctx.plain_write(&st->items[static_cast<std::size_t>(i)].payload);
+        st->items[static_cast<std::size_t>(i)].payload = 20 + i;
+        st->dq.push(&st->items[static_cast<std::size_t>(i)]);
+      }
+      st->got[0] = st->dq.pop();
+      if (st->got[0] != nullptr) ctx.plain_read(&st->got[0]->payload);
+    });
+    for (int thief = 1; thief <= 2; ++thief) {
+      run.bodies.push_back([st, &ctx, thief] {
+        DequeItem* it = st->dq.steal();
+        st->got[static_cast<std::size_t>(thief)] = it;
+        if (it != nullptr) ctx.plain_read(&it->payload);
+      });
+    }
+    run.finish = [st, &ctx] {
+      std::set<DequeItem*> seen;
+      int delivered = 0;
+      for (DequeItem* p : st->got) {
+        if (p == nullptr) continue;
+        ++delivered;
+        ctx.check(seen.insert(p).second, "item delivered twice");
+      }
+      // Anything not delivered must still be in the deque.
+      while (DequeItem* p = st->dq.pop()) {
+        ++delivered;
+        ctx.check(seen.insert(p).second, "item delivered twice");
+      }
+      ctx.check(delivered == 2, "an item was lost");
+    };
+    return run;
+  };
+  return s;
+}
+
+Scenario deque_stress() {
+  Scenario s;
+  s.name = "deque.stress";
+  s.summary =
+      "owner interleaves four pushes with pops against two looping thieves "
+      "(randomized exploration only; the space defeats bounded DFS)";
+  s.dfs_feasible = false;
+  s.make = [](ScenarioContext& ctx) {
+    struct St {
+      WsDeque<DequeItem> dq{8};
+      std::array<DequeItem, 4> items{};
+      std::array<std::set<DequeItem*>, 3> got{};
+    };
+    auto st = std::make_shared<St>();
+    for (std::size_t i = 0; i < st->items.size(); ++i) {
+      ctx.label(&st->items[i].payload,
+                "items[" + std::to_string(i) + "].payload");
+    }
+    ScenarioRun run;
+    run.bodies.push_back([st, &ctx] {  // T0: owner
+      for (std::size_t i = 0; i < st->items.size(); ++i) {
+        ctx.plain_write(&st->items[i].payload);
+        st->items[i].payload = static_cast<int>(30 + i);
+        st->dq.push(&st->items[i]);
+        if (i % 2 == 1) {
+          if (DequeItem* p = st->dq.pop()) {
+            ctx.plain_read(&p->payload);
+            ctx.check(st->got[0].insert(p).second, "owner popped an item twice");
+          }
+        }
+      }
+    });
+    for (int thief = 1; thief <= 2; ++thief) {
+      run.bodies.push_back([st, &ctx, thief] {
+        for (int i = 0; i < 2; ++i) {
+          if (DequeItem* p = st->dq.steal()) {
+            ctx.plain_read(&p->payload);
+            ctx.check(st->got[static_cast<std::size_t>(thief)].insert(p).second,
+                      "thief stole an item twice");
+          }
+        }
+      });
+    }
+    run.finish = [st, &ctx] {
+      std::set<DequeItem*> seen;
+      std::size_t delivered = 0;
+      for (const auto& g : st->got) {
+        for (DequeItem* p : g) {
+          ++delivered;
+          ctx.check(seen.insert(p).second, "item delivered twice");
+        }
+      }
+      while (DequeItem* p = st->dq.pop()) {
+        ++delivered;
+        ctx.check(seen.insert(p).second, "item delivered twice");
+      }
+      ctx.check(delivered == st->items.size(), "an item was lost");
+    };
+    return run;
+  };
+  return s;
+}
+
+Scenario lco_trigger_once() {
+  Scenario s;
+  s.name = "lco.trigger_once";
+  s.summary =
+      "two threads race set_input on a 2-input LCO — verifies the LCO fires "
+      "exactly once and the reductions are serialized under the LCO lock";
+  s.make = [](ScenarioContext& ctx) {
+    struct St {
+      ModelExecutor ex;
+      ProbeLco lco{ex, 2};
+      int continuation_runs = 0;
+    };
+    auto st = std::make_shared<St>();
+    ctx.label(&st->lco, "lco");
+    st->lco.register_continuation(make_task([st] { ++st->continuation_runs; }));
+    ScenarioRun run;
+    for (int t = 0; t < 2; ++t) {
+      run.bodies.push_back([st] { st->lco.add(1); });
+    }
+    run.finish = [st, &ctx] {
+      st->ex.drain();
+      ctx.check(st->lco.triggered(), "LCO did not trigger");
+      ctx.check(st->lco.total() == 2, "a reduction was lost");
+      ctx.check(st->continuation_runs == 1,
+                "continuation ran " + std::to_string(st->continuation_runs) +
+                    " times");
+    };
+    return run;
+  };
+  return s;
+}
+
+Scenario lco_late_continuation() {
+  Scenario s;
+  s.name = "lco.late_continuation";
+  s.summary =
+      "register_continuation races the fire — verifies the continuation "
+      "runs exactly once whether it registered before or after the trigger";
+  s.make = [](ScenarioContext& ctx) {
+    struct St {
+      ModelExecutor ex;
+      ProbeLco lco{ex, 1};
+      int continuation_runs = 0;
+    };
+    auto st = std::make_shared<St>();
+    ctx.label(&st->lco, "lco");
+    ScenarioRun run;
+    run.bodies.push_back([st] { st->lco.add(7); });
+    run.bodies.push_back([st] {
+      st->lco.register_continuation(
+          make_task([st] { ++st->continuation_runs; }));
+    });
+    run.finish = [st, &ctx] {
+      st->ex.drain();
+      ctx.check(st->lco.triggered(), "LCO did not trigger");
+      ctx.check(st->continuation_runs == 1,
+                "continuation ran " + std::to_string(st->continuation_runs) +
+                    " times");
+    };
+    return run;
+  };
+  return s;
+}
+
+Scenario lco_wait_vs_fire() {
+  Scenario s;
+  s.name = "lco.wait_vs_fire";
+  s.summary =
+      "a waiter blocks on the LCO condition variable while another thread "
+      "delivers the final input — a lost wakeup shows up as a model deadlock";
+  s.make = [](ScenarioContext& ctx) {
+    struct St {
+      ModelExecutor ex;
+      ProbeLco lco{ex, 1};
+      bool woke = false;
+    };
+    auto st = std::make_shared<St>();
+    ctx.label(&st->lco, "lco");
+    ScenarioRun run;
+    run.bodies.push_back([st] {
+      st->lco.wait();
+      st->woke = true;
+    });
+    run.bodies.push_back([st] { st->lco.add(1); });
+    run.finish = [st, &ctx] {
+      ctx.check(st->woke, "waiter did not wake");
+      ctx.check(st->lco.total() == 1, "reduction lost");
+    };
+    return run;
+  };
+  return s;
+}
+
+Scenario coalescer_flush_vs_enqueue() {
+  Scenario s;
+  s.name = "coalescer.flush_vs_enqueue";
+  s.summary =
+      "enqueues race a quiescence flush — verifies pending_per_src_ never "
+      "under-reports the buffered parcels (idle-path emptiness probes)";
+  s.make = [](ScenarioContext& ctx) {
+    struct St {
+      ParcelCoalescer co{2, coalesce_cfg()};
+      std::size_t taken = 0;
+    };
+    auto st = std::make_shared<St>();
+    ctx.label(&st->co, "coalescer");
+    ScenarioRun run;
+    run.bodies.push_back([st] {  // T0: two enqueues from locality 0
+      for (int i = 0; i < 2; ++i) {
+        st->co.enqueue(0, 1, 16, Task{}, 0.0);
+      }
+    });
+    run.bodies.push_back([st] {  // T1: quiescence flush of locality 0
+      for (auto& b : st->co.take_all_from(0)) st->taken += b.tasks.size();
+    });
+    run.finish = [st, &ctx] {
+      std::size_t total = st->taken;
+      for (auto& b : st->co.take_all()) total += b.tasks.size();
+      ctx.check(total == 2, "parcels lost across flush (" +
+                                std::to_string(total) + " of 2)");
+    };
+    return run;
+  };
+  return s;
+}
+
+Scenario coalescer_quiescence() {
+  Scenario s;
+  s.name = "coalescer.quiescence";
+  s.summary =
+      "two producers against an idle prober that trusts pending_from()==0 — "
+      "randomized exploration of the emptiness-probe invariant";
+  s.dfs_feasible = false;
+  s.make = [](ScenarioContext& ctx) {
+    struct St {
+      ParcelCoalescer co{2, coalesce_cfg()};
+      std::size_t taken = 0;
+    };
+    auto st = std::make_shared<St>();
+    ctx.label(&st->co, "coalescer");
+    ScenarioRun run;
+    run.bodies.push_back([st] {
+      st->co.enqueue(0, 1, 16, Task{}, 0.0);
+      st->co.enqueue(0, 0, 16, Task{}, 0.0);
+    });
+    run.bodies.push_back([st] { st->co.enqueue(0, 1, 16, Task{}, 0.0); });
+    run.bodies.push_back([st] {  // idle path: probe, flush only if pending
+      for (int i = 0; i < 3; ++i) {
+        if (!st->co.pending_from(0)) continue;
+        for (auto& b : st->co.take_all_from(0)) st->taken += b.tasks.size();
+      }
+    });
+    run.finish = [st, &ctx] {
+      std::size_t total = st->taken;
+      for (auto& b : st->co.take_all()) total += b.tasks.size();
+      ctx.check(total == 3, "parcels lost across quiescence flush");
+    };
+    return run;
+  };
+  return s;
+}
+
+Scenario gas_alloc_resolve() {
+  Scenario s;
+  s.name = "gas.alloc_resolve";
+  s.summary =
+      "one thread allocates a GAS object while another resolves it — "
+      "verifies the release/acquire edge on the heap size covers the slot";
+  s.make = [](ScenarioContext& ctx) {
+    struct St {
+      ModelExecutor ex;
+      Gas gas{1};
+      LCO* resolved = nullptr;
+    };
+    auto st = std::make_shared<St>();
+    // Pre-create chunk 0 on the controller so the test isolates the size
+    // edge: otherwise the chunk-pointer release store (first alloc) would
+    // order the slot contents even with the size edge broken.
+    st->gas.alloc(0, std::make_unique<ProbeLco>(st->ex, 1));
+    ScenarioRun run;
+    run.bodies.push_back([st] {  // T0: publish slot 1
+      st->gas.alloc(0, std::make_unique<ProbeLco>(st->ex, 1));
+    });
+    run.bodies.push_back([st] {  // T1: resolve slot 1 once it is published
+      if (st->gas.objects_on(0) >= 2) {
+        st->resolved = st->gas.resolve(GlobalAddress{0, 1});
+      }
+    });
+    run.finish = [st, &ctx] {
+      ctx.check(st->gas.objects_on(0) == 2, "allocation lost");
+      if (st->resolved != nullptr) {
+        ctx.check(!st->resolved->triggered(), "resolved object corrupt");
+      }
+    };
+    return run;
+  };
+  return s;
+}
+
+Scenario gas_concurrent_alloc() {
+  Scenario s;
+  s.name = "gas.concurrent_alloc";
+  s.summary =
+      "two threads allocate on the same locality — verifies the heap lock "
+      "serializes slot assignment and both objects stay resolvable";
+  s.make = [](ScenarioContext& ctx) {
+    struct St {
+      ModelExecutor ex;
+      Gas gas{1};
+      std::array<GlobalAddress, 2> addr{};
+    };
+    auto st = std::make_shared<St>();
+    ScenarioRun run;
+    for (int t = 0; t < 2; ++t) {
+      run.bodies.push_back([st, t] {
+        st->addr[static_cast<std::size_t>(t)] =
+            st->gas.alloc(0, std::make_unique<ProbeLco>(st->ex, 1));
+      });
+    }
+    run.finish = [st, &ctx] {
+      ctx.check(st->gas.objects_on(0) == 2, "allocation lost");
+      ctx.check(st->addr[0].slot != st->addr[1].slot, "slot assigned twice");
+      for (const GlobalAddress& a : st->addr) {
+        ctx.check(st->gas.resolve(a) != nullptr, "object unresolvable");
+      }
+    };
+    return run;
+  };
+  return s;
+}
+
+Scenario counters_snapshot_consistency() {
+  Scenario s;
+  s.name = "counters.snapshot_consistency";
+  s.summary =
+      "a snapshot races a histogram observe — verifies count-last with "
+      "release keeps count covered by the sum and buckets it reports";
+  s.make = [](ScenarioContext& ctx) {
+    struct St {
+      CounterRegistry reg{2};
+      CounterRegistry::Id h = CounterRegistry::kNoId;
+      St() {
+        h = reg.histogram("rtcheck.probe");
+        reg.set_enabled(true);
+      }
+    };
+    auto st = std::make_shared<St>();
+    ScenarioRun run;
+    run.bodies.push_back([st] { st->reg.observe(0, st->h, 4); });
+    run.bodies.push_back([st, &ctx] {
+      const CounterSnapshot snap = st->reg.snapshot();
+      for (const auto& h : snap.histograms) {
+        if (h.name != "rtcheck.probe") continue;
+        std::uint64_t in_buckets = 0;
+        for (std::uint64_t b : h.buckets) in_buckets += b;
+        ctx.check(h.sum >= h.count * 4,
+                  "snapshot count outruns its sum (count=" +
+                      std::to_string(h.count) +
+                      " sum=" + std::to_string(h.sum) + ")");
+        ctx.check(in_buckets >= h.count, "snapshot count outruns its buckets");
+      }
+    });
+    run.finish = [st, &ctx] {
+      const CounterSnapshot snap = st->reg.snapshot();
+      ctx.check(!snap.histograms.empty() && snap.histograms[0].count == 1 &&
+                    snap.histograms[0].sum == 4,
+                "final snapshot wrong");
+    };
+    return run;
+  };
+  return s;
+}
+
+// Self-check scenarios: deliberately buggy micro-programs that validate the
+// detectors themselves; the harness must flag every one of them.
+
+Scenario selfcheck_double_fire() {
+  Scenario s;
+  s.name = "selfcheck.double_fire";
+  s.summary = "emits kLcoFire twice — the trigger-once detector must flag it";
+  s.expect_fail = true;
+  s.make = [](ScenarioContext& ctx) {
+    auto st = std::make_shared<int>(0);
+    ctx.label(st.get(), "probe-lco");
+    ScenarioRun run;
+    for (int t = 0; t < 2; ++t) {
+      run.bodies.push_back(
+          [st] { sync_event(SyncKind::kLcoFire, st.get(), 0); });
+    }
+    return run;
+  };
+  return s;
+}
+
+Scenario selfcheck_plain_race() {
+  Scenario s;
+  s.name = "selfcheck.plain_race";
+  s.summary =
+      "two unsynchronized plain writes — the happens-before checker must "
+      "flag them in every schedule";
+  s.expect_fail = true;
+  s.make = [](ScenarioContext& ctx) {
+    auto st = std::make_shared<int>(0);
+    ctx.label(st.get(), "shared-int");
+    ScenarioRun run;
+    for (int t = 0; t < 2; ++t) {
+      run.bodies.push_back([st, &ctx] {
+        ctx.plain_write(st.get());
+        *st += 1;
+      });
+    }
+    return run;
+  };
+  return s;
+}
+
+Scenario selfcheck_deadlock() {
+  Scenario s;
+  s.name = "selfcheck.deadlock";
+  s.summary =
+      "classic lock-order inversion over two SyncMutexes — DFS must reach "
+      "the deadlocking interleaving and report it";
+  s.expect_fail = true;
+  s.make = [](ScenarioContext& ctx) {
+    struct St {
+      SyncMutex a;
+      SyncMutex b;
+    };
+    auto st = std::make_shared<St>();
+    ctx.label(&st->a, "mutex-a");
+    ctx.label(&st->b, "mutex-b");
+    ScenarioRun run;
+    run.bodies.push_back([st] {
+      std::lock_guard la(st->a);
+      std::lock_guard lb(st->b);
+    });
+    run.bodies.push_back([st] {
+      std::lock_guard lb(st->b);
+      std::lock_guard la(st->a);
+    });
+    return run;
+  };
+  return s;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& all_scenarios() {
+  static const std::vector<Scenario> kScenarios = {
+      deque_steal_vs_pop(),
+      deque_two_thieves(),
+      deque_stress(),
+      lco_trigger_once(),
+      lco_late_continuation(),
+      lco_wait_vs_fire(),
+      coalescer_flush_vs_enqueue(),
+      coalescer_quiescence(),
+      gas_alloc_resolve(),
+      gas_concurrent_alloc(),
+      counters_snapshot_consistency(),
+      selfcheck_double_fire(),
+      selfcheck_plain_race(),
+      selfcheck_deadlock(),
+  };
+  return kScenarios;
+}
+
+const Scenario* find_scenario(const std::string& name) {
+  for (const Scenario& s : all_scenarios()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace amtfmm::rtcheck

@@ -1,0 +1,130 @@
+#include "rtcheck/strategy.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace amtfmm::rtcheck {
+
+void DfsStrategy::begin_execution() {
+  nodes_.clear();
+  preempts_ = 0;
+}
+
+int DfsStrategy::choose(int current, bool cur_runnable,
+                        const std::vector<int>& runnable) {
+  Node n;
+  n.current = current;
+  n.cur_runnable = cur_runnable;
+  n.alts = runnable;
+  if (cur_runnable) {
+    // Default choice first: continuing the current thread costs nothing.
+    auto it = std::find(n.alts.begin(), n.alts.end(), current);
+    AMTFMM_ASSERT(it != n.alts.end());
+    std::rotate(n.alts.begin(), it, it + 1);
+  }
+  n.preempt_before = preempts_;
+  const std::size_t idx = nodes_.size();
+  if (idx < prefix_.size()) {
+    auto it = std::find(n.alts.begin(), n.alts.end(), prefix_[idx]);
+    AMTFMM_ASSERT_MSG(it != n.alts.end(),
+                      "DFS prefix replay diverged: scenario is nondeterministic"
+                      " under a fixed schedule");
+    n.chosen = static_cast<std::size_t>(it - n.alts.begin());
+  } else {
+    n.chosen = 0;
+  }
+  const int pick = n.alts[n.chosen];
+  if (cur_runnable && pick != current) ++preempts_;
+  nodes_.push_back(std::move(n));
+  return pick;
+}
+
+bool DfsStrategy::next_execution() {
+  ++executions_;
+  if (executions_ >= max_executions_) return false;  // budget; not complete
+  // Backtrack to the deepest node with an untried alternative that stays
+  // within the preemption bound; everything below restarts at defaults.
+  for (std::size_t i = nodes_.size(); i-- > 0;) {
+    const Node& n = nodes_[i];
+    for (std::size_t a = n.chosen + 1; a < n.alts.size(); ++a) {
+      const int cost = (n.cur_runnable && n.alts[a] != n.current) ? 1 : 0;
+      if (n.preempt_before + cost > bound_) continue;
+      prefix_.resize(i);
+      for (std::size_t j = 0; j < i; ++j) {
+        prefix_[j] = nodes_[j].alts[nodes_[j].chosen];
+      }
+      prefix_.push_back(n.alts[a]);
+      return true;
+    }
+  }
+  exhausted_ = true;
+  return false;
+}
+
+void PctStrategy::begin_execution() {
+  rng_ = Rng(base_seed_ + index_);
+  steps_ = 0;
+  priorities_.clear();
+  changes_.clear();
+  for (int i = 0; i + 1 < depth_; ++i) {
+    changes_.push_back(1 + rng_.below(kHorizon));
+  }
+  std::sort(changes_.begin(), changes_.end());
+  next_change_ = 0;
+}
+
+int PctStrategy::choose(int current, bool cur_runnable,
+                        const std::vector<int>& runnable) {
+  (void)cur_runnable;
+  if (priorities_.empty()) {
+    // First point of the execution: every thread is runnable, so size the
+    // priority band here (the harness launches all threads up front).
+    const int n = runnable.back() + 1;
+    priorities_.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) priorities_[static_cast<std::size_t>(i)] =
+        depth_ + i;
+    // Fisher-Yates over the initial (high) band.
+    for (int i = n - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng_.below(static_cast<std::uint64_t>(i) + 1));
+      std::swap(priorities_[static_cast<std::size_t>(i)], priorities_[j]);
+    }
+  }
+  ++steps_;
+  while (next_change_ < changes_.size() && steps_ == changes_[next_change_]) {
+    // Priority-change point: demote whoever is running into the low band.
+    if (current >= 0) {
+      priorities_[static_cast<std::size_t>(current)] =
+          static_cast<int>(next_change_) - static_cast<int>(changes_.size());
+    }
+    ++next_change_;
+  }
+  int pick = runnable.front();
+  for (int t : runnable) {
+    if (priorities_[static_cast<std::size_t>(t)] >
+        priorities_[static_cast<std::size_t>(pick)]) {
+      pick = t;
+    }
+  }
+  return pick;
+}
+
+bool PctStrategy::next_execution() {
+  ++index_;
+  return index_ < budget_;
+}
+
+int ReplayStrategy::choose(int current, bool cur_runnable,
+                           const std::vector<int>& runnable) {
+  if (idx_ < schedule_.size()) {
+    const int want = schedule_[idx_++];
+    if (std::find(runnable.begin(), runnable.end(), want) != runnable.end()) {
+      return want;
+    }
+    diverged_ = true;
+  }
+  return cur_runnable ? current : runnable.front();
+}
+
+}  // namespace amtfmm::rtcheck

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace amtfmm::rtcheck {
+
+/// Deterministic pseudo-random stream (splitmix64).  Hand-rolled so PCT
+/// schedules replay bit-identically from a seed on every platform —
+/// std::uniform_int_distribution is not portable across standard libraries.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : s_(seed) {}
+
+  std::uint64_t next() {
+    s_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = s_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+
+ private:
+  std::uint64_t s_;
+};
+
+/// Scheduling strategy: the harness consults it at every schedule point
+/// with the runnable set; the strategy picks who executes next.  Exactly
+/// one choose() call happens per schedule point, so a recorded sequence of
+/// picks replays an execution deterministically.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  /// Called before each execution starts.
+  virtual void begin_execution() = 0;
+
+  /// Picks the next thread from `runnable` (ascending tids, nonempty).
+  /// `current` is the thread standing at the schedule point (-1 for the
+  /// execution's initial pick); `cur_runnable` says whether it may simply
+  /// continue — picking someone else then counts as a preemption.
+  virtual int choose(int current, bool cur_runnable,
+                     const std::vector<int>& runnable) = 0;
+
+  /// Advances to the next execution; false when the space or budget is
+  /// exhausted.
+  virtual bool next_execution() = 0;
+
+  /// DFS only: the bounded schedule space was fully explored.
+  virtual bool complete() const { return false; }
+  /// PCT only: seed identifying the current execution (replayable alone).
+  virtual std::uint64_t execution_seed() const { return 0; }
+  /// Replay only: the recorded schedule did not match this program.
+  virtual bool diverged() const { return false; }
+};
+
+/// Exhaustive depth-first exploration with a preemption bound: every
+/// schedule reachable with at most `bound` involuntary context switches is
+/// executed exactly once (CHESS-style).  Voluntary switches — the current
+/// thread blocked or finished — are free.
+class DfsStrategy final : public Strategy {
+ public:
+  DfsStrategy(int bound, std::uint64_t max_executions)
+      : bound_(bound), max_executions_(max_executions) {}
+
+  void begin_execution() override;
+  int choose(int current, bool cur_runnable,
+             const std::vector<int>& runnable) override;
+  bool next_execution() override;
+  bool complete() const override { return exhausted_; }
+
+ private:
+  struct Node {
+    std::vector<int> alts;  ///< runnable set, default choice first
+    std::size_t chosen = 0;
+    int current = -1;
+    bool cur_runnable = false;
+    int preempt_before = 0;  ///< preemptions on the path above this node
+  };
+
+  int bound_;
+  std::uint64_t max_executions_;
+  std::uint64_t executions_ = 0;
+  int preempts_ = 0;
+  bool exhausted_ = false;
+  std::vector<Node> nodes_;   ///< decision stack of the current execution
+  std::vector<int> prefix_;   ///< forced picks replayed at the next start
+};
+
+/// Probabilistic concurrency testing (Burckhardt et al.): each execution
+/// draws random thread priorities plus depth-1 priority-change points; the
+/// highest-priority runnable thread always runs.  Finds depth-d bugs with
+/// probability >= 1/(n * k^(d-1)) per execution, and each execution is
+/// identified by a single seed that replays it exactly.
+class PctStrategy final : public Strategy {
+ public:
+  PctStrategy(std::uint64_t base_seed, std::uint64_t executions, int depth)
+      : base_seed_(base_seed), budget_(executions), depth_(depth), rng_(0) {}
+
+  void begin_execution() override;
+  int choose(int current, bool cur_runnable,
+             const std::vector<int>& runnable) override;
+  bool next_execution() override;
+  std::uint64_t execution_seed() const override { return base_seed_ + index_; }
+
+ private:
+  /// Horizon the change points are drawn from.  Fixed (never adapted to the
+  /// observed execution length) so a seed alone replays the schedule.
+  static constexpr std::uint64_t kHorizon = 512;
+
+  std::uint64_t base_seed_;
+  std::uint64_t budget_;
+  int depth_;
+  std::uint64_t index_ = 0;
+  Rng rng_;
+  std::uint64_t steps_ = 0;
+  std::vector<int> priorities_;        ///< per tid; larger runs first
+  std::vector<std::uint64_t> changes_;  ///< sorted change-point steps
+  std::size_t next_change_ = 0;
+};
+
+/// Replays a recorded pick sequence; past its end (or on divergence) the
+/// current thread just keeps running.
+class ReplayStrategy final : public Strategy {
+ public:
+  explicit ReplayStrategy(std::vector<int> schedule)
+      : schedule_(std::move(schedule)) {}
+
+  void begin_execution() override { idx_ = 0; }
+  int choose(int current, bool cur_runnable,
+             const std::vector<int>& runnable) override;
+  bool next_execution() override { return false; }
+  bool diverged() const override { return diverged_; }
+
+ private:
+  std::vector<int> schedule_;
+  std::size_t idx_ = 0;
+  bool diverged_ = false;
+};
+
+}  // namespace amtfmm::rtcheck

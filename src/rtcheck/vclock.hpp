@@ -1,0 +1,42 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace amtfmm::rtcheck {
+
+/// Vector clock over the model threads of one rtcheck execution.  Component
+/// i is thread i's logical time; the usual component-wise join/compare give
+/// the happens-before partial order the checker reasons over.
+class VClock {
+ public:
+  VClock() = default;
+  explicit VClock(std::size_t threads) : c_(threads, 0) {}
+
+  std::uint32_t at(std::size_t i) const { return i < c_.size() ? c_[i] : 0; }
+
+  void tick(std::size_t i) {
+    grow(i + 1);
+    ++c_[i];
+  }
+
+  /// Component-wise maximum (acquire: merge the release clock into ours).
+  void join(const VClock& o) {
+    grow(o.c_.size());
+    for (std::size_t i = 0; i < o.c_.size(); ++i) {
+      c_[i] = std::max(c_[i], o.c_[i]);
+    }
+  }
+
+  void clear() { c_.clear(); }
+
+ private:
+  void grow(std::size_t n) {
+    if (c_.size() < n) c_.resize(n, 0);
+  }
+
+  std::vector<std::uint32_t> c_;
+};
+
+}  // namespace amtfmm::rtcheck

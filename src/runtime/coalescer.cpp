@@ -17,6 +17,7 @@ ParcelCoalescer::ParcelCoalescer(int localities, const CoalesceConfig& cfg)
   AMTFMM_ASSERT(cfg_.max_parcels >= 1);
   AMTFMM_ASSERT(cfg_.max_bytes >= 1);
   for (int i = 0; i < localities; ++i) {
+    // relaxed-ok: single-threaded construction; publication orders these.
     pending_per_src_[static_cast<std::size_t>(i)].store(
         0, std::memory_order_relaxed);
   }
@@ -37,8 +38,12 @@ ParcelBatch ParcelCoalescer::take_locked(Buffer& b, std::uint32_t src,
   b.bytes = 0;
   b.any_high = false;
   b.epoch++;
-  pending_per_src_[src].fetch_sub(out.tasks.size(),
-                                  std::memory_order_seq_cst);
+  // Count-after-remove: the probe counter may transiently over-report but
+  // never under-reports (see the pending_per_src_ invariant).
+  sync_event(SyncKind::kBatchFlush, this, out.tasks.size());
+  hooked_fetch_sub(pending_per_src_[src], out.tasks.size(),
+                   std::memory_order_seq_cst);
+  sync_event(SyncKind::kPendingLower, this, out.tasks.size());
   return out;
 }
 
@@ -54,10 +59,23 @@ ParcelCoalescer::Enqueued ParcelCoalescer::enqueue(std::uint32_t src,
     r.first = true;
     r.epoch = b.epoch;
   }
+  // Count-before-insert: lock-free probes (pending_from) must never
+  // under-report, or an idle-path flush could skip a buffer that a
+  // concurrent enqueue has already filled.  rtcheck mutation point: the
+  // pre-fix insert-then-count order violates the invariant.
+  const bool count_late = rt_mutation(Mutation::kCoalescerCountAfterInsert);
+  if (!count_late) {
+    hooked_fetch_add(pending_per_src_[src], 1, std::memory_order_seq_cst);
+    sync_event(SyncKind::kPendingRaise, this, 1);
+  }
   b.tasks.push_back(std::move(t));
   b.bytes += bytes;
   b.any_high = b.any_high || b.tasks.back().high_priority;
-  pending_per_src_[src].fetch_add(1, std::memory_order_seq_cst);
+  sync_event(SyncKind::kBatchEnqueue, this, 1);
+  if (count_late) {
+    hooked_fetch_add(pending_per_src_[src], 1, std::memory_order_seq_cst);
+    sync_event(SyncKind::kPendingRaise, this, 1);
+  }
   if (b.tasks.size() >= cfg_.max_parcels || b.bytes >= cfg_.max_bytes) {
     r.ready = take_locked(b, src, dst, FlushReason::kThreshold);
   }
@@ -75,7 +93,9 @@ std::optional<ParcelBatch> ParcelCoalescer::take_if_epoch(
 std::vector<ParcelBatch> ParcelCoalescer::take_expired_from(std::uint32_t src,
                                                             double now) {
   std::vector<ParcelBatch> out;
-  if (pending_per_src_[src].load(std::memory_order_seq_cst) == 0) return out;
+  if (hooked_load(pending_per_src_[src], std::memory_order_seq_cst) == 0) {
+    return out;
+  }
   for (std::uint32_t dst = 0; dst < localities_; ++dst) {
     Buffer& b = buffer(src, dst);
     std::lock_guard lk(b.mu);
@@ -88,7 +108,9 @@ std::vector<ParcelBatch> ParcelCoalescer::take_expired_from(std::uint32_t src,
 
 std::vector<ParcelBatch> ParcelCoalescer::take_all_from(std::uint32_t src) {
   std::vector<ParcelBatch> out;
-  if (pending_per_src_[src].load(std::memory_order_seq_cst) == 0) return out;
+  if (hooked_load(pending_per_src_[src], std::memory_order_seq_cst) == 0) {
+    return out;
+  }
   for (std::uint32_t dst = 0; dst < localities_; ++dst) {
     Buffer& b = buffer(src, dst);
     std::lock_guard lk(b.mu);
@@ -110,7 +132,7 @@ std::vector<ParcelBatch> ParcelCoalescer::take_all() {
 
 bool ParcelCoalescer::pending() const {
   for (std::uint32_t src = 0; src < localities_; ++src) {
-    if (pending_per_src_[src].load(std::memory_order_seq_cst) != 0) {
+    if (hooked_load(pending_per_src_[src], std::memory_order_seq_cst) != 0) {
       return true;
     }
   }
@@ -118,8 +140,27 @@ bool ParcelCoalescer::pending() const {
 }
 
 bool ParcelCoalescer::pending_from(std::uint32_t src) const {
-  return pending_per_src_[src].load(std::memory_order_seq_cst) != 0;
+  return hooked_load(pending_per_src_[src], std::memory_order_seq_cst) != 0;
 }
+
+namespace {
+
+// relaxed-ok: CommCounters are monotonic, independently merged statistics.
+// Readers (snapshot() and the scalar accessors) tolerate torn cross-counter
+// views — the numbers are diagnostics, never control flow — so individual
+// updates and reads need no ordering.  All relaxed statistics traffic in
+// this file goes through these three helpers.
+std::uint64_t stat_read(const std::atomic<std::uint64_t>& a) {
+  return a.load(std::memory_order_relaxed);  // relaxed-ok: see above
+}
+void stat_add(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+  a.fetch_add(v, std::memory_order_relaxed);  // relaxed-ok: see above
+}
+void stat_zero(std::atomic<std::uint64_t>& a) {
+  a.store(0, std::memory_order_relaxed);  // relaxed-ok: see above
+}
+
+}  // namespace
 
 CommCounters::CommCounters(int localities)
     : localities_(localities),
@@ -131,64 +172,64 @@ CommCounters::CommCounters(int localities)
           static_cast<std::size_t>(localities)]) {
   for (int i = 0; i < localities; ++i) {
     const auto s = static_cast<std::size_t>(i);
-    parcels_to_[s].store(0, std::memory_order_relaxed);
-    batches_to_[s].store(0, std::memory_order_relaxed);
-    bytes_to_[s].store(0, std::memory_order_relaxed);
+    stat_zero(parcels_to_[s]);
+    stat_zero(batches_to_[s]);
+    stat_zero(bytes_to_[s]);
   }
 }
 
 void CommCounters::on_parcel(std::uint32_t dst, std::size_t bytes) {
-  parcels_.fetch_add(1, std::memory_order_relaxed);
-  bytes_.fetch_add(bytes, std::memory_order_relaxed);
-  parcels_to_[dst].fetch_add(1, std::memory_order_relaxed);
-  bytes_to_[dst].fetch_add(bytes, std::memory_order_relaxed);
+  stat_add(parcels_, 1);
+  stat_add(bytes_, bytes);
+  stat_add(parcels_to_[dst], 1);
+  stat_add(bytes_to_[dst], bytes);
 }
 
 void CommCounters::on_batch(std::uint32_t dst, std::size_t parcels,
                             std::size_t bytes) {
   (void)bytes;  // per-parcel bytes already counted in on_parcel
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  batches_to_[dst].fetch_add(1, std::memory_order_relaxed);
+  stat_add(batches_, 1);
+  stat_add(batches_to_[dst], 1);
   const auto bucket = std::min<std::size_t>(
       hist_.size() - 1,
       static_cast<std::size_t>(std::bit_width(std::max<std::size_t>(
           parcels, 1)) - 1));
-  hist_[bucket].fetch_add(1, std::memory_order_relaxed);
+  stat_add(hist_[bucket], 1);
 }
 
 void CommCounters::on_reason(FlushReason r) {
   switch (r) {
     case FlushReason::kThreshold:
-      flush_threshold_.fetch_add(1, std::memory_order_relaxed);
+      stat_add(flush_threshold_, 1);
       break;
     case FlushReason::kDeadline:
-      flush_deadline_.fetch_add(1, std::memory_order_relaxed);
+      stat_add(flush_deadline_, 1);
       break;
     case FlushReason::kQuiescence:
-      flush_quiescence_.fetch_add(1, std::memory_order_relaxed);
+      stat_add(flush_quiescence_, 1);
       break;
   }
 }
 
 CommStats CommCounters::snapshot() const {
   CommStats s;
-  s.parcels = parcels_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
-  s.bytes = bytes_.load(std::memory_order_relaxed);
-  s.flush_threshold = flush_threshold_.load(std::memory_order_relaxed);
-  s.flush_deadline = flush_deadline_.load(std::memory_order_relaxed);
-  s.flush_quiescence = flush_quiescence_.load(std::memory_order_relaxed);
+  s.parcels = stat_read(parcels_);
+  s.batches = stat_read(batches_);
+  s.bytes = stat_read(bytes_);
+  s.flush_threshold = stat_read(flush_threshold_);
+  s.flush_deadline = stat_read(flush_deadline_);
+  s.flush_quiescence = stat_read(flush_quiescence_);
   const auto n = static_cast<std::size_t>(localities_);
   s.parcels_to.resize(n);
   s.batches_to.resize(n);
   s.bytes_to.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    s.parcels_to[i] = parcels_to_[i].load(std::memory_order_relaxed);
-    s.batches_to[i] = batches_to_[i].load(std::memory_order_relaxed);
-    s.bytes_to[i] = bytes_to_[i].load(std::memory_order_relaxed);
+    s.parcels_to[i] = stat_read(parcels_to_[i]);
+    s.batches_to[i] = stat_read(batches_to_[i]);
+    s.bytes_to[i] = stat_read(bytes_to_[i]);
   }
   for (std::size_t i = 0; i < hist_.size(); ++i) {
-    s.batch_size_log2[i] = hist_[i].load(std::memory_order_relaxed);
+    s.batch_size_log2[i] = stat_read(hist_[i]);
   }
   return s;
 }

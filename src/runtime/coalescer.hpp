@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "runtime/executor.hpp"
+#include "runtime/sync_hook.hpp"
 
 namespace amtfmm {
 
@@ -68,7 +69,7 @@ class ParcelCoalescer {
 
  private:
   struct Buffer {
-    std::mutex mu;
+    SyncMutex mu;
     std::vector<Task> tasks;
     std::size_t bytes = 0;
     bool any_high = false;
@@ -88,6 +89,10 @@ class ParcelCoalescer {
   std::uint32_t localities_;
   std::vector<Buffer> buffers_;  // indexed src * localities + dst
   /// Buffered parcel counts, for cheap emptiness probes on idle paths.
+  /// Invariant (rtcheck-verified): the count never under-reports — it is
+  /// raised *before* a parcel enters a buffer and lowered *after* parcels
+  /// leave one, so a probe reading 0 can trust that nothing is buffered
+  /// once no enqueue is in flight from that source.
   std::unique_ptr<std::atomic<std::uint64_t>[]> pending_per_src_;
 };
 
@@ -102,12 +107,15 @@ class CommCounters {
   void on_reason(FlushReason r);
 
   std::uint64_t parcels() const {
+    // relaxed-ok: monotonic statistic, diagnostics only.
     return parcels_.load(std::memory_order_relaxed);
   }
   std::uint64_t batches() const {
+    // relaxed-ok: monotonic statistic, diagnostics only.
     return batches_.load(std::memory_order_relaxed);
   }
   std::uint64_t bytes() const {
+    // relaxed-ok: monotonic statistic, diagnostics only.
     return bytes_.load(std::memory_order_relaxed);
   }
 

@@ -110,10 +110,13 @@ CounterSnapshot CounterRegistry::snapshot() const {
     h.name = hist_names_[i];
     for (const auto& s : shards_) {
       const auto& hs = s->hists[i];
-      h.count += hs.count.load(std::memory_order_relaxed);
-      h.sum += hs.sum.load(std::memory_order_relaxed);
+      // Acquire pairs with observe()'s count-last release: every counted
+      // observation's sum and bucket updates are visible to the reads
+      // below, so count never exceeds what sum/buckets account for.
+      h.count += hooked_load(hs.count, std::memory_order_acquire);
+      h.sum += hooked_load(hs.sum, std::memory_order_relaxed);
       for (std::size_t b = 0; b < kHistBuckets; ++b) {
-        h.buckets[b] += hs.buckets[b].load(std::memory_order_relaxed);
+        h.buckets[b] += hooked_load(hs.buckets[b], std::memory_order_relaxed);
       }
     }
     snap.histograms.push_back(std::move(h));

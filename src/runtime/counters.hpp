@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/sync_hook.hpp"
 #include "support/error.hpp"
 
 namespace amtfmm {
@@ -101,12 +102,26 @@ class CounterRegistry {
   }
 
   /// Records one histogram observation on the given worker shard.
+  ///
+  /// `count` is updated last, with release: a snapshot that acquire-reads
+  /// a shard's count therefore also sees the bucket and sum updates of
+  /// every counted observation, so snapshots never report a count whose
+  /// observations are missing from sum/buckets.  rtcheck mutation point:
+  /// the pre-fix buckets/count/sum order lets a concurrent snapshot see
+  /// count raised while sum still lags (counters.snapshot_consistency).
   void observe(int worker, Id id, std::uint64_t value) {
     if (!enabled()) return;
     auto& h = shard(worker).hists[id];
-    h.buckets[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
-    h.count.fetch_add(1, std::memory_order_relaxed);
-    h.sum.fetch_add(value, std::memory_order_relaxed);
+    const bool count_early = rt_mutation(Mutation::kCountersCountEarly);
+    hooked_fetch_add(h.buckets[bucket_of(value)], 1,
+                     std::memory_order_relaxed);
+    if (count_early) {
+      hooked_fetch_add(h.count, 1, std::memory_order_relaxed);
+    }
+    hooked_fetch_add(h.sum, value, std::memory_order_relaxed);
+    if (!count_early) {
+      hooked_fetch_add(h.count, 1, std::memory_order_release);
+    }
   }
 
   CounterSnapshot snapshot() const;

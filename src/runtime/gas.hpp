@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "runtime/lco.hpp"
+#include "runtime/sync_hook.hpp"
 #include "support/error.hpp"
 
 namespace amtfmm {
@@ -33,9 +34,13 @@ struct GlobalAddress {
 /// different localities never serializes (DAG instantiation allocates tens
 /// of thousands of LCOs).  resolve() is lock free: it acquire-loads the
 /// published size and the chunk pointer, both release-stored by alloc(),
-/// and never touches a mutex.  Chunks are never moved or freed before the
-/// heap itself dies, so resolved pointers stay stable for the heap's
-/// lifetime.
+/// and never touches a mutex.  The size load is unconditional (not just the
+/// debug bounds check): it is the acquire half of the release/acquire pair
+/// that makes the slot contents visible even when the address reached the
+/// resolving thread over a channel with no ordering of its own — an edge
+/// the rtcheck happens-before checker verifies (gas.alloc_resolve
+/// scenario).  Chunks are never moved or freed before the heap itself
+/// dies, so resolved pointers stay stable for the heap's lifetime.
 ///
 /// Allocation supports the block-cyclic and user-defined placements of
 /// HPX-5's allocators via the explicit locality argument; DASHMM's
@@ -59,18 +64,22 @@ class Gas {
     AMTFMM_ASSERT(locality < heaps_.size());
     Heap& h = *heaps_[locality];
     std::lock_guard lk(h.mu);
-    const std::uint32_t slot = h.size.load(std::memory_order_relaxed);
+    // relaxed-ok: size is only written under h.mu; this is the owner's read.
+    const std::uint32_t slot = hooked_load(h.size, std::memory_order_relaxed);
     const std::uint32_t ci = slot >> kChunkBits;
     AMTFMM_ASSERT_MSG(ci < kMaxChunks, "GAS locality heap exhausted");
-    Chunk* chunk = h.chunks[ci].load(std::memory_order_relaxed);
+    // relaxed-ok: chunk pointers are only written under h.mu (just below).
+    Chunk* chunk = hooked_load(h.chunks[ci], std::memory_order_relaxed);
     if (chunk == nullptr) {
       chunk = new Chunk();
-      h.chunks[ci].store(chunk, std::memory_order_release);
+      hooked_store(h.chunks[ci], chunk, std::memory_order_release);
     }
+    sync_plain_write(&(*chunk)[slot & (kChunkSize - 1)]);
     (*chunk)[slot & (kChunkSize - 1)] = std::move(obj);
     // Publish after the slot is filled: a resolve() that observes the new
     // size also observes the object (release/acquire on size).
-    h.size.store(slot + 1, std::memory_order_release);
+    hooked_store(h.size, slot + 1, std::memory_order_release);
+    sync_event(SyncKind::kGasAlloc, &h, slot);
     return GlobalAddress{locality, slot};
   }
 
@@ -81,12 +90,19 @@ class Gas {
   LCO* resolve(const GlobalAddress& a) const {
     AMTFMM_ASSERT(a.locality < heaps_.size());
     const Heap& h = *heaps_[a.locality];
-#ifndef NDEBUG
-    AMTFMM_ASSERT_MSG(a.slot < h.size.load(std::memory_order_acquire),
-                      "resolve of an unallocated GAS slot");
-#endif
-    Chunk* chunk = h.chunks[a.slot >> kChunkBits].load(std::memory_order_acquire);
+    // The acquire half of alloc()'s release on size: without it the slot
+    // contents would only be visible through whatever ordering the address
+    // channel happens to provide.  rtcheck mutation point: weakening this
+    // to relaxed reintroduces the race on the slot.
+    const std::uint32_t n = hooked_load(
+        h.size,
+        rt_order(Mutation::kGasResolveRelaxed, std::memory_order_acquire));
+    AMTFMM_ASSERT_MSG(a.slot < n, "resolve of an unallocated GAS slot");
+    Chunk* chunk =
+        hooked_load(h.chunks[a.slot >> kChunkBits], std::memory_order_acquire);
     AMTFMM_ASSERT(chunk != nullptr);
+    sync_event(SyncKind::kGasResolve, &h, a.slot);
+    sync_plain_read(&(*chunk)[a.slot & (kChunkSize - 1)]);
     return (*chunk)[a.slot & (kChunkSize - 1)].get();
   }
 
@@ -101,9 +117,11 @@ class Gas {
   void reset() {
     for (auto& hp : heaps_) {
       Heap& h = *hp;
+      // relaxed-ok: reset() is documented single-threaded (drained).
       const std::uint32_t n = h.size.load(std::memory_order_relaxed);
       for (std::uint32_t ci = 0; ci <= (n >> kChunkBits) && ci < kMaxChunks;
            ++ci) {
+        // relaxed-ok: reset() is documented single-threaded (drained).
         if (Chunk* c = h.chunks[ci].load(std::memory_order_relaxed)) {
           for (auto& slot : *c) slot.reset();
         }
@@ -116,11 +134,12 @@ class Gas {
   using Chunk = std::array<std::unique_ptr<LCO>, kChunkSize>;
 
   struct Heap {
-    std::mutex mu;
+    SyncMutex mu;
     std::atomic<std::uint32_t> size{0};
     std::array<std::atomic<Chunk*>, kMaxChunks> chunks{};
 
     ~Heap() {
+      // relaxed-ok: destruction is single-threaded by construction.
       for (auto& c : chunks) delete c.load(std::memory_order_relaxed);
     }
   };

@@ -8,16 +8,22 @@ namespace amtfmm {
 void LCO::set_input(std::span<const std::byte> data) {
   bool now_triggered = false;
   {
-    std::lock_guard lk(mu_);
-    AMTFMM_ASSERT_MSG(!triggered_.load(std::memory_order_relaxed),
+    // rtcheck mutation point: eliding this lock lets concurrent reduce()
+    // calls race (the checker flags the unordered accesses).  Normal builds
+    // always lock.
+    MaybeLockGuard lk(mu_, Mutation::kLcoSetInputNoLock);
+    // relaxed-ok: guarded by mu_; fire() publishes triggered_ under mu_.
+    AMTFMM_ASSERT_MSG(!hooked_load(triggered_, std::memory_order_relaxed),
                       "input to an already-triggered LCO");
     // Input-wait latency: stamp the first arrival, observe on trigger.  The
     // clock read is skipped entirely while the registry is disabled.
     if (first_input_t_ < 0.0 && ex_.counters().enabled()) {
+      sync_plain_write(&first_input_t_);
       first_input_t_ = ex_.now();
     }
     reduce(data);
-    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    sync_event(SyncKind::kLcoInput, this);
+    if (hooked_fetch_sub(remaining_, 1, std::memory_order_acq_rel) == 1) {
       now_triggered = true;
     }
   }
@@ -29,14 +35,20 @@ void LCO::fire() {
   {
     std::lock_guard lk(mu_);
     on_trigger();
-    triggered_.store(true, std::memory_order_release);
+    hooked_store(triggered_, true, std::memory_order_release);
     to_run.swap(continuations_);
   }
   cv_.notify_all();
+  // Trigger-once protocol event: rtcheck reports a second fire on the same
+  // object as a double-fire violation.
+  sync_event(SyncKind::kLcoFire, this);
   const double tn =
       (ex_.counters().enabled() || ex_.trace().enabled()) ? ex_.now() : -1.0;
   if (tn >= 0.0) {
     const int w = LocalityRuntime::metric_worker();
+    // Written under mu_ by the first input; the firing thread is ordered
+    // after it by the acq_rel chain on remaining_ even outside the lock.
+    sync_plain_read(&first_input_t_);
     if (first_input_t_ >= 0.0) {
       ex_.counters().observe(
           w, ex_.runtime().ids().lco_input_wait_us,
@@ -54,7 +66,9 @@ void LCO::fire() {
 void LCO::register_continuation(Task t) {
   {
     std::lock_guard lk(mu_);
-    if (!triggered_.load(std::memory_order_relaxed)) {
+    sync_event(SyncKind::kLcoContinuation, this);
+    // relaxed-ok: guarded by mu_; fire() publishes triggered_ under mu_.
+    if (!hooked_load(triggered_, std::memory_order_relaxed)) {
       continuations_.push_back(std::move(t));
       return;
     }

@@ -1,12 +1,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstring>
 #include <mutex>
 #include <span>
 
 #include "runtime/executor.hpp"
+#include "runtime/sync_hook.hpp"
 
 namespace amtfmm {
 
@@ -60,8 +60,10 @@ class LCO {
  private:
   void fire();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
+  // SyncMutex/SyncCondVar are std::mutex/std::condition_variable in normal
+  // builds; under AMTFMM_RTCHECK they are model-checker schedule points.
+  SyncMutex mu_;
+  SyncCondVar cv_;
   std::vector<Task> continuations_;
   std::atomic<int> remaining_;
   std::atomic<bool> triggered_{false};

@@ -65,12 +65,14 @@ ThreadExecutor::~ThreadExecutor() {
   {
     std::lock_guard lk(idle_mu_);
     stop_.store(true, std::memory_order_seq_cst);
+    // relaxed-ok: the epoch bump is published by the idle_mu_ unlock below.
     wake_epoch_.fetch_add(1, std::memory_order_relaxed);
   }
   idle_cv_.notify_all();
   for (auto& t : threads_) t.join();
   // drain() guarantees no live tasks, but free anything a misuse left behind.
   for (auto& ws : workers_) {
+    // relaxed-ok: all workers joined above; this thread is the only one left.
     TaskNode* n = ws->inbox.exchange(nullptr, std::memory_order_relaxed);
     while (n != nullptr) {
       TaskNode* next = n->next;
@@ -110,6 +112,8 @@ void ThreadExecutor::push_local(int w, TaskNode* n) {
 
 void ThreadExecutor::spawn(Task t) {
   AMTFMM_ASSERT(t.locality < static_cast<std::uint32_t>(num_localities_));
+  // relaxed-ok: the count only needs atomicity; drain()'s completion check
+  // re-reads it under idle_mu_ after the last finish.
   outstanding_.fetch_add(1, std::memory_order_relaxed);
   auto* n = new TaskNode{std::move(t), nullptr};
   const int loc = static_cast<int>(n->task.locality);
@@ -119,13 +123,17 @@ void ThreadExecutor::spawn(Task t) {
     push_local(w, n);
   } else {
     // Foreign thread: hand off via the target worker's MPSC inbox.
+    // relaxed-ok: round-robin cursor — any distribution is correct.
     const int offset = static_cast<int>(
         spawn_rr_.fetch_add(1, std::memory_order_relaxed) %
         static_cast<std::uint64_t>(cores_));
     auto& ws = *workers_[static_cast<std::size_t>(loc * cores_ + offset)];
+    // relaxed-ok: the speculative head read is validated by the CAS; the
+    // successful CAS (seq_cst) publishes the node.
     TaskNode* head = ws.inbox.load(std::memory_order_relaxed);
     do {
       n->next = head;
+      // relaxed-ok: CAS failure order — retry re-reads, publishes nothing.
     } while (!ws.inbox.compare_exchange_weak(
         head, n, std::memory_order_seq_cst, std::memory_order_relaxed));
   }
@@ -334,6 +342,7 @@ void ThreadExecutor::wake_all() {
   if (sleepers_.load(std::memory_order_seq_cst) == 0) return;
   {
     std::lock_guard lk(idle_mu_);
+    // relaxed-ok: the epoch bump is published by the idle_mu_ unlock.
     wake_epoch_.fetch_add(1, std::memory_order_relaxed);
   }
   idle_cv_.notify_all();
@@ -344,17 +353,23 @@ void ThreadExecutor::park(int w) {
   if (stop_.load(std::memory_order_acquire)) return;
   sleepers_.fetch_add(1, std::memory_order_seq_cst);
   if (work_available(w)) {  // re-check after announcing ourselves
+    // relaxed-ok: retracting the announcement orders nothing; producers
+    // that miss it merely take the notify path, which is harmless.
     sleepers_.fetch_sub(1, std::memory_order_relaxed);
     return;
   }
   auto& ctr = rt_->counters();
   const bool counting = ctr.enabled();
   const double t0 = counting ? now() : 0.0;
+  // relaxed-ok: wake_epoch_ is only read/written under idle_mu_, which
+  // supplies the ordering; the atomic silences TSan on the wait predicate.
   const std::uint64_t e = wake_epoch_.load(std::memory_order_relaxed);
   idle_cv_.wait(lk, [this, e] {
     return stop_.load(std::memory_order_acquire) ||
+           // relaxed-ok: read under idle_mu_ (held inside wait), see above.
            wake_epoch_.load(std::memory_order_relaxed) != e;
   });
+  // relaxed-ok: see the early-return fetch_sub above.
   sleepers_.fetch_sub(1, std::memory_order_relaxed);
   if (counting) {
     const auto& ids = rt_->ids();

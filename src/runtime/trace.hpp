@@ -77,9 +77,12 @@ class TraceSink {
       : buffers_(static_cast<std::size_t>(workers)),
         instants_(static_cast<std::size_t>(workers)) {}
 
+  // The flag carries no data: workers read it on idle paths (steal/park)
+  // while the main thread toggles it, and toggles happen only while the
+  // executor is quiescent, so no ordering with event payloads is needed.
+  // relaxed-ok: control flag, no ordering required (see above).
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
-  /// Relaxed atomic: workers read this on idle paths (steal/park) while the
-  /// main thread may toggle it, so a plain bool would race under TSan.
+  // relaxed-ok: control flag, no ordering required (see above).
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   void record(std::uint32_t worker, std::uint8_t cls, double t0, double t1,

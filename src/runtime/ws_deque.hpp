@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "runtime/sync_hook.hpp"
 #include "support/error.hpp"
 
 namespace amtfmm {
@@ -17,6 +18,11 @@ namespace amtfmm {
 /// ThreadSanitizer models seq_cst operations but not fences.  Slot accesses
 /// are relaxed — a thief that loses the top CAS discards whatever pointer it
 /// read, and a successful CAS orders the read before any reuse of the slot.
+///
+/// Every atomic routes through the sync_hook wrappers so the rtcheck model
+/// checker (src/rtcheck/) can explore interleavings and verify the
+/// happens-before edges; in normal builds the wrappers compile to the raw
+/// operations.  The memory-order table lives in DESIGN.md §3d.
 ///
 /// The deque is bounded (capacity fixed at construction, a power of two);
 /// push() reports failure when full and the caller spills elsewhere.
@@ -34,48 +40,52 @@ class WsDeque {
 
   /// Owner only.  Returns false when the ring is full.
   bool push(T* item) {
-    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
-    const std::int64_t t = top_.load(std::memory_order_acquire);
+    const std::int64_t b = hooked_load(bottom_, std::memory_order_relaxed);
+    const std::int64_t t = hooked_load(top_, std::memory_order_acquire);
     if (b - t > mask_) return false;
-    slots_[static_cast<std::size_t>(b & mask_)].store(
-        item, std::memory_order_relaxed);
+    hooked_store(slots_[static_cast<std::size_t>(b & mask_)], item,
+                 std::memory_order_relaxed);
     // Publishes the slot to thieves and takes part in the Dekker protocol
     // against a concurrent steal of the same element.
-    bottom_.store(b + 1, std::memory_order_seq_cst);
+    hooked_store(bottom_, b + 1, std::memory_order_seq_cst);
     return true;
   }
 
   /// Owner only.  nullptr when empty.
   T* pop() {
-    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
-    bottom_.store(b, std::memory_order_seq_cst);
-    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = hooked_load(bottom_, std::memory_order_relaxed) - 1;
+    hooked_store(bottom_, b, std::memory_order_seq_cst);
+    std::int64_t t = hooked_load(top_, std::memory_order_seq_cst);
     if (t > b) {  // empty: restore
-      bottom_.store(b + 1, std::memory_order_relaxed);
+      hooked_store(bottom_, b + 1, std::memory_order_relaxed);
       return nullptr;
     }
-    T* item = slots_[static_cast<std::size_t>(b & mask_)].load(
-        std::memory_order_relaxed);
+    T* item = hooked_load(slots_[static_cast<std::size_t>(b & mask_)],
+                          std::memory_order_relaxed);
     if (t != b) return item;  // more than one element left, no race
     // Last element: race a concurrent steal for it via the top CAS.
-    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
-                                      std::memory_order_seq_cst)) {
+    if (!hooked_cas(top_, t, t + 1, std::memory_order_seq_cst,
+                    std::memory_order_seq_cst)) {
       item = nullptr;  // a thief got it
     }
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    hooked_store(bottom_, b + 1, std::memory_order_relaxed);
     return item;
   }
 
   /// Any thread.  nullptr when empty or when the CAS race is lost (callers
   /// treat both as "try another victim").
   T* steal() {
-    std::int64_t t = top_.load(std::memory_order_seq_cst);
-    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    std::int64_t t = hooked_load(top_, std::memory_order_seq_cst);
+    // rtcheck mutation point: weakening this to relaxed drops the acquire
+    // edge from push()'s bottom_ publication, racing the item payload.
+    const std::int64_t b = hooked_load(
+        bottom_,
+        rt_order(Mutation::kStealBottomLoadRelaxed, std::memory_order_seq_cst));
     if (t >= b) return nullptr;
-    T* item = slots_[static_cast<std::size_t>(t & mask_)].load(
-        std::memory_order_relaxed);
-    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
-                                      std::memory_order_relaxed)) {
+    T* item = hooked_load(slots_[static_cast<std::size_t>(t & mask_)],
+                          std::memory_order_relaxed);
+    if (!hooked_cas(top_, t, t + 1, std::memory_order_seq_cst,
+                    std::memory_order_relaxed)) {
       return nullptr;
     }
     return item;

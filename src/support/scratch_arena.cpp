@@ -7,6 +7,8 @@ namespace {
 
 // Registry of live arenas plus the folded counters of destroyed ones, so
 // total() keeps counting across thread exits.
+// thread-ok: process-wide registry guarding thread_local lifetimes; it
+// cannot route through an Executor (arenas outlive any one executor).
 std::mutex reg_mu;
 std::vector<const ScratchArena*>& registry() {
   static std::vector<const ScratchArena*> r;

@@ -77,6 +77,7 @@ class ScratchArena {
 
   /// This arena's cumulative lease counters.
   Stats stats() const {
+    // relaxed-ok: monotonic statistics; a torn hits/misses pair is fine.
     return {hits_.load(std::memory_order_relaxed),
             misses_.load(std::memory_order_relaxed)};
   }
@@ -100,9 +101,11 @@ class ScratchArena {
       if (!free.empty()) {
         std::vector<T>* v = free.back().release();
         free.pop_back();
+        // relaxed-ok: statistic only; the arena itself is thread-local.
         a.hits_.fetch_add(1, std::memory_order_relaxed);
         return v;
       }
+      // relaxed-ok: statistic only; the arena itself is thread-local.
       a.misses_.fetch_add(1, std::memory_order_relaxed);
       return new std::vector<T>();
     }

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "runtime/gas.hpp"
 #include "runtime/runtime.hpp"
@@ -50,6 +52,85 @@ TEST(Lco, LateContinuationFiresImmediately) {
   ex.drain();
   EXPECT_EQ(fired.load(), 1);
   EXPECT_EQ(f.get(), 42);
+}
+
+// Deterministic two-thread interleavings of input delivery against
+// registration/wait, gated at operation granularity so each order replays
+// identically every run.  The instruction-level schedules of the same races
+// are explored exhaustively by the rtcheck model checker (lco.trigger_once,
+// lco.late_continuation, lco.wait_vs_fire).
+class Lockstep {
+ public:
+  void reach(int step) const {
+    while (n_.load(std::memory_order_acquire) != step) {
+      std::this_thread::yield();
+    }
+  }
+  void advance() { n_.fetch_add(1, std::memory_order_release); }
+
+ private:
+  std::atomic<int> n_{0};
+};
+
+TEST(LcoInterleaving, RegistrationOnEitherSideOfTheFireRunsOnce) {
+  // Order A: the fire completes before the registration.
+  {
+    ThreadExecutor ex(1, 1);
+    SumLCO sum(ex, 1);
+    std::atomic<int> fired{0};
+    Lockstep gate;
+    std::thread producer([&] {
+      sum.add(1.0);
+      gate.advance();  // step 1: input applied, LCO fired
+    });
+    gate.reach(1);
+    Task c;
+    c.fn = [&fired] { fired.fetch_add(1); };
+    sum.register_continuation(std::move(c));
+    producer.join();
+    ex.drain();
+    EXPECT_EQ(fired.load(), 1);
+  }
+  // Order B: the registration lands before the final input.
+  {
+    ThreadExecutor ex(1, 1);
+    SumLCO sum(ex, 1);
+    std::atomic<int> fired{0};
+    Lockstep gate;
+    std::thread producer([&] {
+      gate.reach(1);  // wait for the registration
+      sum.add(1.0);
+      gate.advance();
+    });
+    Task c;
+    c.fn = [&fired] { fired.fetch_add(1); };
+    sum.register_continuation(std::move(c));
+    gate.advance();
+    gate.reach(2);
+    producer.join();
+    ex.drain();
+    EXPECT_EQ(fired.load(), 1);
+  }
+}
+
+TEST(LcoInterleaving, WaiterBlockedBeforeTheFinalInputWakes) {
+  // The main thread is provably inside wait() (spinning on the LCO's
+  // condition variable) before the producer delivers the final input — the
+  // lost-wakeup order that rtcheck's lco.wait_vs_fire explores at the
+  // instruction level.
+  ThreadExecutor ex(1, 1);
+  SumLCO sum(ex, 2);
+  sum.add(1.0);
+  std::thread producer([&] {
+    // No gate can order "inside wait()" exactly; a short real-time delay
+    // makes the waiter overwhelmingly likely to have blocked, and the test
+    // remains correct (just weaker) if it has not.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    sum.add(2.0);
+  });
+  EXPECT_DOUBLE_EQ(sum.value(), 3.0);  // value() waits for the trigger
+  producer.join();
+  ex.drain();
 }
 
 TEST(Lco, FutureRoundTrip) {

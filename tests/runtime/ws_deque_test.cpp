@@ -46,6 +46,90 @@ TEST(WsDeque, IndicesWrapAroundTheRing) {
   EXPECT_EQ(dq.pop(), nullptr);
 }
 
+// Deterministic two-thread interleavings: a lockstep gate serializes the
+// owner and the thief at operation granularity, so one specific order of
+// deque operations replays identically on every run and its exact outcome
+// can be asserted (which consumer got which item).  Instruction-level
+// interleavings of the same races are explored exhaustively by the rtcheck
+// model checker (deque.steal_vs_pop, deque.two_thieves); these tests pin
+// the operation-level contract in the production build.
+class Lockstep {
+ public:
+  /// Blocks until the shared step counter reaches `step`.
+  void reach(int step) const {
+    while (n_.load(std::memory_order_acquire) != step) {
+      std::this_thread::yield();
+    }
+  }
+  void advance() { n_.fetch_add(1, std::memory_order_release); }
+
+ private:
+  std::atomic<int> n_{0};
+};
+
+TEST(WsDequeInterleaving, StealBetweenPushAndPopReplaysDeterministically) {
+  WsDeque<int> dq(8);
+  int items[3] = {0, 1, 2};
+  Lockstep gate;
+  int* stolen = nullptr;
+
+  std::thread thief([&] {
+    gate.reach(1);  // after the owner pushed all three
+    stolen = dq.steal();
+    gate.advance();  // step 2: owner resumes popping
+  });
+
+  ASSERT_TRUE(dq.push(&items[0]));
+  ASSERT_TRUE(dq.push(&items[1]));
+  ASSERT_TRUE(dq.push(&items[2]));
+  gate.advance();  // step 1: thief steals
+  gate.reach(2);
+  EXPECT_EQ(dq.pop(), &items[2]);
+  EXPECT_EQ(dq.pop(), &items[1]);
+  EXPECT_EQ(dq.pop(), nullptr);  // items[0] went to the thief
+  thief.join();
+  EXPECT_EQ(stolen, &items[0]);
+}
+
+TEST(WsDequeInterleaving, LastItemGoesToWhoeverMovesFirst) {
+  // Order A: thief first — the owner's pop finds the deque empty.
+  {
+    WsDeque<int> dq(4);
+    int item = 7;
+    Lockstep gate;
+    int* stolen = nullptr;
+    std::thread thief([&] {
+      gate.reach(1);
+      stolen = dq.steal();
+      gate.advance();
+    });
+    ASSERT_TRUE(dq.push(&item));
+    gate.advance();
+    gate.reach(2);
+    EXPECT_EQ(dq.pop(), nullptr);
+    thief.join();
+    EXPECT_EQ(stolen, &item);
+  }
+  // Order B: owner first — the thief's steal finds the deque empty.
+  {
+    WsDeque<int> dq(4);
+    int item = 7;
+    Lockstep gate;
+    int* stolen = nullptr;
+    std::thread thief([&] {
+      gate.reach(1);
+      stolen = dq.steal();
+      gate.advance();
+    });
+    ASSERT_TRUE(dq.push(&item));
+    EXPECT_EQ(dq.pop(), &item);
+    gate.advance();
+    gate.reach(2);
+    thief.join();
+    EXPECT_EQ(stolen, nullptr);
+  }
+}
+
 // One owner pushing/popping against several thieves; every item must be
 // taken exactly once.  This is the test the sanitizer builds lean on
 // (scripts/check.sh runs it under TSan): the pop/steal last-element race
