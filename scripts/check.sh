@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full local gate, mirroring .github/workflows/ci.yml:
 #   1. invariant lint (threading / memory-order / payload / seed rules),
-#   2. Release build + complete test suite,
+#   2. Release build + complete test suite, plus the kernel/operator tests
+#      re-run with AMTFMM_FORCE_ISA=scalar (SIMD dispatch pinned off),
 #   3. rtcheck model-checker sweep (exhaustive DFS + seeded mutations + PCT),
 #   4. Debug build of the multi-locality parity / LCO-semantics tests
 #      (assertions and the GAS/ownership debug checks enabled),
@@ -9,7 +10,8 @@
 #   6. AddressSanitizer build + complete test suite,
 #   7. UndefinedBehaviorSanitizer build + complete test suite,
 #   8. clang-format check (skipped when clang-format is unavailable),
-#   9. benchmark smoke run with JSON output.
+#   9. benchmark smoke run with JSON output, including the per-ISA SIMD
+#      kernel sweep gated by scripts/check_bench_kernels.py.
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -24,6 +26,10 @@ echo "== Release build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "== Kernel/operator tests with SIMD dispatch forced to scalar =="
+AMTFMM_FORCE_ISA=scalar ctest --test-dir build --output-on-failure \
+  -j"$JOBS" -R 'Simd|Kernel|M2lRotation|Evaluator|Engine|Dag'
 
 echo "== rtcheck: exhaustive DFS sweep =="
 ./build/tools/rtcheck --mode dfs
@@ -79,6 +85,14 @@ mkdir -p build/bench-smoke
   --json build/bench-smoke/micro_operators.json
 ./build/bench/micro_runtime --benchmark_min_time=0.05 \
   --json build/bench-smoke/micro_runtime.json
+
+echo "== SIMD kernel sweep (BENCH_kernels.json) =="
+./build/bench/micro_operators \
+  --kernels-json build/bench-smoke/BENCH_kernels.json
+./build/bench/micro_operators --isa scalar \
+  --kernels-json build/bench-smoke/BENCH_kernels_scalar.json
+python3 scripts/check_bench_kernels.py build/bench-smoke/BENCH_kernels.json \
+  --ref build/bench-smoke/BENCH_kernels_scalar.json
 
 echo "== Trace export + critical-path analysis =="
 ./build/bench/fig4_utilization --n 20000 --intervals 20 \

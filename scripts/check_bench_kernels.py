@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Gate on BENCH_kernels.json from `micro_operators --kernels-json`.
+
+Checks, in order:
+
+1. Cross-ISA checksum parity: within one file, every ISA row of an op must
+   match the op's scalar row to 1e-12 relative — a wide kernel that drifts
+   from the scalar reference is a correctness bug, not a perf result.
+2. AVX2 P2P speedup: when AVX2 rows are present, every P2P_* op must show
+   speedup_vs_scalar >= the floor (default 2.0).  M2L rows are exempt (the
+   rotation inner loops are short; their win is modest by design).
+3. --ref FILE: rows with the same name in both files must agree to 1e-12
+   relative.  CI uses this to diff the scalar rows of the full sweep
+   against a run forced with AMTFMM_FORCE_ISA=scalar — a mismatch means
+   the env override and the runtime dispatcher disagree about what
+   "scalar" executes.
+
+Exits non-zero with one line per violation.
+"""
+
+import argparse
+import json
+import sys
+
+CHECKSUM_RTOL = 1e-12
+
+
+def load(path):
+    with open(path) as f:
+        rows = json.load(f)
+    out = {}
+    for row in rows:
+        op, _, isa = row["name"].rpartition("/")
+        if not op:
+            raise SystemExit(f"{path}: row name {row['name']!r} is not op/isa")
+        out[(op, isa)] = row
+    return out
+
+
+def rel_close(a, b, rtol=CHECKSUM_RTOL):
+    return abs(a - b) <= rtol * max(1.0, abs(a), abs(b))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("bench_json", help="BENCH_kernels.json to check")
+    ap.add_argument("--ref", help="second sweep file to diff checksums against")
+    ap.add_argument("--min-p2p-avx2-speedup", type=float, default=2.0)
+    args = ap.parse_args()
+
+    rows = load(args.bench_json)
+    errors = []
+
+    ops = sorted({op for op, _ in rows})
+    for op in ops:
+        scalar = rows.get((op, "scalar"))
+        if scalar is None:
+            continue  # forced non-scalar sweep: nothing to compare within
+        for (o, isa), row in rows.items():
+            if o != op or isa == "scalar":
+                continue
+            if not rel_close(row["checksum"], scalar["checksum"]):
+                errors.append(
+                    f"{op}: {isa} checksum {row['checksum']!r} != scalar "
+                    f"{scalar['checksum']!r} (rtol {CHECKSUM_RTOL})"
+                )
+
+    for (op, isa), row in rows.items():
+        if isa == "avx2" and op.startswith("P2P"):
+            s = row["speedup_vs_scalar"]
+            if s < args.min_p2p_avx2_speedup:
+                errors.append(
+                    f"{op}: avx2 speedup {s:.2f}x below the "
+                    f"{args.min_p2p_avx2_speedup}x floor"
+                )
+
+    if args.ref:
+        ref = load(args.ref)
+        shared = sorted(set(rows) & set(ref))
+        if not shared:
+            errors.append(f"--ref {args.ref}: no rows in common")
+        for key in shared:
+            a, b = rows[key]["checksum"], ref[key]["checksum"]
+            if not rel_close(a, b):
+                errors.append(
+                    f"{key[0]}/{key[1]}: checksum {a!r} != ref {b!r}"
+                )
+
+    if errors:
+        for e in errors:
+            print(f"check_bench_kernels: {e}", file=sys.stderr)
+        return 1
+    print(
+        f"check_bench_kernels: {len(rows)} rows OK "
+        f"({len(ops)} ops; checksum rtol {CHECKSUM_RTOL})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

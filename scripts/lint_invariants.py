@@ -31,6 +31,13 @@ Machine-checkable rules the code review relies on:
      takes an explicit seed so runs replay exactly.  Escape:
      `// rand-ok: <reason>`.
 
+  5. simd-confinement: vector intrinsics (<immintrin.h>, <arm_neon.h>,
+     _mm*/__m256/__m512/__mmask/float64x2_t spellings, `#ifdef __AVX*`
+     gates, __builtin_cpu_supports) only inside src/kernels/simd/ — every
+     other layer calls the dispatched amtfmm::simd API so portability and
+     the scalar-parity tests stay meaningful.  Escape:
+     `// simd-ok: <reason>`, mirroring the threading-confinement rule.
+
 Exit status 0 when clean, 1 with one line per violation otherwise.
 """
 
@@ -53,7 +60,14 @@ RANDOM_RE = re.compile(r"std::random_device|(?<![\w.])s?rand\s*\(")
 # `T *name = ...;`, `std::array<T*, N> name;`.
 POINTER_MEMBER_RE = re.compile(r"^\s*[\w:<>,\s]+\*+\s*\w+\s*(=[^;]*)?;|<[^>]*\*")
 
+SIMD_RE = re.compile(
+    r"immintrin\.h|x86intrin\.h|arm_neon\.h|__builtin_cpu_supports|"
+    r"\b_mm\d*_\w+|\b__m(128|256|512)[di]?\b|\b__mmask\d+\b|"
+    r"\b(float|uint|int)64x2(x\d)?_t\b|__AVX\w*__"
+)
+
 THREAD_DIRS = ("src/runtime/", "src/rtcheck/")
+SIMD_DIRS = ("src/kernels/simd/",)
 RELAXED_EXEMPT = (
     "src/runtime/counters.hpp",
     "src/runtime/counters.cpp",
@@ -101,6 +115,7 @@ def main() -> int:
         lines = path.read_text().splitlines()
 
         in_thread_zone = rel.startswith(THREAD_DIRS)
+        in_simd_zone = rel.startswith(SIMD_DIRS)
         relaxed_exempt = rel in RELAXED_EXEMPT or rel.startswith(
             RELAXED_EXEMPT_DIRS
         )
@@ -126,6 +141,13 @@ def main() -> int:
                         f"{rel}:{i + 1}: unseeded randomness (rand/"
                         "random_device); use an explicit seed or add "
                         "'// rand-ok: <reason>'"
+                    )
+            if not in_simd_zone and SIMD_RE.search(code):
+                if not has_escape(lines, i, "simd-ok"):
+                    violations.append(
+                        f"{rel}:{i + 1}: vector intrinsics outside "
+                        "src/kernels/simd/ (call the amtfmm::simd API, or "
+                        "add '// simd-ok: <reason>')"
                     )
 
         for i, line in enumerate(lines):

@@ -308,17 +308,66 @@ void DagEngine::spawn_edge_tasks(NodeIndex ni) {
   if (has_payload) lco(ni)->release_payload();
 }
 
+simd::P2PBatch DagEngine::P2PScratch::batch(std::span<const Vec3> src_pts,
+                                            std::span<const double> src_q,
+                                            std::span<const Vec3> tgt_pts) {
+  if (!b_) {
+    auto& arena = ScratchArena::local();
+    // emplace: Buffers holds move-only leases (parenthesized agg init).
+    b_.emplace(arena.soa(), arena.soa(), arena.soa(), arena.soa(),
+               arena.soa(), arena.soa(), arena.soa(), arena.soa());
+  }
+  Buffers& b = *b_;
+  if (!b.sources_staged) {
+    b.sources_staged = true;
+    const std::size_t ns = src_pts.size();
+    b.sx->resize(ns);
+    b.sy->resize(ns);
+    b.sz->resize(ns);
+    b.sq->resize(ns);
+    for (std::size_t j = 0; j < ns; ++j) {
+      (*b.sx)[j] = src_pts[j].x;
+      (*b.sy)[j] = src_pts[j].y;
+      (*b.sz)[j] = src_pts[j].z;
+      (*b.sq)[j] = src_q[j];
+    }
+  }
+  const std::size_t nt = tgt_pts.size();
+  b.tx->resize(nt);
+  b.ty->resize(nt);
+  b.tz->resize(nt);
+  for (std::size_t i = 0; i < nt; ++i) {
+    (*b.tx)[i] = tgt_pts[i].x;
+    (*b.ty)[i] = tgt_pts[i].y;
+    (*b.tz)[i] = tgt_pts[i].z;
+  }
+  b.phi->assign(nt, 0.0);
+  simd::P2PBatch out;
+  out.tx = b.tx->data();
+  out.ty = b.ty->data();
+  out.tz = b.tz->data();
+  out.nt = nt;
+  out.sx = b.sx->data();
+  out.sy = b.sy->data();
+  out.sz = b.sz->data();
+  out.sq = b.sq->data();
+  out.ns = b.sx->size();
+  out.phi = b.phi->data();
+  return out;
+}
+
 void DagEngine::process_local(NodeIndex ni,
                               std::span<const std::uint32_t> edge_ids) {
   const DagNode& n = dag_.nodes[ni];
   const SourceView src = local_view(ni);
   auto msg = ScratchArena::local().bytes();
+  P2PScratch p2p;
   for (const std::uint32_t e : edge_ids) {
     const DagEdge& edge = dag_.edges[e];
     {
       ScopedTrace st(ex_, static_cast<std::uint8_t>(edge.op), e);
       msg->clear();
-      apply_edge(ni, edge, src, *msg);
+      apply_edge(ni, edge, src, p2p, *msg);
     }
     lco(edge.target)->set_input({msg->data(), msg->size()});
   }
@@ -326,7 +375,7 @@ void DagEngine::process_local(NodeIndex ni,
 }
 
 void DagEngine::apply_edge(NodeIndex from, const DagEdge& e,
-                           const SourceView& src,
+                           const SourceView& src, P2PScratch& p2p,
                            std::vector<std::byte>& msg) {
   const DagNode& fn = dag_.nodes[from];
   const DagNode& tn = dag_.nodes[e.target];
@@ -408,18 +457,12 @@ void DagEngine::apply_edge(NodeIndex from, const DagEdge& e,
       break;
     }
     case Operator::kS2T: {
-      auto phi = ScratchArena::local().reals();
-      phi->assign(tbox.count, 0.0);
-      for (std::uint32_t i = 0; i < tbox.count; ++i) {
-        double acc = 0.0;
-        for (std::size_t j = 0; j < src.pts.size(); ++j) {
-          acc += src.q[j] * kernel_.direct(tgt_pts[i], src.pts[j]);
-        }
-        (*phi)[i] += acc;
-      }
-      append_record(msg, e.op, PayloadSlot::kPhi, 0, phi->data(),
-                    phi->size() * sizeof(double),
-                    static_cast<std::uint32_t>(phi->size()));
+      // Leaf near field: SoA-staged batch through the dispatched SIMD
+      // kernels (sources gathered once per task, targets per edge).
+      const simd::P2PBatch b = p2p.batch(src.pts, src.q, tgt_pts);
+      kernel_.s2t_batch(b);
+      append_record(msg, e.op, PayloadSlot::kPhi, 0, b.phi,
+                    b.nt * sizeof(double), static_cast<std::uint32_t>(b.nt));
       break;
     }
     case Operator::kM2I: {
@@ -654,12 +697,13 @@ void DagEngine::process_parcel(const std::vector<std::byte>& buf) {
   src.q = q;
 
   auto msg = ScratchArena::local().bytes();
+  P2PScratch p2p;
   for (const std::uint32_t e : ids) {
     const DagEdge& edge = dag_.edges[e];
     {
       ScopedTrace st(ex_, static_cast<std::uint8_t>(edge.op), e);
       msg->clear();
-      apply_edge(h.source, edge, src, *msg);
+      apply_edge(h.source, edge, src, p2p, *msg);
     }
     lco(edge.target)->set_input({msg->data(), msg->size()});
   }

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/cost_model.hpp"
@@ -9,6 +10,7 @@
 #include "core/expansion_lco.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/gas.hpp"
+#include "support/scratch_arena.hpp"
 
 namespace amtfmm {
 
@@ -105,14 +107,38 @@ class DagEngine {
     std::span<const double> q;
   };
 
+  /// SoA staging for batched S->T edges, leased from the worker's
+  /// ScratchArena for the duration of one edge-processing task.  The
+  /// buffers are acquired on the first S->T edge only (tasks without one
+  /// pay nothing), and the task's source slice is gathered once even when
+  /// the task carries many S->T edges — every edge of a task shares one
+  /// source node.  Targets and potentials are restaged per edge.
+  class P2PScratch {
+   public:
+    /// Stages (lazily) and returns the batch for one S->T edge; b.phi
+    /// holds nt zeroed entries inside the leased buffer, which stays
+    /// valid until the next batch() call.
+    simd::P2PBatch batch(std::span<const Vec3> src_pts,
+                         std::span<const double> src_q,
+                         std::span<const Vec3> tgt_pts);
+
+   private:
+    struct Buffers {
+      SoaLease sx, sy, sz, sq, tx, ty, tz, phi;
+      bool sources_staged = false;
+    };
+    std::optional<Buffers> b_;
+  };
+
   void instantiate();
   void seed();
   void spawn_edge_tasks(NodeIndex ni);
   void process_local(NodeIndex ni, std::span<const std::uint32_t> edge_ids);
   /// Computes the contribution of one edge in the target's basis and
-  /// appends it to `msg` as wire records.
+  /// appends it to `msg` as wire records.  `p2p` carries the task-scoped
+  /// SoA staging shared by the task's S->T edges.
   void apply_edge(NodeIndex from, const DagEdge& e, const SourceView& src,
-                  std::vector<std::byte>& msg);
+                  P2PScratch& p2p, std::vector<std::byte>& msg);
   void finalize_target(NodeIndex ni);
 
   ExpansionLCO* lco(NodeIndex ni) const {

@@ -54,6 +54,26 @@ void copy_raw_in(std::span<const std::byte> wire, std::size_t count,
 
 }  // namespace
 
+void Kernel::s2t_batch(const simd::P2PBatch& b) const {
+  const bool grad = b.ax != nullptr && supports_gradient();
+  for (std::size_t i = 0; i < b.nt; ++i) {
+    const Vec3 t{b.tx[i], b.ty[i], b.tz[i]};
+    double phi = 0.0;
+    Vec3 acc{};
+    for (std::size_t j = 0; j < b.ns; ++j) {
+      const Vec3 s{b.sx[j], b.sy[j], b.sz[j]};
+      phi += b.sq[j] * direct(t, s);
+      if (grad) acc = acc + direct_grad(t, s) * b.sq[j];
+    }
+    b.phi[i] += phi;
+    if (b.ax != nullptr) {
+      b.ax[i] += acc.x;
+      b.ay[i] += acc.y;
+      b.az[i] += acc.z;
+    }
+  }
+}
+
 void Kernel::pack_m(const CoeffVec& full, int level, std::byte* out) const {
   copy_raw_out(full, m_count(level), out);
 }

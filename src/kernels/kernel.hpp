@@ -5,6 +5,7 @@
 #include <string>
 
 #include "geom/vec3.hpp"
+#include "kernels/simd/simd.hpp"
 #include "math/coeffs.hpp"
 #include "math/rotation.hpp"
 
@@ -111,6 +112,14 @@ class Kernel {
   /// Gradient support (forces); kernels may return false.
   virtual bool supports_gradient() const { return false; }
   virtual Vec3 direct_grad(const Vec3& t, const Vec3& s) const;
+
+  /// Batched S->T near field over an SoA batch:
+  ///   b.phi[i] += sum_j b.sq[j] * direct(t_i, s_j)
+  /// (plus accelerations when b.ax/ay/az are set — only meaningful for
+  /// kernels with supports_gradient()).  The default loops over direct();
+  /// Laplace and Yukawa override with the runtime-dispatched SIMD batch
+  /// kernels, which agree with the default to ~1e-12 (tests/kernels).
+  virtual void s2t_batch(const simd::P2PBatch& b) const;
 
   // --- Basic operators -----------------------------------------------------
   virtual void s2m(std::span<const Vec3> pts, std::span<const double> q,

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "kernels/simd/simd.hpp"
 #include "math/solid.hpp"
 #include "math/special.hpp"
 #include "support/error.hpp"
@@ -171,13 +172,21 @@ void LaplaceKernel::m2l_rotated(const M2LDirection& dir, const CoeffVec& in,
       dir.dist_class)];
   lrot.assign(sq_count(p_), cdouble{});
   const double inv_s = 1.0 / scale(level);
+  // For fixed k the sources M'_n^{-k} are strided across mrot but reused by
+  // every j, while the F table is contiguous in n.  Stage the M-column once
+  // per k, then each j is one complex-by-real dot over f[ak+j .. p+j].
+  auto mcol_lease = arena.coeffs();
+  CoeffVec& mcol = *mcol_lease;
   for (int k = -p_; k <= p_; ++k) {
     const int ak = std::abs(k);
+    const std::size_t len = static_cast<std::size_t>(p_ - ak + 1);
+    mcol.assign(len, cdouble{});
+    for (int n = ak; n <= p_; ++n) {
+      mcol[static_cast<std::size_t>(n - ak)] = mrot[sq_index(n, -k)];
+    }
     for (int j = ak; j <= p_; ++j) {
-      cdouble acc{};
-      for (int n = ak; n <= p_; ++n) {
-        acc += mrot[sq_index(n, -k)] * f[static_cast<std::size_t>(n + j)];
-      }
+      const cdouble acc =
+          simd::zrdot(mcol.data(), f.data() + ak + j, len);
       lrot[sq_index(j, k)] = ((j & 1) ? -inv_s : inv_s) * acc;
     }
   }

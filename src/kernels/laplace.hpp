@@ -61,6 +61,9 @@ class LaplaceKernel final : public Kernel {
   double direct(const Vec3& t, const Vec3& s) const override;
   bool supports_gradient() const override { return true; }
   Vec3 direct_grad(const Vec3& t, const Vec3& s) const override;
+  void s2t_batch(const simd::P2PBatch& b) const override {
+    simd::p2p_laplace(b);
+  }
 
   void s2m(std::span<const Vec3> pts, std::span<const double> q,
            const Vec3& center, int level, CoeffVec& out) const override;

@@ -1,0 +1,153 @@
+// Runtime ISA dispatch for the batch kernels.
+//
+// The active ISA is resolved once, on first use: best supported variant by
+// default, overridable via the AMTFMM_FORCE_ISA environment variable
+// (recognized values: scalar, neon, avx2, avx512).  Forcing a recognized
+// but unsupported ISA falls back to scalar — a forced run must never
+// silently upgrade to a wider unit than the one requested.  Unrecognized
+// values warn on stderr and keep auto-detection.  Tests and benchmarks can
+// re-point dispatch at runtime through set_active_isa().
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "kernels/simd/ops.hpp"
+
+namespace amtfmm::simd {
+
+namespace {
+
+const SimdOps* table(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return &scalar_ops();
+    case Isa::kNeon:
+      return &neon_ops();
+    case Isa::kAvx2:
+      return &avx2_ops();
+    case Isa::kAvx512:
+      return &avx512_ops();
+  }
+  return &scalar_ops();
+}
+
+bool host_supports(Isa isa) {
+  if (!table(isa)->compiled()) return false;
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kNeon:
+      // Compiled only on aarch64, where NEON is architecturally required.
+      return true;
+    case Isa::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") != 0 &&
+             __builtin_cpu_supports("fma") != 0;
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx512f") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Isa detect_best() {
+  Isa best = Isa::kScalar;
+  for (int i = 0; i < kNumIsas; ++i) {
+    const Isa isa = static_cast<Isa>(i);
+    if (host_supports(isa)) best = isa;
+  }
+  return best;
+}
+
+Isa init_from_env() {
+  const char* env = std::getenv("AMTFMM_FORCE_ISA");
+  if (env == nullptr || *env == '\0') return detect_best();
+  Isa forced = Isa::kScalar;
+  if (!parse_isa(env, forced)) {
+    std::fprintf(stderr,
+                 "amtfmm: unrecognized AMTFMM_FORCE_ISA='%s' "
+                 "(want scalar|neon|avx2|avx512); auto-detecting\n",
+                 env);
+    return detect_best();
+  }
+  if (!host_supports(forced)) return Isa::kScalar;
+  return forced;
+}
+
+std::atomic<Isa>& active_slot() {
+  static std::atomic<Isa> slot{init_from_env()};
+  return slot;
+}
+
+const SimdOps& active_ops() { return *table(active_slot().load()); }
+
+}  // namespace
+
+const char* to_string(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kNeon:
+      return "neon";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+bool parse_isa(std::string_view name, Isa& out) {
+  for (int i = 0; i < kNumIsas; ++i) {
+    const Isa isa = static_cast<Isa>(i);
+    if (name == to_string(isa)) {
+      out = isa;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool isa_supported(Isa isa) { return host_supports(isa); }
+
+std::vector<Isa> supported_isas() {
+  std::vector<Isa> out;
+  for (int i = 0; i < kNumIsas; ++i) {
+    const Isa isa = static_cast<Isa>(i);
+    if (host_supports(isa)) out.push_back(isa);
+  }
+  return out;
+}
+
+Isa active_isa() { return active_slot().load(); }
+
+bool set_active_isa(Isa isa) {
+  if (!host_supports(isa)) return false;
+  active_slot().store(isa);
+  return true;
+}
+
+void p2p_laplace(const P2PBatch& b) { active_ops().p2p_laplace(b); }
+
+void p2p_yukawa(const P2PBatch& b, double kappa) {
+  active_ops().p2p_yukawa(b, kappa);
+}
+
+void zaxpy(std::complex<double> a, const std::complex<double>* x,
+           std::complex<double>* y, std::size_t n) {
+  active_ops().zaxpy(a, x, y, n);
+}
+
+std::complex<double> zrdot(const std::complex<double>* x, const double* r,
+                           std::size_t n) {
+  return active_ops().zrdot(x, r, n);
+}
+
+}  // namespace amtfmm::simd

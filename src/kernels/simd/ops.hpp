@@ -1,0 +1,28 @@
+#pragma once
+
+#include "kernels/simd/simd.hpp"
+
+namespace amtfmm::simd {
+
+/// Per-ISA implementation table.  An entry set is either fully populated or
+/// all-null (variant not compiled in for this architecture); host CPU
+/// support is checked separately by dispatch.cpp.
+struct SimdOps {
+  void (*p2p_laplace)(const P2PBatch&) = nullptr;
+  void (*p2p_yukawa)(const P2PBatch&, double kappa) = nullptr;
+  void (*zaxpy)(std::complex<double> a, const std::complex<double>* x,
+                std::complex<double>* y, std::size_t n) = nullptr;
+  std::complex<double> (*zrdot)(const std::complex<double>* x,
+                                const double* r, std::size_t n) = nullptr;
+
+  bool compiled() const { return p2p_laplace != nullptr; }
+};
+
+// Defined one per ops_<isa>.cpp translation unit.  Tables for variants not
+// compiled on this architecture are all-null.
+const SimdOps& scalar_ops();
+const SimdOps& avx2_ops();
+const SimdOps& avx512_ops();
+const SimdOps& neon_ops();
+
+}  // namespace amtfmm::simd

@@ -1,0 +1,297 @@
+// AVX2+FMA (4-wide double) variants of the batch kernels.  Compiled with
+// per-function target attributes so the translation unit builds on any x86
+// toolchain and the dispatcher gates execution on cpuid.
+//
+// Conventions shared with the other wide variants:
+//  - the source index j is the vector dimension; the target is broadcast,
+//  - 1/r comes from the hardware reciprocal-sqrt estimate refined by
+//    Newton iterations to full double precision (see rsqrt_nr),
+//  - coincident pairs are masked to an exactly-zero contribution,
+//  - the source tail (ns % 4) uses masked loads with the charge lanes
+//    zeroed, which neutralizes every output without a scalar epilogue.
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+
+#include <cmath>
+#endif
+
+#include "kernels/simd/ops.hpp"
+
+namespace amtfmm::simd {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#define AMTFMM_AVX2 __attribute__((target("avx2,fma")))
+
+namespace {
+
+// The float-estimate path is only valid where the radius survives the
+// round trip through single precision; lanes outside are recomputed
+// exactly (they essentially never occur for physical coordinates).
+constexpr double kRsqrtTiny = 1e-37;
+constexpr double kRsqrtHuge = 1e37;
+
+/// 1/sqrt(r2) to full double precision: 12-bit float rsqrt estimate plus
+/// three Newton iterations (12 -> 24 -> 48 -> ~96 bits, capped at the
+/// 53-bit double mantissa).  Lanes with r2 == 0 come out non-finite;
+/// callers mask them.  Lanes outside [kRsqrtTiny, kRsqrtHuge] are fixed up
+/// exactly.
+AMTFMM_AVX2 inline __m256d rsqrt_nr(__m256d r2) {
+  __m256d y = _mm256_cvtps_pd(_mm_rsqrt_ps(_mm256_cvtpd_ps(r2)));
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d three_half = _mm256_set1_pd(1.5);
+  for (int it = 0; it < 3; ++it) {
+    const __m256d t = _mm256_mul_pd(_mm256_mul_pd(r2, y), y);
+    y = _mm256_mul_pd(y, _mm256_fnmadd_pd(half, t, three_half));
+  }
+  const __m256d bad =
+      _mm256_or_pd(_mm256_cmp_pd(r2, _mm256_set1_pd(kRsqrtTiny), _CMP_LT_OQ),
+                   _mm256_cmp_pd(r2, _mm256_set1_pd(kRsqrtHuge), _CMP_GT_OQ));
+  if (_mm256_movemask_pd(bad) != 0) {
+    alignas(32) double rr[4], yy[4], bb[4];
+    _mm256_store_pd(rr, r2);
+    _mm256_store_pd(yy, y);
+    _mm256_store_pd(bb, bad);
+    for (int l = 0; l < 4; ++l) {
+      if (bb[l] != 0.0 && rr[l] > 0.0) yy[l] = 1.0 / std::sqrt(rr[l]);
+    }
+    y = _mm256_load_pd(yy);
+  }
+  return y;
+}
+
+/// e^x, Cephes-style: x = k ln2 + r, e^r by a rational minimax on
+/// |r| <= ln2/2, then scale by 2^k through the exponent bits.  Accurate to
+/// ~1 ulp over the clamped range, which keeps the Yukawa batch within the
+/// 1e-12 parity budget of the libm scalar path.
+AMTFMM_AVX2 inline __m256d exp_pd(__m256d x) {
+  const __m256d hi = _mm256_set1_pd(709.437);
+  const __m256d lo = _mm256_set1_pd(-709.436139303);
+  const __m256d log2e = _mm256_set1_pd(1.4426950408889634073599);
+  const __m256d c1 = _mm256_set1_pd(0.693145751953125);
+  const __m256d c2 = _mm256_set1_pd(1.42860682030941723212e-6);
+  const __m256d p0 = _mm256_set1_pd(1.26177193074810590878e-4);
+  const __m256d p1 = _mm256_set1_pd(3.02994407707441961300e-2);
+  const __m256d p2 = _mm256_set1_pd(9.99999999999999999910e-1);
+  const __m256d q0 = _mm256_set1_pd(3.00198505138664455042e-6);
+  const __m256d q1 = _mm256_set1_pd(2.52448340349684104192e-3);
+  const __m256d q2 = _mm256_set1_pd(2.27265548208155028766e-1);
+  const __m256d q3 = _mm256_set1_pd(2.00000000000000000005e0);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d half = _mm256_set1_pd(0.5);
+
+  x = _mm256_min_pd(_mm256_max_pd(x, lo), hi);
+  const __m256d fx = _mm256_floor_pd(_mm256_fmadd_pd(x, log2e, half));
+  x = _mm256_fnmadd_pd(fx, c1, x);
+  x = _mm256_fnmadd_pd(fx, c2, x);
+  const __m256d x2 = _mm256_mul_pd(x, x);
+  __m256d px = _mm256_fmadd_pd(p0, x2, p1);
+  px = _mm256_fmadd_pd(px, x2, p2);
+  px = _mm256_mul_pd(px, x);
+  __m256d qx = _mm256_fmadd_pd(q0, x2, q1);
+  qx = _mm256_fmadd_pd(qx, x2, q2);
+  qx = _mm256_fmadd_pd(qx, x2, q3);
+  __m256d e = _mm256_div_pd(px, _mm256_sub_pd(qx, px));
+  e = _mm256_fmadd_pd(e, _mm256_set1_pd(2.0), one);
+  // e * 2^fx: shift the integral fx into the exponent field.
+  const __m128i k32 = _mm256_cvtpd_epi32(fx);
+  const __m256i k64 = _mm256_cvtepi32_epi64(k32);
+  const __m256i pow2 =
+      _mm256_slli_epi64(_mm256_add_epi64(k64, _mm256_set1_epi64x(1023)), 52);
+  return _mm256_mul_pd(e, _mm256_castsi256_pd(pow2));
+}
+
+/// Mask with the low `rem` (1..3) lanes active, for masked tail loads.
+AMTFMM_AVX2 inline __m256i tail_mask(std::size_t rem) {
+  const __m256i lane = _mm256_setr_epi64x(0, 1, 2, 3);
+  return _mm256_cmpgt_epi64(_mm256_set1_epi64x(static_cast<long long>(rem)),
+                            lane);
+}
+
+AMTFMM_AVX2 inline double hsum(__m256d v) {
+  const __m128d s =
+      _mm_add_pd(_mm256_castpd256_pd128(v), _mm256_extractf128_pd(v, 1));
+  return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+}
+
+template <bool Grad>
+AMTFMM_AVX2 void laplace_impl(const P2PBatch& b) {
+  const __m256d zero = _mm256_setzero_pd();
+  for (std::size_t i = 0; i < b.nt; ++i) {
+    const __m256d vtx = _mm256_set1_pd(b.tx[i]);
+    const __m256d vty = _mm256_set1_pd(b.ty[i]);
+    const __m256d vtz = _mm256_set1_pd(b.tz[i]);
+    __m256d phi = zero, ax = zero, ay = zero, az = zero;
+    for (std::size_t j = 0; j < b.ns; j += 4) {
+      __m256d xj, yj, zj, qj;
+      if (j + 4 <= b.ns) {
+        xj = _mm256_loadu_pd(b.sx + j);
+        yj = _mm256_loadu_pd(b.sy + j);
+        zj = _mm256_loadu_pd(b.sz + j);
+        qj = _mm256_loadu_pd(b.sq + j);
+      } else {
+        const __m256i m = tail_mask(b.ns - j);
+        xj = _mm256_maskload_pd(b.sx + j, m);
+        yj = _mm256_maskload_pd(b.sy + j, m);
+        zj = _mm256_maskload_pd(b.sz + j, m);
+        qj = _mm256_maskload_pd(b.sq + j, m);
+      }
+      const __m256d dx = _mm256_sub_pd(vtx, xj);
+      const __m256d dy = _mm256_sub_pd(vty, yj);
+      const __m256d dz = _mm256_sub_pd(vtz, zj);
+      __m256d r2 = _mm256_mul_pd(dx, dx);
+      r2 = _mm256_fmadd_pd(dy, dy, r2);
+      r2 = _mm256_fmadd_pd(dz, dz, r2);
+      const __m256d nz = _mm256_cmp_pd(r2, zero, _CMP_NEQ_OQ);
+      const __m256d inv_r = _mm256_and_pd(rsqrt_nr(r2), nz);
+      phi = _mm256_fmadd_pd(qj, inv_r, phi);
+      if constexpr (Grad) {
+        const __m256d inv_r3 =
+            _mm256_mul_pd(_mm256_mul_pd(inv_r, inv_r), inv_r);
+        const __m256d w = _mm256_mul_pd(qj, inv_r3);
+        ax = _mm256_fnmadd_pd(w, dx, ax);
+        ay = _mm256_fnmadd_pd(w, dy, ay);
+        az = _mm256_fnmadd_pd(w, dz, az);
+      }
+    }
+    b.phi[i] += hsum(phi);
+    if constexpr (Grad) {
+      b.ax[i] += hsum(ax);
+      b.ay[i] += hsum(ay);
+      b.az[i] += hsum(az);
+    }
+  }
+}
+
+AMTFMM_AVX2 void laplace(const P2PBatch& b) {
+  if (b.ax != nullptr) {
+    laplace_impl<true>(b);
+  } else {
+    laplace_impl<false>(b);
+  }
+}
+
+template <bool Grad>
+AMTFMM_AVX2 void yukawa_impl(const P2PBatch& b, double kappa) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d vk = _mm256_set1_pd(kappa);
+  const __m256d one = _mm256_set1_pd(1.0);
+  for (std::size_t i = 0; i < b.nt; ++i) {
+    const __m256d vtx = _mm256_set1_pd(b.tx[i]);
+    const __m256d vty = _mm256_set1_pd(b.ty[i]);
+    const __m256d vtz = _mm256_set1_pd(b.tz[i]);
+    __m256d phi = zero, ax = zero, ay = zero, az = zero;
+    for (std::size_t j = 0; j < b.ns; j += 4) {
+      __m256d xj, yj, zj, qj;
+      if (j + 4 <= b.ns) {
+        xj = _mm256_loadu_pd(b.sx + j);
+        yj = _mm256_loadu_pd(b.sy + j);
+        zj = _mm256_loadu_pd(b.sz + j);
+        qj = _mm256_loadu_pd(b.sq + j);
+      } else {
+        const __m256i m = tail_mask(b.ns - j);
+        xj = _mm256_maskload_pd(b.sx + j, m);
+        yj = _mm256_maskload_pd(b.sy + j, m);
+        zj = _mm256_maskload_pd(b.sz + j, m);
+        qj = _mm256_maskload_pd(b.sq + j, m);
+      }
+      const __m256d dx = _mm256_sub_pd(vtx, xj);
+      const __m256d dy = _mm256_sub_pd(vty, yj);
+      const __m256d dz = _mm256_sub_pd(vtz, zj);
+      __m256d r2 = _mm256_mul_pd(dx, dx);
+      r2 = _mm256_fmadd_pd(dy, dy, r2);
+      r2 = _mm256_fmadd_pd(dz, dz, r2);
+      const __m256d nz = _mm256_cmp_pd(r2, zero, _CMP_NEQ_OQ);
+      const __m256d inv_r = _mm256_and_pd(rsqrt_nr(r2), nz);
+      // kr = kappa * r2 * inv_r (== kappa * r; 0 on masked lanes).
+      const __m256d kr = _mm256_mul_pd(vk, _mm256_mul_pd(r2, inv_r));
+      const __m256d damp = exp_pd(_mm256_sub_pd(zero, kr));
+      // e = q * e^{-kr} / r; masked lanes: inv_r = 0 -> e = 0.
+      const __m256d e = _mm256_mul_pd(qj, _mm256_mul_pd(damp, inv_r));
+      phi = _mm256_add_pd(phi, e);
+      if constexpr (Grad) {
+        const __m256d inv_r2 = _mm256_mul_pd(inv_r, inv_r);
+        const __m256d w =
+            _mm256_mul_pd(_mm256_add_pd(one, kr), _mm256_mul_pd(e, inv_r2));
+        ax = _mm256_fnmadd_pd(w, dx, ax);
+        ay = _mm256_fnmadd_pd(w, dy, ay);
+        az = _mm256_fnmadd_pd(w, dz, az);
+      }
+    }
+    b.phi[i] += hsum(phi);
+    if constexpr (Grad) {
+      b.ax[i] += hsum(ax);
+      b.ay[i] += hsum(ay);
+      b.az[i] += hsum(az);
+    }
+  }
+}
+
+AMTFMM_AVX2 void yukawa(const P2PBatch& b, double kappa) {
+  if (b.ax != nullptr) {
+    yukawa_impl<true>(b, kappa);
+  } else {
+    yukawa_impl<false>(b, kappa);
+  }
+}
+
+AMTFMM_AVX2 void zaxpy_avx2(std::complex<double> a,
+                            const std::complex<double>* x,
+                            std::complex<double>* y, std::size_t n) {
+  const __m256d vre = _mm256_set1_pd(a.real());
+  const __m256d vim = _mm256_set1_pd(a.imag());
+  const double* px = reinterpret_cast<const double*>(x);
+  double* py = reinterpret_cast<double*>(y);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m256d xv = _mm256_loadu_pd(px + 2 * i);
+    const __m256d xs = _mm256_permute_pd(xv, 0x5);  // swap re/im per pair
+    const __m256d t = _mm256_mul_pd(xs, vim);
+    const __m256d r = _mm256_fmaddsub_pd(xv, vre, t);
+    _mm256_storeu_pd(py + 2 * i,
+                     _mm256_add_pd(_mm256_loadu_pd(py + 2 * i), r));
+  }
+  if (i < n) y[i] += a * x[i];
+}
+
+AMTFMM_AVX2 std::complex<double> zrdot_avx2(const std::complex<double>* x,
+                                            const double* r, std::size_t n) {
+  const double* px = reinterpret_cast<const double*>(x);
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m256d xv = _mm256_loadu_pd(px + 2 * i);
+    // [r_i, r_i, r_{i+1}, r_{i+1}]
+    const __m256d rd = _mm256_permute4x64_pd(
+        _mm256_castpd128_pd256(_mm_loadu_pd(r + i)), 0x50);
+    acc = _mm256_fmadd_pd(xv, rd, acc);
+  }
+  const __m128d s = _mm_add_pd(_mm256_castpd256_pd128(acc),
+                               _mm256_extractf128_pd(acc, 1));
+  double re = _mm_cvtsd_f64(s);
+  double im = _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+  if (i < n) {
+    re += x[i].real() * r[i];
+    im += x[i].imag() * r[i];
+  }
+  return {re, im};
+}
+
+}  // namespace
+
+const SimdOps& avx2_ops() {
+  static const SimdOps ops{laplace, yukawa, zaxpy_avx2, zrdot_avx2};
+  return ops;
+}
+
+#else  // non-x86: variant not compiled in
+
+const SimdOps& avx2_ops() {
+  static const SimdOps ops{};
+  return ops;
+}
+
+#endif
+
+}  // namespace amtfmm::simd

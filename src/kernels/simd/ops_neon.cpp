@@ -1,0 +1,249 @@
+// NEON (aarch64, 2-wide double) variants of the batch kernels.  Same
+// contract as the x86 variants: coincident pairs masked to exactly zero,
+// 1/sqrt via the hardware estimate (vrsqrte, 8-bit) refined by four
+// vrsqrts Newton steps to full double precision.  NEON has no masked
+// loads, so the odd source tail falls back to one scalar iteration.
+
+#if defined(__aarch64__)
+#include <arm_neon.h>
+
+#include <cmath>
+#endif
+
+#include "kernels/simd/ops.hpp"
+
+namespace amtfmm::simd {
+
+#if defined(__aarch64__)
+
+namespace {
+
+/// 1/sqrt(r2): 8-bit estimate plus four Newton steps (8 -> 16 -> 32 -> 64
+/// bits, past the 53-bit mantissa).  vrsqrte(0) is +inf; callers mask.
+/// Operates in the double domain throughout, so no range guard is needed.
+inline float64x2_t rsqrt_nr(float64x2_t r2) {
+  float64x2_t y = vrsqrteq_f64(r2);
+  for (int it = 0; it < 4; ++it) {
+    // vrsqrts(a, b) = (3 - a*b) / 2; Newton: y *= (3 - r2*y*y)/2.
+    y = vmulq_f64(y, vrsqrtsq_f64(vmulq_f64(r2, y), y));
+  }
+  return y;
+}
+
+/// e^x — the same Cephes rational as the x86 variants.
+inline float64x2_t exp_pd(float64x2_t x) {
+  const float64x2_t hi = vdupq_n_f64(709.437);
+  const float64x2_t lo = vdupq_n_f64(-709.436139303);
+  const float64x2_t log2e = vdupq_n_f64(1.4426950408889634073599);
+  const float64x2_t c1 = vdupq_n_f64(0.693145751953125);
+  const float64x2_t c2 = vdupq_n_f64(1.42860682030941723212e-6);
+  const float64x2_t p0 = vdupq_n_f64(1.26177193074810590878e-4);
+  const float64x2_t p1 = vdupq_n_f64(3.02994407707441961300e-2);
+  const float64x2_t p2 = vdupq_n_f64(9.99999999999999999910e-1);
+  const float64x2_t q0 = vdupq_n_f64(3.00198505138664455042e-6);
+  const float64x2_t q1 = vdupq_n_f64(2.52448340349684104192e-3);
+  const float64x2_t q2 = vdupq_n_f64(2.27265548208155028766e-1);
+  const float64x2_t q3 = vdupq_n_f64(2.00000000000000000005e0);
+  const float64x2_t one = vdupq_n_f64(1.0);
+  const float64x2_t half = vdupq_n_f64(0.5);
+
+  x = vminq_f64(vmaxq_f64(x, lo), hi);
+  const float64x2_t fx = vrndmq_f64(vfmaq_f64(half, x, log2e));  // floor
+  x = vfmsq_f64(x, fx, c1);
+  x = vfmsq_f64(x, fx, c2);
+  const float64x2_t x2 = vmulq_f64(x, x);
+  float64x2_t px = vfmaq_f64(p1, p0, x2);
+  px = vfmaq_f64(p2, px, x2);
+  px = vmulq_f64(px, x);
+  float64x2_t qx = vfmaq_f64(q1, q0, x2);
+  qx = vfmaq_f64(q2, qx, x2);
+  qx = vfmaq_f64(q3, qx, x2);
+  float64x2_t e = vdivq_f64(px, vsubq_f64(qx, px));
+  e = vfmaq_f64(one, e, vdupq_n_f64(2.0));
+  // e * 2^fx: shift the integral fx into the exponent field.
+  const int64x2_t k = vcvtq_s64_f64(fx);
+  const int64x2_t pow2 = vshlq_n_s64(vaddq_s64(k, vdupq_n_s64(1023)), 52);
+  return vmulq_f64(e, vreinterpretq_f64_s64(pow2));
+}
+
+/// Zero lanes of v where r2 == 0 (coincident pair).
+inline float64x2_t mask_nonzero(float64x2_t v, float64x2_t r2) {
+  const uint64x2_t eq = vceqzq_f64(r2);
+  return vreinterpretq_f64_u64(vbicq_u64(vreinterpretq_u64_f64(v), eq));
+}
+
+template <bool Grad>
+void laplace_impl(const P2PBatch& b) {
+  for (std::size_t i = 0; i < b.nt; ++i) {
+    const float64x2_t vtx = vdupq_n_f64(b.tx[i]);
+    const float64x2_t vty = vdupq_n_f64(b.ty[i]);
+    const float64x2_t vtz = vdupq_n_f64(b.tz[i]);
+    float64x2_t phi = vdupq_n_f64(0.0);
+    float64x2_t ax = phi, ay = phi, az = phi;
+    std::size_t j = 0;
+    for (; j + 2 <= b.ns; j += 2) {
+      const float64x2_t dx = vsubq_f64(vtx, vld1q_f64(b.sx + j));
+      const float64x2_t dy = vsubq_f64(vty, vld1q_f64(b.sy + j));
+      const float64x2_t dz = vsubq_f64(vtz, vld1q_f64(b.sz + j));
+      const float64x2_t qj = vld1q_f64(b.sq + j);
+      float64x2_t r2 = vmulq_f64(dx, dx);
+      r2 = vfmaq_f64(r2, dy, dy);
+      r2 = vfmaq_f64(r2, dz, dz);
+      const float64x2_t inv_r = mask_nonzero(rsqrt_nr(r2), r2);
+      phi = vfmaq_f64(phi, qj, inv_r);
+      if constexpr (Grad) {
+        const float64x2_t inv_r3 =
+            vmulq_f64(vmulq_f64(inv_r, inv_r), inv_r);
+        const float64x2_t w = vmulq_f64(qj, inv_r3);
+        ax = vfmsq_f64(ax, w, dx);
+        ay = vfmsq_f64(ay, w, dy);
+        az = vfmsq_f64(az, w, dz);
+      }
+    }
+    double sp = vaddvq_f64(phi);
+    double sx = vaddvq_f64(ax), sy = vaddvq_f64(ay), sz = vaddvq_f64(az);
+    for (; j < b.ns; ++j) {  // odd tail, scalar
+      const double dx = b.tx[i] - b.sx[j];
+      const double dy = b.ty[i] - b.sy[j];
+      const double dz = b.tz[i] - b.sz[j];
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 == 0.0) continue;
+      const double inv_r = 1.0 / std::sqrt(r2);
+      sp += b.sq[j] * inv_r;
+      if constexpr (Grad) {
+        const double w = -b.sq[j] * inv_r * inv_r * inv_r;
+        sx += w * dx;
+        sy += w * dy;
+        sz += w * dz;
+      }
+    }
+    b.phi[i] += sp;
+    if constexpr (Grad) {
+      b.ax[i] += sx;
+      b.ay[i] += sy;
+      b.az[i] += sz;
+    }
+  }
+}
+
+void laplace(const P2PBatch& b) {
+  if (b.ax != nullptr) {
+    laplace_impl<true>(b);
+  } else {
+    laplace_impl<false>(b);
+  }
+}
+
+template <bool Grad>
+void yukawa_impl(const P2PBatch& b, double kappa) {
+  const float64x2_t vk = vdupq_n_f64(kappa);
+  const float64x2_t one = vdupq_n_f64(1.0);
+  for (std::size_t i = 0; i < b.nt; ++i) {
+    const float64x2_t vtx = vdupq_n_f64(b.tx[i]);
+    const float64x2_t vty = vdupq_n_f64(b.ty[i]);
+    const float64x2_t vtz = vdupq_n_f64(b.tz[i]);
+    float64x2_t phi = vdupq_n_f64(0.0);
+    float64x2_t ax = phi, ay = phi, az = phi;
+    std::size_t j = 0;
+    for (; j + 2 <= b.ns; j += 2) {
+      const float64x2_t dx = vsubq_f64(vtx, vld1q_f64(b.sx + j));
+      const float64x2_t dy = vsubq_f64(vty, vld1q_f64(b.sy + j));
+      const float64x2_t dz = vsubq_f64(vtz, vld1q_f64(b.sz + j));
+      const float64x2_t qj = vld1q_f64(b.sq + j);
+      float64x2_t r2 = vmulq_f64(dx, dx);
+      r2 = vfmaq_f64(r2, dy, dy);
+      r2 = vfmaq_f64(r2, dz, dz);
+      const float64x2_t inv_r = mask_nonzero(rsqrt_nr(r2), r2);
+      const float64x2_t kr = vmulq_f64(vk, vmulq_f64(r2, inv_r));
+      const float64x2_t damp = exp_pd(vnegq_f64(kr));
+      const float64x2_t e = vmulq_f64(qj, vmulq_f64(damp, inv_r));
+      phi = vaddq_f64(phi, e);
+      if constexpr (Grad) {
+        const float64x2_t inv_r2 = vmulq_f64(inv_r, inv_r);
+        const float64x2_t w =
+            vmulq_f64(vaddq_f64(one, kr), vmulq_f64(e, inv_r2));
+        ax = vfmsq_f64(ax, w, dx);
+        ay = vfmsq_f64(ay, w, dy);
+        az = vfmsq_f64(az, w, dz);
+      }
+    }
+    double sp = vaddvq_f64(phi);
+    double sx = vaddvq_f64(ax), sy = vaddvq_f64(ay), sz = vaddvq_f64(az);
+    for (; j < b.ns; ++j) {  // odd tail, scalar
+      const double dx = b.tx[i] - b.sx[j];
+      const double dy = b.ty[i] - b.sy[j];
+      const double dz = b.tz[i] - b.sz[j];
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 == 0.0) continue;
+      const double inv_r = 1.0 / std::sqrt(r2);
+      const double kr = kappa * r2 * inv_r;
+      const double e = b.sq[j] * std::exp(-kr) * inv_r;
+      sp += e;
+      if constexpr (Grad) {
+        const double w = -(1.0 + kr) * e * inv_r * inv_r;
+        sx += w * dx;
+        sy += w * dy;
+        sz += w * dz;
+      }
+    }
+    b.phi[i] += sp;
+    if constexpr (Grad) {
+      b.ax[i] += sx;
+      b.ay[i] += sy;
+      b.az[i] += sz;
+    }
+  }
+}
+
+void yukawa(const P2PBatch& b, double kappa) {
+  if (b.ax != nullptr) {
+    yukawa_impl<true>(b, kappa);
+  } else {
+    yukawa_impl<false>(b, kappa);
+  }
+}
+
+void zaxpy_neon(std::complex<double> a, const std::complex<double>* x,
+                std::complex<double>* y, std::size_t n) {
+  const double* px = reinterpret_cast<const double*>(x);
+  double* py = reinterpret_cast<double*>(y);
+  const float64x2_t are = vdupq_n_f64(a.real());
+  // [-im(a), im(a)] pairs with the swapped [im(x), re(x)] lanes.
+  const float64x2_t aim =
+      vcombine_f64(vdup_n_f64(-a.imag()), vdup_n_f64(a.imag()));
+  for (std::size_t i = 0; i < n; ++i) {
+    const float64x2_t xv = vld1q_f64(px + 2 * i);       // [re, im]
+    const float64x2_t xs = vextq_f64(xv, xv, 1);        // [im, re]
+    float64x2_t r = vmulq_f64(xv, are);
+    r = vfmaq_f64(r, xs, aim);
+    vst1q_f64(py + 2 * i, vaddq_f64(vld1q_f64(py + 2 * i), r));
+  }
+}
+
+std::complex<double> zrdot_neon(const std::complex<double>* x,
+                                const double* r, std::size_t n) {
+  const double* px = reinterpret_cast<const double*>(x);
+  float64x2_t acc = vdupq_n_f64(0.0);  // [sum_re, sum_im]
+  for (std::size_t i = 0; i < n; ++i) {
+    acc = vfmaq_f64(acc, vld1q_f64(px + 2 * i), vdupq_n_f64(r[i]));
+  }
+  return {vgetq_lane_f64(acc, 0), vgetq_lane_f64(acc, 1)};
+}
+
+}  // namespace
+
+const SimdOps& neon_ops() {
+  static const SimdOps ops{laplace, yukawa, zaxpy_neon, zrdot_neon};
+  return ops;
+}
+
+#else  // non-aarch64: variant not compiled in
+
+const SimdOps& neon_ops() {
+  static const SimdOps ops{};
+  return ops;
+}
+
+#endif
+
+}  // namespace amtfmm::simd

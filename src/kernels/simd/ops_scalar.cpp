@@ -1,0 +1,112 @@
+// Scalar reference implementations of the batch kernels.  These are the
+// parity baseline for every wide variant and the dispatch fallback on hosts
+// without vector units — keep them straightforward, sequential-summation
+// code.
+
+#include <cmath>
+
+#include "kernels/simd/ops.hpp"
+
+namespace amtfmm::simd {
+namespace {
+
+template <bool Grad>
+void laplace_impl(const P2PBatch& b) {
+  for (std::size_t i = 0; i < b.nt; ++i) {
+    const double tx = b.tx[i], ty = b.ty[i], tz = b.tz[i];
+    double phi = 0.0, ax = 0.0, ay = 0.0, az = 0.0;
+    for (std::size_t j = 0; j < b.ns; ++j) {
+      const double dx = tx - b.sx[j];
+      const double dy = ty - b.sy[j];
+      const double dz = tz - b.sz[j];
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 == 0.0) continue;
+      const double inv_r = 1.0 / std::sqrt(r2);
+      phi += b.sq[j] * inv_r;
+      if constexpr (Grad) {
+        const double w = -b.sq[j] * inv_r * inv_r * inv_r;
+        ax += w * dx;
+        ay += w * dy;
+        az += w * dz;
+      }
+    }
+    b.phi[i] += phi;
+    if constexpr (Grad) {
+      b.ax[i] += ax;
+      b.ay[i] += ay;
+      b.az[i] += az;
+    }
+  }
+}
+
+void laplace(const P2PBatch& b) {
+  if (b.ax != nullptr) {
+    laplace_impl<true>(b);
+  } else {
+    laplace_impl<false>(b);
+  }
+}
+
+template <bool Grad>
+void yukawa_impl(const P2PBatch& b, double kappa) {
+  for (std::size_t i = 0; i < b.nt; ++i) {
+    const double tx = b.tx[i], ty = b.ty[i], tz = b.tz[i];
+    double phi = 0.0, ax = 0.0, ay = 0.0, az = 0.0;
+    for (std::size_t j = 0; j < b.ns; ++j) {
+      const double dx = tx - b.sx[j];
+      const double dy = ty - b.sy[j];
+      const double dz = tz - b.sz[j];
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 == 0.0) continue;
+      const double inv_r = 1.0 / std::sqrt(r2);
+      const double kr = kappa * r2 * inv_r;  // kappa * r
+      const double e = b.sq[j] * std::exp(-kr) * inv_r;
+      phi += e;
+      if constexpr (Grad) {
+        // grad_t e^{-kr}/r = -(1 + kr) e^{-kr}/r^3 * (t - s)
+        const double w = -(1.0 + kr) * e * inv_r * inv_r;
+        ax += w * dx;
+        ay += w * dy;
+        az += w * dz;
+      }
+    }
+    b.phi[i] += phi;
+    if constexpr (Grad) {
+      b.ax[i] += ax;
+      b.ay[i] += ay;
+      b.az[i] += az;
+    }
+  }
+}
+
+void yukawa(const P2PBatch& b, double kappa) {
+  if (b.ax != nullptr) {
+    yukawa_impl<true>(b, kappa);
+  } else {
+    yukawa_impl<false>(b, kappa);
+  }
+}
+
+void zaxpy_scalar(std::complex<double> a, const std::complex<double>* x,
+                  std::complex<double>* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+std::complex<double> zrdot_scalar(const std::complex<double>* x,
+                                  const double* r, std::size_t n) {
+  double re = 0.0, im = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    re += x[i].real() * r[i];
+    im += x[i].imag() * r[i];
+  }
+  return {re, im};
+}
+
+}  // namespace
+
+const SimdOps& scalar_ops() {
+  static const SimdOps ops{laplace, yukawa, zaxpy_scalar, zrdot_scalar};
+  return ops;
+}
+
+}  // namespace amtfmm::simd

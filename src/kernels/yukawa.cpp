@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "kernels/simd/simd.hpp"
 #include "math/bessel.hpp"
 #include "math/gauss.hpp"
 #include "math/special.hpp"
@@ -344,15 +345,21 @@ void YukawaKernel::m2l_rotated(const M2LDirection& dir, const CoeffVec& in,
   const std::vector<double>& t = yk_axial_[static_cast<std::size_t>(
       clamped(level))][static_cast<std::size_t>(dir.dist_class)];
   lrot.assign(sq_count(p_), cdouble{});
+  // For fixed k the sources M'_n^k are strided across mrot but reused by
+  // every j, while each axial-table row is contiguous in n.  Stage the
+  // M-column once per k, then each j is one complex-by-real dot.
+  auto mcol_lease = arena.coeffs();
+  CoeffVec& mcol = *mcol_lease;
   for (int k = -p_; k <= p_; ++k) {
     const int ak = std::abs(k);
+    const std::size_t len = static_cast<std::size_t>(p_ - ak + 1);
+    mcol.assign(len, cdouble{});
+    for (int n = ak; n <= p_; ++n) {
+      mcol[static_cast<std::size_t>(n - ak)] = mrot[sq_index(n, k)];
+    }
     for (int j = ak; j <= p_; ++j) {
-      const double* row = t.data() + axial_index(ak, j, ak);
-      cdouble acc{};
-      for (int n = ak; n <= p_; ++n) {
-        acc += row[n - ak] * mrot[sq_index(n, k)];
-      }
-      lrot[sq_index(j, k)] = acc;
+      lrot[sq_index(j, k)] =
+          simd::zrdot(mcol.data(), t.data() + axial_index(ak, j, ak), len);
     }
   }
   m2l_rot_.rotate_inverse(dir, lrot, gamma_, 1, back);

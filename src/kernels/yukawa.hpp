@@ -66,6 +66,9 @@ class YukawaKernel final : public Kernel {
   }
 
   double direct(const Vec3& t, const Vec3& s) const override;
+  void s2t_batch(const simd::P2PBatch& b) const override {
+    simd::p2p_yukawa(b, kappa_);
+  }
 
   void s2m(std::span<const Vec3> pts, std::span<const double> q,
            const Vec3& center, int level, CoeffVec& out) const override;

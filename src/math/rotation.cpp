@@ -3,9 +3,11 @@
 #include <cmath>
 #include <numbers>
 
+#include "kernels/simd/simd.hpp"
 #include "math/special.hpp"
 #include "math/sphere.hpp"
 #include "support/error.hpp"
+#include "support/scratch_arena.hpp"
 
 namespace amtfmm {
 
@@ -59,17 +61,27 @@ void AngularTransform::apply(const CoeffVec& in, const std::vector<double>& g,
   AMTFMM_ASSERT(s == 1 || s == -1);
   AMTFMM_ASSERT(in.size() == sq_count(p_));
   out.assign(sq_count(p_), cdouble{});
+  // out[n, mp] = sum_m in[n, m] g[n, m] E^n_{m, mp}.  For fixed m the
+  // E-row over mp is contiguous in the block (ascending for s = +1,
+  // descending for s = -1), so each m contributes one zaxpy over the row
+  // and the order index becomes the vector dimension.  Per output entry
+  // the m-summation order matches the scalar loop this replaces.
+  auto acc_lease = ScratchArena::local().coeffs();
+  auto& acc = *acc_lease;
   for (int n = 0; n <= p_; ++n) {
     const auto& block = blocks_[static_cast<std::size_t>(n)];
-    const int w = 2 * n + 1;
-    for (int mp = -n; mp <= n; ++mp) {
-      cdouble acc{};
-      for (int m = -n; m <= n; ++m) {
-        const cdouble e = block[static_cast<std::size_t>(s * m + n) * w +
-                                static_cast<std::size_t>(s * mp + n)];
-        acc += in[sq_index(n, m)] * g[sq_index(n, m)] * e;
-      }
-      out[sq_index(n, mp)] = acc / g[sq_index(n, mp)];
+    const std::size_t w = static_cast<std::size_t>(2 * n + 1);
+    acc.assign(w, cdouble{});
+    for (int m = -n; m <= n; ++m) {
+      const cdouble c = in[sq_index(n, m)] * g[sq_index(n, m)];
+      if (c == cdouble{}) continue;
+      const cdouble* row =
+          block.data() + static_cast<std::size_t>(s * m + n) * w;
+      simd::zaxpy(c, row, acc.data(), w);
+    }
+    for (std::size_t i = 0; i < w; ++i) {
+      const int mp = s * (static_cast<int>(i) - n);
+      out[sq_index(n, mp)] = acc[i] / g[sq_index(n, mp)];
     }
   }
 }

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace amtfmm {
+
+/// Alignment guarantee for SoA batch buffers: one full cache line, which
+/// also covers the widest vector unit we dispatch to (64-byte AVX-512
+/// loads).  ScratchArena::soa() buffers are allocated with this.
+inline constexpr std::size_t kSoaAlignment = 64;
+
+/// Minimal aligned allocator for std::vector.  All instances are
+/// interchangeable (stateless), so vectors move/swap freely.
+template <typename T, std::size_t Align>
+struct AlignedAlloc {
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "Align must be a power of two no smaller than alignof(T)");
+
+  using value_type = T;
+
+  AlignedAlloc() = default;
+  template <typename U>
+  AlignedAlloc(const AlignedAlloc<U, Align>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Align));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAlloc<U, Align>;
+  };
+
+  friend bool operator==(const AlignedAlloc&, const AlignedAlloc&) {
+    return true;
+  }
+};
+
+/// 64-byte-aligned double vector — the element type of SoA kernel batches.
+using AlignedVec = std::vector<double, AlignedAlloc<double, kSoaAlignment>>;
+
+}  // namespace amtfmm

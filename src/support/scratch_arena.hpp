@@ -7,6 +7,8 @@
 #include <memory>
 #include <vector>
 
+#include "support/aligned.hpp"
+
 namespace amtfmm {
 
 class ScratchArena;
@@ -16,11 +18,16 @@ class ScratchArena;
 /// and assign()s it to the same size every call performs no heap
 /// allocation.  Contents on acquisition are unspecified; callers must
 /// assign/resize before reading.
-template <typename T>
+///
+/// The allocator parameter mirrors the pool's: the soa() pool leases
+/// 64-byte-aligned vectors (AlignedVec), everything else defaults to the
+/// standard allocator.
+template <typename T, typename Alloc = std::allocator<T>>
 class ScratchLease {
  public:
-  ScratchLease(ScratchArena& arena, std::vector<T>* v)
-      : arena_(&arena), v_(v) {}
+  using Vec = std::vector<T, Alloc>;
+
+  ScratchLease(ScratchArena& arena, Vec* v) : arena_(&arena), v_(v) {}
   ScratchLease(ScratchLease&& o) noexcept : arena_(o.arena_), v_(o.v_) {
     o.v_ = nullptr;
   }
@@ -29,12 +36,12 @@ class ScratchLease {
   ScratchLease& operator=(ScratchLease&&) = delete;
   ~ScratchLease();
 
-  std::vector<T>& operator*() const { return *v_; }
-  std::vector<T>* operator->() const { return v_; }
+  Vec& operator*() const { return *v_; }
+  Vec* operator->() const { return v_; }
 
  private:
   ScratchArena* arena_;
-  std::vector<T>* v_;
+  Vec* v_;
 };
 
 /// Per-worker pool of reusable scratch buffers for the expansion operators.
@@ -74,6 +81,11 @@ class ScratchArena {
   ScratchLease<double> reals() { return {*this, real_.acquire(*this)}; }
   /// Leases a raw byte buffer (wire-format staging).
   ScratchLease<std::byte> bytes() { return {*this, byte_.acquire(*this)}; }
+  /// Leases a 64-byte-aligned real buffer for SoA kernel batches
+  /// (vector-load safe at any ISA width; see support/aligned.hpp).
+  ScratchLease<double, AlignedAlloc<double, kSoaAlignment>> soa() {
+    return {*this, soa_.acquire(*this)};
+  }
 
   /// This arena's cumulative lease counters.
   Stats stats() const {
@@ -90,16 +102,19 @@ class ScratchArena {
   void release(std::vector<std::complex<double>>* v) { complex_.put_back(v); }
   void release(std::vector<double>* v) { real_.put_back(v); }
   void release(std::vector<std::byte>* v) { byte_.put_back(v); }
+  void release(AlignedVec* v) { soa_.put_back(v); }
 
  private:
-  template <typename T>
+  template <typename T, typename Alloc = std::allocator<T>>
   struct Pool {
-    // Free buffers; leased buffers are owned by their lease until returned.
-    std::vector<std::unique_ptr<std::vector<T>>> free;
+    using Vec = std::vector<T, Alloc>;
 
-    std::vector<T>* acquire(ScratchArena& a) {
+    // Free buffers; leased buffers are owned by their lease until returned.
+    std::vector<std::unique_ptr<Vec>> free;
+
+    Vec* acquire(ScratchArena& a) {
       if (!free.empty()) {
-        std::vector<T>* v = free.back().release();
+        Vec* v = free.back().release();
         free.pop_back();
         // relaxed-ok: statistic only; the arena itself is thread-local.
         a.hits_.fetch_add(1, std::memory_order_relaxed);
@@ -107,21 +122,25 @@ class ScratchArena {
       }
       // relaxed-ok: statistic only; the arena itself is thread-local.
       a.misses_.fetch_add(1, std::memory_order_relaxed);
-      return new std::vector<T>();
+      return new Vec();
     }
-    void put_back(std::vector<T>* v) { free.emplace_back(v); }
+    void put_back(Vec* v) { free.emplace_back(v); }
   };
 
   Pool<std::complex<double>> complex_;
   Pool<double> real_;
   Pool<std::byte> byte_;
+  Pool<double, AlignedAlloc<double, kSoaAlignment>> soa_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
 };
 
-template <typename T>
-ScratchLease<T>::~ScratchLease() {
+template <typename T, typename Alloc>
+ScratchLease<T, Alloc>::~ScratchLease() {
   if (v_ != nullptr) arena_->release(v_);
 }
+
+/// Lease type returned by ScratchArena::soa() (64-byte-aligned doubles).
+using SoaLease = ScratchLease<double, AlignedAlloc<double, kSoaAlignment>>;
 
 }  // namespace amtfmm

@@ -1,0 +1,287 @@
+// Parity tests for the SIMD batch-kernel layer: every ISA variant the host
+// supports must agree with the scalar reference to 1e-12 across both
+// potentials, at odd batch sizes (masked-tail coverage), and at
+// coincident-point edge cases.  The rotation-M2L inner loops (zaxpy /
+// zrdot) get the same treatment, both directly and end-to-end through
+// m2l_acc.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "kernels/kernel.hpp"
+#include "kernels/simd/simd.hpp"
+#include "support/rng.hpp"
+
+namespace amtfmm {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+// Batch sizes chosen to hit every tail residue of the 2/4/8-wide variants,
+// including the sub-width sizes 1..3.
+const std::size_t kSizes[] = {1, 2, 3, 5, 8, 13, 31, 33, 64, 67};
+
+/// Restores the entry ISA on scope exit so test order doesn't leak state.
+class IsaGuard {
+ public:
+  IsaGuard() : saved_(simd::active_isa()) {}
+  ~IsaGuard() { simd::set_active_isa(saved_); }
+
+ private:
+  simd::Isa saved_;
+};
+
+struct Batch {
+  std::vector<double> tx, ty, tz, sx, sy, sz, sq;
+  std::vector<double> phi, ax, ay, az;
+
+  Batch(std::size_t nt, std::size_t ns, unsigned seed, bool coincident) {
+    Rng rng(seed);
+    auto fill = [&](std::vector<double>& v, std::size_t n) {
+      v.resize(n);
+      for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+    };
+    fill(tx, nt);
+    fill(ty, nt);
+    fill(tz, nt);
+    fill(sx, ns);
+    fill(sy, ns);
+    fill(sz, ns);
+    fill(sq, ns);
+    if (coincident) {
+      // Duplicate a target into the sources (including into a tail lane)
+      // so the r == 0 masking is exercised in body and tail positions.
+      sx[0] = tx[nt / 2];
+      sy[0] = ty[nt / 2];
+      sz[0] = tz[nt / 2];
+      sx[ns - 1] = tx[0];
+      sy[ns - 1] = ty[0];
+      sz[ns - 1] = tz[0];
+    }
+    phi.assign(nt, 0.0);
+    ax.assign(nt, 0.0);
+    ay.assign(nt, 0.0);
+    az.assign(nt, 0.0);
+  }
+
+  simd::P2PBatch view(bool grad) {
+    simd::P2PBatch b;
+    b.tx = tx.data();
+    b.ty = ty.data();
+    b.tz = tz.data();
+    b.nt = tx.size();
+    b.sx = sx.data();
+    b.sy = sy.data();
+    b.sz = sz.data();
+    b.sq = sq.data();
+    b.ns = sx.size();
+    b.phi = phi.data();
+    if (grad) {
+      b.ax = ax.data();
+      b.ay = ay.data();
+      b.az = az.data();
+    }
+    return b;
+  }
+};
+
+void expect_batches_match(const Batch& got, const Batch& want,
+                          const char* what) {
+  for (std::size_t i = 0; i < want.phi.size(); ++i) {
+    EXPECT_NEAR(got.phi[i], want.phi[i], kTol) << what << " phi[" << i << "]";
+    EXPECT_NEAR(got.ax[i], want.ax[i], kTol) << what << " ax[" << i << "]";
+    EXPECT_NEAR(got.ay[i], want.ay[i], kTol) << what << " ay[" << i << "]";
+    EXPECT_NEAR(got.az[i], want.az[i], kTol) << what << " az[" << i << "]";
+  }
+}
+
+void run_p2p(Batch& b, bool yukawa, bool grad) {
+  const simd::P2PBatch v = b.view(grad);
+  if (yukawa) {
+    simd::p2p_yukawa(v, 1.7);
+  } else {
+    simd::p2p_laplace(v);
+  }
+}
+
+class SimdP2PTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(SimdP2PTest, EveryIsaMatchesScalarAcrossSizesAndGradients) {
+  const bool yukawa = GetParam();
+  IsaGuard guard;
+  unsigned seed = yukawa ? 100 : 200;
+  for (const std::size_t ns : kSizes) {
+    for (const bool grad : {false, true}) {
+      for (const bool coincident : {false, true}) {
+        ++seed;
+        const std::size_t nt = (ns % 3) + 3;
+        Batch ref(nt, ns, seed, coincident);
+        ASSERT_TRUE(simd::set_active_isa(simd::Isa::kScalar));
+        run_p2p(ref, yukawa, grad);
+        for (const simd::Isa isa : simd::supported_isas()) {
+          Batch got(nt, ns, seed, coincident);
+          ASSERT_TRUE(simd::set_active_isa(isa));
+          run_p2p(got, yukawa, grad);
+          expect_batches_match(got, ref, simd::to_string(isa));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, SimdP2PTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "yukawa" : "laplace";
+                         });
+
+TEST(SimdP2P, EmptyBatchesAreNoOps) {
+  IsaGuard guard;
+  std::vector<double> one{0.5}, phi{0.0};
+  for (const simd::Isa isa : simd::supported_isas()) {
+    ASSERT_TRUE(simd::set_active_isa(isa));
+    simd::P2PBatch no_targets;
+    no_targets.sx = no_targets.sy = no_targets.sz = no_targets.sq =
+        one.data();
+    no_targets.ns = 1;
+    simd::p2p_laplace(no_targets);
+    simd::p2p_yukawa(no_targets, 1.0);
+
+    simd::P2PBatch no_sources;
+    no_sources.tx = no_sources.ty = no_sources.tz = one.data();
+    no_sources.nt = 1;
+    no_sources.phi = phi.data();
+    simd::p2p_laplace(no_sources);
+    simd::p2p_yukawa(no_sources, 1.0);
+    EXPECT_EQ(phi[0], 0.0) << simd::to_string(isa);
+  }
+}
+
+TEST(SimdComplexOps, ZaxpyAndZrdotMatchScalarAcrossSizes) {
+  IsaGuard guard;
+  Rng rng(7);
+  for (const std::size_t n : kSizes) {
+    std::vector<cdouble> x(n);
+    std::vector<double> r(n);
+    std::vector<cdouble> y0(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+      r[i] = rng.uniform(-1.0, 1.0);
+      y0[i] = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    }
+    const cdouble a{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+
+    ASSERT_TRUE(simd::set_active_isa(simd::Isa::kScalar));
+    std::vector<cdouble> y_ref = y0;
+    simd::zaxpy(a, x.data(), y_ref.data(), n);
+    const cdouble d_ref = simd::zrdot(x.data(), r.data(), n);
+
+    for (const simd::Isa isa : simd::supported_isas()) {
+      ASSERT_TRUE(simd::set_active_isa(isa));
+      std::vector<cdouble> y = y0;
+      simd::zaxpy(a, x.data(), y.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(std::abs(y[i] - y_ref[i]), 0.0, kTol)
+            << simd::to_string(isa) << " n=" << n << " i=" << i;
+      }
+      const cdouble d = simd::zrdot(x.data(), r.data(), n);
+      EXPECT_NEAR(std::abs(d - d_ref), 0.0, kTol)
+          << simd::to_string(isa) << " n=" << n;
+    }
+  }
+}
+
+// End-to-end rotation-M2L parity: the full m2l_acc (rotate, axial
+// translate, rotate back) must agree across ISAs for both kernels.
+TEST(SimdM2L, RotationM2LMatchesScalarForEveryIsa) {
+  IsaGuard guard;
+  for (const char* name : {"laplace", "yukawa"}) {
+    auto k = make_kernel(name, /*yukawa_lambda=*/2.0);
+    k->setup(1.0, 3, 3);
+    const double w = 1.0 / 8;
+    const Vec3 cs{0.3125, 0.3125, 0.3125};
+    const Vec3 ct = cs + Vec3{2 * w, 0, w};
+    Rng rng(11);
+    std::vector<Vec3> pts;
+    std::vector<double> q;
+    for (int i = 0; i < 24; ++i) {
+      pts.push_back(cs + Vec3{rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5),
+                              rng.uniform(-0.5, 0.5)} *
+                             w);
+      q.push_back(rng.uniform(-1.0, 1.0));
+    }
+    CoeffVec m;
+    k->s2m(pts, q, cs, 3, m);
+
+    ASSERT_TRUE(simd::set_active_isa(simd::Isa::kScalar));
+    CoeffVec l_ref(k->l_count(3), cdouble{});
+    k->m2l_acc(m, cs, ct, 3, l_ref);
+
+    for (const simd::Isa isa : simd::supported_isas()) {
+      ASSERT_TRUE(simd::set_active_isa(isa));
+      CoeffVec l(k->l_count(3), cdouble{});
+      k->m2l_acc(m, cs, ct, 3, l);
+      ASSERT_EQ(l.size(), l_ref.size());
+      for (std::size_t i = 0; i < l.size(); ++i) {
+        // Laplace high-order coefficients reach O(1e4); 1e-12 is relative.
+        const double scale = std::max(1.0, std::abs(l_ref[i]));
+        EXPECT_NEAR(std::abs(l[i] - l_ref[i]), 0.0, kTol * scale)
+            << name << " " << simd::to_string(isa) << " i=" << i;
+      }
+    }
+  }
+}
+
+// The kernels' s2t_batch overrides must agree with the generic base-class
+// fallback (per-pair direct()/direct_grad()), which is what non-SIMD
+// kernels and unsupported platforms run.
+TEST(SimdS2T, KernelBatchOverridesMatchBaseFallback) {
+  IsaGuard guard;
+  for (const char* name : {"laplace", "yukawa"}) {
+    auto k = make_kernel(name, /*yukawa_lambda=*/1.3);
+    k->setup(1.0, 3, 3);
+    const bool grad = k->supports_gradient();
+    Batch ref(5, 33, 42, /*coincident=*/true);
+    k->Kernel::s2t_batch(ref.view(grad));  // base-class fallback
+    for (const simd::Isa isa : simd::supported_isas()) {
+      ASSERT_TRUE(simd::set_active_isa(isa));
+      Batch got(5, 33, 42, /*coincident=*/true);
+      k->s2t_batch(got.view(grad));
+      expect_batches_match(got, ref, simd::to_string(isa));
+    }
+  }
+}
+
+TEST(SimdDispatch, NamesRoundTripAndUnsupportedIsRejected) {
+  IsaGuard guard;
+  for (int i = 0; i < simd::kNumIsas; ++i) {
+    const auto isa = static_cast<simd::Isa>(i);
+    simd::Isa parsed{};
+    ASSERT_TRUE(simd::parse_isa(simd::to_string(isa), parsed));
+    EXPECT_EQ(parsed, isa);
+  }
+  simd::Isa parsed{};
+  EXPECT_FALSE(simd::parse_isa("sse9", parsed));
+
+  // Scalar is always supported and always first in preference order.
+  ASSERT_FALSE(simd::supported_isas().empty());
+  EXPECT_EQ(simd::supported_isas().front(), simd::Isa::kScalar);
+  EXPECT_TRUE(simd::isa_supported(simd::Isa::kScalar));
+
+  for (int i = 0; i < simd::kNumIsas; ++i) {
+    const auto isa = static_cast<simd::Isa>(i);
+    if (simd::isa_supported(isa)) {
+      EXPECT_TRUE(simd::set_active_isa(isa));
+      EXPECT_EQ(simd::active_isa(), isa);
+    } else {
+      const simd::Isa before = simd::active_isa();
+      EXPECT_FALSE(simd::set_active_isa(isa));
+      EXPECT_EQ(simd::active_isa(), before);  // unchanged on rejection
+    }
+  }
+}
+
+}  // namespace
+}  // namespace amtfmm

@@ -38,6 +38,39 @@ TEST(ScratchArena, ConcurrentLeasesGetDistinctBuffers) {
   EXPECT_EQ((*b)[0].real(), 2.0);
 }
 
+// SoA batch buffers feed vector loads up to 64 bytes wide; the soa() pool
+// guarantees cache-line alignment at every size, including after the
+// grow-and-reallocate path.
+TEST(ScratchArena, SoaBuffersAre64ByteAligned) {
+  ScratchArena& arena = ScratchArena::local();
+  for (std::size_t n : {1u, 7u, 64u, 1000u, 4096u}) {
+    auto lease = arena.soa();
+    lease->assign(n, 0.0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(lease->data()) %
+                  kSoaAlignment,
+              0u)
+        << "size " << n;
+    lease->resize(4 * n);  // force reallocation; alignment must survive
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(lease->data()) %
+                  kSoaAlignment,
+              0u)
+        << "resized from " << n;
+  }
+}
+
+TEST(ScratchArena, SoaLeaseReturnsBufferToThePool) {
+  ScratchArena& arena = ScratchArena::local();
+  double* data = nullptr;
+  {
+    auto lease = arena.soa();
+    lease->assign(256, 0.0);
+    data = lease->data();
+  }
+  auto lease = arena.soa();  // must reuse the freed buffer
+  lease->assign(256, 0.0);
+  EXPECT_EQ(lease->data(), data);
+}
+
 TEST(ScratchArena, TotalFoldsInExitedThreads) {
   const auto before = ScratchArena::total();
   std::thread t([] {
