@@ -5,16 +5,25 @@
 // scheduler costs).
 
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common.hpp"
 #include "core/expansion_lco.hpp"
 #include "kernels/kernel.hpp"
+#include "runtime/net/transport.hpp"
 #include "runtime/runtime.hpp"
+#include "support/timer.hpp"
 
 namespace {
 
@@ -263,20 +272,219 @@ class CollectingReporter : public benchmark::ConsoleReporter {
   }
 };
 
+// --- Socket transport micro-benchmark (--transport-json) -------------------
+//
+// Round-trip latency, one-way message rate, and bandwidth over a real
+// two-rank socket mesh inside this process, plus an exact sent==received
+// parity check.  Written as BENCH_transport.json and gated by
+// scripts/check_bench_transport.py in CI.
+
+net::NetConfig transport_cfg(std::uint32_t rank, const std::string& dir,
+                             net::TransportKind kind) {
+  net::NetConfig cfg;
+  cfg.rank = rank;
+  cfg.world = 2;
+  cfg.kind = kind;
+  cfg.dir = dir;
+  cfg.connect_timeout_s = 10.0;
+  return cfg;
+}
+
+net::WireBatch transport_batch(std::uint32_t src, std::size_t payload_bytes) {
+  net::WireBatch b;
+  b.src = src;
+  b.dst = 1 - src;
+  b.coalesced = false;
+  net::WireParcel p;
+  p.kind = 1;
+  p.payload.resize(payload_bytes);
+  b.parcels.push_back(std::move(p));
+  return b;
+}
+
+/// Runs the ping-pong / streaming measurements over one transport kind and
+/// appends result rows.  The echo logic lives in rank 1's batch callback,
+/// so every round trip crosses the progress engines of both ranks.
+void run_transport_bench(net::TransportKind kind, const std::string& kind_name,
+                         std::vector<bench::BenchEntry>& out) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("amtfmm_bench_net_" + std::to_string(::getpid()) + "_" + kind_name);
+  fs::create_directories(dir);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::uint64_t echoes = 0;       // batches arriving back at rank 0
+  std::uint64_t recvd1 = 0;       // batches arriving at rank 1
+  std::uint64_t recvd1_bytes = 0; // summed parcel payload bytes at rank 1
+  std::atomic<bool> echo_enabled{true};
+
+  auto fail = [](const std::string& why) {
+    std::fprintf(stderr, "transport bench: transport failed: %s\n",
+                 why.c_str());
+    std::exit(1);
+  };
+  auto ctrl = [](const net::ControlMsg&) {};
+
+  net::NetTransport* t1_ptr = nullptr;
+  net::NetTransport t0(
+      transport_cfg(0, dir.string(), kind),
+      [&](net::WireBatch&&) {
+        std::lock_guard<std::mutex> lk(mu);
+        ++echoes;
+        cv.notify_all();
+      },
+      ctrl, fail);
+  net::NetTransport t1(
+      transport_cfg(1, dir.string(), kind),
+      [&](net::WireBatch&& b) {
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          ++recvd1;
+          recvd1_bytes += b.payload_bytes();
+          cv.notify_all();
+        }
+        // Echo from the progress thread: post_control-style non-blocking
+        // is not needed; the reply is one small frame.
+        if (echo_enabled.load(std::memory_order_relaxed)) {
+          t1_ptr->post_batch(0, transport_batch(1, 8));
+        }
+      },
+      ctrl, fail);
+  t1_ptr = &t1;
+  std::thread peer([&] { t1.start(); });
+  t0.start();
+  peer.join();
+
+  auto wait_until = [&](auto pred) {
+    std::unique_lock<std::mutex> lk(mu);
+    if (!cv.wait_for(lk, std::chrono::seconds(60), pred)) {
+      std::fprintf(stderr, "transport bench: timed out\n");
+      std::exit(1);
+    }
+  };
+
+  // Round-trip latency: sequential ping-pong, one message in flight.
+  const std::uint64_t kWarmup = 50, kRoundTrips = 2000;
+  for (std::uint64_t i = 0; i < kWarmup; ++i) {
+    t0.post_batch(1, transport_batch(0, 8));
+    const std::uint64_t want = i + 1;
+    wait_until([&] { return echoes >= want; });
+  }
+  Timer rtt_timer;
+  for (std::uint64_t i = 0; i < kRoundTrips; ++i) {
+    t0.post_batch(1, transport_batch(0, 8));
+    const std::uint64_t want = kWarmup + i + 1;
+    wait_until([&] { return echoes >= want; });
+  }
+  const double rtt_s = rtt_timer.seconds();
+  {
+    bench::BenchEntry e;
+    e.name = "transport_roundtrip/" + kind_name;
+    e.ns_per_op = rtt_s * 1e9 / static_cast<double>(kRoundTrips);
+    e.counters.emplace_back("round_trips", static_cast<double>(kRoundTrips));
+    out.push_back(std::move(e));
+  }
+
+  // One-way message rate: a burst of small batches against the window.
+  echo_enabled.store(false);
+  const std::uint64_t base = [&] {
+    std::lock_guard<std::mutex> lk(mu);
+    return recvd1;
+  }();
+  const std::uint64_t kMsgs = 20000;
+  Timer rate_timer;
+  for (std::uint64_t i = 0; i < kMsgs; ++i) {
+    t0.post_batch(1, transport_batch(0, 32));
+  }
+  wait_until([&] { return recvd1 >= base + kMsgs; });
+  const double rate_s = rate_timer.seconds();
+  {
+    bench::BenchEntry e;
+    e.name = "transport_msg_rate/" + kind_name;
+    e.ns_per_op = rate_s * 1e9 / static_cast<double>(kMsgs);
+    e.counters.emplace_back("msgs_per_s",
+                            static_cast<double>(kMsgs) / rate_s);
+    out.push_back(std::move(e));
+  }
+
+  // Bandwidth: few large payloads.
+  const std::uint64_t kBig = 200, kBigBytes = 256 * 1024;
+  const std::uint64_t base2 = [&] {
+    std::lock_guard<std::mutex> lk(mu);
+    return recvd1;
+  }();
+  Timer bw_timer;
+  for (std::uint64_t i = 0; i < kBig; ++i) {
+    t0.post_batch(1, transport_batch(0, kBigBytes));
+  }
+  wait_until([&] { return recvd1 >= base2 + kBig; });
+  const double bw_s = bw_timer.seconds();
+  {
+    bench::BenchEntry e;
+    e.name = "transport_bandwidth/" + kind_name;
+    e.ns_per_op = bw_s * 1e9 / static_cast<double>(kBig);
+    e.counters.emplace_back(
+        "bytes_per_s", static_cast<double>(kBig * kBigBytes) / bw_s);
+    out.push_back(std::move(e));
+  }
+
+  // Parity: every posted frame was fully written and fully decoded, and
+  // the logical payload bytes survived exactly (wire == sent invariant).
+  t0.stop();
+  t1.stop();
+  const std::uint64_t sent_msgs = t0.stats().msgs_sent.load();
+  const std::uint64_t sent_bytes =
+      (kWarmup + kRoundTrips) * 8 + kMsgs * 32 + kBig * kBigBytes;
+  {
+    bench::BenchEntry e;
+    e.name = "transport_parity/" + kind_name;
+    e.ns_per_op = 0.0;
+    e.counters.emplace_back("posted_payload_bytes",
+                            static_cast<double>(sent_bytes));
+    e.counters.emplace_back("recvd_payload_bytes",
+                            static_cast<double>(recvd1_bytes));
+    e.counters.emplace_back("sent_frames", static_cast<double>(sent_msgs));
+    e.counters.emplace_back("recvd_frames", static_cast<double>(recvd1));
+    out.push_back(std::move(e));
+  }
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
 }  // namespace
 
 // BENCHMARK_MAIN() plus a `--json <path>` flag: when given, a JSON array of
 // {name, ns_per_op, counters...} records is written to <path> after the
-// run.  The flag is stripped before argv is handed to the benchmark
-// library.
+// run.  A separate `--transport-json <path>` runs the socket-transport
+// measurements and writes BENCH_transport.json-style rows.  Both flags are
+// stripped before argv is handed to the benchmark library.
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string transport_json_path;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::string(argv[i]) == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::string(argv[i]) == "--transport-json" && i + 1 < argc) {
+      transport_json_path = argv[++i];
     } else {
       args.push_back(argv[i]);
+    }
+  }
+  if (!transport_json_path.empty()) {
+    std::vector<bench::BenchEntry> rows;
+    run_transport_bench(net::TransportKind::kUnix, "unix", rows);
+    run_transport_bench(net::TransportKind::kTcp, "tcp", rows);
+    if (!bench::write_bench_json(transport_json_path, rows)) {
+      std::fprintf(stderr, "micro_runtime: cannot write %s\n",
+                   transport_json_path.c_str());
+      return 1;
+    }
+    for (const auto& r : rows) {
+      std::printf("%-32s %12.0f ns/op\n", r.name.c_str(), r.ns_per_op);
     }
   }
   int filtered = static_cast<int>(args.size());

@@ -11,7 +11,11 @@
 #   7. UndefinedBehaviorSanitizer build + complete test suite,
 #   8. clang-format check (skipped when clang-format is unavailable),
 #   9. benchmark smoke run with JSON output, including the per-ISA SIMD
-#      kernel sweep gated by scripts/check_bench_kernels.py.
+#      kernel sweep gated by scripts/check_bench_kernels.py and the socket
+#      transport sweep gated by scripts/check_bench_transport.py,
+#  10. multi-process loopback: amtfmm_launch forks real socket localities
+#      (unix + tcp, 2 and 4 processes) and amtfmm_loopback asserts
+#      multi-process == in-process == sim potentials at 1e-12.
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -52,13 +56,16 @@ ctest --test-dir build-debug --output-on-failure -j"$JOBS" \
 echo "== ThreadSanitizer build (runtime stress tests) =="
 cmake -B build-tsan -S . -DAMTFMM_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS" --target \
-  ws_deque_test executor_test coalescer_test trace_test gas_test counters_test
+  ws_deque_test executor_test coalescer_test trace_test gas_test \
+  counters_test net_frame_test net_transport_test
 ./build-tsan/tests/runtime/ws_deque_test
 ./build-tsan/tests/runtime/executor_test
 ./build-tsan/tests/runtime/coalescer_test
 ./build-tsan/tests/runtime/trace_test
 ./build-tsan/tests/runtime/gas_test
 ./build-tsan/tests/runtime/counters_test
+./build-tsan/tests/runtime/net_frame_test
+./build-tsan/tests/runtime/net_transport_test
 
 echo "== AddressSanitizer build + full test suite =="
 cmake -B build-asan -S . -DAMTFMM_SANITIZE=address >/dev/null
@@ -93,6 +100,20 @@ echo "== SIMD kernel sweep (BENCH_kernels.json) =="
   --kernels-json build/bench-smoke/BENCH_kernels_scalar.json
 python3 scripts/check_bench_kernels.py build/bench-smoke/BENCH_kernels.json \
   --ref build/bench-smoke/BENCH_kernels_scalar.json
+
+echo "== Socket transport sweep (BENCH_transport.json) =="
+./build/bench/micro_runtime --benchmark_filter=NONE \
+  --transport-json build/bench-smoke/BENCH_transport.json
+python3 scripts/check_bench_transport.py \
+  build/bench-smoke/BENCH_transport.json
+
+echo "== Multi-process loopback (real socket localities) =="
+for np in 2 4; do
+  for transport in unix tcp; do
+    ./build/tools/amtfmm_launch --np="$np" --transport="$transport" \
+      --timeout=120 -- ./build/tools/amtfmm_loopback --n=3000 --cores=2
+  done
+done
 
 echo "== Trace export + critical-path analysis =="
 ./build/bench/fig4_utilization --n 20000 --intervals 20 \

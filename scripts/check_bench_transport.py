@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Gate for BENCH_transport.json (micro_runtime --transport-json).
+
+Checks, per transport kind (unix, tcp):
+  * all four rows are present with the expected fields,
+  * the one-way message rate clears a conservative floor (CI machines are
+    slow and shared, so the floor is far below the measured ~300k/s),
+  * payload-byte parity is exact: every byte posted by rank 0 was decoded
+    by rank 1 (the wire_bytes == bytes_sent invariant, end to end).
+
+Frame counts are NOT required to match: msgs_sent counts every frame
+written including the kGoodbye control frame from stop(), while the
+receive side counts decoded batches only.
+"""
+
+import argparse
+import json
+import sys
+
+KINDS = ("unix", "tcp")
+ROWS = ("transport_roundtrip", "transport_msg_rate", "transport_bandwidth",
+        "transport_parity")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("json_path", help="BENCH_transport.json to check")
+    ap.add_argument("--min-msgs-per-s", type=float, default=3000.0,
+                    help="floor for the one-way message rate (default 3000)")
+    args = ap.parse_args()
+
+    with open(args.json_path, encoding="utf-8") as f:
+        entries = {e["name"]: e for e in json.load(f)}
+
+    violations = []
+    for kind in KINDS:
+        for row in ROWS:
+            name = f"{row}/{kind}"
+            if name not in entries:
+                violations.append(f"missing row: {name}")
+        if violations:
+            continue
+
+        rate = entries[f"transport_msg_rate/{kind}"]
+        if rate.get("msgs_per_s", 0.0) < args.min_msgs_per_s:
+            violations.append(
+                f"transport_msg_rate/{kind}: {rate.get('msgs_per_s', 0.0):.0f}"
+                f" msgs/s below floor {args.min_msgs_per_s:.0f}")
+
+        rtt = entries[f"transport_roundtrip/{kind}"]
+        if rtt.get("ns_per_op", 0.0) <= 0.0:
+            violations.append(f"transport_roundtrip/{kind}: non-positive time")
+
+        bw = entries[f"transport_bandwidth/{kind}"]
+        if bw.get("bytes_per_s", 0.0) <= 0.0:
+            violations.append(f"transport_bandwidth/{kind}: no bandwidth")
+
+        par = entries[f"transport_parity/{kind}"]
+        posted = par.get("posted_payload_bytes")
+        recvd = par.get("recvd_payload_bytes")
+        if posted is None or recvd is None:
+            violations.append(f"transport_parity/{kind}: missing byte counts")
+        elif posted != recvd or posted <= 0:
+            violations.append(
+                f"transport_parity/{kind}: posted {posted} != received"
+                f" {recvd} payload bytes")
+
+    if violations:
+        for v in violations:
+            print(f"check_bench_transport: {v}", file=sys.stderr)
+        return 1
+    print(f"check_bench_transport: OK ({len(entries)} rows, "
+          f"{', '.join(KINDS)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

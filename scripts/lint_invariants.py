@@ -17,8 +17,11 @@ Machine-checkable rules the code review relies on:
      statistics, snapshot() documents the merge ordering),
      src/runtime/ws_deque.hpp (the Chase-Lev memory-order table lives in
      DESIGN.md §3d), src/runtime/sync_hook.hpp (hook dispatch constants,
-     not atomic operations), and src/rtcheck/ (the harness serializes all
-     model threads; its control flags carry no data).
+     not atomic operations), src/runtime/net/ transport and executor
+     (NetStats diagnostic counters, and termination-protocol counts whose
+     soundness rests on two-round stability, not ordering — DESIGN.md §5),
+     and src/rtcheck/ (the harness serializes all model threads; its
+     control flags carry no data).
 
   3. payload-raw-pointers: parcel payload structs (serialized with memcpy
      and shipped between localities) must not contain raw pointers —
@@ -37,6 +40,13 @@ Machine-checkable rules the code review relies on:
      other layer calls the dispatched amtfmm::simd API so portability and
      the scalar-parity tests stay meaningful.  Escape:
      `// simd-ok: <reason>`, mirroring the threading-confinement rule.
+
+  6. net-confinement: raw socket syscalls and headers (<sys/socket.h>,
+     <sys/un.h>, <netinet/*>, <arpa/inet.h>, ::socket/::connect/::bind/
+     ::listen/::accept, sockaddr) only inside src/runtime/net/ — every
+     other layer talks to peers through NetTransport / the Executor
+     parcel API, so transport policy (framing, backpressure, shutdown)
+     stays in one reviewed place.  Escape: `// net-ok: <reason>`.
 
 Exit status 0 when clean, 1 with one line per violation otherwise.
 """
@@ -66,13 +76,31 @@ SIMD_RE = re.compile(
     r"\b(float|uint|int)64x2(x\d)?_t\b|__AVX\w*__"
 )
 
+# Socket headers and syscalls.  The lookbehind on the `::` forms keeps
+# qualified member definitions (`ThreadExecutor::send(`) from matching —
+# only global-namespace calls like `::send(fd, ...)` count.
+NET_RE = re.compile(
+    r"sys/socket\.h|sys/un\.h|netinet/|arpa/inet\.h|\bsockaddr\b|"
+    r"(?<![\w)])::(socket|connect|bind|listen|accept4?|recv|send|"
+    r"sendmsg|recvmsg|setsockopt|getsockopt|getsockname|shutdown)\s*\("
+)
+
 THREAD_DIRS = ("src/runtime/", "src/rtcheck/")
 SIMD_DIRS = ("src/kernels/simd/",)
+NET_DIRS = ("src/runtime/net/",)
 RELAXED_EXEMPT = (
     "src/runtime/counters.hpp",
     "src/runtime/counters.cpp",
     "src/runtime/ws_deque.hpp",
     "src/runtime/sync_hook.hpp",
+    # NetStats mirrors counters.*: independent monotone counts and
+    # high-water marks, read for diagnostics.  The termination-protocol
+    # counters (sent/recvd parcels) are deliberately relaxed too — the
+    # protocol's soundness comes from requiring two consecutive probe
+    # rounds with identical counter cuts, not from memory ordering
+    # (DESIGN.md §5).
+    "src/runtime/net/transport.cpp",
+    "src/runtime/net/net_executor.cpp",
 )
 RELAXED_EXEMPT_DIRS = ("src/rtcheck/",)
 PAYLOAD_STRUCTS = (
@@ -116,6 +144,7 @@ def main() -> int:
 
         in_thread_zone = rel.startswith(THREAD_DIRS)
         in_simd_zone = rel.startswith(SIMD_DIRS)
+        in_net_zone = rel.startswith(NET_DIRS)
         relaxed_exempt = rel in RELAXED_EXEMPT or rel.startswith(
             RELAXED_EXEMPT_DIRS
         )
@@ -148,6 +177,13 @@ def main() -> int:
                         f"{rel}:{i + 1}: vector intrinsics outside "
                         "src/kernels/simd/ (call the amtfmm::simd API, or "
                         "add '// simd-ok: <reason>')"
+                    )
+            if not in_net_zone and NET_RE.search(code):
+                if not has_escape(lines, i, "net-ok"):
+                    violations.append(
+                        f"{rel}:{i + 1}: raw socket usage outside "
+                        "src/runtime/net/ (go through NetTransport, or "
+                        "add '// net-ok: <reason>')"
                     )
 
         for i, line in enumerate(lines):

@@ -83,6 +83,17 @@ double DagEngine::execute(std::span<const double> charges,
   // relaxed-ok: statistic reset before any worker runs; executor spawn
   // publishes it.
   wire_bytes_.store(0, std::memory_order_relaxed);
+  if (opt_.mode == EngineMode::kCompute) {
+    // Socket localities rebuild remote work from serialized payloads; the
+    // handlers must exist before any peer's parcels can arrive.  No-op on
+    // in-process executors (they ship the closures themselves).
+    ex_.register_net_handler(
+        kNetKindEvalParcel,
+        [this](const std::vector<std::byte>& b) { process_parcel(b); });
+    ex_.register_net_handler(
+        kNetKindContribution,
+        [this](const std::vector<std::byte>& b) { process_contribution(b); });
+  }
   instantiate();
   auto& ctr = ex_.counters();
   if (ctr.enabled()) {
@@ -92,6 +103,15 @@ double DagEngine::execute(std::span<const double> charges,
     for (int l = 0; l < ex_.num_localities(); ++l) {
       ctr.gauge_max(0, gas_id, gas_.objects_on(l));
     }
+  }
+  if (opt_.mode == EngineMode::kCompute) {
+    // Startup barrier for socket localities: an empty drain rendezvouses
+    // every rank (the termination protocol agrees on the all-zero counter
+    // cut), so no peer can have seeded — and therefore no eval parcel can
+    // arrive — until every rank has finished instantiate() and registered
+    // its handlers.  Without it a fast peer's parcels race the addr_/GAS
+    // fill above.  No-op on in-process executors (nothing is in flight).
+    ex_.drain();
   }
   const double t0 = ex_.now();
   seed();
@@ -114,6 +134,11 @@ void DagEngine::instantiate() {
 void DagEngine::seed() {
   for (NodeIndex ni = 0; ni < dag_.nodes.size(); ++ni) {
     const DagNode& n = dag_.nodes[ni];
+    // SPMD gating: every rank builds the identical DAG, but a node's
+    // initial work is seeded only by the process hosting its locality
+    // (in-process executors host all localities, so this skips nothing
+    // there).  Downstream work follows the parcels, not the seeds.
+    if (!ex_.locality_is_local(n.locality)) continue;
     if (n.kind == NodeKind::kS) {
       // Sources have no inputs: walk their out-edges directly.
       spawn_edge_tasks(ni);
@@ -293,6 +318,11 @@ void DagEngine::spawn_edge_tasks(NodeIndex ni) {
     t.locality = p.loc;
     t.high_priority = p.high;
     if (compute) {
+      // Wire identity for socket localities: the same serialized buffer
+      // backs both the in-process closure and the cross-process payload,
+      // so transported bytes are the logical wire bytes by construction.
+      t.net_kind = kNetKindEvalParcel;
+      t.net_payload = p.buf;
       t.fn = [this, buf = std::move(p.buf)] { process_parcel(*buf); };
     } else {
       t.items = cost_items(p.ids);
@@ -630,11 +660,24 @@ void DagEngine::process_parcel(const std::vector<std::byte>& buf) {
   ParcelHeader h;
   AMTFMM_ASSERT(buf.size() >= sizeof(h));
   std::memcpy(&h, buf.data(), sizeof(h));
+  // Wire input: validate every index before use.  All ranks build the same
+  // DAG, so any id out of range means a corrupt or misrouted parcel.
+  AMTFMM_ASSERT_MSG(h.source < dag_.nodes.size(),
+                    "eval parcel: source node out of range");
+  AMTFMM_ASSERT_MSG(
+      buf.size() >= sizeof(h) + sizeof(std::uint32_t) * h.num_edges,
+      "eval parcel: truncated edge-id list");
   const DagNode& n = dag_.nodes[h.source];
 
   std::vector<std::uint32_t> ids(h.num_edges);
   std::memcpy(ids.data(), buf.data() + sizeof(h),
               sizeof(std::uint32_t) * h.num_edges);
+  for (const std::uint32_t e : ids) {
+    AMTFMM_ASSERT_MSG(e < dag_.edges.size(),
+                      "eval parcel: edge id out of range");
+    AMTFMM_ASSERT_MSG(dag_.edges[e].target < dag_.nodes.size(),
+                      "eval parcel: edge target out of range");
+  }
   std::size_t off = sizeof(h) + sizeof(std::uint32_t) * h.num_edges;
 
   // Deserialized source data (sections are unaligned: memcpy everything).
@@ -747,6 +790,8 @@ void DagEngine::send_contribution(NodeIndex ni, std::uint32_t edge_id) {
   Task t;
   t.locality = tn.locality;
   const std::size_t bytes = buf->size();
+  t.net_kind = kNetKindContribution;
+  t.net_payload = buf;
   t.fn = [this, buf] { process_contribution(*buf); };
   ex_.send(n.locality, tn.locality, bytes, std::move(t));
 
@@ -757,6 +802,8 @@ void DagEngine::process_contribution(const std::vector<std::byte>& buf) {
   ContribHeader h;
   AMTFMM_ASSERT(buf.size() > sizeof(h));
   std::memcpy(&h, buf.data(), sizeof(h));
+  AMTFMM_ASSERT_MSG(h.target < dag_.nodes.size(),
+                    "contribution parcel: target node out of range");
   const DagNode& tn = dag_.nodes[h.target];
 
   auto full = ScratchArena::local().coeffs();

@@ -1,6 +1,7 @@
 #include "core/evaluator.hpp"
 
 #include "runtime/locality_runtime.hpp"
+#include "runtime/net/net_executor.hpp"
 #include "support/error.hpp"
 #include "support/timer.hpp"
 
@@ -125,6 +126,55 @@ EvalResult Evaluator::evaluate_prepared(std::span<const double> charges) {
   }
   EvalResult out = run_prepared(*prepared_, charges);
   out.setup_time = prepared_setup_time_;  // amortized across calls
+  return out;
+}
+
+EvalResult Evaluator::evaluate_distributed(net::NetExecutor& ex,
+                                           std::span<const Vec3> sources,
+                                           std::span<const double> charges,
+                                           std::span<const Vec3> targets) {
+  AMTFMM_ASSERT(sources.size() == charges.size());
+  Timer setup;
+  // Deterministic from the inputs alone: every rank computes the same
+  // tree, lists, DAG, and placement — the SPMD agreement the transport
+  // relies on (parcels name DAG edges, not pointers).
+  const Prepared p = make_prepared(sources, targets, ex.num_localities());
+  EvalResult out;
+  out.setup_time = setup.seconds();
+  out.dag = p.dag.stats();
+
+  std::vector<double> sorted_q(charges.size());
+  for (std::size_t i = 0; i < charges.size(); ++i) {
+    sorted_q[i] = charges[p.tree.source.original_index()[i]];
+  }
+  std::vector<double> sorted_phi(p.tree.target.num_points(), 0.0);
+
+  ex.trace().set_enabled(cfg_.trace);
+  ex.counters().set_enabled(cfg_.counters);
+  EngineOptions opt;
+  opt.mode = EngineMode::kCompute;
+  opt.split_priority = cfg_.split_priority;
+  DagEngine engine(p.dag, p.tree, *kernel_, ex, opt);
+  out.makespan = engine.execute(sorted_q, sorted_phi);
+
+  out.potentials.assign(sorted_phi.size(), 0.0);
+  for (std::size_t i = 0; i < sorted_phi.size(); ++i) {
+    out.potentials[p.tree.target.original_index()[i]] = sorted_phi[i];
+  }
+  out.bytes_sent = ex.bytes_sent();
+  out.parcels_sent = ex.parcels_sent();
+  out.wire_bytes = engine.wire_bytes();
+  // Per-rank form of the transport identity: this rank serialized
+  // exactly the bytes it handed to the socket layer.
+  AMTFMM_ASSERT(out.wire_bytes == out.bytes_sent);
+  out.comm = ex.comm_stats();
+  if (cfg_.trace) {
+    out.trace = ex.trace().collect();
+    out.comm_trace = ex.trace().collect_comm();
+    out.instants = ex.trace().collect_instants();
+    out.dag_edges = flatten_edges(p.dag);
+  }
+  if (cfg_.counters) out.counters = ex.counters().snapshot();
   return out;
 }
 

@@ -8,6 +8,10 @@
 
 namespace amtfmm {
 
+namespace net {
+class NetExecutor;
+}
+
 /// User-facing configuration.  Everything here is a plain parameter — the
 /// DASHMM design point the paper emphasizes: the method, kernel, accuracy
 /// and data distribution vary freely while the parallelization underneath
@@ -113,6 +117,22 @@ class Evaluator {
 
   SimResult simulate(std::span<const Vec3> sources,
                      std::span<const Vec3> targets, const SimConfig& sim);
+
+  /// One SPMD rank of a distributed evaluation over socket localities:
+  /// every rank calls this with the IDENTICAL inputs and configuration
+  /// (the tree/lists/DAG are deterministic, so all processes agree on
+  /// placement without communicating), using `ex.num_localities()` as the
+  /// locality count.  The returned potentials are this rank's PARTIAL
+  /// result — entries for target boxes homed on other ranks are zero, so
+  /// the global answer is the element-wise sum across ranks (each target
+  /// has exactly one home).  bytes_sent/wire_bytes/comm likewise cover
+  /// only this rank's sends, and wire_bytes == bytes_sent stays asserted
+  /// per rank.  EvalConfig::localities/cores_per_locality are ignored in
+  /// favor of the executor's world and pool.
+  EvalResult evaluate_distributed(net::NetExecutor& ex,
+                                  std::span<const Vec3> sources,
+                                  std::span<const double> charges,
+                                  std::span<const Vec3> targets);
 
   const Kernel& kernel() const { return *kernel_; }
   const EvalConfig& config() const { return cfg_; }

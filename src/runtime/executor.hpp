@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -24,11 +25,27 @@ struct CostItem {
   std::uint32_t arg = kNoTraceArg;
 };
 
+/// Wire identity of tasks that may cross a *process* boundary (socket
+/// localities).  Kinds partition the parcel namespace: the destination
+/// looks up the handler registered for the kind and hands it the payload.
+/// Values below kNetKindUser are reserved for the engine.
+inline constexpr std::uint8_t kNetKindEvalParcel = 1;
+inline constexpr std::uint8_t kNetKindContribution = 2;
+inline constexpr std::uint8_t kNetKindUser = 0x10;
+
 struct Task {
   std::function<void()> fn;
   std::uint32_t locality = 0;
   bool high_priority = false;
   std::vector<CostItem> items;  // sim-mode cost breakdown
+  /// Wire representation for real (multi-process) transports: handler kind
+  /// plus the serialized payload the destination's handler receives.  0
+  /// means the task cannot cross a process boundary (closures do not
+  /// serialize); in-process executors ignore both fields.  The payload
+  /// size is the parcel's logical wire-byte count — the `bytes` passed to
+  /// send() — so wire_bytes == bytes_sent stays exact over sockets.
+  std::uint8_t net_kind = 0;
+  std::shared_ptr<const std::vector<std::byte>> net_payload;
 };
 
 /// Per-locality parcel coalescing (the HPX-5 behaviour the paper relies on
@@ -100,6 +117,24 @@ class Executor {
   /// tasks running on the owning locality.
   virtual int current_locality() const = 0;
 
+  /// True when `loc`'s tasks run inside this process.  In-process
+  /// executors host every locality; a socket-locality executor
+  /// (net::NetExecutor) hosts exactly its own rank, and SPMD drivers use
+  /// this to skip seeding/finalizing work that belongs to another process.
+  virtual bool locality_is_local(std::uint32_t loc) const {
+    return loc < static_cast<std::uint32_t>(num_localities());
+  }
+
+  /// Receiver-side materialization of wire tasks (socket localities): the
+  /// handler registered for a kind turns an arriving parcel's serialized
+  /// payload back into work.  In-process executors ship the closure
+  /// itself, so the default registration is a no-op.  Must be called
+  /// before the matching parcels can arrive (handlers are consulted at
+  /// batch-run time; NetExecutor blocks briefly on late registration).
+  using NetHandler = std::function<void(const std::vector<std::byte>&)>;
+  virtual void register_net_handler(std::uint8_t /*kind*/, NetHandler /*h*/) {
+  }
+
   /// Enqueues a task at task.locality.
   virtual void spawn(Task t) = 0;
 
@@ -141,6 +176,12 @@ class Executor {
 /// Identity of the executing worker thread, for real-mode tracing.
 /// Returns -1 outside a worker.
 int current_worker();
+
+namespace detail {
+/// Binds the calling thread to a worker id for current_worker().
+/// Executor implementations only; pass -1 to unbind.
+void set_current_worker(int w);
+}  // namespace detail
 
 /// Records a trace event on the current worker using the executor clock.
 /// No-op when tracing is disabled or called outside a worker.

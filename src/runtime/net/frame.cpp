@@ -1,0 +1,255 @@
+// net-ok: frame codec is pure byte manipulation (no sockets), but lives in
+// src/runtime/net as part of the transport layer.
+#include "runtime/net/frame.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace amtfmm::net {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+/// Little-endian field access.  The codec reads/writes through memcpy on
+/// explicitly laid-out offsets rather than casting structs, so it is
+/// byte-order and padding safe on any platform we build for.
+template <typename T>
+T load_le(const std::byte* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void store_le(std::byte* p, T v) {
+  std::memcpy(p, &v, sizeof(T));
+}
+
+// Batch payload layout (all little-endian):
+//   BatchHeader (32 bytes):
+//     u32 src, u32 dst, u64 seq, u32 parcel_count,
+//     u8 any_high, u8 reason, u8 coalesced, u8 pad, u64 payload_bytes
+//   then per parcel:
+//     u32 bytes, u8 kind, u8 high, u16 reserved, then `bytes` of payload
+constexpr std::size_t kBatchHeaderBytes = 32;
+constexpr std::size_t kParcelHeaderBytes = 8;
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::size_t WireBatch::payload_bytes() const {
+  std::size_t n = 0;
+  for (const auto& p : parcels) n += p.payload.size();
+  return n;
+}
+
+std::vector<std::byte> encode_frame(FrameKind kind,
+                                    std::span<const std::byte> payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw net_error("encode_frame: payload exceeds kMaxFramePayload");
+  }
+  std::vector<std::byte> out(sizeof(FrameHeader) + payload.size());
+  std::byte* h = out.data();
+  store_le<std::uint32_t>(h + 0, kFrameMagic);
+  store_le<std::uint8_t>(h + 4, static_cast<std::uint8_t>(kind));
+  store_le<std::uint8_t>(h + 5, 0);   // flags
+  store_le<std::uint16_t>(h + 6, 0);  // reserved
+  store_le<std::uint32_t>(h + 8, static_cast<std::uint32_t>(payload.size()));
+  store_le<std::uint32_t>(h + 12, crc32(h, 12));
+  if (!payload.empty()) {
+    std::memcpy(out.data() + sizeof(FrameHeader), payload.data(),
+                payload.size());
+  }
+  return out;
+}
+
+std::vector<std::byte> encode_batch_frame(const WireBatch& b) {
+  std::size_t body = kBatchHeaderBytes;
+  for (const auto& p : b.parcels) body += kParcelHeaderBytes + p.payload.size();
+  std::vector<std::byte> payload(body);
+  std::byte* q = payload.data();
+  store_le<std::uint32_t>(q + 0, b.src);
+  store_le<std::uint32_t>(q + 4, b.dst);
+  store_le<std::uint64_t>(q + 8, b.seq);
+  store_le<std::uint32_t>(q + 16,
+                          static_cast<std::uint32_t>(b.parcels.size()));
+  store_le<std::uint8_t>(q + 20, b.any_high ? 1 : 0);
+  store_le<std::uint8_t>(q + 21, b.reason);
+  store_le<std::uint8_t>(q + 22, b.coalesced ? 1 : 0);
+  store_le<std::uint8_t>(q + 23, 0);
+  store_le<std::uint64_t>(q + 24,
+                          static_cast<std::uint64_t>(b.payload_bytes()));
+  q += kBatchHeaderBytes;
+  for (const auto& p : b.parcels) {
+    store_le<std::uint32_t>(q + 0,
+                            static_cast<std::uint32_t>(p.payload.size()));
+    store_le<std::uint8_t>(q + 4, p.kind);
+    store_le<std::uint8_t>(q + 5, p.high ? 1 : 0);
+    store_le<std::uint16_t>(q + 6, 0);
+    q += kParcelHeaderBytes;
+    if (!p.payload.empty()) {
+      std::memcpy(q, p.payload.data(), p.payload.size());
+      q += p.payload.size();
+    }
+  }
+  return encode_frame(FrameKind::kBatch, payload);
+}
+
+std::vector<std::byte> encode_control_frame(const ControlMsg& m) {
+  std::vector<std::byte> payload(sizeof(ControlMsg));
+  std::byte* q = payload.data();
+  store_le<std::uint8_t>(q + 0, m.type);
+  store_le<std::uint8_t>(q + 1, 0);
+  store_le<std::uint16_t>(q + 2, 0);
+  store_le<std::uint32_t>(q + 4, m.rank);
+  store_le<std::uint64_t>(q + 8, m.a);
+  store_le<std::uint64_t>(q + 16, m.b);
+  store_le<std::uint64_t>(q + 24, m.c);
+  return encode_frame(FrameKind::kControl, payload);
+}
+
+std::optional<WireBatch> decode_batch(std::span<const std::byte> payload,
+                                      std::string* err) {
+  auto fail = [&](const char* why) -> std::optional<WireBatch> {
+    if (err) *err = why;
+    return std::nullopt;
+  };
+  if (payload.size() < kBatchHeaderBytes) return fail("batch: short header");
+  const std::byte* q = payload.data();
+  WireBatch b;
+  b.src = load_le<std::uint32_t>(q + 0);
+  b.dst = load_le<std::uint32_t>(q + 4);
+  b.seq = load_le<std::uint64_t>(q + 8);
+  const std::uint32_t count = load_le<std::uint32_t>(q + 16);
+  b.any_high = load_le<std::uint8_t>(q + 20) != 0;
+  b.reason = load_le<std::uint8_t>(q + 21);
+  b.coalesced = load_le<std::uint8_t>(q + 22) != 0;
+  const std::uint64_t declared = load_le<std::uint64_t>(q + 24);
+  // Each parcel needs at least its 8-byte header, so `count` is bounded by
+  // the bytes actually present — rejects hostile counts before reserve().
+  if (count > (payload.size() - kBatchHeaderBytes) / kParcelHeaderBytes) {
+    return fail("batch: parcel count exceeds payload");
+  }
+  b.parcels.reserve(count);
+  std::size_t off = kBatchHeaderBytes;
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (payload.size() - off < kParcelHeaderBytes) {
+      return fail("batch: truncated parcel header");
+    }
+    const std::uint32_t nbytes = load_le<std::uint32_t>(q + off);
+    WireParcel p;
+    p.kind = load_le<std::uint8_t>(q + off + 4);
+    p.high = load_le<std::uint8_t>(q + off + 5) != 0;
+    off += kParcelHeaderBytes;
+    if (payload.size() - off < nbytes) {
+      return fail("batch: truncated parcel payload");
+    }
+    p.payload.assign(q + off, q + off + nbytes);
+    off += nbytes;
+    total += nbytes;
+    b.parcels.push_back(std::move(p));
+  }
+  if (off != payload.size()) return fail("batch: trailing garbage");
+  if (total != declared) return fail("batch: payload_bytes mismatch");
+  return b;
+}
+
+std::optional<ControlMsg> decode_control(std::span<const std::byte> payload,
+                                         std::string* err) {
+  if (payload.size() != sizeof(ControlMsg)) {
+    if (err) *err = "control: wrong size";
+    return std::nullopt;
+  }
+  const std::byte* q = payload.data();
+  ControlMsg m;
+  m.type = load_le<std::uint8_t>(q + 0);
+  m.rank = load_le<std::uint32_t>(q + 4);
+  m.a = load_le<std::uint64_t>(q + 8);
+  m.b = load_le<std::uint64_t>(q + 16);
+  m.c = load_le<std::uint64_t>(q + 24);
+  if (m.type < static_cast<std::uint8_t>(ControlType::kHello) ||
+      m.type > static_cast<std::uint8_t>(ControlType::kGoodbye)) {
+    if (err) *err = "control: unknown type";
+    return std::nullopt;
+  }
+  return m;
+}
+
+void FrameDecoder::feed(const std::byte* data, std::size_t n) {
+  if (failed() || n == 0) return;
+  // Compact once the consumed prefix dominates, keeping feed() amortized
+  // O(n) without re-copying the tail on every frame.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<FrameDecoder::Frame> FrameDecoder::next() {
+  if (failed()) return std::nullopt;
+  if (buffered() < sizeof(FrameHeader)) return std::nullopt;
+  const std::byte* h = buf_.data() + pos_;
+  const std::uint32_t magic = [&] {
+    std::uint32_t v;
+    std::memcpy(&v, h, 4);
+    return v;
+  }();
+  if (magic != kFrameMagic) {
+    error_ = "frame: bad magic";
+    return std::nullopt;
+  }
+  std::uint32_t stored_crc;
+  std::memcpy(&stored_crc, h + 12, 4);
+  if (stored_crc != crc32(h, 12)) {
+    error_ = "frame: header crc mismatch";
+    return std::nullopt;
+  }
+  const auto kind = static_cast<std::uint8_t>(h[4]);
+  const auto flags = static_cast<std::uint8_t>(h[5]);
+  std::uint32_t payload_bytes;
+  std::memcpy(&payload_bytes, h + 8, 4);
+  if (kind != static_cast<std::uint8_t>(FrameKind::kBatch) &&
+      kind != static_cast<std::uint8_t>(FrameKind::kControl)) {
+    error_ = "frame: unknown kind";
+    return std::nullopt;
+  }
+  if (flags != 0) {
+    error_ = "frame: nonzero flags";
+    return std::nullopt;
+  }
+  if (payload_bytes > kMaxFramePayload) {
+    error_ = "frame: oversized payload";
+    return std::nullopt;
+  }
+  if (buffered() < sizeof(FrameHeader) + payload_bytes) return std::nullopt;
+  Frame f;
+  f.kind = static_cast<FrameKind>(kind);
+  const std::byte* p = h + sizeof(FrameHeader);
+  f.payload.assign(p, p + payload_bytes);
+  pos_ += sizeof(FrameHeader) + payload_bytes;
+  return f;
+}
+
+}  // namespace amtfmm::net

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace amtfmm::net {
+
+/// Thrown for transport-level failures: bootstrap timeouts, peer death
+/// during an active drain, malformed byte streams.  Distinct from
+/// config_error (user mistakes) and AMTFMM_ASSERT (internal invariants):
+/// a remote process dying is an environmental fault the caller may want
+/// to report cleanly rather than abort on.
+class net_error : public std::runtime_error {
+ public:
+  explicit net_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `n` bytes.
+/// Table-driven, dependency-free; validates frame headers so a corrupted
+/// or desynchronized stream fails loudly instead of being interpreted.
+std::uint32_t crc32(const void* data, std::size_t n);
+
+inline constexpr std::uint32_t kFrameMagic = 0x414d4650u;  // "PFMA" LE
+
+/// Upper bound on one frame's payload; a header announcing more is
+/// malformed by definition (protects the decoder from hostile lengths —
+/// a batch near this size would mean the coalescer buffered a gigabyte).
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;
+
+enum class FrameKind : std::uint8_t {
+  kBatch = 1,    ///< payload: one encoded WireBatch
+  kControl = 2,  ///< payload: one ControlMsg
+};
+
+/// Fixed 16-byte header preceding every frame on a connection.  The CRC
+/// covers the first 12 header bytes, so header corruption — including a
+/// desynchronized stream making random bytes look like a header — is
+/// detected before `payload_bytes` is trusted.
+struct FrameHeader {
+  std::uint32_t magic = kFrameMagic;
+  std::uint8_t kind = 0;
+  std::uint8_t flags = 0;  ///< reserved, must be 0
+  std::uint16_t reserved = 0;
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t crc = 0;  ///< crc32 of the 12 bytes above
+};
+static_assert(sizeof(FrameHeader) == 16);
+
+/// Fixed-size control message: connection handshake plus the distributed
+/// termination protocol (see DESIGN.md §5).  a/b/c are type-specific.
+enum class ControlType : std::uint8_t {
+  kHello = 1,      ///< handshake: `rank` identifies the connecting peer
+  kProbe = 2,      ///< coordinator probe: a = round id
+  kAck = 3,        ///< answer: a = round, b = parcels sent, c = received
+  kTerminate = 4,  ///< coordinator decision: a = drain epoch (1-based)
+  kGoodbye = 5,    ///< announced close: the following EOF is not a failure
+};
+
+struct ControlMsg {
+  std::uint8_t type = 0;
+  std::uint8_t pad = 0;
+  std::uint16_t reserved = 0;
+  std::uint32_t rank = 0;  ///< sender rank
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+};
+static_assert(sizeof(ControlMsg) == 32);
+
+/// One parcel inside a batch frame: the destination handler kind plus the
+/// serialized payload.  The payload size IS the parcel's logical
+/// wire-byte count (what the sender passed to Executor::send), so
+/// `wire_bytes == bytes_sent` stays exact over sockets; framing overhead
+/// is accounted separately under net.* counters.
+struct WireParcel {
+  std::uint8_t kind = 0;
+  bool high = false;
+  std::vector<std::byte> payload;
+};
+
+/// A coalesced ParcelBatch in transit form: everything but the closures,
+/// which the destination rebuilds from each parcel's handler kind.
+struct WireBatch {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint64_t seq = 0;    ///< per-(src,dst) sequence (coalesced batches)
+  std::uint8_t reason = 0;  ///< FlushReason of the flush that produced it
+  bool any_high = false;
+  /// False for the coalescing-off single-parcel path: no destination
+  /// re-sequencing (mirrors the in-process executors' semantics).
+  bool coalesced = true;
+  std::vector<WireParcel> parcels;
+
+  /// Summed parcel payload bytes (the batch's logical wire bytes).
+  std::size_t payload_bytes() const;
+};
+
+/// Encodes a complete frame (header + payload) ready for the socket.
+std::vector<std::byte> encode_frame(FrameKind kind,
+                                    std::span<const std::byte> payload);
+std::vector<std::byte> encode_batch_frame(const WireBatch& b);
+std::vector<std::byte> encode_control_frame(const ControlMsg& m);
+
+/// Decodes a batch-frame payload.  Returns nullopt (with *err set when
+/// non-null) on any malformed or truncated structure; every field is
+/// bounds-checked before use, so hostile input cannot read out of range.
+std::optional<WireBatch> decode_batch(std::span<const std::byte> payload,
+                                      std::string* err);
+std::optional<ControlMsg> decode_control(std::span<const std::byte> payload,
+                                         std::string* err);
+
+/// Incremental frame reassembly over a byte stream delivered in arbitrary
+/// chunks — partial reads are the normal case on a socket.  feed()
+/// appends raw bytes; next() yields complete frames as they close.  A
+/// malformed header (bad magic, bad CRC, oversized payload, unknown kind,
+/// nonzero flags) moves the decoder into a sticky error state: a stream
+/// that lost framing cannot be trusted again, the connection must die.
+class FrameDecoder {
+ public:
+  struct Frame {
+    FrameKind kind;
+    std::vector<std::byte> payload;
+  };
+
+  void feed(const std::byte* data, std::size_t n);
+  /// The next complete frame, or nullopt (need more bytes / failed()).
+  std::optional<Frame> next();
+
+  bool failed() const { return !error_.empty(); }
+  const std::string& error() const { return error_; }
+  /// Bytes buffered but not yet consumed by next().
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::byte> buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buf_
+  std::string error_;
+};
+
+}  // namespace amtfmm::net

@@ -1,0 +1,508 @@
+#include "runtime/net/net_executor.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace amtfmm::net {
+
+NetExecutor::NetExecutor(const NetConfig& cfg, int cores,
+                         CoalesceConfig coalesce)
+    : cfg_(cfg),
+      cores_(cores),
+      epoch_(std::chrono::steady_clock::now()),
+      transport_(
+          cfg, [this](WireBatch&& b) { on_net_batch(std::move(b)); },
+          [this](const ControlMsg& m) { on_net_control(m); },
+          [this](const std::string& why) { on_net_failure(why); }) {
+  AMTFMM_ASSERT(cores_ >= 1);
+  // The coalescer/CommStats see the full world (destinations are global
+  // ranks); trace and counters see only the local workers.
+  rt_ = std::make_unique<LocalityRuntime>(static_cast<int>(cfg_.world),
+                                          cores_, coalesce);
+  auto& reg = rt_->counters();
+  nid_.msgs_sent = reg.counter("net.msgs_sent");
+  nid_.msgs_recvd = reg.counter("net.msgs_recvd");
+  nid_.wire_bytes_sent = reg.counter("net.wire_bytes_sent");
+  nid_.wire_bytes_recvd = reg.counter("net.wire_bytes_recvd");
+  nid_.progress_iters = reg.counter("net.progress_iters");
+  nid_.idle_polls = reg.counter("net.idle_polls");
+  nid_.partial_writes = reg.counter("net.partial_writes");
+  nid_.backpressure_stalls = reg.counter("net.backpressure_stalls");
+  nid_.backpressure_stall_us = reg.counter("net.backpressure_stall_us");
+  nid_.control_msgs = reg.counter("net.control_msgs");
+  nid_.termination_rounds = reg.counter("net.termination_rounds");
+  nid_.inject_depth_hwm = reg.gauge("net.inject_depth_hwm");
+  nid_.inject_bytes_hwm = reg.gauge("net.inject_bytes_hwm");
+
+  inorder_.reserve(cfg_.world);
+  for (std::uint32_t r = 0; r < cfg_.world; ++r) {
+    inorder_.push_back(std::make_unique<InOrder>());
+  }
+  acks_.resize(cfg_.world);
+  prev_acks_.resize(cfg_.world);
+
+  transport_.start();  // mesh up before any worker can send
+  threads_.reserve(static_cast<std::size_t>(cores_));
+  for (int w = 0; w < cores_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+NetExecutor::~NetExecutor() {
+  // Transport first: once the progress thread is gone, no callback can
+  // race the pool teardown.  No drain — destruction must always succeed,
+  // even on a failed mesh.
+  transport_.stop();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  for (std::uint32_t r = 0; r < cfg_.world; ++r) {
+    InOrder& io = *inorder_[r];
+    if (!io.ready.empty()) {
+      std::fprintf(stderr,
+                   "rank %u: %zu stranded batch(es) from rank %u at shutdown "
+                   "(expected seq %llu, first held seq %llu)\n",
+                   cfg_.rank, io.ready.size(), r,
+                   static_cast<unsigned long long>(io.expected),
+                   static_cast<unsigned long long>(io.ready.begin()->first));
+    }
+  }
+}
+
+int NetExecutor::current_locality() const {
+  return current_worker() >= 0 ? static_cast<int>(cfg_.rank) : -1;
+}
+
+double NetExecutor::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void NetExecutor::register_net_handler(std::uint8_t kind, NetHandler h) {
+  {
+    std::lock_guard<std::mutex> lk(handlers_mu_);
+    handlers_[kind] = std::move(h);
+  }
+  handlers_cv_.notify_all();
+}
+
+Executor::NetHandler NetExecutor::wait_handler(std::uint8_t kind) {
+  std::unique_lock<std::mutex> lk(handlers_mu_);
+  if (!handlers_[kind]) {
+    // A parcel can arrive between transport start and the engine
+    // registering its handlers; block briefly rather than drop.  Sixty
+    // seconds of no registration is a programming error, not latency.
+    const bool ok = handlers_cv_.wait_for(
+        lk, std::chrono::seconds(60), [&] { return bool(handlers_[kind]); });
+    AMTFMM_ASSERT(ok && "no handler registered for arriving parcel kind");
+  }
+  return handlers_[kind];  // copy: the call runs outside the lock
+}
+
+void NetExecutor::spawn(Task t) {
+  AMTFMM_ASSERT(locality_is_local(t.locality));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++outstanding_;
+    (t.high_priority ? high_ : low_).push_back(std::move(t));
+  }
+  work_cv_.notify_one();
+  state_cv_.notify_all();  // drain predicates watch outstanding_
+}
+
+void NetExecutor::send(std::uint32_t from, std::uint32_t to,
+                       std::size_t bytes, Task t) {
+  AMTFMM_ASSERT(from == cfg_.rank && to < cfg_.world);
+  t.locality = to;
+  if (to == cfg_.rank) {
+    spawn(std::move(t));
+    return;
+  }
+  AMTFMM_ASSERT(t.net_kind != 0 &&
+                "remote task without a wire representation");
+  AMTFMM_ASSERT(t.net_payload && t.net_payload->size() == bytes);
+  auto out = rt_->submit(from, to, bytes, std::move(t), now());
+  if (!out.batch) return;  // buffered; deadline/quiescence flush later
+  transmit(std::move(*out.batch), out.coalesced);
+}
+
+void NetExecutor::transmit(ParcelBatch b, bool coalesced) {
+  const double tn = now();
+  rt_->account_batch(b, tn, tn, coalesced);
+  const int w = current_worker();
+  if (w >= 0 && rt_->trace().enabled()) {
+    rt_->trace().record_instant(static_cast<std::uint32_t>(w),
+                                InstantKind::kParcelSend, tn, b.dst);
+  }
+  WireBatch wb;
+  wb.src = b.src;
+  wb.dst = b.dst;
+  wb.seq = b.seq;
+  wb.reason = static_cast<std::uint8_t>(b.reason);
+  wb.any_high = b.any_high;
+  wb.coalesced = coalesced;
+  wb.parcels.reserve(b.tasks.size());
+  for (const Task& t : b.tasks) {
+    AMTFMM_ASSERT(t.net_kind != 0 && t.net_payload);
+    WireParcel p;
+    p.kind = t.net_kind;
+    p.high = t.high_priority;
+    p.payload = *t.net_payload;
+    wb.parcels.push_back(std::move(p));
+  }
+  const auto n = static_cast<std::int64_t>(b.tasks.size());
+  // Ordering contract with the termination protocol: sent is visible
+  // before any peer can observe (and count) the arriving frame.
+  sent_parcels_.fetch_add(static_cast<std::uint64_t>(n),
+                          std::memory_order_relaxed);
+  // A false return means the transport failed or stopped and dropped the
+  // frame; the failure surfaces from drain(), so nothing hangs on it.
+  (void)transport_.post_batch(b.dst, wb);
+  if (coalesced) rt_->note_batch_consumed(n);
+}
+
+void NetExecutor::on_net_batch(WireBatch&& b) {
+  AMTFMM_ASSERT(b.dst == cfg_.rank && b.src < cfg_.world);
+  const auto n = static_cast<std::uint64_t>(b.parcels.size());
+  Task t;
+  t.locality = cfg_.rank;
+  t.high_priority = b.any_high;
+  auto sb = std::make_shared<WireBatch>(std::move(b));
+  if (sb->coalesced) {
+    t.fn = [this, sb] { run_in_order(std::move(*sb)); };
+  } else {
+    t.fn = [this, sb] { run_wire_batch(*sb); };
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Once the transport has failed this evaluation is being abandoned:
+    // the engine behind the handlers dies during the caller's unwinding,
+    // so batches must be dropped, not spawned.  The check shares mu_ with
+    // throw_if_failed()'s queue purge, so no task can slip in after it.
+    if (net_failed_) return;
+    ++outstanding_;
+    (t.high_priority ? high_ : low_).push_back(std::move(t));
+  }
+  work_cv_.notify_one();
+  state_cv_.notify_all();
+  // Count the receipt only after the work is visible to quiescence
+  // detection (outstanding_ > 0): a recvd count with no outstanding work
+  // would let the termination protocol declare a balanced cut while the
+  // wrapper task is still queued.
+  recvd_parcels_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void NetExecutor::run_wire_batch(const WireBatch& b) {
+  const int w = current_worker();
+  if (w >= 0 && rt_->trace().enabled()) {
+    rt_->trace().record_instant(static_cast<std::uint32_t>(w),
+                                InstantKind::kParcelRecv, now(), b.src);
+  }
+  for (const WireParcel& p : b.parcels) {
+    NetHandler h = wait_handler(p.kind);
+    h(p.payload);
+  }
+}
+
+void NetExecutor::run_in_order(WireBatch b) {
+  InOrder& io = *inorder_[b.src];
+  {
+    std::lock_guard<std::mutex> lk(io.mu);
+    io.ready.emplace(b.seq, std::move(b));
+    if (io.running || io.ready.begin()->first != io.expected) return;
+    io.running = true;
+  }
+  for (;;) {
+    WireBatch cur;
+    {
+      std::lock_guard<std::mutex> lk(io.mu);
+      auto it = io.ready.find(io.expected);
+      if (it == io.ready.end()) {
+        io.running = false;
+        return;
+      }
+      cur = std::move(it->second);
+      io.ready.erase(it);
+      ++io.expected;
+    }
+    run_wire_batch(cur);
+  }
+}
+
+bool NetExecutor::flush_expired() {
+  if (!rt_->coalesce_config().enabled || !rt_->pending_from(cfg_.rank)) {
+    return false;
+  }
+  // The flush must be visible to quiescence detection for its whole
+  // take-to-transmit span: it runs outside any task, and between popping
+  // a batch (buffered drops to zero) and transmit() raising sent_, every
+  // counter the termination protocol reads looks frozen.  Without this
+  // guard a stalled flusher lets the world terminate with the frame
+  // still in hand — which then arrives in the next drain epoch as a
+  // stale parcel.  Counting the span as outstanding work closes the gap.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++outstanding_;
+  }
+  auto batches = rt_->take_expired_from(cfg_.rank, now());
+  for (auto& b : batches) transmit(std::move(b), /*coalesced=*/true);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (--outstanding_ == 0) state_cv_.notify_all();
+  }
+  return !batches.empty();
+}
+
+void NetExecutor::worker_loop(int w) {
+  detail::set_current_worker(w);
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    if (!high_.empty() || !low_.empty()) {
+      auto& q = high_.empty() ? low_ : high_;
+      Task t = std::move(q.front());
+      q.pop_front();
+      lk.unlock();
+      if (t.fn) t.fn();
+      rt_->counters().add(w, rt_->ids().tasks_run);
+      lk.lock();
+      --outstanding_;
+      if (outstanding_ == 0) state_cv_.notify_all();
+      continue;
+    }
+    // Idle: act as the locality's communication agent (deadline flushes),
+    // then nap briefly — the transport's progress thread owns the wire,
+    // so the nap bounds only flush latency, not message latency.
+    lk.unlock();
+    const bool flushed = flush_expired();
+    lk.lock();
+    if (flushed) continue;
+    work_cv_.wait_for(lk, std::chrono::microseconds(200));
+  }
+  detail::set_current_worker(-1);
+}
+
+void NetExecutor::on_net_control(const ControlMsg& m) {
+  std::lock_guard<std::mutex> lk(mu_);
+  switch (static_cast<ControlType>(m.type)) {
+    case ControlType::kProbe:
+      probe_pending_ = true;
+      probe_round_ = m.a;
+      break;
+    case ControlType::kAck:
+      if (m.rank < cfg_.world) {
+        acks_[m.rank] = Ack{m.a, m.b, m.c};
+      }
+      break;
+    case ControlType::kTerminate:
+      terminate_epoch_ = std::max(terminate_epoch_, m.a);
+      break;
+    case ControlType::kHello:
+    case ControlType::kGoodbye:
+      break;  // bootstrap / shutdown frames; handled inside the transport
+  }
+  state_cv_.notify_all();
+}
+
+void NetExecutor::on_net_failure(const std::string& why) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    net_failed_ = true;
+    if (net_failure_.empty()) net_failure_ = why;
+  }
+  state_cv_.notify_all();
+  work_cv_.notify_all();
+}
+
+void NetExecutor::throw_if_failed() {
+  std::string why;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!net_failed_) return;
+    why = net_failure_;
+    // The caller abandons the evaluation: the engine whose handlers the
+    // queued wrapper tasks would invoke is destroyed during unwinding.
+    // Quiesce local delivery before throwing — drop everything queued and
+    // wait out the tasks already running — so no worker touches the dying
+    // engine afterwards.  on_net_batch drops new arrivals under the same
+    // lock once net_failed_ is set, so the queues stay empty.
+    outstanding_ -= high_.size() + low_.size();
+    high_.clear();
+    low_.clear();
+    state_cv_.wait(lk, [&] { return outstanding_ == 0; });
+  }
+  throw net_error("rank " + std::to_string(cfg_.rank) +
+                  ": transport failed: " + why);
+}
+
+bool NetExecutor::coordinate_round() {
+  std::uint64_t round;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    round = ++round_;
+    ++term_rounds_stat_;
+  }
+  const std::uint64_t s0 = sent_parcels_.load(std::memory_order_relaxed);
+  const std::uint64_t r0 = recvd_parcels_.load(std::memory_order_relaxed);
+  ControlMsg probe;
+  probe.type = static_cast<std::uint8_t>(ControlType::kProbe);
+  probe.rank = cfg_.rank;
+  probe.a = round;
+  transport_.broadcast_control(probe);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    state_cv_.wait(lk, [&] {
+      if (net_failed_ || outstanding_ > 0) return true;
+      for (std::uint32_t r = 1; r < cfg_.world; ++r) {
+        if (!acks_[r] || acks_[r]->round != round) return false;
+      }
+      return true;
+    });
+    if (net_failed_) return false;       // drain() throws
+    if (outstanding_ > 0) return false;  // new work; abandon the round
+  }
+  const std::uint64_t s1 = sent_parcels_.load(std::memory_order_relaxed);
+  const std::uint64_t r1 = recvd_parcels_.load(std::memory_order_relaxed);
+  const Ack self{round, s1, r1};
+  bool stable = s1 == s0 && r1 == r0;
+  std::uint64_t sum_sent = s1;
+  std::uint64_t sum_recvd = r1;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (std::uint32_t r = 1; r < cfg_.world; ++r) {
+      sum_sent += acks_[r]->sent;
+      sum_recvd += acks_[r]->recvd;
+      if (prev_round_valid_ && (acks_[r]->sent != prev_acks_[r].sent ||
+                                acks_[r]->recvd != prev_acks_[r].recvd)) {
+        stable = false;
+      }
+    }
+    if (prev_round_valid_ &&
+        (self.sent != prev_self_.sent || self.recvd != prev_self_.recvd)) {
+      stable = false;
+    }
+    // Persist this round as the comparison base for the next one.
+    for (std::uint32_t r = 1; r < cfg_.world; ++r) prev_acks_[r] = *acks_[r];
+    prev_self_ = self;
+    const bool first = !prev_round_valid_;
+    prev_round_valid_ = true;
+    if (first || !stable || sum_sent != sum_recvd) return false;
+  }
+  // Two consecutive rounds saw identical per-rank monotone counters with
+  // globally balanced sent/recvd: the counters describe one consistent
+  // cut with nothing in flight.  Decide termination.
+  ControlMsg term;
+  term.type = static_cast<std::uint8_t>(ControlType::kTerminate);
+  term.rank = cfg_.rank;
+  term.a = drains_done_ + 1;  // 1-based drain epoch
+  transport_.broadcast_control(term);
+  return true;
+}
+
+bool NetExecutor::follower_wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (net_failed_) return false;  // drain() throws
+    if (terminate_epoch_ >= drains_done_ + 1) return true;
+    if (outstanding_ > 0) return false;  // new work arrived
+    if (probe_pending_ && rt_->buffered() == 0) {
+      probe_pending_ = false;
+      ControlMsg ack;
+      ack.type = static_cast<std::uint8_t>(ControlType::kAck);
+      ack.rank = cfg_.rank;
+      ack.a = probe_round_;
+      // Quiescent under mu_: no task and no idle-worker flush can be
+      // mid-transmit (both hold outstanding_ > 0 for their span), so the
+      // counter pair is a consistent local snapshot.
+      ack.b = sent_parcels_.load(std::memory_order_relaxed);
+      ack.c = recvd_parcels_.load(std::memory_order_relaxed);
+      ++term_rounds_stat_;
+      lk.unlock();
+      transport_.post_control(0, ack);
+      lk.lock();
+      continue;
+    }
+    state_cv_.wait(lk);
+  }
+}
+
+double NetExecutor::drain() {
+  const double t0 = now();
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      state_cv_.wait(lk, [&] { return outstanding_ == 0 || net_failed_; });
+    }
+    throw_if_failed();
+    // Local quiescence flush: everything still buffered for remote ranks
+    // goes on the wire now.  Transmits may block on backpressure but
+    // never spawn local work; received batches can, hence the re-loop.
+    bool flushed = false;
+    for (auto& b : rt_->take_all_from(cfg_.rank)) {
+      transmit(std::move(b), /*coalesced=*/true);
+      flushed = true;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (flushed || outstanding_ != 0 || rt_->buffered() != 0) continue;
+    }
+    if (cfg_.world == 1) break;
+    if (cfg_.rank == 0) {
+      if (coordinate_round()) break;
+    } else {
+      if (follower_wait()) break;
+    }
+    throw_if_failed();
+  }
+  throw_if_failed();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++drains_done_;
+    prev_round_valid_ = false;  // re-arm for the next drain epoch
+    for (auto& a : acks_) a.reset();
+  }
+  fold_net_counters();
+  return now() - t0;
+}
+
+void NetExecutor::fold_net_counters() {
+  auto& reg = rt_->counters();
+  if (!reg.enabled()) return;
+  const NetStats& s = transport_.stats();
+  const std::uint64_t cur[11] = {
+      s.msgs_sent.load(std::memory_order_relaxed),
+      s.msgs_recvd.load(std::memory_order_relaxed),
+      s.wire_bytes_sent.load(std::memory_order_relaxed),
+      s.wire_bytes_recvd.load(std::memory_order_relaxed),
+      s.progress_iters.load(std::memory_order_relaxed),
+      s.idle_polls.load(std::memory_order_relaxed),
+      s.partial_writes.load(std::memory_order_relaxed),
+      s.backpressure_stalls.load(std::memory_order_relaxed),
+      s.backpressure_stall_us.load(std::memory_order_relaxed),
+      s.control_msgs.load(std::memory_order_relaxed),
+      term_rounds_stat_,
+  };
+  const CounterRegistry::Id ids[11] = {
+      nid_.msgs_sent,          nid_.msgs_recvd,
+      nid_.wire_bytes_sent,    nid_.wire_bytes_recvd,
+      nid_.progress_iters,     nid_.idle_polls,
+      nid_.partial_writes,     nid_.backpressure_stalls,
+      nid_.backpressure_stall_us, nid_.control_msgs,
+      nid_.termination_rounds,
+  };
+  for (int i = 0; i < 11; ++i) {
+    reg.add(0, ids[i], cur[i] - folded_[i]);
+    folded_[i] = cur[i];
+  }
+  reg.gauge_max(0, nid_.inject_depth_hwm,
+                s.inject_depth_hwm.load(std::memory_order_relaxed));
+  reg.gauge_max(0, nid_.inject_bytes_hwm,
+                s.inject_bytes_hwm.load(std::memory_order_relaxed));
+}
+
+}  // namespace amtfmm::net

@@ -1,0 +1,164 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/executor.hpp"
+#include "runtime/locality_runtime.hpp"
+#include "runtime/net/transport.hpp"
+
+namespace amtfmm::net {
+
+/// Socket-locality executor: this process IS one locality (its rank in a
+/// world of N processes); the other N-1 localities live in peer processes
+/// reached through NetTransport.  The SPMD contract mirrors MPI: every
+/// rank constructs the identical global problem, but only tasks whose
+/// locality equals the local rank run here (locality_is_local()), and
+/// work crosses processes exclusively as serialized parcels — Task::
+/// net_kind + net_payload on the way out, a registered NetHandler on the
+/// way in.  PR 4's no-pointer-crosses-a-locality guarantee is what makes
+/// this a drop-in third substrate: the engine's parcels were already
+/// fully serialized bytes.
+///
+/// Scheduling: a plain mutex/condvar worker pool over high/low FIFO
+/// queues.  The in-process executors carry the work-stealing machinery;
+/// here the interesting contention is the wire, so the pool stays simple
+/// and idle workers double as the coalescer's deadline-flush agents.
+///
+/// Termination: drain() runs a coordinator/follower protocol over
+/// control messages (rank 0 coordinates).  A rank is locally quiescent
+/// when its pool is idle and its coalescing buffers are empty; the world
+/// terminates when a probe round finds every rank quiescent with
+/// globally matching sent==received parcel counts that are *identical to
+/// the previous round* (two agreeing rounds make the counter snapshot a
+/// consistent cut despite message latency).  drain() is re-armable:
+/// post-evaluation gathers can send more parcels and drain again.
+class NetExecutor final : public Executor {
+ public:
+  /// `cfg` describes this rank; `cores` is the local worker count.
+  NetExecutor(const NetConfig& cfg, int cores, CoalesceConfig coalesce);
+  ~NetExecutor() override;
+
+  int num_localities() const override {
+    return static_cast<int>(cfg_.world);
+  }
+  int cores_per_locality() const override { return cores_; }
+  int current_locality() const override;
+  bool locality_is_local(std::uint32_t loc) const override {
+    return loc == cfg_.rank;
+  }
+  void register_net_handler(std::uint8_t kind, NetHandler h) override;
+  void spawn(Task t) override;
+  void send(std::uint32_t from, std::uint32_t to, std::size_t bytes,
+            Task t) override;
+  /// Runs to global quiescence (all ranks, termination protocol) and
+  /// returns the wall-clock makespan.  Throws net_error if a peer died
+  /// or the byte stream broke — never hangs on a dead mesh.
+  double drain() override;
+  double now() const override;
+
+  std::uint32_t rank() const { return cfg_.rank; }
+  std::uint32_t world() const { return cfg_.world; }
+  const NetStats& net_stats() const { return transport_.stats(); }
+
+ private:
+  struct InOrder {
+    std::mutex mu;
+    std::uint64_t expected = 0;
+    bool running = false;
+    std::map<std::uint64_t, WireBatch> ready;
+  };
+  struct Ack {
+    std::uint64_t round = 0;
+    std::uint64_t sent = 0;
+    std::uint64_t recvd = 0;
+  };
+  struct NetCounterIds {
+    CounterRegistry::Id msgs_sent, msgs_recvd, wire_bytes_sent,
+        wire_bytes_recvd, progress_iters, idle_polls, partial_writes,
+        backpressure_stalls, backpressure_stall_us, control_msgs,
+        termination_rounds;  // counters
+    CounterRegistry::Id inject_depth_hwm, inject_bytes_hwm;  // gauges
+  };
+
+  void worker_loop(int w);
+  /// Serializes and posts one batch to its destination rank.  Counter
+  /// ordering is load-bearing for termination: sent_parcels_ rises
+  /// BEFORE the frame can possibly be received anywhere.
+  void transmit(ParcelBatch b, bool coalesced);
+  /// Progress-thread callbacks.
+  void on_net_batch(WireBatch&& b);
+  void on_net_control(const ControlMsg& m);
+  void on_net_failure(const std::string& why);
+  /// Worker-side execution of an arrived batch.
+  void run_wire_batch(const WireBatch& b);
+  void run_in_order(WireBatch b);
+  NetHandler wait_handler(std::uint8_t kind);
+  /// Idle-worker deadline flush; true if anything went out.
+  bool flush_expired();
+  /// One coordinator probe round; true when the world terminated.
+  bool coordinate_round();
+  /// Follower wait: answer probes while quiescent; true on terminate,
+  /// false when new local work arrived.
+  bool follower_wait();
+  void throw_if_failed();
+  /// Folds transport stats into the net.* registry counters (deltas, so
+  /// repeated drains never double-count).
+  void fold_net_counters();
+
+  NetConfig cfg_;
+  int cores_;
+  std::chrono::steady_clock::time_point epoch_;
+  NetTransport transport_;
+
+  // Worker pool (mu_ guards the queues and all termination state).
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers: new task / stop
+  std::condition_variable state_cv_;  ///< drain: quiescence + control
+  std::deque<Task> high_;
+  std::deque<Task> low_;
+  std::int64_t outstanding_ = 0;  ///< queued + running local tasks
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+
+  // Destination re-sequencing, one slot per source rank.
+  std::vector<std::unique_ptr<InOrder>> inorder_;
+
+  std::mutex handlers_mu_;
+  std::condition_variable handlers_cv_;
+  std::array<NetHandler, 256> handlers_;
+
+  // Termination protocol state (guarded by mu_ unless noted).
+  // relaxed-ok (both): monotone counters; every decision read happens
+  // under mu_ with the two-round protocol supplying consistency.
+  std::atomic<std::uint64_t> sent_parcels_{0};
+  std::atomic<std::uint64_t> recvd_parcels_{0};
+  std::vector<std::optional<Ack>> acks_;  // coordinator, per rank
+  bool prev_round_valid_ = false;
+  std::vector<Ack> prev_acks_;
+  Ack prev_self_;
+  std::uint64_t round_ = 0;
+  bool probe_pending_ = false;
+  std::uint64_t probe_round_ = 0;
+  std::uint64_t terminate_epoch_ = 0;  ///< latest kTerminate received
+  std::uint64_t drains_done_ = 0;
+  std::uint64_t term_rounds_stat_ = 0;
+  bool net_failed_ = false;
+  std::string net_failure_;
+
+  NetCounterIds nid_{};
+  std::uint64_t folded_[11] = {};  ///< previously folded counter values
+};
+
+}  // namespace amtfmm::net

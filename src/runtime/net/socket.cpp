@@ -1,0 +1,232 @@
+// net-ok: this file is the single home of raw socket/poll syscalls; the
+// lint_invariants.py net rule confines them to src/runtime/net.
+#include "runtime/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "runtime/net/frame.hpp"  // net_error
+#include "support/error.hpp"
+
+namespace amtfmm::net {
+
+namespace {
+
+std::string errno_text(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& o) noexcept {
+  if (this != &o) {
+    reset();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+int Fd::release() {
+  int f = fd_;
+  fd_ = -1;
+  return f;
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Fd listen_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    throw net_error("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw net_error(errno_text("socket(AF_UNIX)"));
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw net_error(errno_text("bind(" + path + ")"));
+  }
+  if (::listen(fd.get(), 64) != 0) throw net_error(errno_text("listen"));
+  return fd;
+}
+
+Fd listen_tcp_loopback(int* port) {
+  AMTFMM_ASSERT(port != nullptr);
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw net_error(errno_text("socket(AF_INET)"));
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // kernel-assigned ephemeral port
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw net_error(errno_text("bind(127.0.0.1)"));
+  }
+  if (::listen(fd.get(), 64) != 0) throw net_error(errno_text("listen"));
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw net_error(errno_text("getsockname"));
+  }
+  *port = static_cast<int>(ntohs(addr.sin_port));
+  return fd;
+}
+
+Fd try_connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    throw net_error("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw net_error(errno_text("socket(AF_UNIX)"));
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return Fd();  // peer not listening yet; bootstrap retries
+  }
+  return fd;
+}
+
+Fd try_connect_tcp_loopback(int port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw net_error(errno_text("socket(AF_INET)"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return Fd();
+  }
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Fd accept_conn(const Fd& listener) {
+  int f = ::accept4(listener.get(), nullptr, nullptr, SOCK_CLOEXEC);
+  if (f < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return Fd();
+    }
+    throw net_error(errno_text("accept"));
+  }
+  Fd fd(f);
+  // Harmless on Unix-domain sockets (fails with ENOPROTOOPT, ignored).
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void set_nonblocking(const Fd& fd) {
+  int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw net_error(errno_text("fcntl(O_NONBLOCK)"));
+  }
+}
+
+IoResult read_some(const Fd& fd, void* buf, std::size_t n) {
+  IoResult r;
+  for (;;) {
+    ssize_t got = ::recv(fd.get(), buf, n, 0);
+    if (got > 0) {
+      r.bytes = static_cast<std::size_t>(got);
+      return r;
+    }
+    if (got == 0) {
+      r.closed = true;
+      return r;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return r;
+    if (errno == ECONNRESET) {
+      r.closed = true;
+      return r;
+    }
+    r.error = errno_text("recv");
+    return r;
+  }
+}
+
+IoResult write_some(const Fd& fd, const void* buf, std::size_t n) {
+  IoResult r;
+  for (;;) {
+    // MSG_NOSIGNAL: a dying peer surfaces as EPIPE, not a fatal SIGPIPE.
+    ssize_t put = ::send(fd.get(), buf, n, MSG_NOSIGNAL);
+    if (put >= 0) {
+      r.bytes = static_cast<std::size_t>(put);
+      return r;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return r;
+    if (errno == EPIPE || errno == ECONNRESET) {
+      r.closed = true;
+      return r;
+    }
+    r.error = errno_text("send");
+    return r;
+  }
+}
+
+WakePipe make_wake_pipe() {
+  int p[2];
+  if (::pipe2(p, O_CLOEXEC | O_NONBLOCK) != 0) {
+    throw net_error(errno_text("pipe2"));
+  }
+  WakePipe w;
+  w.rx = Fd(p[0]);
+  w.tx = Fd(p[1]);
+  return w;
+}
+
+void poke(const WakePipe& p) {
+  const char b = 1;
+  // EAGAIN (pipe full) is fine: a pending byte already guarantees a wake.
+  (void)!::write(p.tx.get(), &b, 1);
+}
+
+void drain(const WakePipe& p) {
+  char buf[64];
+  while (::read(p.rx.get(), buf, sizeof(buf)) > 0) {
+  }
+}
+
+std::vector<std::size_t> poll_ready(const std::vector<int>& fds,
+                                    const std::vector<bool>& want_write,
+                                    int timeout_ms) {
+  AMTFMM_ASSERT(fds.size() == want_write.size());
+  std::vector<pollfd> pfds(fds.size());
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    pfds[i].fd = fds[i];
+    pfds[i].events = POLLIN;
+    if (want_write[i]) pfds[i].events |= POLLOUT;
+    pfds[i].revents = 0;
+  }
+  int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  std::vector<std::size_t> ready;
+  if (n <= 0) return ready;  // timeout or EINTR: caller just re-polls
+  for (std::size_t i = 0; i < pfds.size(); ++i) {
+    if (pfds[i].revents != 0) ready.push_back(i);
+  }
+  return ready;
+}
+
+}  // namespace amtfmm::net

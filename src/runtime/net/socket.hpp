@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace amtfmm::net {
+
+/// RAII file descriptor.  Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release();
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Outcome of one non-blocking read/write attempt.  `closed` means the
+/// peer shut the connection down (EOF on read, EPIPE/ECONNRESET on
+/// write); `bytes == 0 && !closed && error.empty()` means EAGAIN.
+struct IoResult {
+  std::size_t bytes = 0;
+  bool closed = false;
+  std::string error;  ///< non-empty on a hard error (errno text)
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Binds and listens on a Unix-domain socket at `path` (unlinked first).
+Fd listen_unix(const std::string& path);
+/// Binds and listens on 127.0.0.1 with an ephemeral port; *port receives
+/// the assigned port number.
+Fd listen_tcp_loopback(int* port);
+
+/// One non-blocking connect attempt; invalid Fd if the peer is not
+/// listening yet (bootstrap retries around this).  The returned socket is
+/// connected and blocking; callers flip it non-blocking afterwards.
+Fd try_connect_unix(const std::string& path);
+Fd try_connect_tcp_loopback(int port);
+
+/// Accepts one pending connection; invalid Fd if none pending.
+Fd accept_conn(const Fd& listener);
+
+void set_nonblocking(const Fd& fd);
+
+IoResult read_some(const Fd& fd, void* buf, std::size_t n);
+IoResult write_some(const Fd& fd, const void* buf, std::size_t n);
+
+/// poll(2) over the given fds for readability (and writability for the
+/// fds listed in want_write).  Returns the subset of indices that are
+/// ready (read-ready, write-ready, or error/hup — the caller's read will
+/// surface which).  `timeout_ms < 0` blocks indefinitely.
+std::vector<std::size_t> poll_ready(const std::vector<int>& fds,
+                                    const std::vector<bool>& want_write,
+                                    int timeout_ms);
+
+/// Self-pipe for waking a poll loop from other threads.  Both ends are
+/// non-blocking; poke() is async-signal-safe-grade cheap and idempotent
+/// (a full pipe is already a pending wake).
+struct WakePipe {
+  Fd rx;
+  Fd tx;
+};
+WakePipe make_wake_pipe();
+void poke(const WakePipe& p);
+/// Consumes all pending wake bytes from the read end.
+void drain(const WakePipe& p);
+
+}  // namespace amtfmm::net
