@@ -115,6 +115,17 @@ for np in 2 4; do
   done
 done
 
+echo "== Resident pipeline steady state (BENCH_serve.json) =="
+./build/tools/amtfmm_serve --n=4000 --epochs=6 --localities=2 --cores=2 \
+  --json=build/bench-smoke/BENCH_serve_inproc.json
+./build/tools/amtfmm_launch --np=2 --transport=unix --timeout=120 \
+  -- ./build/tools/amtfmm_serve --n=4000 --epochs=6 --cores=2 \
+  --json=build/bench-smoke/BENCH_serve_net.json
+python3 scripts/check_bench_serve.py \
+  build/bench-smoke/BENCH_serve_inproc.json \
+  build/bench-smoke/BENCH_serve_net.json \
+  --out build/bench-smoke/BENCH_serve.json
+
 echo "== Trace export + critical-path analysis =="
 ./build/bench/fig4_utilization --n 20000 --intervals 20 \
   --trace-out=build/bench-smoke/fig4_trace.json \

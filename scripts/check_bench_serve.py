@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Gate for BENCH_serve.json (amtfmm_serve --json).
+
+Merges one or more amtfmm_serve row files (in-process and socket-world
+runs) into a single BENCH_serve.json and gates the resident-pipeline
+contract on every row:
+
+  * steady state is allocation-free: gas_allocs_steady == 0 — epoch 2+
+    re-arms the resident GAS/LCO arena, it never grows it;
+  * the epoch-2 re-arm is cheap: reset_s / epoch1_s stays under 5% (the
+    measured ratio is ~0.01%; the gate only catches an accidental
+    rebuild-per-epoch regression);
+  * repeat epochs and a fresh one-shot build agree with epoch 1 at the
+    1e-12 relative floor;
+  * steady-state throughput is real (evals_per_s > 0) and the latency
+    tail is sane: 0 < p50 <= p99 <= tail_factor * p50 (generous — CI
+    machines are shared).
+
+Expected rows are serve_inproc and serve_net; --require lists which of
+them must be present (default: both).
+"""
+
+import argparse
+import json
+import sys
+
+EXPECTED_FIELDS = (
+    "n", "world", "epochs", "epoch1_s", "reset_ratio", "evals_per_s",
+    "p50_s", "p99_s", "gas_allocs_steady", "repeat_rel_err",
+    "fresh_rel_err", "wire_bytes",
+)
+
+
+def check_row(row, args, violations):
+    name = row.get("name", "?")
+    for f in EXPECTED_FIELDS:
+        if f not in row:
+            violations.append(f"{name}: missing field {f}")
+            return
+
+    if row["gas_allocs_steady"] != 0:
+        violations.append(
+            f"{name}: {row['gas_allocs_steady']} GAS allocations in steady"
+            " state (resident arena must re-arm, not grow)")
+    if row["reset_ratio"] > args.max_reset_ratio:
+        violations.append(
+            f"{name}: reset_ratio {row['reset_ratio']:.4f} above"
+            f" {args.max_reset_ratio:.2f} (epoch re-arm should be a tiny"
+            " fraction of the first build)")
+    for key in ("repeat_rel_err", "fresh_rel_err"):
+        if row[key] > args.max_rel_err:
+            violations.append(
+                f"{name}: {key} {row[key]:.3e} above {args.max_rel_err:.0e}")
+    if row["evals_per_s"] <= 0.0:
+        violations.append(f"{name}: no steady-state throughput")
+    p50, p99 = row["p50_s"], row["p99_s"]
+    if not 0.0 < p50 <= p99:
+        violations.append(f"{name}: bad latency order p50={p50} p99={p99}")
+    elif p99 > args.tail_factor * p50:
+        violations.append(
+            f"{name}: p99 {p99 * 1e3:.1f}ms more than {args.tail_factor:.0f}x"
+            f" p50 {p50 * 1e3:.1f}ms")
+    if row["wire_bytes"] <= 0 and row["world"] > 1:
+        violations.append(f"{name}: multi-rank run moved no wire bytes")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("row_files", nargs="+",
+                    help="amtfmm_serve --json outputs to merge and gate")
+    ap.add_argument("--out", help="write the merged BENCH_serve.json here")
+    ap.add_argument("--require", default="serve_inproc,serve_net",
+                    help="comma-separated row names that must be present")
+    ap.add_argument("--max-reset-ratio", type=float, default=0.05,
+                    help="ceiling for reset_s / epoch1_s (default 0.05)")
+    ap.add_argument("--max-rel-err", type=float, default=1e-12,
+                    help="ceiling for repeat/fresh parity (default 1e-12)")
+    ap.add_argument("--tail-factor", type=float, default=50.0,
+                    help="ceiling for p99 as a multiple of p50 (default 50)")
+    args = ap.parse_args()
+
+    rows = []
+    for path in args.row_files:
+        with open(path, encoding="utf-8") as f:
+            rows.extend(json.load(f))
+
+    violations = []
+    names = [r.get("name") for r in rows]
+    for want in filter(None, args.require.split(",")):
+        if want not in names:
+            violations.append(f"missing required row: {want}")
+    for row in rows:
+        check_row(row, args, violations)
+
+    if args.out and not violations:
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(rows, f, indent=1)
+            f.write("\n")
+
+    if violations:
+        for v in violations:
+            print(f"check_bench_serve: {v}", file=sys.stderr)
+        return 1
+    print(f"check_bench_serve: OK ({', '.join(map(str, names))})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

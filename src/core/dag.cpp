@@ -544,6 +544,56 @@ Dag build_dag(const DualTree& dt, const InteractionLists& lists,
   return Builder(dt, lists, kernel, cfg, num_localities).run();
 }
 
+std::vector<std::uint32_t> flatten_dag_edges(const Dag& dag) {
+  std::vector<std::uint32_t> flat(2 * dag.edges.size());
+  for (NodeIndex ni = 0; ni < dag.nodes.size(); ++ni) {
+    const DagNode& n = dag.nodes[ni];
+    for (std::uint32_t e = n.first_edge; e < n.first_edge + n.num_edges;
+         ++e) {
+      flat[2 * e] = ni;
+      flat[2 * e + 1] = dag.edges[e].target;
+    }
+  }
+  return flat;
+}
+
+void refresh_dag_metrics(Dag& dag, const DualTree& dt) {
+  const auto& sb = dt.source.boxes();
+  const auto& tb = dt.target.boxes();
+  for (DagNode& n : dag.nodes) {
+    // Point payload sizes (32 B/source point, 40 B/target point — the
+    // engine's serialization constants).  Expansion payload sizes are
+    // level-only and unchanged by a count update.
+    if (n.kind == NodeKind::kS) {
+      n.payload_bytes = sb[n.box].count * 32ull;
+    } else if (n.kind == NodeKind::kT) {
+      n.payload_bytes = tb[n.box].count * 40ull;
+    }
+    for (std::uint32_t ei = n.first_edge; ei < n.first_edge + n.num_edges;
+         ++ei) {
+      DagEdge& e = dag.edges[ei];
+      switch (e.op) {
+        case Operator::kS2M:
+        case Operator::kS2L:
+          e.cost_metric = static_cast<float>(sb[n.box].count);
+          break;
+        case Operator::kS2T:
+          e.bytes = sb[n.box].count * 32u;
+          e.cost_metric = static_cast<float>(sb[n.box].count) *
+                          static_cast<float>(tb[dag.nodes[e.target].box].count);
+          break;
+        case Operator::kM2T:
+        case Operator::kL2T:
+          e.cost_metric =
+              static_cast<float>(tb[dag.nodes[e.target].box].count);
+          break;
+        default:
+          break;  // level-only bytes and metrics
+      }
+    }
+  }
+}
+
 DagStats Dag::stats() const {
   DagStats s;
   s.total_nodes = nodes.size();

@@ -107,6 +107,20 @@ Dag build_dag(const DualTree& dt, const InteractionLists& lists,
               const Kernel& kernel, const DagBuildConfig& cfg,
               int num_localities);
 
+/// Dag::edges flattened to [src0, dst0, src1, dst1, ...] in edge-id order,
+/// recovering the implicit CSR source from each node's edge range (trace
+/// exports embed this for the critical-path analyzer).
+std::vector<std::uint32_t> flatten_dag_edges(const Dag& dag);
+
+/// Refreshes the point-count-dependent annotations of an existing DAG
+/// after an incremental (structure-preserving) tree update: S/T node
+/// payload bytes, S->T edge bytes, and the cost metrics derived from box
+/// counts.  Level-only byte formulas (expansion wire sizes) are untouched
+/// — in particular S2L/I2L edge bytes stay the level's L wire size, which
+/// the engine's contribution-parcel arithmetic asserts.  The topology
+/// (nodes, edges, in-degrees, placement) is reused as-is.
+void refresh_dag_metrics(Dag& dag, const DualTree& dt);
+
 /// Classifies the direction of a list-2 interaction: the dominant axis of
 /// (target - source), with the CGR99 priority order z, y, x.  `di,dj,dk`
 /// are the List2Entry offsets (source - target, in box widths).

@@ -1,5 +1,6 @@
 #include "core/engine.hpp"
 
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -71,6 +72,13 @@ DagEngine::DagEngine(const Dag& dag, const DualTree& dt, const Kernel& kernel,
       opt_(std::move(opt)),
       gas_(ex.num_localities()) {}
 
+DagEngine::~DagEngine() {
+  if (handlers_registered_) {
+    ex_.unregister_net_handler(kNetKindEvalParcel);
+    ex_.unregister_net_handler(kNetKindContribution);
+  }
+}
+
 double DagEngine::execute(std::span<const double> charges,
                           std::span<double> potentials) {
   charges_ = charges;
@@ -93,15 +101,32 @@ double DagEngine::execute(std::span<const double> charges,
     ex_.register_net_handler(
         kNetKindContribution,
         [this](const std::vector<std::byte>& b) { process_contribution(b); });
+    handlers_registered_ = true;
   }
-  instantiate();
+  const std::uint64_t allocs_before = gas_.total_allocs();
+  if (!instantiated_) {
+    instantiate();
+    instantiated_ = true;
+    last_reset_seconds_ = 0.0;
+  } else {
+    const auto r0 = std::chrono::steady_clock::now();
+    reset_for_epoch();
+    last_reset_seconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - r0)
+            .count();
+  }
   auto& ctr = ex_.counters();
   if (ctr.enabled()) {
     // GAS slab occupancy high-water: every node's LCO is resident for the
     // whole run, so the peak is the post-instantiate per-locality count.
-    const auto gas_id = ex_.runtime().ids().gas_objects_hw;
+    const auto& ids = ex_.runtime().ids();
     for (int l = 0; l < ex_.num_localities(); ++l) {
-      ctr.gauge_max(0, gas_id, gas_.objects_on(l));
+      ctr.gauge_max(0, ids.gas_objects_hw, gas_.objects_on(l));
+    }
+    ctr.add(0, ids.serve_epochs);
+    if (instantiated_ && epoch_ > 0) {
+      ctr.observe(0, ids.serve_reset_us,
+                  static_cast<std::uint64_t>(last_reset_seconds_ * 1e6));
     }
   }
   if (opt_.mode == EngineMode::kCompute) {
@@ -110,13 +135,24 @@ double DagEngine::execute(std::span<const double> charges,
     // cut), so no peer can have seeded — and therefore no eval parcel can
     // arrive — until every rank has finished instantiate() and registered
     // its handlers.  Without it a fast peer's parcels race the addr_/GAS
-    // fill above.  No-op on in-process executors (nothing is in flight).
+    // fill above.  On later epochs the same barrier keeps any rank from
+    // seeding until every rank has re-armed its resident arena, so no
+    // cross-epoch parcel can reach an un-reset LCO.  No-op on in-process
+    // executors (nothing is in flight).
     ex_.drain();
   }
   const double t0 = ex_.now();
   seed();
   ex_.drain();
+  gas_allocs_epoch_ = gas_.total_allocs() - allocs_before;
+  ++epoch_;
   return ex_.now() - t0;
+}
+
+void DagEngine::reset_for_epoch() {
+  for (NodeIndex ni = 0; ni < dag_.nodes.size(); ++ni) {
+    lco(ni)->reset(static_cast<int>(dag_.nodes[ni].in_degree));
+  }
 }
 
 void DagEngine::instantiate() {

@@ -57,14 +57,36 @@ class DagEngine {
  public:
   DagEngine(const Dag& dag, const DualTree& dt, const Kernel& kernel,
             Executor& ex, EngineOptions opt);
+  /// Unregisters the net handlers registered by execute(): on a mesh that
+  /// outlives this engine, a peer racing into the NEXT evaluation must
+  /// have its early parcels block until the next engine registers — not
+  /// run a handler capturing a destroyed engine.
+  ~DagEngine();
 
   /// Runs the DAG to completion.  In compute mode, `charges` are the
   /// source strengths and `potentials` receives the target potentials,
   /// both in *tree-sorted* order (see Tree::original_index).  In cost-only
   /// mode both spans may be empty.  Returns the makespan reported by the
   /// executor.
+  ///
+  /// The engine is resident: the first call allocates the GAS LCO arena
+  /// (instantiate); every later call re-arms the same arena in place
+  /// (reset_for_epoch) and replays the leaf seeds against the existing
+  /// edge CSR — no GAS or LCO allocation happens in steady state
+  /// (gas_allocs_last_epoch() == 0 for epoch >= 2).
   double execute(std::span<const double> charges,
                  std::span<double> potentials);
+
+  /// Completed execute() epochs on this engine instance.
+  std::uint64_t epochs() const { return epoch_; }
+  /// Whether the GAS arena is instantiated (true after the first execute).
+  bool resident() const { return instantiated_; }
+  /// Wall seconds spent re-arming the resident arena before the last
+  /// epoch; 0.0 for the first epoch (which pays instantiate() instead).
+  double last_reset_seconds() const { return last_reset_seconds_; }
+  /// GAS allocations performed during the last execute(); zero for every
+  /// steady-state epoch after the first.
+  std::uint64_t gas_allocs_last_epoch() const { return gas_allocs_epoch_; }
 
   /// Serialized bytes of every parcel handed to Executor::send during the
   /// last execute(); equals Executor::bytes_sent() when the engine is the
@@ -131,6 +153,10 @@ class DagEngine {
   };
 
   void instantiate();
+  /// Re-arms every resident LCO to its DAG in-degree for the next epoch.
+  /// Runs between drains (quiescent); the caller's barrier keeps any peer
+  /// rank from seeding before every rank has finished resetting.
+  void reset_for_epoch();
   void seed();
   void spawn_edge_tasks(NodeIndex ni);
   void process_local(NodeIndex ni, std::span<const std::uint32_t> edge_ids);
@@ -163,6 +189,11 @@ class DagEngine {
   std::atomic<std::uint64_t> wire_bytes_{0};
   std::span<const double> charges_;
   std::span<double> potentials_;
+  bool instantiated_ = false;
+  bool handlers_registered_ = false;
+  std::uint64_t epoch_ = 0;
+  double last_reset_seconds_ = 0.0;
+  std::uint64_t gas_allocs_epoch_ = 0;
 };
 
 }  // namespace amtfmm

@@ -1,29 +1,12 @@
 #include "core/evaluator.hpp"
 
+#include "core/pipeline.hpp"
 #include "runtime/locality_runtime.hpp"
 #include "runtime/net/net_executor.hpp"
 #include "support/error.hpp"
 #include "support/timer.hpp"
 
 namespace amtfmm {
-namespace {
-
-/// Dag::edges flattened to [src, dst, ...] in edge-id order, recovering the
-/// implicit CSR source from each node's [first_edge, first_edge+num_edges).
-std::vector<std::uint32_t> flatten_edges(const Dag& dag) {
-  std::vector<std::uint32_t> flat(2 * dag.edges.size());
-  for (NodeIndex ni = 0; ni < dag.nodes.size(); ++ni) {
-    const DagNode& n = dag.nodes[ni];
-    for (std::uint32_t e = n.first_edge; e < n.first_edge + n.num_edges;
-         ++e) {
-      flat[2 * e] = ni;
-      flat[2 * e + 1] = dag.edges[e].target;
-    }
-  }
-  return flat;
-}
-
-}  // namespace
 
 Evaluator::Evaluator(std::unique_ptr<Kernel> kernel, EvalConfig cfg)
     : kernel_(std::move(kernel)), cfg_(cfg) {
@@ -36,97 +19,26 @@ Evaluator::Evaluator(std::unique_ptr<Kernel> kernel, EvalConfig cfg)
 
 Evaluator::~Evaluator() = default;
 
-Evaluator::Prepared Evaluator::make_prepared(std::span<const Vec3> sources,
-                                             std::span<const Vec3> targets,
-                                             int localities) {
-  Prepared p{build_dual_tree(sources, targets, cfg_.threshold, localities),
-             {},
-             {}};
-  kernel_->setup(p.tree.source.domain().size,
-                 std::max(p.tree.source.max_level(),
-                          p.tree.target.max_level()) + 1,
-                 cfg_.digits);
-  p.lists = build_lists(p.tree);
-  DagBuildConfig dcfg;
-  dcfg.method = cfg_.method;
-  dcfg.placement = cfg_.placement;
-  dcfg.bh_theta = cfg_.bh_theta;
-  p.dag = build_dag(p.tree, p.lists, *kernel_, dcfg, localities);
-  return p;
-}
-
-EvalResult Evaluator::run_prepared(const Prepared& p,
-                                   std::span<const double> charges) {
-  AMTFMM_ASSERT(charges.size() == p.tree.source.num_points());
-  EvalResult out;
-  out.dag = p.dag.stats();
-
-  // Charges into tree order.
-  std::vector<double> sorted_q(charges.size());
-  for (std::size_t i = 0; i < charges.size(); ++i) {
-    sorted_q[i] = charges[p.tree.source.original_index()[i]];
-  }
-  std::vector<double> sorted_phi(p.tree.target.num_points(), 0.0);
-
-  ThreadExecutor ex(cfg_.localities, cfg_.cores_per_locality,
-                    cfg_.split_priority ? SchedPolicy::kPriority : cfg_.policy,
-                    cfg_.seed, cfg_.coalesce);
-  ex.trace().set_enabled(cfg_.trace);
-  ex.counters().set_enabled(cfg_.counters);
-  EngineOptions opt;
-  opt.mode = EngineMode::kCompute;
-  opt.split_priority = cfg_.split_priority;
-  DagEngine engine(p.dag, p.tree, *kernel_, ex, opt);
-  out.makespan = engine.execute(sorted_q, sorted_phi);
-
-  out.potentials.assign(sorted_phi.size(), 0.0);
-  for (std::size_t i = 0; i < sorted_phi.size(); ++i) {
-    out.potentials[p.tree.target.original_index()[i]] = sorted_phi[i];
-  }
-  out.bytes_sent = ex.bytes_sent();
-  out.parcels_sent = ex.parcels_sent();
-  out.wire_bytes = engine.wire_bytes();
-  // The engine is the executor's only sender, and every remote byte is
-  // serialized — the transport count must equal the wire-format count.
-  AMTFMM_ASSERT(out.wire_bytes == out.bytes_sent);
-  out.comm = ex.comm_stats();
-  if (cfg_.trace) {
-    out.trace = ex.trace().collect();
-    out.comm_trace = ex.trace().collect_comm();
-    out.instants = ex.trace().collect_instants();
-    out.dag_edges = flatten_edges(p.dag);
-  }
-  if (cfg_.counters) out.counters = ex.counters().snapshot();
-  return out;
-}
-
 EvalResult Evaluator::evaluate(std::span<const Vec3> sources,
                                std::span<const double> charges,
                                std::span<const Vec3> targets) {
   AMTFMM_ASSERT(sources.size() == charges.size());
-  Timer setup;
-  const Prepared p = make_prepared(sources, targets, cfg_.localities);
-  const double setup_time = setup.seconds();
-  EvalResult out = run_prepared(p, charges);
-  out.setup_time = setup_time;
-  return out;
+  // One-shot: a pipeline that lives for a single epoch.
+  EvalPipeline pipeline(*kernel_, cfg_, sources, targets);
+  return pipeline.evaluate(charges);
 }
 
 void Evaluator::prepare(std::span<const Vec3> sources,
                         std::span<const Vec3> targets) {
-  Timer setup;
-  prepared_ = std::make_unique<Prepared>(
-      make_prepared(sources, targets, cfg_.localities));
-  prepared_setup_time_ = setup.seconds();
+  pipeline_ =
+      std::make_unique<EvalPipeline>(*kernel_, cfg_, sources, targets);
 }
 
 EvalResult Evaluator::evaluate_prepared(std::span<const double> charges) {
-  if (!prepared_) {
+  if (!pipeline_) {
     throw config_error("evaluate_prepared() requires a prior prepare()");
   }
-  EvalResult out = run_prepared(*prepared_, charges);
-  out.setup_time = prepared_setup_time_;  // amortized across calls
-  return out;
+  return pipeline_->evaluate(charges);
 }
 
 EvalResult Evaluator::evaluate_distributed(net::NetExecutor& ex,
@@ -134,55 +46,19 @@ EvalResult Evaluator::evaluate_distributed(net::NetExecutor& ex,
                                            std::span<const double> charges,
                                            std::span<const Vec3> targets) {
   AMTFMM_ASSERT(sources.size() == charges.size());
-  Timer setup;
-  // Deterministic from the inputs alone: every rank computes the same
-  // tree, lists, DAG, and placement — the SPMD agreement the transport
-  // relies on (parcels name DAG edges, not pointers).
-  const Prepared p = make_prepared(sources, targets, ex.num_localities());
-  EvalResult out;
-  out.setup_time = setup.seconds();
-  out.dag = p.dag.stats();
-
-  std::vector<double> sorted_q(charges.size());
-  for (std::size_t i = 0; i < charges.size(); ++i) {
-    sorted_q[i] = charges[p.tree.source.original_index()[i]];
-  }
-  std::vector<double> sorted_phi(p.tree.target.num_points(), 0.0);
-
-  ex.trace().set_enabled(cfg_.trace);
-  ex.counters().set_enabled(cfg_.counters);
-  EngineOptions opt;
-  opt.mode = EngineMode::kCompute;
-  opt.split_priority = cfg_.split_priority;
-  DagEngine engine(p.dag, p.tree, *kernel_, ex, opt);
-  out.makespan = engine.execute(sorted_q, sorted_phi);
-
-  out.potentials.assign(sorted_phi.size(), 0.0);
-  for (std::size_t i = 0; i < sorted_phi.size(); ++i) {
-    out.potentials[p.tree.target.original_index()[i]] = sorted_phi[i];
-  }
-  out.bytes_sent = ex.bytes_sent();
-  out.parcels_sent = ex.parcels_sent();
-  out.wire_bytes = engine.wire_bytes();
-  // Per-rank form of the transport identity: this rank serialized
-  // exactly the bytes it handed to the socket layer.
-  AMTFMM_ASSERT(out.wire_bytes == out.bytes_sent);
-  out.comm = ex.comm_stats();
-  if (cfg_.trace) {
-    out.trace = ex.trace().collect();
-    out.comm_trace = ex.trace().collect_comm();
-    out.instants = ex.trace().collect_instants();
-    out.dag_edges = flatten_edges(p.dag);
-  }
-  if (cfg_.counters) out.counters = ex.counters().snapshot();
-  return out;
+  // One epoch on a borrowed mesh.  The pipeline's baseline snapshots make
+  // the per-rank transport identity hold even when the same connections
+  // already carried a previous evaluation.
+  EvalPipeline pipeline(*kernel_, cfg_, sources, targets, ex);
+  return pipeline.evaluate(charges);
 }
 
 SimResult Evaluator::simulate(std::span<const Vec3> sources,
                               std::span<const Vec3> targets,
                               const SimConfig& sim) {
   SimResult out;
-  const Prepared p = make_prepared(sources, targets, sim.localities);
+  const PreparedModel p =
+      build_model(*kernel_, cfg_, sources, targets, sim.localities);
   out.dag = p.dag.stats();
   out.total_cores = sim.localities * sim.cores_per_locality;
 
@@ -206,7 +82,7 @@ SimResult Evaluator::simulate(std::span<const Vec3> sources,
     out.trace = ex.trace().collect();
     out.comm_trace = ex.trace().collect_comm();
     out.instants = ex.trace().collect_instants();
-    out.dag_edges = flatten_edges(p.dag);
+    out.dag_edges = flatten_dag_edges(p.dag);
   }
   if (sim.counters) out.counters = ex.counters().snapshot();
   return out;

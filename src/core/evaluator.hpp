@@ -12,6 +12,8 @@ namespace net {
 class NetExecutor;
 }
 
+class EvalPipeline;
+
 /// User-facing configuration.  Everything here is a plain parameter — the
 /// DASHMM design point the paper emphasizes: the method, kernel, accuracy
 /// and data distribution vary freely while the parallelization underneath
@@ -111,9 +113,16 @@ class Evaluator {
   /// charges, so the tree/lists/DAG setup is built once and amortized.
   /// prepare() fixes the ensembles; evaluate_prepared() then runs one DAG
   /// evaluation per call, reusing every setup artifact.
+  /// Under the hood prepare() stands up a resident EvalPipeline, so every
+  /// evaluate_prepared() after the first re-arms the same GAS/LCO arena in
+  /// place (epoch reset) instead of re-instantiating it.
   void prepare(std::span<const Vec3> sources, std::span<const Vec3> targets);
   EvalResult evaluate_prepared(std::span<const double> charges);
-  bool prepared() const { return prepared_ != nullptr; }
+  bool prepared() const { return pipeline_ != nullptr; }
+
+  /// The resident pipeline behind prepare(), for epoch statistics and
+  /// incremental updates (null before prepare()).
+  EvalPipeline* pipeline() { return pipeline_.get(); }
 
   SimResult simulate(std::span<const Vec3> sources,
                      std::span<const Vec3> targets, const SimConfig& sim);
@@ -138,19 +147,9 @@ class Evaluator {
   const EvalConfig& config() const { return cfg_; }
 
  private:
-  struct Prepared {
-    DualTree tree;
-    InteractionLists lists;
-    Dag dag;
-  };
-  Prepared make_prepared(std::span<const Vec3> sources,
-                         std::span<const Vec3> targets, int localities);
-  EvalResult run_prepared(const Prepared& p, std::span<const double> charges);
-
   std::unique_ptr<Kernel> kernel_;
   EvalConfig cfg_;
-  std::unique_ptr<Prepared> prepared_;
-  double prepared_setup_time_ = 0.0;
+  std::unique_ptr<EvalPipeline> pipeline_;
 };
 
 /// Reference O(N^2) summation (chunked over the executor's workers); the

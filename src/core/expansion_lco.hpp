@@ -114,6 +114,15 @@ class ExpansionLCO final : public LCO {
     }
   }
 
+  /// Epoch reset: re-arms the trigger-once countdown to `inputs` and drops
+  /// the previous epoch's accumulators and reader counts.  Same quiescence
+  /// contract as LCO::rearm — only between drained evaluations.
+  void reset(int inputs) {
+    rearm(inputs);
+    payload_.release();
+    consumers_.store(0, std::memory_order_relaxed);
+  }
+
  protected:
   void reduce(std::span<const std::byte> data) override;
   void on_fire() override;

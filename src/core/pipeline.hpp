@@ -1,0 +1,163 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/evaluator.hpp"
+
+namespace amtfmm {
+
+namespace net {
+class NetExecutor;
+}
+
+/// The setup artifacts of one geometry: dual tree, interaction lists, and
+/// the explicit DAG.  Deterministic from the inputs and the configuration
+/// alone (the SPMD agreement distributed ranks rely on).
+struct PreparedModel {
+  DualTree tree;
+  InteractionLists lists;
+  Dag dag;
+};
+
+/// Builds the model for one geometry: tree, kernel tables, lists, DAG.
+PreparedModel build_model(Kernel& kernel, const EvalConfig& cfg,
+                          std::span<const Vec3> sources,
+                          std::span<const Vec3> targets, int localities);
+
+/// One independent target-query set of a batched evaluation: indices into
+/// the pipeline's target ensemble (original caller order).
+struct EvalRequest {
+  std::vector<std::uint32_t> targets;
+};
+
+/// A batched evaluation: the combined single-traversal result plus the
+/// per-request demux (request r's potentials in its own index order).
+struct BatchEvalResult {
+  EvalResult combined;
+  std::vector<std::vector<double>> per_request;
+};
+
+/// One incremental geometry update: point relocations, removals (sorted
+/// unique original indices, vector-erase renumbering), and insertions
+/// (appended after the survivors).
+struct PipelineUpdate {
+  std::vector<PointMove> moves;
+  std::vector<std::uint32_t> erased;
+  std::vector<Vec3> inserted;
+};
+
+/// What an update did: patched in place (dirty leaves re-sorted, DAG
+/// metrics refreshed, LCO arena kept) or fell back to a full rebuild.
+struct PipelineUpdateStats {
+  bool rebuilt = false;
+  std::size_t dirty_leaves = 0;
+};
+
+/// FMM-as-a-service: the resident, reusable evaluation pipeline.  Where
+/// Evaluator::evaluate lives one shot — build tree, allocate the GAS/LCO
+/// arena, evaluate, tear everything down — the pipeline keeps every layer
+/// alive across epochs:
+///
+///  - the executor (worker pool or socket mesh) stays up; per-epoch
+///    transport statistics are deltas against a baseline snapshot, so the
+///    wire_bytes == bytes_sent identity holds per epoch on a shared
+///    executor,
+///  - the DagEngine is resident: epoch 1 instantiates the GAS arena, every
+///    later epoch re-arms the same LCOs in place and replays the leaf
+///    seeds — zero GAS/LCO allocations in steady state,
+///  - geometry changes go through update_sources/update_targets, which
+///    re-sort only the dirty leaves and refresh the count-dependent DAG
+///    annotations; a structure change falls back to a full rebuild,
+///  - independent target-query sets ride one traversal via evaluate_batch
+///    with per-request demux.
+///
+/// With a NetExecutor every rank runs the identical pipeline (SPMD): same
+/// updates, same epochs, in the same order.
+class EvalPipeline {
+ public:
+  /// Resident in-process pipeline owning a ThreadExecutor.
+  EvalPipeline(Kernel& kernel, const EvalConfig& cfg,
+               std::span<const Vec3> sources, std::span<const Vec3> targets);
+  /// Resident multi-process pipeline over a borrowed socket executor (one
+  /// SPMD rank).  Potentials are this rank's partial result, exactly as in
+  /// Evaluator::evaluate_distributed.
+  EvalPipeline(Kernel& kernel, const EvalConfig& cfg,
+               std::span<const Vec3> sources, std::span<const Vec3> targets,
+               net::NetExecutor& ex);
+  ~EvalPipeline();
+
+  EvalPipeline(const EvalPipeline&) = delete;
+  EvalPipeline& operator=(const EvalPipeline&) = delete;
+
+  /// One epoch: evaluates the resident DAG for `charges` (original order,
+  /// one per source).  Trace buffers accumulate across epochs when tracing
+  /// is on (export once with epoch metadata); all transport statistics in
+  /// the result are this epoch's deltas.
+  EvalResult evaluate(std::span<const double> charges);
+
+  /// One epoch carrying many independent target-query sets: a single
+  /// traversal computes all potentials, then each request's slice is
+  /// demuxed out in its own index order.
+  BatchEvalResult evaluate_batch(std::span<const double> charges,
+                                 std::span<const EvalRequest> requests);
+
+  /// Applies a geometry update to the source/target ensemble.  Prefers the
+  /// structure-preserving incremental path (dirty-leaf re-sort + DAG
+  /// metric refresh, LCO arena untouched); rebuilds everything when the
+  /// tree structure would change.  Source indices in later `charges` spans
+  /// follow the update's vector-erase-then-append renumbering.
+  PipelineUpdateStats update_sources(const PipelineUpdate& u);
+  PipelineUpdateStats update_targets(const PipelineUpdate& u);
+
+  std::size_t num_sources() const { return src_pts_.size(); }
+  std::size_t num_targets() const { return tgt_pts_.size(); }
+  const PreparedModel& model() const { return model_; }
+  Executor& executor() { return *ex_; }
+
+  /// Completed epochs on the current resident engine (resets on rebuild).
+  std::uint64_t epochs() const;
+  /// Tree + lists + DAG construction seconds (last build or rebuild).
+  double setup_seconds() const { return setup_seconds_; }
+  /// Seconds spent re-arming the resident arena before the last epoch.
+  double last_reset_seconds() const;
+  /// GAS allocations during the last epoch (0 in steady state).
+  std::uint64_t gas_allocs_last_epoch() const;
+  /// Resident GAS objects on one locality.
+  std::size_t gas_objects_on(std::uint32_t locality) const;
+  /// Full rebuilds forced by structure-changing updates.
+  std::uint64_t rebuilds() const { return rebuilds_; }
+  /// Executor-clock start time of each epoch (for multi-epoch trace
+  /// exports: ChromeTraceOptions::epochs).
+  const std::vector<double>& epoch_start_times() const {
+    return epoch_starts_;
+  }
+
+ private:
+  void build(std::span<const Vec3> sources, std::span<const Vec3> targets);
+  void rebuild();
+  PipelineUpdateStats apply_update(bool source_side, const PipelineUpdate& u);
+  void snapshot_baseline();
+
+  Kernel& kernel_;
+  EvalConfig cfg_;
+  std::vector<Vec3> src_pts_;  ///< original caller order
+  std::vector<Vec3> tgt_pts_;
+  PreparedModel model_;
+  std::unique_ptr<ThreadExecutor> owned_ex_;
+  Executor* ex_ = nullptr;
+  std::unique_ptr<DagEngine> engine_;
+  std::vector<double> sorted_q_;  ///< reused per-epoch staging
+  std::vector<double> sorted_phi_;
+  double setup_seconds_ = 0.0;
+  std::uint64_t rebuilds_ = 0;
+  std::vector<double> epoch_starts_;
+  /// Per-epoch transport baselines (the executor's counters are
+  /// cumulative; the engine's wire count is per-execute).
+  std::uint64_t bytes_base_ = 0;
+  std::uint64_t parcels_base_ = 0;
+  CommStats comm_base_;
+};
+
+}  // namespace amtfmm

@@ -82,6 +82,8 @@ const char* sync_kind_name(SyncKind k) {
       return "lco-input";
     case SyncKind::kLcoFire:
       return "lco-fire";
+    case SyncKind::kLcoRearm:
+      return "lco-rearm";
     case SyncKind::kLcoContinuation:
       return "lco-continuation";
     case SyncKind::kBatchEnqueue:
@@ -479,6 +481,12 @@ void Harness::pre(SyncKind k, const void* addr, std::memory_order mo,
         fail_now("LCO " + label_of(addr) +
                  " fired twice (trigger-once protocol violation)");
       }
+      break;
+    case SyncKind::kLcoRearm:
+      // Epoch boundary: the re-armed LCO may legally fire once more.  A
+      // fire that lands between the re-arm and the next epoch's final
+      // input still counts against the new epoch's budget of one.
+      fires_[addr] = 0;
       break;
     case SyncKind::kBatchEnqueue:
       buffered_[addr] += static_cast<std::int64_t>(info);

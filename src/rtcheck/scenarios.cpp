@@ -583,6 +583,129 @@ Scenario selfcheck_deadlock() {
   return s;
 }
 
+Scenario serve_lco_reset_epoch() {
+  Scenario s;
+  s.name = "serve.lco_reset_epoch";
+  s.summary =
+      "two threads race the final inputs of epoch 1, then the boundary "
+      "re-arms the LCO and delivers epoch 2 — verifies rearm() resets the "
+      "trigger-once state without tripping the double-fire detector";
+  s.make = [](ScenarioContext& ctx) {
+    struct St {
+      ModelExecutor ex;
+      ProbeLco lco{ex, 2};
+      int continuation_runs = 0;
+    };
+    auto st = std::make_shared<St>();
+    ctx.label(&st->lco, "lco");
+    st->lco.register_continuation(make_task([st] { ++st->continuation_runs; }));
+    ScenarioRun run;
+    for (int t = 0; t < 2; ++t) {
+      run.bodies.push_back([st] { st->lco.add(1); });
+    }
+    run.finish = [st, &ctx] {
+      st->ex.drain();
+      ctx.check(st->lco.triggered(), "epoch 1 did not trigger");
+      ctx.check(st->lco.total() == 2, "an epoch-1 reduction was lost");
+      // Epoch boundary: the transport is drained (bodies joined), so the
+      // re-arm is legal; the detector's budget resets to one fire.
+      st->lco.rearm(2);
+      ctx.check(!st->lco.triggered(), "rearm left the LCO triggered");
+      st->lco.add(1);
+      st->lco.add(1);
+      st->ex.drain();
+      ctx.check(st->lco.triggered(), "epoch 2 did not trigger");
+      ctx.check(st->lco.total() == 4, "an epoch-2 reduction was lost");
+      ctx.check(st->continuation_runs == 1,
+                "epoch-1 continuation ran " +
+                    std::to_string(st->continuation_runs) + " times");
+    };
+    return run;
+  };
+  return s;
+}
+
+Scenario serve_reset_vs_late_input() {
+  Scenario s;
+  s.name = "serve.reset_vs_late_input";
+  s.summary =
+      "an epoch re-arm races a straggler fire from the previous epoch "
+      "(modeled as raw sync events: set_input on real LCOs aborts) — the "
+      "detector must reach a schedule where the late fire lands after the "
+      "re-arm and charge it to the new epoch's once-only budget";
+  s.expect_fail = true;
+  s.make = [](ScenarioContext& ctx) {
+    auto st = std::make_shared<int>(0);
+    ctx.label(st.get(), "resident-lco");
+    ScenarioRun run;
+    // Epoch 1's fire, possibly late: a boundary that does NOT wait for
+    // quiescence lets this land after the re-arm.
+    run.bodies.push_back([st] { sync_event(SyncKind::kLcoFire, st.get(), 0); });
+    // The boundary re-arms and epoch 2 runs to completion (its own fire).
+    run.bodies.push_back([st] {
+      sync_event(SyncKind::kLcoRearm, st.get(), 1);
+      sync_event(SyncKind::kLcoFire, st.get(), 0);
+    });
+    return run;
+  };
+  return s;
+}
+
+Scenario serve_epoch_quiescence() {
+  Scenario s;
+  s.name = "serve.epoch_quiescence";
+  s.summary =
+      "a quiescence-gated epoch boundary (flush the coalescer, then re-arm) "
+      "races a producer and the epoch-1 fire — randomized exploration that "
+      "the drained-then-rearm protocol never loses parcels or double-fires";
+  s.dfs_feasible = false;
+  s.make = [](ScenarioContext& ctx) {
+    struct St {
+      ModelExecutor ex;
+      ParcelCoalescer co{2, coalesce_cfg()};
+      ProbeLco lco{ex, 1};
+      std::size_t flushed = 0;
+      bool rearmed = false;
+    };
+    auto st = std::make_shared<St>();
+    ctx.label(&st->co, "coalescer");
+    ctx.label(&st->lco, "lco");
+    ScenarioRun run;
+    run.bodies.push_back([st] { st->lco.add(1); });  // epoch-1 final input
+    run.bodies.push_back([st] {                      // epoch-1 parcel traffic
+      st->co.enqueue(0, 1, 16, Task{}, 0.0);
+      st->co.enqueue(0, 1, 16, Task{}, 0.0);
+    });
+    run.bodies.push_back([st] {  // boundary: only past a quiescent transport
+      if (!st->lco.triggered()) return;  // epoch 1 still running
+      if (st->co.pending_from(0)) {
+        for (auto& b : st->co.take_all_from(0)) {
+          st->flushed += b.tasks.size();
+        }
+      }
+      st->lco.rearm(1);
+      st->rearmed = true;
+    });
+    run.finish = [st, &ctx] {
+      st->ex.drain();
+      std::size_t total = st->flushed;
+      for (auto& b : st->co.take_all()) total += b.tasks.size();
+      ctx.check(total == 2, "parcels lost across the epoch boundary");
+      if (st->rearmed) {
+        st->lco.add(1);  // epoch 2 on the re-armed LCO
+        st->ex.drain();
+        ctx.check(st->lco.triggered(), "epoch 2 did not trigger");
+        ctx.check(st->lco.total() == 2, "an epoch-2 reduction was lost");
+      } else {
+        ctx.check(st->lco.triggered() && st->lco.total() == 1,
+                  "epoch 1 lost its reduction");
+      }
+    };
+    return run;
+  };
+  return s;
+}
+
 }  // namespace
 
 const std::vector<Scenario>& all_scenarios() {
@@ -598,6 +721,9 @@ const std::vector<Scenario>& all_scenarios() {
       gas_alloc_resolve(),
       gas_concurrent_alloc(),
       counters_snapshot_consistency(),
+      serve_lco_reset_epoch(),
+      serve_reset_vs_late_input(),
+      serve_epoch_quiescence(),
       selfcheck_double_fire(),
       selfcheck_plain_race(),
       selfcheck_deadlock(),

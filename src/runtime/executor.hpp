@@ -135,6 +135,13 @@ class Executor {
   virtual void register_net_handler(std::uint8_t /*kind*/, NetHandler /*h*/) {
   }
 
+  /// Removes a kind's handler.  A receiver whose parcels outlive their
+  /// producer (e.g. a new evaluation starting on a still-connected mesh)
+  /// must unregister on teardown: arrivals for the kind then block in the
+  /// late-registration wait instead of running a handler whose captured
+  /// state is gone.  Only meaningful on socket localities.
+  virtual void unregister_net_handler(std::uint8_t /*kind*/) {}
+
   /// Enqueues a task at task.locality.
   virtual void spawn(Task t) = 0;
 

@@ -80,6 +80,7 @@ class Gas {
     // size also observes the object (release/acquire on size).
     hooked_store(h.size, slot + 1, std::memory_order_release);
     sync_event(SyncKind::kGasAlloc, &h, slot);
+    allocs_.fetch_add(1, std::memory_order_relaxed);
     return GlobalAddress{locality, slot};
   }
 
@@ -109,6 +110,13 @@ class Gas {
   std::size_t objects_on(std::uint32_t locality) const {
     AMTFMM_ASSERT(locality < heaps_.size());
     return heaps_[locality]->size.load(std::memory_order_acquire);
+  }
+
+  /// Cumulative allocation count since construction; reset() does NOT clear
+  /// it.  Steady-state epochs assert zero new allocations by differencing
+  /// this counter across the epoch boundary.
+  std::uint64_t total_allocs() const {
+    return allocs_.load(std::memory_order_relaxed);
   }
 
   /// Destroys every object and empties all heaps.  Not thread safe: the
@@ -145,6 +153,7 @@ class Gas {
   };
 
   std::vector<std::unique_ptr<Heap>> heaps_;
+  std::atomic<std::uint64_t> allocs_{0};
 };
 
 }  // namespace amtfmm

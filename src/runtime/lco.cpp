@@ -63,6 +63,20 @@ void LCO::fire() {
   for (auto& t : to_run) ex_.spawn(std::move(t));
 }
 
+void LCO::rearm(int inputs_needed) {
+  std::lock_guard lk(mu_);
+  // The epoch boundary is a synchronization point: announce it before the
+  // state flips so rtcheck orders the re-arm after the previous fire and
+  // resets its trigger-once detector for this object.
+  sync_event(SyncKind::kLcoRearm, this, static_cast<std::uint64_t>(
+                                            inputs_needed < 0 ? 0
+                                                              : inputs_needed));
+  hooked_store(remaining_, inputs_needed, std::memory_order_release);
+  hooked_store(triggered_, inputs_needed == 0, std::memory_order_release);
+  sync_plain_write(&first_input_t_);
+  first_input_t_ = -1.0;
+}
+
 void LCO::register_continuation(Task t) {
   {
     std::lock_guard lk(mu_);

@@ -44,6 +44,15 @@ class LCO {
   /// only; in sim mode drain the executor instead.
   void wait();
 
+  /// Re-arms the trigger-once state for a new epoch: resets the countdown
+  /// to `inputs_needed` and clears the trigger (set immediately when
+  /// `inputs_needed == 0`, mirroring the constructor).  NOT thread safe
+  /// with respect to set_input/fire: like Gas::reset(), the caller must
+  /// guarantee quiescence (executor drained, no in-flight inputs).  Under
+  /// rtcheck the kLcoRearm event resets the double-fire detector, so a
+  /// re-armed LCO may legally fire once more.
+  void rearm(int inputs_needed);
+
  protected:
   /// Reduction of one input into the LCO's data; called under the LCO lock.
   virtual void reduce(std::span<const std::byte> data) = 0;

@@ -19,7 +19,9 @@ namespace amtfmm {
 /// DESIGN.md "Observability"): `sched.*` scheduler behaviour, `coalesce.*`
 /// the parcel coalescing layer, `lco.*` dataflow synchronization, `gas.*`
 /// global-address-space occupancy, `op.<name>.tasks` per-operator task
-/// counts filled by the DAG engine.
+/// counts filled by the DAG engine, `serve.*` the resident-pipeline epoch
+/// lifecycle (re-evaluations, reset latency, incremental-update churn,
+/// request-batch high-water).
 struct RuntimeCounterIds {
   CounterRegistry::Id steal_attempts = 0;
   CounterRegistry::Id steal_success = 0;
@@ -35,6 +37,10 @@ struct RuntimeCounterIds {
   CounterRegistry::Id flush_quiescence = 0;
   CounterRegistry::Id gas_objects_hw = 0;       ///< gauge
   CounterRegistry::Id lco_input_wait_us = 0;    ///< histogram
+  CounterRegistry::Id serve_epochs = 0;         ///< resident re-evaluations
+  CounterRegistry::Id serve_reset_us = 0;       ///< histogram: epoch reset
+  CounterRegistry::Id serve_dirty_leaves = 0;   ///< incremental-update leaves
+  CounterRegistry::Id serve_batch_size_hw = 0;  ///< gauge: request batch size
   std::array<CounterRegistry::Id, kNumOperators> op_tasks{};
 };
 
@@ -76,6 +82,10 @@ class LocalityRuntime {
     ids_.flush_quiescence = metrics_.counter("coalesce.flush_quiescence");
     ids_.gas_objects_hw = metrics_.gauge("gas.objects_hw");
     ids_.lco_input_wait_us = metrics_.histogram("lco.input_wait_us");
+    ids_.serve_epochs = metrics_.counter("serve.epochs");
+    ids_.serve_reset_us = metrics_.histogram("serve.reset_us");
+    ids_.serve_dirty_leaves = metrics_.counter("serve.dirty_leaves");
+    ids_.serve_batch_size_hw = metrics_.gauge("serve.batch_size_hw");
     for (int op = 0; op < kNumOperators; ++op) {
       ids_.op_tasks[static_cast<std::size_t>(op)] = metrics_.counter(
           std::string("op.") + to_string(static_cast<Operator>(op)) +

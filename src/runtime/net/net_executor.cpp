@@ -92,6 +92,11 @@ void NetExecutor::register_net_handler(std::uint8_t kind, NetHandler h) {
   handlers_cv_.notify_all();
 }
 
+void NetExecutor::unregister_net_handler(std::uint8_t kind) {
+  std::lock_guard<std::mutex> lk(handlers_mu_);
+  handlers_[kind] = nullptr;
+}
+
 Executor::NetHandler NetExecutor::wait_handler(std::uint8_t kind) {
   std::unique_lock<std::mutex> lk(handlers_mu_);
   if (!handlers_[kind]) {
@@ -463,7 +468,17 @@ double NetExecutor::drain() {
   {
     std::lock_guard<std::mutex> lk(mu_);
     ++drains_done_;
-    prev_round_valid_ = false;  // re-arm for the next drain epoch
+    // Re-arm the probe protocol for the next drain epoch on the same
+    // mesh: the stable-cut comparison restarts from scratch (two fresh
+    // agreeing rounds) and stale per-rank acks are dropped.  A pending
+    // probe is deliberately NOT cleared: on a resident mesh the
+    // coordinator can enter the next drain and broadcast its first probe
+    // while this follower is still in this epilogue (kTerminate and that
+    // probe arrive back to back), and the coordinator never re-probes a
+    // round — swallowing it here deadlocks the next drain.  Answering it
+    // from the next follower_wait is safe: acks are matched by round
+    // number, and the cumulative counter cut is read at answer time.
+    prev_round_valid_ = false;
     for (auto& a : acks_) a.reset();
   }
   fold_net_counters();

@@ -59,6 +59,7 @@ class NetExecutor final : public Executor {
     return loc == cfg_.rank;
   }
   void register_net_handler(std::uint8_t kind, NetHandler h) override;
+  void unregister_net_handler(std::uint8_t kind) override;
   void spawn(Task t) override;
   void send(std::uint32_t from, std::uint32_t to, std::size_t bytes,
             Task t) override;

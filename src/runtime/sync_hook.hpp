@@ -23,6 +23,7 @@ enum class SyncKind : std::uint8_t {
   kPlainWrite,  ///< non-atomic shared write (happens-before checked)
   kLcoInput,    ///< LCO::set_input applied one input
   kLcoFire,     ///< LCO fired (must be at most once per object)
+  kLcoRearm,    ///< LCO re-armed for a new epoch (resets trigger-once)
   kLcoContinuation,  ///< continuation registered or late-spawned
   kBatchEnqueue,     ///< parcel appended to a coalescing buffer
   kBatchFlush,       ///< parcels drained from a coalescing buffer

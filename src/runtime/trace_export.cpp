@@ -191,6 +191,12 @@ bool trace_export_chrome(const std::string& path,
   w.kv("makespan", opt.makespan);
   w.kv("localities", localities);
   w.kv("cores_per_locality", cores);
+  if (!opt.epochs.empty()) {
+    w.key("epochs");
+    w.begin_array();
+    for (const double t : opt.epochs) w.value(t);
+    w.end_array();
+  }
   w.key("edges");
   w.begin_array();
   for (const std::uint32_t v : opt.dag_edges) w.value(v);

@@ -15,9 +15,17 @@ namespace amtfmm {
 /// Perfetto and chrome://tracing ignore unknown top-level keys.
 struct ChromeTraceOptions {
   int cores_per_locality = 1;
-  double makespan = 0.0;  ///< seconds; echoed into the "amtfmm" metadata
-  bool sim = false;       ///< virtual-time (DES) run vs wall-clock run
+  /// Seconds; echoed into the "amtfmm" metadata.  For a multi-epoch trace
+  /// this is the LARGEST per-epoch makespan (each epoch's critical path is
+  /// checked against it independently).
+  double makespan = 0.0;
+  bool sim = false;  ///< virtual-time (DES) run vs wall-clock run
   std::span<const std::uint32_t> dag_edges;
+  /// Executor-clock start time of each epoch for a resident-pipeline trace
+  /// (EvalPipeline::epoch_start_times()).  Empty = single-epoch trace; the
+  /// analyzer then behaves exactly as before.  When present, the analyzer
+  /// buckets span weights by epoch and reports a per-epoch critical path.
+  std::span<const double> epochs;
   const CounterSnapshot* counters = nullptr;  ///< optional snapshot echo
 };
 

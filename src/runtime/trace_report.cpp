@@ -161,6 +161,16 @@ TraceReport analyze_trace_file(const std::string& path) {
     }
   }
   r.dag_edges = flat.size() / 2;
+  if (const JsonValue* eps = meta->find("epochs");
+      eps != nullptr && eps->is_array()) {
+    for (const JsonValue& v : eps->array) {
+      if (!v.is_number()) return fail("non-numeric epoch start");
+      r.epoch_starts.push_back(v.number);
+    }
+    if (!std::is_sorted(r.epoch_starts.begin(), r.epoch_starts.end())) {
+      return fail("epoch starts not sorted");
+    }
+  }
   if (const JsonValue* ctr = meta->find("counters"); ctr != nullptr) {
     r.counters = parse_counters(*ctr);
   }
@@ -170,7 +180,21 @@ TraceReport analyze_trace_file(const std::string& path) {
     return fail("missing traceEvents array");
   }
 
-  std::vector<double> edge_weight(r.dag_edges, 0.0);
+  // One weight vector per epoch: the resident pipeline re-traverses the
+  // same DAG each epoch, so each epoch is pathed independently (summing
+  // a span's weight into a single pot would fabricate a chain longer than
+  // any one evaluation).
+  const std::size_t num_epochs = std::max<std::size_t>(r.epoch_starts.size(), 1);
+  auto epoch_of = [&](double t0) -> std::size_t {
+    if (r.epoch_starts.size() <= 1) return 0;
+    const auto it = std::upper_bound(r.epoch_starts.begin(),
+                                     r.epoch_starts.end(), t0 + 1e-12);
+    return it == r.epoch_starts.begin()
+               ? 0
+               : static_cast<std::size_t>(it - r.epoch_starts.begin()) - 1;
+  };
+  std::vector<std::vector<double>> edge_weight(
+      num_epochs, std::vector<double>(r.dag_edges, 0.0));
   std::vector<double> worker_busy(static_cast<std::size_t>(r.workers), 0.0);
   std::map<std::uint64_t, std::pair<int, int>> flows;  // id -> (#s, #f)
   double last_ts = -1e300;
@@ -220,8 +244,8 @@ TraceReport analyze_trace_file(const std::string& path) {
         const double edge = args->num_or("edge", -1.0);
         if (edge >= 0.0) {
           const auto e = static_cast<std::size_t>(edge);
-          if (e >= edge_weight.size()) return fail("span edge id out of range");
-          edge_weight[e] += dur;
+          if (e >= r.dag_edges) return fail("span edge id out of range");
+          edge_weight[epoch_of(t0)][e] += dur;
         }
       }
     } else if (ph == "i") {
@@ -253,10 +277,16 @@ TraceReport analyze_trace_file(const std::string& path) {
     }
   }
 
-  const auto [cp, cp_edges] = critical_path(flat, edge_weight);
-  if (cp < 0.0) return fail("embedded edge list contains a cycle");
-  r.critical_path_seconds = cp;
-  r.critical_path_edges = cp_edges;
+  r.epoch_critical_path_seconds.reserve(num_epochs);
+  for (std::size_t ep = 0; ep < num_epochs; ++ep) {
+    const auto [cp, cp_edges] = critical_path(flat, edge_weight[ep]);
+    if (cp < 0.0) return fail("embedded edge list contains a cycle");
+    r.epoch_critical_path_seconds.push_back(cp);
+    if (cp >= r.critical_path_seconds) {
+      r.critical_path_seconds = cp;
+      r.critical_path_edges = cp_edges;
+    }
+  }
 
   // Internal consistency: concurrency cannot exceed the worker count, and
   // a dependency chain cannot finish after the sim makespan (virtual time
@@ -309,6 +339,12 @@ std::string report_json(const TraceReport& r) {
   w.kv("seconds", r.critical_path_seconds);
   w.kv("edges", r.critical_path_edges);
   w.kv("dag_edges", r.dag_edges);
+  w.kv("epochs", static_cast<std::uint64_t>(
+                     std::max<std::size_t>(r.epoch_starts.size(), 1)));
+  w.key("per_epoch_seconds");
+  w.begin_array();
+  for (const double s : r.epoch_critical_path_seconds) w.value(s);
+  w.end_array();
   w.end_object();
   w.key("instants");
   w.begin_object();

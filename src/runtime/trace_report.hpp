@@ -42,8 +42,22 @@ struct TraceReport {
   /// Busy fraction of [t_min, t_max] per worker, indexed locality-major.
   std::vector<double> worker_utilization;
 
+  /// Epoch start times from the "amtfmm" metadata (resident-pipeline
+  /// traces accumulate spans across epochs).  Empty for single-epoch
+  /// traces from one-shot runs.
+  std::vector<double> epoch_starts;
+  /// Weighted critical path per epoch: span weights are bucketed into the
+  /// epoch whose [start, next-start) window contains their t0, and each
+  /// epoch's DAG is pathed independently (the resident DAG is re-armed, so
+  /// every epoch traverses the same edges).  Single-epoch traces get one
+  /// entry.
+  std::vector<double> epoch_critical_path_seconds;
+
   /// Weighted critical path through the embedded DAG: each edge weighs the
-  /// summed duration of the spans attributed to it (args.edge).
+  /// summed duration of the spans attributed to it (args.edge).  For a
+  /// multi-epoch trace this is the LARGEST per-epoch critical path — the
+  /// quantity bounded by the metadata makespan, where summing across
+  /// epochs would not be.
   double critical_path_seconds = 0.0;
   std::uint64_t critical_path_edges = 0;
   std::uint64_t dag_edges = 0;  ///< edges embedded in the trace

@@ -25,6 +25,7 @@ Tree Tree::build(std::span<const Vec3> points, const Cube& domain,
   Tree t;
   t.domain_ = domain;
   t.num_localities_ = static_cast<std::uint32_t>(num_localities);
+  t.threshold_ = threshold;
 
   const std::size_t n = points.size();
   std::vector<std::uint64_t> keys(n);
@@ -36,7 +37,8 @@ Tree Tree::build(std::span<const Vec3> points, const Cube& domain,
             [&](std::uint32_t a, std::uint32_t b) { return keys[a] < keys[b]; });
 
   t.sorted_.resize(n);
-  std::vector<std::uint64_t> skeys(n);
+  t.skeys_.resize(n);
+  std::vector<std::uint64_t>& skeys = t.skeys_;
   for (std::size_t i = 0; i < n; ++i) {
     t.sorted_[i] = points[t.perm_[i]];
     skeys[i] = keys[t.perm_[i]];
@@ -108,6 +110,195 @@ Tree Tree::build(std::span<const Vec3> points, const Cube& domain,
     b.locality = t.point_locality(b.count == 0 ? b.first : median);
   }
   return t;
+}
+
+std::optional<TreeUpdateStats> Tree::update(
+    std::span<const PointMove> moves, std::span<const std::uint32_t> erased,
+    std::span<const Vec3> inserted) {
+  TreeUpdateStats stats;
+  if (moves.empty() && erased.empty() && inserted.empty()) {
+    return stats;  // empty dirty set: nothing to re-sort, structure intact
+  }
+  const std::uint32_t n = static_cast<std::uint32_t>(sorted_.size());
+  for (std::size_t i = 0; i < erased.size(); ++i) {
+    AMTFMM_ASSERT(erased[i] < n);
+    AMTFMM_ASSERT_MSG(i == 0 || erased[i - 1] < erased[i],
+                      "erased indices must be sorted and unique");
+  }
+
+  std::vector<std::uint32_t> slot_of(n);
+  for (std::uint32_t i = 0; i < n; ++i) slot_of[perm_[i]] = i;
+
+  // Leaf covering every slot (leaf ranges partition the sorted order).
+  std::vector<BoxIndex> leaf_of(n);
+  for (BoxIndex bi = 0; bi < boxes_.size(); ++bi) {
+    const TreeBox& b = boxes_[bi];
+    if (!b.is_leaf()) continue;
+    for (std::uint32_t s = b.first; s < b.first + b.count; ++s) {
+      leaf_of[s] = bi;
+    }
+  }
+
+  // Root descent by octant; kNoBox when the path enters a pruned (empty)
+  // region — a fresh build would create boxes there.
+  auto descend = [&](std::uint64_t key) -> BoxIndex {
+    BoxIndex bi = 0;
+    while (!boxes_[bi].is_leaf()) {
+      const int oct = octant_at(key, boxes_[bi].level + 1);
+      const BoxIndex ci = boxes_[bi].child[static_cast<std::size_t>(oct)];
+      if (ci == kNoBox) return kNoBox;
+      bi = ci;
+    }
+    return bi;
+  };
+
+  // Vector-erase renumbering of a surviving original index.
+  auto renumber = [&](std::uint32_t orig) {
+    const auto it = std::lower_bound(erased.begin(), erased.end(), orig);
+    return orig - static_cast<std::uint32_t>(it - erased.begin());
+  };
+
+  // Staging: nothing below mutates the tree until every feasibility check
+  // has passed, so a nullopt return leaves the tree untouched.
+  struct Arrival {
+    std::uint64_t key;
+    Vec3 pos;
+    std::uint32_t orig;  ///< post-renumbering original index
+  };
+  std::vector<bool> gone(n, false);  ///< slot erased or moved away
+  std::vector<std::vector<Arrival>> arrivals(boxes_.size());
+  std::vector<std::int64_t> delta(boxes_.size(), 0);
+  std::vector<bool> dirty(boxes_.size(), false);
+
+  for (std::uint32_t o : erased) {
+    const std::uint32_t s = slot_of[o];
+    gone[s] = true;
+    delta[leaf_of[s]] -= 1;
+    dirty[leaf_of[s]] = true;
+  }
+  stats.erased = erased.size();
+
+  for (const PointMove& m : moves) {
+    AMTFMM_ASSERT(m.index < n);
+    const std::uint32_t s = slot_of[m.index];
+    AMTFMM_ASSERT_MSG(!gone[s], "point moved twice or erased-and-moved");
+    if (!domain_.contains(m.position)) return std::nullopt;
+    const std::uint64_t key = morton_key(m.position, domain_);
+    const BoxIndex dst = descend(key);
+    if (dst == kNoBox) return std::nullopt;
+    gone[s] = true;
+    delta[leaf_of[s]] -= 1;
+    dirty[leaf_of[s]] = true;
+    arrivals[dst].push_back({key, m.position, renumber(m.index)});
+    delta[dst] += 1;
+    dirty[dst] = true;
+  }
+  stats.moved = moves.size();
+
+  const std::uint32_t base = n - static_cast<std::uint32_t>(erased.size());
+  for (std::size_t j = 0; j < inserted.size(); ++j) {
+    if (!domain_.contains(inserted[j])) return std::nullopt;
+    const std::uint64_t key = morton_key(inserted[j], domain_);
+    const BoxIndex dst = descend(key);
+    if (dst == kNoBox) return std::nullopt;
+    arrivals[dst].push_back(
+        {key, inserted[j], base + static_cast<std::uint32_t>(j)});
+    delta[dst] += 1;
+    dirty[dst] = true;
+  }
+  stats.inserted = inserted.size();
+
+  // Feasibility: the new counts must reproduce the classification a fresh
+  // build would make — refine iff count > threshold below the level cap,
+  // prune empty children.  Parents precede children in boxes_, so a
+  // reverse walk sums bottom-up.
+  std::vector<std::uint32_t> ncount(boxes_.size(), 0);
+  for (BoxIndex bi = static_cast<BoxIndex>(boxes_.size()); bi-- > 0;) {
+    const TreeBox& b = boxes_[bi];
+    if (b.is_leaf()) {
+      const std::int64_t c = static_cast<std::int64_t>(b.count) + delta[bi];
+      if (c <= 0) return std::nullopt;  // leaf would be pruned
+      if (c > threshold_ && b.level < kMaxLevel) return std::nullopt;
+      ncount[bi] = static_cast<std::uint32_t>(c);
+    } else {
+      std::uint64_t c = 0;
+      for (BoxIndex ci : b.child) {
+        if (ci != kNoBox) c += ncount[ci];
+      }
+      // An internal box at or below the threshold would be a leaf.
+      if (c <= static_cast<std::uint64_t>(threshold_)) return std::nullopt;
+      ncount[bi] = static_cast<std::uint32_t>(c);
+    }
+  }
+
+  // Commit.  Rebuild the sorted arrays leaf by leaf in `first` order so
+  // parent ranges stay contiguous and nested; within one leaf every key
+  // shares the leaf's Morton prefix, so a per-leaf sort by full key
+  // reproduces the global sorted order.
+  std::vector<BoxIndex> leaves;
+  for (BoxIndex bi = 0; bi < boxes_.size(); ++bi) {
+    if (boxes_[bi].is_leaf()) leaves.push_back(bi);
+  }
+  std::sort(leaves.begin(), leaves.end(), [&](BoxIndex a, BoxIndex b) {
+    return boxes_[a].first < boxes_[b].first;
+  });
+
+  const std::size_t n_new = base + inserted.size();
+  std::vector<Vec3> nsorted;
+  std::vector<std::uint64_t> nskeys;
+  std::vector<std::uint32_t> nperm;
+  nsorted.reserve(n_new);
+  nskeys.reserve(n_new);
+  nperm.reserve(n_new);
+
+  struct Entry {
+    std::uint64_t key;
+    Vec3 pos;
+    std::uint32_t orig;
+  };
+  std::vector<Entry> ents;
+  for (BoxIndex bi : leaves) {
+    TreeBox& b = boxes_[bi];
+    ents.clear();
+    for (std::uint32_t s = b.first; s < b.first + b.count; ++s) {
+      if (!gone[s]) ents.push_back({skeys_[s], sorted_[s], renumber(perm_[s])});
+    }
+    for (const Arrival& a : arrivals[bi]) {
+      ents.push_back({a.key, a.pos, a.orig});
+    }
+    if (dirty[bi]) {
+      ++stats.dirty_leaves;
+      std::sort(ents.begin(), ents.end(),
+                [](const Entry& x, const Entry& y) { return x.key < y.key; });
+    }
+    b.first = static_cast<std::uint32_t>(nsorted.size());
+    b.count = static_cast<std::uint32_t>(ents.size());
+    for (const Entry& e : ents) {
+      nsorted.push_back(e.pos);
+      nskeys.push_back(e.key);
+      nperm.push_back(e.orig);
+    }
+  }
+  AMTFMM_ASSERT(nsorted.size() == n_new);
+  sorted_ = std::move(nsorted);
+  skeys_ = std::move(nskeys);
+  perm_ = std::move(nperm);
+
+  // Internal ranges from the new leaf ranges, bottom-up.
+  for (BoxIndex bi = static_cast<BoxIndex>(boxes_.size()); bi-- > 0;) {
+    TreeBox& b = boxes_[bi];
+    if (b.is_leaf()) continue;
+    std::uint32_t first = std::numeric_limits<std::uint32_t>::max();
+    std::uint32_t count = 0;
+    for (BoxIndex ci : b.child) {
+      if (ci == kNoBox) continue;
+      first = std::min(first, boxes_[ci].first);
+      count += boxes_[ci].count;
+    }
+    b.first = first;
+    b.count = count;
+  }
+  return stats;
 }
 
 std::uint32_t Tree::point_locality(std::uint32_t sorted_i) const {

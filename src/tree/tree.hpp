@@ -3,6 +3,7 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -29,6 +30,21 @@ struct TreeBox {
   std::uint32_t locality = 0;  ///< owning locality (coarse Morton partition)
 
   bool is_leaf() const { return num_children == 0; }
+};
+
+/// One point relocation for Tree::update: the point's index in the caller's
+/// original array and its new position.
+struct PointMove {
+  std::uint32_t index = 0;
+  Vec3 position;
+};
+
+/// What an incremental Tree::update changed.
+struct TreeUpdateStats {
+  std::size_t dirty_leaves = 0;  ///< leaves whose point range was re-sorted
+  std::size_t moved = 0;
+  std::size_t inserted = 0;
+  std::size_t erased = 0;
 };
 
 /// Adaptive octree over one point ensemble (the paper's source or target
@@ -60,6 +76,30 @@ class Tree {
   /// original_index[i] = index in the caller's array of sorted point i.
   const std::vector<std::uint32_t>& original_index() const { return perm_; }
 
+  /// Morton key of sorted point i (stored for incremental updates).
+  const std::vector<std::uint64_t>& sorted_keys() const { return skeys_; }
+
+  /// Incrementally applies point updates while preserving the box
+  /// structure: moved and inserted points are routed to their leaf by key
+  /// descent, erased points are dropped, and only the affected (dirty)
+  /// leaves are re-sorted — clean leaf ranges are block-copied.  Original
+  /// indices follow vector-erase semantics: erasing index set E shifts
+  /// every surviving index o to o - |{e in E : e < o}|, and inserted
+  /// points are appended after the survivors.  `erased` must be sorted and
+  /// unique.
+  ///
+  /// Returns nullopt — with the tree untouched — whenever the update would
+  /// change the box structure a fresh build would produce: a leaf emptied
+  /// or pushed over the refinement threshold, an internal box falling to
+  /// the threshold, a point routed into a pruned (empty) region, or a new
+  /// position outside the fixed domain (a rebuild would recompute the
+  /// bounding cube).  Box localities are NOT reassigned: they stay on the
+  /// build-time partition, which keeps placement deterministic across
+  /// ranks.
+  std::optional<TreeUpdateStats> update(std::span<const PointMove> moves,
+                                        std::span<const std::uint32_t> erased,
+                                        std::span<const Vec3> inserted);
+
   /// Locality owning sorted point i (contiguous chunks).
   std::uint32_t point_locality(std::uint32_t sorted_i) const;
 
@@ -71,9 +111,11 @@ class Tree {
   Cube domain_;
   std::vector<TreeBox> boxes_;
   std::vector<Vec3> sorted_;
+  std::vector<std::uint64_t> skeys_;
   std::vector<std::uint32_t> perm_;
   std::uint32_t num_localities_ = 1;
   int max_level_ = 0;
+  int threshold_ = 1;
 };
 
 /// Source and target trees over a common domain: the paper's "dual tree".

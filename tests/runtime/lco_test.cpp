@@ -23,6 +23,57 @@ TEST(Lco, SumReductionAcrossTasks) {
   EXPECT_DOUBLE_EQ(sum.value(), 5050.0);
 }
 
+TEST(Lco, RearmRestartsTheTriggerOnceProtocol) {
+  ThreadExecutor ex(1, 2);
+  SumLCO sum(ex, 2);
+  sum.add(1.0);
+  sum.add(2.0);
+  ex.drain();
+  ASSERT_TRUE(sum.triggered());
+
+  // Quiescent re-arm: the countdown restarts and the trigger clears, so a
+  // second epoch of inputs fires the LCO once more.  Reduction state is
+  // the subclass's business and persists (ExpansionLCO::reset drops it).
+  sum.rearm(2);
+  EXPECT_FALSE(sum.triggered());
+  std::atomic<int> fired{0};
+  Task c;
+  c.fn = [&fired] { fired.fetch_add(1); };
+  sum.register_continuation(std::move(c));
+  sum.add(3.0);
+  ex.drain();
+  EXPECT_FALSE(sum.triggered());
+  EXPECT_EQ(fired.load(), 0);
+  sum.add(4.0);
+  ex.drain();
+  EXPECT_TRUE(sum.triggered());
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_DOUBLE_EQ(sum.value(), 10.0);
+
+  // Zero-input re-arm mirrors the constructor: triggered immediately.
+  sum.rearm(0);
+  EXPECT_TRUE(sum.triggered());
+}
+
+TEST(Lco, RearmCyclesMatchConstructionEachEpoch) {
+  ThreadExecutor ex(1, 2);
+  SumLCO sum(ex, 3);
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    if (epoch > 0) {
+      sum.rearm(3);
+      EXPECT_FALSE(sum.triggered());
+    }
+    for (int i = 0; i < 3; ++i) {
+      Task t;
+      t.fn = [&sum] { sum.add(1.0); };
+      ex.spawn(std::move(t));
+    }
+    ex.drain();
+    EXPECT_TRUE(sum.triggered()) << "epoch " << epoch;
+  }
+  EXPECT_DOUBLE_EQ(sum.value(), 15.0);
+}
+
 TEST(Lco, ContinuationRegisteredBeforeTriggerFiresOnce) {
   ThreadExecutor ex(1, 2);
   SumLCO sum(ex, 2);

@@ -7,7 +7,7 @@
 #include <string>
 #include <vector>
 
-#include "core/evaluator.hpp"
+#include "core/pipeline.hpp"
 #include "geom/distributions.hpp"
 #include "runtime/trace_export.hpp"
 #include "runtime/trace_report.hpp"
@@ -109,6 +109,79 @@ TEST(TraceExport, HandcraftedRoundTrip) {
   EXPECT_EQ(r.critical_path_edges, 1u);
   EXPECT_NEAR(r.critical_path_seconds, 1e-3, 1e-9);
   EXPECT_EQ(r.instant_counts[static_cast<int>(InstantKind::kSteal)], 1u);
+}
+
+TEST(TraceExport, MultiEpochCriticalPathIsPerEpoch) {
+  // Two resident epochs on the same 2-edge DAG: edge 0 carries a 1 ms span
+  // in epoch 0 and a 3 ms span in epoch 1.  Per-epoch pathing must keep
+  // the epochs apart (summing across epochs would report 4 ms, which no
+  // single evaluation ever spent).
+  const std::vector<TraceEvent> spans{
+      {0.0, 1e-3, 0, 1, 0},
+      {1.0, 1.003, 0, 1, 0},
+  };
+  const std::vector<double> epochs{0.0, 1.0};
+  ChromeTraceOptions opt;
+  opt.cores_per_locality = 1;
+  opt.makespan = 3e-3;
+  opt.sim = true;
+  const std::vector<std::uint32_t> edges{0, 1};
+  opt.dag_edges = edges;
+  opt.epochs = epochs;
+  const std::string path = tmp_path("multi_epoch_trace.json");
+  ASSERT_TRUE(trace_export_chrome(path, spans, {}, {}, opt));
+
+  const TraceReport r = analyze_trace_file(path);
+  ASSERT_TRUE(r.valid) << r.error;
+  ASSERT_EQ(r.epoch_starts.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.epoch_starts[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.epoch_starts[1], 1.0);
+  ASSERT_EQ(r.epoch_critical_path_seconds.size(), 2u);
+  EXPECT_NEAR(r.epoch_critical_path_seconds[0], 1e-3, 1e-9);
+  EXPECT_NEAR(r.epoch_critical_path_seconds[1], 3e-3, 1e-9);
+  // The headline number is the LARGEST epoch, bounded by the makespan.
+  EXPECT_NEAR(r.critical_path_seconds, 3e-3, 1e-9);
+  EXPECT_LE(r.critical_path_seconds, r.makespan * (1 + 1e-9));
+}
+
+TEST(TraceExport, ResidentPipelineTraceCarriesEpochs) {
+  Rng rs(31), rt(32), rq(33);
+  const auto sources = generate_points(Distribution::kCube, 1500, rs);
+  const auto targets = generate_points(Distribution::kCube, 1500, rt);
+  const auto charges = generate_charges(1500, rq, 0.1, 1.0);
+
+  EvalConfig cfg;
+  cfg.localities = 2;
+  cfg.cores_per_locality = 2;
+  cfg.trace = true;
+  auto kernel = make_kernel("laplace");
+  EvalPipeline pipe(*kernel, cfg, sources, targets);
+  const EvalResult e1 = pipe.evaluate(charges);
+  const EvalResult e2 = pipe.evaluate(charges);
+  // Trace buffers accumulate across epochs: the epoch-2 collect holds
+  // both evaluations' spans.
+  ASSERT_GT(e2.trace.size(), e1.trace.size());
+
+  ChromeTraceOptions opt;
+  opt.cores_per_locality = cfg.cores_per_locality;
+  opt.makespan = std::max(e1.makespan, e2.makespan);
+  opt.sim = false;
+  opt.dag_edges = e2.dag_edges;
+  opt.epochs = pipe.epoch_start_times();
+  const std::string path = tmp_path("pipeline_trace.json");
+  ASSERT_TRUE(
+      trace_export_chrome(path, e2.trace, e2.comm_trace, e2.instants, opt));
+
+  const TraceReport rep = analyze_trace_file(path);
+  ASSERT_TRUE(rep.valid) << rep.error;
+  ASSERT_EQ(rep.epoch_starts.size(), 2u);
+  EXPECT_LT(rep.epoch_starts[0], rep.epoch_starts[1]);
+  ASSERT_EQ(rep.epoch_critical_path_seconds.size(), 2u);
+  EXPECT_GT(rep.epoch_critical_path_seconds[0], 0.0);
+  EXPECT_GT(rep.epoch_critical_path_seconds[1], 0.0);
+  EXPECT_DOUBLE_EQ(rep.critical_path_seconds,
+                   std::max(rep.epoch_critical_path_seconds[0],
+                            rep.epoch_critical_path_seconds[1]));
 }
 
 TEST(TraceExport, MalformedFileIsInvalid) {

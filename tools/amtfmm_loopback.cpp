@@ -73,6 +73,8 @@ int run(int argc, char** argv) {
   cli.add_flag("threshold", std::int64_t{60}, "refinement threshold");
   cli.add_flag("cores", std::int64_t{2}, "worker threads per rank");
   cli.add_flag("coalesce", true, "enable parcel coalescing");
+  cli.add_flag("repeat", std::int64_t{1},
+               "evaluations on the same rank mesh (termination re-arm test)");
   cli.add_flag("seed", std::int64_t{1}, "problem seed (identical on all ranks)");
   cli.add_flag("trace-out", std::string(""),
                "per-rank Chrome trace path prefix (empty = off)");
@@ -139,6 +141,39 @@ int run(int argc, char** argv) {
 
   Evaluator eval(make_kernel(cli.str("kernel")), cfg);
   EvalResult res = eval.evaluate_distributed(ex, sources, charges, targets);
+
+  // Repeat evaluations on the same connections: every round re-runs the
+  // termination protocol from a re-armed state, and the per-epoch stats
+  // must be identical round to round — a stale probe or a cumulative
+  // (sent, recvd) cut leaking across epochs shows up here as a hang, a
+  // wire-byte drift, or a broken transport identity.
+  const auto repeat = static_cast<int>(cli.i64("repeat"));
+  for (int rep = 1; rep < repeat; ++rep) {
+    EvalResult again = eval.evaluate_distributed(ex, sources, charges, targets);
+    if (again.wire_bytes != res.wire_bytes ||
+        again.wire_bytes != again.bytes_sent) {
+      std::fprintf(stderr,
+                   "LOOPBACK FAIL: rank %u repeat %d wire_bytes %" PRIu64
+                   " (round 1: %" PRIu64 ") bytes_sent %" PRIu64 "\n",
+                   rank, rep + 1, again.wire_bytes, res.wire_bytes,
+                   again.bytes_sent);
+      return 1;
+    }
+    double rep_rel = 0.0;
+    for (std::size_t i = 0; i < again.potentials.size(); ++i) {
+      const double rel = std::abs(again.potentials[i] - res.potentials[i]) /
+                         std::max(1.0, std::abs(res.potentials[i]));
+      rep_rel = std::max(rep_rel, rel);
+    }
+    if (rep_rel > 1e-12) {
+      std::fprintf(stderr,
+                   "LOOPBACK FAIL: rank %u repeat %d potentials drift "
+                   "(max rel err %.3e > 1e-12)\n",
+                   rank, rep + 1, rep_rel);
+      return 1;
+    }
+    res = std::move(again);
+  }
 
   if (!cli.str("trace-out").empty()) {
     ChromeTraceOptions topt;

@@ -1,0 +1,295 @@
+// amtfmm_serve: resident FMM-as-a-service driver.
+//
+// Stands up one EvalPipeline and evaluates it for many epochs on the SAME
+// tree + DAG + GAS/LCO arena: epoch 1 pays the build + instantiate cost,
+// every later epoch re-arms the arena in place.  Runs either in-process
+// (ThreadExecutor, --localities x --cores) or as one SPMD rank of a
+// socket world under tools/amtfmm_launch (net_config_from_env, exactly
+// like amtfmm_loopback).  The driver measures and checks:
+//
+//   1. steady state is allocation-free: gas_allocs_last_epoch() == 0 for
+//      every epoch >= 2 (hard failure otherwise);
+//   2. epoch-2 setup cost (arena re-arm) is a small fraction of the
+//      epoch-1 build (reported as reset_ratio; gated by
+//      scripts/check_bench_serve.py at 5%);
+//   3. repeat evaluations agree with epoch 1 at 1e-12 relative, and (in
+//      process) with a fresh one-shot Evaluator AND the DES simulation's
+//      wire bytes exactly;
+//   4. request batching demuxes correctly: every per-request slice of a
+//      batched epoch matches the combined potentials.
+//
+// Steady-state throughput (evals/s) and latency (p50/p99) go to --json as
+// a BENCH row: "serve_inproc" or "serve_net" (rank 0 only).
+
+#include <algorithm>
+#include <cinttypes>
+#include <numeric>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "geom/distributions.hpp"
+#include "runtime/net/net_executor.hpp"
+#include "support/cli.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace amtfmm;
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto k = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(v.size())));
+  return v[std::min(k == 0 ? 0 : k - 1, v.size() - 1)];
+}
+
+double max_rel_err(std::span<const double> a, std::span<const double> b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]) / std::max(1.0, std::abs(b[i])));
+  }
+  return m;
+}
+
+int run(int argc, char** argv) {
+  Cli cli(
+      "Resident FMM-as-a-service driver: steady-state epochs on one "
+      "pipeline.\n  amtfmm_serve --n=8000 --epochs=8 --json=BENCH.json\n"
+      "  amtfmm_launch --np=2 -- amtfmm_serve --n=8000 --epochs=6");
+  cli.add_flag("n", std::int64_t{8000}, "source and target count");
+  cli.add_flag("distribution", std::string("cube"),
+               "point distribution (cube | sphere | plummer)");
+  cli.add_flag("kernel", std::string("laplace"), "kernel name");
+  cli.add_flag("digits", std::int64_t{3}, "accuracy digits");
+  cli.add_flag("threshold", std::int64_t{60}, "refinement threshold");
+  cli.add_flag("localities", std::int64_t{2},
+               "in-process localities (ignored under a socket world)");
+  cli.add_flag("cores", std::int64_t{2}, "worker threads per locality/rank");
+  cli.add_flag("epochs", std::int64_t{8}, "total evaluation epochs (>= 2)");
+  cli.add_flag("batch", std::int64_t{4},
+               "independent target-query sets in the batched epoch");
+  cli.add_flag("coalesce", true, "enable parcel coalescing");
+  cli.add_flag("seed", std::int64_t{1}, "problem seed (identical on all ranks)");
+  cli.add_flag("json", std::string(""),
+               "BENCH_serve row output path (rank 0; empty = off)");
+  cli.parse(argc, argv);
+
+  net::NetConfig ncfg;  // standalone default: world of one
+  bool net_mode = false;
+  if (auto env = net::net_config_from_env()) {
+    ncfg = *env;
+    net_mode = ncfg.world > 1;
+  }
+
+  const auto n = static_cast<std::size_t>(cli.i64("n"));
+  const auto seed = static_cast<std::uint64_t>(cli.i64("seed"));
+  const int epochs = std::max(2, static_cast<int>(cli.i64("epochs")));
+  const Distribution dist = parse_distribution(cli.str("distribution"));
+
+  Rng rs(seed), rt(seed + 1), rq(seed + 2);
+  const auto sources = generate_points(dist, n, rs);
+  const auto targets = generate_points(dist, n, rt);
+  const auto charges = generate_charges(n, rq);
+
+  EvalConfig cfg;
+  cfg.digits = static_cast<int>(cli.i64("digits"));
+  cfg.threshold = static_cast<int>(cli.i64("threshold"));
+  cfg.localities = static_cast<int>(cli.i64("localities"));
+  cfg.cores_per_locality = static_cast<int>(cli.i64("cores"));
+  cfg.coalesce.enabled = cli.flag("coalesce");
+  cfg.counters = true;
+
+  auto kernel = make_kernel(cli.str("kernel"));
+  kernel->set_m2l_mode(cfg.m2l_mode);
+
+  std::unique_ptr<net::NetExecutor> nex;
+  std::unique_ptr<EvalPipeline> pipeline;
+  if (net_mode) {
+    nex = std::make_unique<net::NetExecutor>(
+        ncfg, cfg.cores_per_locality, cfg.coalesce);
+    pipeline = std::make_unique<EvalPipeline>(*kernel, cfg, sources, targets,
+                                              *nex);
+  } else {
+    pipeline =
+        std::make_unique<EvalPipeline>(*kernel, cfg, sources, targets);
+  }
+  const std::uint32_t rank = net_mode ? nex->rank() : 0;
+  const std::uint32_t world = net_mode ? nex->world() : 1;
+
+  // Epoch 1: instantiates the resident arena (build cost is separate —
+  // pipeline.setup_seconds() — so epoch 1's latency is instantiate+run).
+  Timer t1;
+  const EvalResult first = pipeline->evaluate(charges);
+  const double epoch1_s = t1.seconds() + pipeline->setup_seconds();
+
+  // Steady state: epochs 2..E re-arm in place.
+  std::vector<double> lat;
+  double reset_s = 0.0;
+  std::uint64_t steady_allocs = 0;
+  double repeat_rel = 0.0;
+  std::uint64_t wire = first.wire_bytes;
+  bool ok = true;
+  for (int e = 2; e <= epochs; ++e) {
+    Timer te;
+    const EvalResult r = pipeline->evaluate(charges);
+    lat.push_back(te.seconds());
+    if (e == 2) reset_s = pipeline->last_reset_seconds();
+    steady_allocs += pipeline->gas_allocs_last_epoch();
+    repeat_rel =
+        std::max(repeat_rel, max_rel_err(r.potentials, first.potentials));
+    if (r.wire_bytes != wire) {
+      std::fprintf(stderr,
+                   "SERVE FAIL: rank %u epoch %d wire_bytes %" PRIu64
+                   " != epoch-1 %" PRIu64 "\n",
+                   rank, e, r.wire_bytes, wire);
+      ok = false;
+    }
+  }
+  if (steady_allocs != 0) {
+    std::fprintf(stderr,
+                 "SERVE FAIL: rank %u steady state allocated %" PRIu64
+                 " GAS objects (want 0)\n",
+                 rank, steady_allocs);
+    ok = false;
+  }
+  if (repeat_rel > 1e-12) {
+    std::fprintf(stderr,
+                 "SERVE FAIL: rank %u repeat epochs drift from epoch 1 "
+                 "(max rel err %.3e > 1e-12)\n",
+                 rank, repeat_rel);
+    ok = false;
+  }
+
+  // Batched epoch: many independent target-query sets, one traversal.
+  const auto nreq = static_cast<std::size_t>(cli.i64("batch"));
+  std::vector<EvalRequest> requests(nreq);
+  Rng rr(seed + 3);
+  for (std::size_t r = 0; r < nreq; ++r) {
+    const std::size_t len = 1 + rr.below(std::max<std::size_t>(n / 4, 1));
+    requests[r].targets.reserve(len);
+    for (std::size_t j = 0; j < len; ++j) {
+      requests[r].targets.push_back(static_cast<std::uint32_t>(rr.below(n)));
+    }
+  }
+  const BatchEvalResult batch = pipeline->evaluate_batch(charges, requests);
+  for (std::size_t r = 0; r < nreq && ok; ++r) {
+    for (std::size_t j = 0; j < requests[r].targets.size(); ++j) {
+      if (batch.per_request[r][j] !=
+          batch.combined.potentials[requests[r].targets[j]]) {
+        std::fprintf(stderr, "SERVE FAIL: rank %u batch demux mismatch\n",
+                     rank);
+        ok = false;
+        break;
+      }
+    }
+  }
+
+  // Fresh-build parity: a brand-new one-shot evaluation of the identical
+  // problem must match the multi-epoch resident answer at 1e-12 — and in
+  // process, the DES simulation's wire bytes must match exactly.
+  double fresh_rel = 0.0;
+  Evaluator fresh_eval(make_kernel(cli.str("kernel")), cfg);
+  if (net_mode) {
+    const EvalResult fresh =
+        fresh_eval.evaluate_distributed(*nex, sources, charges, targets);
+    fresh_rel = max_rel_err(first.potentials, fresh.potentials);
+  } else {
+    const EvalResult fresh = fresh_eval.evaluate(sources, charges, targets);
+    fresh_rel = max_rel_err(first.potentials, fresh.potentials);
+    SimConfig scfg;
+    scfg.localities = cfg.localities;
+    scfg.cores_per_locality = cfg.cores_per_locality;
+    scfg.coalesce = cfg.coalesce;
+    const SimResult sim = fresh_eval.simulate(sources, targets, scfg);
+    if (fresh.wire_bytes != wire || sim.wire_bytes != wire) {
+      std::fprintf(stderr,
+                   "SERVE FAIL: wire bytes disagree: resident %" PRIu64
+                   ", fresh %" PRIu64 ", sim %" PRIu64 "\n",
+                   wire, fresh.wire_bytes, sim.wire_bytes);
+      ok = false;
+    }
+  }
+  if (fresh_rel > 1e-12) {
+    std::fprintf(stderr,
+                 "SERVE FAIL: rank %u resident vs fresh-build parity "
+                 "(max rel err %.3e > 1e-12)\n",
+                 rank, fresh_rel);
+    ok = false;
+  }
+  if (!ok) return 1;
+
+  const double steady_sum =
+      std::accumulate(lat.begin(), lat.end(), 0.0);
+  const double evals_per_s =
+      steady_sum > 0.0 ? static_cast<double>(lat.size()) / steady_sum : 0.0;
+  const double p50 = percentile(lat, 0.50);
+  const double p99 = percentile(lat, 0.99);
+  std::size_t gas_objects = 0;
+  for (std::uint32_t l = 0; l < static_cast<std::uint32_t>(
+                                    pipeline->executor().num_localities());
+       ++l) {
+    gas_objects += pipeline->gas_objects_on(l);
+  }
+
+  if (rank == 0) {
+    std::printf("SERVE OK %s world=%u n=%zu epochs=%d setup=%.3fs "
+                "reset=%.1fus ratio=%.5f evals/s=%.2f p50=%.1fms p99=%.1fms "
+                "gas_hw=%zu wire=%" PRIu64 "\n",
+                net_mode ? "net" : "inproc", world, n, epochs,
+                pipeline->setup_seconds(), reset_s * 1e6,
+                epoch1_s > 0.0 ? reset_s / epoch1_s : 0.0, evals_per_s,
+                p50 * 1e3, p99 * 1e3, gas_objects, wire);
+    if (!cli.str("json").empty()) {
+      JsonWriter w;
+      w.begin_array();
+      w.begin_object();
+      w.kv("name", net_mode ? std::string("serve_net")
+                            : std::string("serve_inproc"));
+      w.kv("n", static_cast<std::uint64_t>(n));
+      w.kv("world", world);
+      w.kv("localities",
+           static_cast<std::uint64_t>(pipeline->executor().num_localities()));
+      w.kv("cores", static_cast<std::uint64_t>(cfg.cores_per_locality));
+      w.kv("epochs", static_cast<std::uint64_t>(epochs));
+      w.kv("epoch1_s", epoch1_s);
+      w.kv("setup_s", pipeline->setup_seconds());
+      w.kv("reset_s", reset_s);
+      w.kv("reset_ratio", epoch1_s > 0.0 ? reset_s / epoch1_s : 0.0);
+      w.kv("evals_per_s", evals_per_s);
+      w.kv("p50_s", p50);
+      w.kv("p99_s", p99);
+      w.kv("gas_allocs_steady", steady_allocs);
+      w.kv("gas_objects_hw", static_cast<std::uint64_t>(gas_objects));
+      w.kv("repeat_rel_err", repeat_rel);
+      w.kv("fresh_rel_err", fresh_rel);
+      w.kv("wire_bytes", wire);
+      w.kv("batch_requests", static_cast<std::uint64_t>(nreq));
+      w.end_object();
+      w.end_array();
+      if (!w.write_file(cli.str("json"))) {
+        std::fprintf(stderr, "SERVE FAIL: cannot write %s\n",
+                     cli.str("json").c_str());
+        return 1;
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "amtfmm_serve: %s\n", e.what());
+    return 1;
+  }
+}
