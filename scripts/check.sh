@@ -126,6 +126,9 @@ python3 scripts/check_bench_serve.py \
   build/bench-smoke/BENCH_serve_net.json \
   --out build/bench-smoke/BENCH_serve.json
 
+echo "== Telemetry channel, trace merge, watchdog dump =="
+python3 scripts/check_telemetry.py --build-dir build
+
 echo "== Trace export + critical-path analysis =="
 ./build/bench/fig4_utilization --n 20000 --intervals 20 \
   --trace-out=build/bench-smoke/fig4_trace.json \

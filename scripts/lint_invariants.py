@@ -48,6 +48,15 @@ Machine-checkable rules the code review relies on:
      parcel API, so transport policy (framing, backpressure, shutdown)
      stays in one reviewed place.  Escape: `// net-ok: <reason>`.
 
+  7. wall-clock-confinement: wall-clock time sources (system_clock,
+     gettimeofday, CLOCK_REALTIME, time(nullptr)) only inside the
+     trace/telemetry layer (src/runtime/trace.cpp, src/runtime/
+     telemetry.cpp) — everything else runs on the steady clock so clock
+     adjustments (NTP slews, DST) can never corrupt latency measurements,
+     the termination protocol, or cross-rank clock sync; the trace
+     wall-anchor is the ONE place real time enters, and the merge
+     corrects everything else against it.  Escape: `// time-ok: <reason>`.
+
 Exit status 0 when clean, 1 with one line per violation otherwise.
 """
 
@@ -85,6 +94,13 @@ NET_RE = re.compile(
     r"sendmsg|recvmsg|setsockopt|getsockopt|getsockname|shutdown)\s*\("
 )
 
+# Wall-clock reads (rule 7).  The negative lookbehind keeps identifiers
+# like `steady_time(` from matching the bare `time(` call form.
+WALLCLOCK_RE = re.compile(
+    r"system_clock|gettimeofday|CLOCK_REALTIME|"
+    r"(?<![\w.])time\s*\(\s*(nullptr|NULL|0)?\s*\)"
+)
+
 THREAD_DIRS = ("src/runtime/", "src/rtcheck/")
 SIMD_DIRS = ("src/kernels/simd/",)
 NET_DIRS = ("src/runtime/net/",)
@@ -103,6 +119,13 @@ RELAXED_EXEMPT = (
     "src/runtime/net/net_executor.cpp",
 )
 RELAXED_EXEMPT_DIRS = ("src/rtcheck/",)
+# The trace wall-anchor (make_trace_clock) and the telemetry layer are the
+# sanctioned homes for wall time; trace.cpp still carries an explanatory
+# `// time-ok:` at its single read site.
+WALLCLOCK_FILES = (
+    "src/runtime/trace.cpp",
+    "src/runtime/telemetry.cpp",
+)
 PAYLOAD_STRUCTS = (
     "WireRecord",
     "ExpansionPayload",
@@ -184,6 +207,13 @@ def main() -> int:
                         f"{rel}:{i + 1}: raw socket usage outside "
                         "src/runtime/net/ (go through NetTransport, or "
                         "add '// net-ok: <reason>')"
+                    )
+            if rel not in WALLCLOCK_FILES and WALLCLOCK_RE.search(code):
+                if not has_escape(lines, i, "time-ok"):
+                    violations.append(
+                        f"{rel}:{i + 1}: wall-clock time source outside "
+                        "the trace/telemetry layer (use the steady clock, "
+                        "or add '// time-ok: <reason>')"
                     )
 
         for i, line in enumerate(lines):

@@ -146,7 +146,14 @@ double DagEngine::execute(std::span<const double> charges,
   ex_.drain();
   gas_allocs_epoch_ = gas_.total_allocs() - allocs_before;
   ++epoch_;
-  return ex_.now() - t0;
+  const double makespan = ex_.now() - t0;
+  if (ctr.enabled()) {
+    // Epoch latency histogram: the live-telemetry serve view (amtfmm_top)
+    // derives its p50/p99 from per-window deltas of these buckets.
+    ctr.observe(0, ex_.runtime().ids().serve_epoch_us,
+                static_cast<std::uint64_t>(makespan * 1e6));
+  }
+  return makespan;
 }
 
 void DagEngine::reset_for_epoch() {

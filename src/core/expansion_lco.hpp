@@ -120,6 +120,8 @@ class ExpansionLCO final : public LCO {
   void reset(int inputs) {
     rearm(inputs);
     payload_.release();
+    // relaxed-ok: reset runs only between drained evaluations (quiescence
+    // contract above), so no thread can race this store.
     consumers_.store(0, std::memory_order_relaxed);
   }
 

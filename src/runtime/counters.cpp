@@ -46,6 +46,34 @@ void CounterSnapshot::append_json(JsonWriter& w) const {
   w.end_object();
 }
 
+double histogram_quantile(const CounterSnapshot::Histogram& h, double q) {
+  if (h.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile among the count observations, 1-based
+  // so q=1 lands exactly on the last observation.
+  const double rank = q * static_cast<double>(h.count);
+  std::uint64_t below = 0;
+  for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+    const std::uint64_t n = h.buckets[b];
+    if (n == 0) continue;
+    if (static_cast<double>(below + n) >= rank) {
+      const double lo = b == 0 ? 0.0 : static_cast<double>(1ull << b);
+      // Top bucket is open-ended; clamp to twice its lower edge, the best
+      // bound a log2 layout can state.
+      const double hi = b + 1 < h.buckets.size()
+                            ? static_cast<double>(1ull << (b + 1))
+                            : 2.0 * static_cast<double>(1ull << b);
+      const double frac =
+          std::clamp((rank - static_cast<double>(below)) /
+                         static_cast<double>(n),
+                     0.0, 1.0);
+      return lo + frac * (hi - lo);
+    }
+    below += n;
+  }
+  return 0.0;  // unreachable with a consistent snapshot
+}
+
 CounterRegistry::CounterRegistry(int workers) {
   const int n = std::max(workers, 1);
   shards_.reserve(static_cast<std::size_t>(n));

@@ -46,6 +46,16 @@ struct CounterSnapshot {
   void append_json(JsonWriter& w) const;
 };
 
+/// Quantile estimate (q in [0, 1]) from a log2-bucketed histogram, used
+/// by the serve latency readouts and amtfmm_top.  The rank q*count is
+/// located in the cumulative bucket counts and linearly interpolated
+/// inside its bucket [2^i, 2^(i+1)) — bucket 0 spans [0, 2).  The top
+/// bucket is open-ended; observations saturated there interpolate toward
+/// twice its lower edge (the best bound a log2 histogram can give).
+/// Returns 0 for an empty histogram.  Accuracy is inherently bucket-
+/// limited: the true quantile lies within a factor of 2.
+double histogram_quantile(const CounterSnapshot::Histogram& h, double q);
+
 /// Registry of named runtime metrics with per-worker sharded storage.
 ///
 /// Hot-path updates (add / gauge_max / observe) are lock free and touch

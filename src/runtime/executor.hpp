@@ -158,6 +158,12 @@ class Executor {
   /// Current time on this executor's clock.
   virtual double now() const = 0;
 
+  /// Clock anchoring for trace metadata: how now()'s t=0 relates to the
+  /// steady clock, wall time, and (socket localities) rank 0's clock.
+  /// The sim executor's virtual clock has no real-time anchor, so the
+  /// default is the all-zero identity.
+  virtual TraceClock trace_clock() const { return {}; }
+
   TraceSink& trace();
   const TraceSink& trace() const;
 

@@ -80,6 +80,8 @@ class Gas {
     // size also observes the object (release/acquire on size).
     hooked_store(h.size, slot + 1, std::memory_order_release);
     sync_event(SyncKind::kGasAlloc, &h, slot);
+    // relaxed-ok: diagnostic allocation count; the slot publication above
+    // carries the release ordering.
     allocs_.fetch_add(1, std::memory_order_relaxed);
     return GlobalAddress{locality, slot};
   }
@@ -116,6 +118,7 @@ class Gas {
   /// it.  Steady-state epochs assert zero new allocations by differencing
   /// this counter across the epoch boundary.
   std::uint64_t total_allocs() const {
+    // relaxed-ok: diagnostic count, read between epochs while quiescent.
     return allocs_.load(std::memory_order_relaxed);
   }
 

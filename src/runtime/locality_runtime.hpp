@@ -39,6 +39,7 @@ struct RuntimeCounterIds {
   CounterRegistry::Id lco_input_wait_us = 0;    ///< histogram
   CounterRegistry::Id serve_epochs = 0;         ///< resident re-evaluations
   CounterRegistry::Id serve_reset_us = 0;       ///< histogram: epoch reset
+  CounterRegistry::Id serve_epoch_us = 0;       ///< histogram: epoch latency
   CounterRegistry::Id serve_dirty_leaves = 0;   ///< incremental-update leaves
   CounterRegistry::Id serve_batch_size_hw = 0;  ///< gauge: request batch size
   std::array<CounterRegistry::Id, kNumOperators> op_tasks{};
@@ -84,6 +85,7 @@ class LocalityRuntime {
     ids_.lco_input_wait_us = metrics_.histogram("lco.input_wait_us");
     ids_.serve_epochs = metrics_.counter("serve.epochs");
     ids_.serve_reset_us = metrics_.histogram("serve.reset_us");
+    ids_.serve_epoch_us = metrics_.histogram("serve.epoch_us");
     ids_.serve_dirty_leaves = metrics_.counter("serve.dirty_leaves");
     ids_.serve_batch_size_hw = metrics_.gauge("serve.batch_size_hw");
     for (int op = 0; op < kNumOperators; ++op) {

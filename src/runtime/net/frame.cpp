@@ -189,7 +189,7 @@ std::optional<ControlMsg> decode_control(std::span<const std::byte> payload,
   m.b = load_le<std::uint64_t>(q + 16);
   m.c = load_le<std::uint64_t>(q + 24);
   if (m.type < static_cast<std::uint8_t>(ControlType::kHello) ||
-      m.type > static_cast<std::uint8_t>(ControlType::kGoodbye)) {
+      m.type > static_cast<std::uint8_t>(ControlType::kPong)) {
     if (err) *err = "control: unknown type";
     return std::nullopt;
   }
@@ -231,7 +231,8 @@ std::optional<FrameDecoder::Frame> FrameDecoder::next() {
   std::uint32_t payload_bytes;
   std::memcpy(&payload_bytes, h + 8, 4);
   if (kind != static_cast<std::uint8_t>(FrameKind::kBatch) &&
-      kind != static_cast<std::uint8_t>(FrameKind::kControl)) {
+      kind != static_cast<std::uint8_t>(FrameKind::kControl) &&
+      kind != static_cast<std::uint8_t>(FrameKind::kTelemetry)) {
     error_ = "frame: unknown kind";
     return std::nullopt;
   }

@@ -33,8 +33,9 @@ inline constexpr std::uint32_t kFrameMagic = 0x414d4650u;  // "PFMA" LE
 inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;
 
 enum class FrameKind : std::uint8_t {
-  kBatch = 1,    ///< payload: one encoded WireBatch
-  kControl = 2,  ///< payload: one ControlMsg
+  kBatch = 1,      ///< payload: one encoded WireBatch
+  kControl = 2,    ///< payload: one ControlMsg
+  kTelemetry = 3,  ///< payload: opaque telemetry sample (see telemetry.hpp)
 };
 
 /// Fixed 16-byte header preceding every frame on a connection.  The CRC
@@ -59,6 +60,8 @@ enum class ControlType : std::uint8_t {
   kAck = 3,        ///< answer: a = round, b = parcels sent, c = received
   kTerminate = 4,  ///< coordinator decision: a = drain epoch (1-based)
   kGoodbye = 5,    ///< announced close: the following EOF is not a failure
+  kPing = 6,       ///< clock sync probe: a = sample id, b = sender steady ns
+  kPong = 7,       ///< clock sync reply: a/b echoed, c = replier steady ns
 };
 
 struct ControlMsg {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "runtime/flight_recorder.hpp"
 #include "support/error.hpp"
 
 namespace amtfmm::net {
@@ -33,6 +34,8 @@ NetExecutor::NetExecutor(const NetConfig& cfg, int cores,
   nid_.backpressure_stall_us = reg.counter("net.backpressure_stall_us");
   nid_.control_msgs = reg.counter("net.control_msgs");
   nid_.termination_rounds = reg.counter("net.termination_rounds");
+  nid_.telemetry_sent = reg.counter("net.telemetry_sent");
+  nid_.telemetry_recvd = reg.counter("net.telemetry_recvd");
   nid_.inject_depth_hwm = reg.gauge("net.inject_depth_hwm");
   nid_.inject_bytes_hwm = reg.gauge("net.inject_bytes_hwm");
 
@@ -44,6 +47,10 @@ NetExecutor::NetExecutor(const NetConfig& cfg, int cores,
   prev_acks_.resize(cfg_.world);
 
   transport_.start();  // mesh up before any worker can send
+  // Clock sync rides the fresh mesh before any batch traffic competes
+  // for it: the quietest moment this process will ever see, which is
+  // exactly when the min-RTT midpoint estimate is tightest.
+  clock_sync_ = transport_.clock_sync();
   threads_.reserve(static_cast<std::size_t>(cores_));
   for (int w = 0; w < cores_; ++w) {
     threads_.emplace_back([this, w] { worker_loop(w); });
@@ -74,6 +81,10 @@ NetExecutor::~NetExecutor() {
   }
 }
 
+void NetExecutor::set_on_telemetry(NetTransport::TelemetryFn fn) {
+  transport_.set_on_telemetry(std::move(fn));
+}
+
 int NetExecutor::current_locality() const {
   return current_worker() >= 0 ? static_cast<int>(cfg_.rank) : -1;
 }
@@ -82,6 +93,14 @@ double NetExecutor::now() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        epoch_)
       .count();
+}
+
+TraceClock NetExecutor::trace_clock() const {
+  TraceClock c = make_trace_clock(
+      std::chrono::duration<double>(epoch_.time_since_epoch()).count());
+  c.offset_s = clock_sync_.offset_s;
+  c.uncertainty_s = clock_sync_.uncertainty_s;
+  return c;
 }
 
 void NetExecutor::register_net_handler(std::uint8_t kind, NetHandler h) {
@@ -309,7 +328,9 @@ void NetExecutor::on_net_control(const ControlMsg& m) {
       break;
     case ControlType::kHello:
     case ControlType::kGoodbye:
-      break;  // bootstrap / shutdown frames; handled inside the transport
+    case ControlType::kPing:
+    case ControlType::kPong:
+      break;  // bootstrap / shutdown / sync frames; transport-internal
   }
   state_cv_.notify_all();
 }
@@ -322,6 +343,10 @@ void NetExecutor::on_net_failure(const std::string& why) {
   }
   state_cv_.notify_all();
   work_cv_.notify_all();
+  // Failure-path teardown is one of the flight recorder's dump triggers:
+  // the surviving ranks each capture their last events, so a peer death
+  // leaves a cross-rank post-mortem artifact, not just an error line.
+  flight_dump_all("net failure");
 }
 
 void NetExecutor::throw_if_failed() {
@@ -489,7 +514,7 @@ void NetExecutor::fold_net_counters() {
   auto& reg = rt_->counters();
   if (!reg.enabled()) return;
   const NetStats& s = transport_.stats();
-  const std::uint64_t cur[11] = {
+  const std::uint64_t cur[13] = {
       s.msgs_sent.load(std::memory_order_relaxed),
       s.msgs_recvd.load(std::memory_order_relaxed),
       s.wire_bytes_sent.load(std::memory_order_relaxed),
@@ -501,16 +526,19 @@ void NetExecutor::fold_net_counters() {
       s.backpressure_stall_us.load(std::memory_order_relaxed),
       s.control_msgs.load(std::memory_order_relaxed),
       term_rounds_stat_,
+      s.telemetry_sent.load(std::memory_order_relaxed),
+      s.telemetry_recvd.load(std::memory_order_relaxed),
   };
-  const CounterRegistry::Id ids[11] = {
+  const CounterRegistry::Id ids[13] = {
       nid_.msgs_sent,          nid_.msgs_recvd,
       nid_.wire_bytes_sent,    nid_.wire_bytes_recvd,
       nid_.progress_iters,     nid_.idle_polls,
       nid_.partial_writes,     nid_.backpressure_stalls,
       nid_.backpressure_stall_us, nid_.control_msgs,
-      nid_.termination_rounds,
+      nid_.termination_rounds, nid_.telemetry_sent,
+      nid_.telemetry_recvd,
   };
-  for (int i = 0; i < 11; ++i) {
+  for (int i = 0; i < 13; ++i) {
     reg.add(0, ids[i], cur[i] - folded_[i]);
     folded_[i] = cur[i];
   }

@@ -68,10 +68,26 @@ class NetExecutor final : public Executor {
   /// or the byte stream broke — never hangs on a dead mesh.
   double drain() override;
   double now() const override;
+  TraceClock trace_clock() const override;
 
   std::uint32_t rank() const { return cfg_.rank; }
   std::uint32_t world() const { return cfg_.world; }
   const NetStats& net_stats() const { return transport_.stats(); }
+
+  /// Startup clock-sync result against rank 0 (identity on rank 0).
+  /// Measured once right after the mesh comes up; feeds trace metadata so
+  /// merged multi-rank timelines can be offset-corrected.
+  ClockSyncResult clock_sync_result() const { return clock_sync_; }
+
+  /// Best-effort telemetry side channel (see NetTransport::post_telemetry
+  /// — bypasses the injection window and all termination accounting).
+  bool post_telemetry(std::uint32_t dst, std::span<const std::byte> payload) {
+    if (cfg_.world == 1 || dst == cfg_.rank) return false;
+    return transport_.post_telemetry(dst, payload);
+  }
+  /// Installs the telemetry receive callback (runs on the progress
+  /// thread; must be cheap and non-blocking).  Callable any time.
+  void set_on_telemetry(NetTransport::TelemetryFn fn);
 
  private:
   struct InOrder {
@@ -89,7 +105,7 @@ class NetExecutor final : public Executor {
     CounterRegistry::Id msgs_sent, msgs_recvd, wire_bytes_sent,
         wire_bytes_recvd, progress_iters, idle_polls, partial_writes,
         backpressure_stalls, backpressure_stall_us, control_msgs,
-        termination_rounds;  // counters
+        termination_rounds, telemetry_sent, telemetry_recvd;  // counters
     CounterRegistry::Id inject_depth_hwm, inject_bytes_hwm;  // gauges
   };
 
@@ -122,6 +138,7 @@ class NetExecutor final : public Executor {
   int cores_;
   std::chrono::steady_clock::time_point epoch_;
   NetTransport transport_;
+  ClockSyncResult clock_sync_;  ///< measured once in the constructor
 
   // Worker pool (mu_ guards the queues and all termination state).
   mutable std::mutex mu_;
@@ -159,7 +176,7 @@ class NetExecutor final : public Executor {
   std::string net_failure_;
 
   NetCounterIds nid_{};
-  std::uint64_t folded_[11] = {};  ///< previously folded counter values
+  std::uint64_t folded_[13] = {};  ///< previously folded counter values
 };
 
 }  // namespace amtfmm::net

@@ -18,6 +18,13 @@ double steady_seconds() {
       .count();
 }
 
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 void sleep_ms(int ms) {
   std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
@@ -286,6 +293,82 @@ void NetTransport::broadcast_control(const ControlMsg& m) {
   }
 }
 
+bool NetTransport::post_telemetry(std::uint32_t dst,
+                                  std::span<const std::byte> payload) {
+  AMTFMM_ASSERT(dst < cfg_.world && dst != cfg_.rank);
+  OutMsg out;
+  out.bytes = encode_frame(FrameKind::kTelemetry, payload);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (failed_.load(std::memory_order_relaxed) ||
+        stop_requested_.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    if (peers_[dst].closed) return false;  // best-effort: sample dropped
+    peers_[dst].outbox.push_back(std::move(out));
+    ++queued_msgs_;
+  }
+  stats_.telemetry_sent.fetch_add(1, std::memory_order_relaxed);
+  poke(wake_);
+  return true;
+}
+
+void NetTransport::set_on_telemetry(TelemetryFn fn) {
+  std::lock_guard<std::mutex> lk(telem_mu_);
+  on_telemetry_ = std::move(fn);
+}
+
+ClockSyncResult NetTransport::clock_sync(int rounds) {
+  if (cfg_.world == 1 || cfg_.rank == 0) {
+    // Rank 0 IS the reference timeline; nothing to estimate.
+    std::lock_guard<std::mutex> lk(sync_mu_);
+    sync_result_ = ClockSyncResult{};
+    sync_result_.samples = 1;
+    return sync_result_;
+  }
+  ClockSyncResult best;
+  std::uint64_t best_rtt = ~0ull;
+  for (int i = 0; i < rounds; ++i) {
+    ControlMsg ping;
+    ping.type = static_cast<std::uint8_t>(ControlType::kPing);
+    ping.rank = cfg_.rank;
+    ping.a = static_cast<std::uint64_t>(i + 1);
+    const std::uint64_t t_send = steady_ns();
+    ping.b = t_send;
+    post_control(0, ping);
+    std::unique_lock<std::mutex> lk(sync_mu_);
+    const bool got = sync_cv_.wait_for(
+        lk, std::chrono::seconds(2), [&] {
+          return (sync_pong_valid_ && sync_pong_id_ == ping.a) ||
+                 failed_.load(std::memory_order_relaxed);
+        });
+    if (!got || failed_.load(std::memory_order_relaxed)) break;
+    sync_pong_valid_ = false;
+    const std::uint64_t t_recv = sync_pong_recv_;
+    const std::uint64_t remote = sync_pong_remote_;
+    lk.unlock();
+    if (t_recv < t_send) continue;  // nonsense sample
+    const std::uint64_t rtt = t_recv - t_send;
+    if (rtt < best_rtt) {
+      best_rtt = rtt;
+      // Midpoint estimate: remote stamped its clock ~RTT/2 after t_send.
+      const double midpoint =
+          (static_cast<double>(t_send) + static_cast<double>(t_recv)) / 2.0;
+      best.offset_s = (midpoint - static_cast<double>(remote)) * 1e-9;
+      best.uncertainty_s = static_cast<double>(rtt) / 2.0 * 1e-9;
+    }
+    ++best.samples;
+  }
+  std::lock_guard<std::mutex> lk(sync_mu_);
+  sync_result_ = best;
+  return best;
+}
+
+ClockSyncResult NetTransport::clock_offset() const {
+  std::lock_guard<std::mutex> lk(sync_mu_);
+  return sync_result_;
+}
+
 void NetTransport::allow_peer_close() {
   peer_close_ok_.store(true, std::memory_order_relaxed);
 }
@@ -328,6 +411,10 @@ void NetTransport::fail(const std::string& why) {
       first = true;
     }
     window_cv_.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lk(sync_mu_);
+    sync_cv_.notify_all();  // clock_sync() must not outlive the mesh
   }
   if (first) {
     std::fprintf(stderr, "rank %u: NET FAIL: %s\n", cfg_.rank, why.c_str());
@@ -494,6 +581,16 @@ void NetTransport::dispatch(std::uint32_t rank, FrameDecoder::Frame&& f) {
     if (on_batch_) on_batch_(std::move(*b));
     return;
   }
+  if (f.kind == FrameKind::kTelemetry) {
+    stats_.telemetry_recvd.fetch_add(1, std::memory_order_relaxed);
+    TelemetryFn fn;
+    {
+      std::lock_guard<std::mutex> lk(telem_mu_);
+      fn = on_telemetry_;  // copy: the call runs outside the lock
+    }
+    if (fn) fn(rank, std::move(f.payload));
+    return;
+  }
   auto m = decode_control(f.payload, &err);
   if (!m) {
     fail("control from rank " + std::to_string(rank) + ": " + err);
@@ -501,6 +598,25 @@ void NetTransport::dispatch(std::uint32_t rank, FrameDecoder::Frame&& f) {
   }
   if (m->type == static_cast<std::uint8_t>(ControlType::kGoodbye)) {
     peers_[rank].said_goodbye = true;  // transport-internal, not forwarded
+    return;
+  }
+  if (m->type == static_cast<std::uint8_t>(ControlType::kPing)) {
+    // Transport-internal: stamp our steady clock and answer immediately
+    // from the progress thread, keeping the echoed send timestamp intact.
+    ControlMsg pong = *m;
+    pong.type = static_cast<std::uint8_t>(ControlType::kPong);
+    pong.rank = cfg_.rank;
+    pong.c = steady_ns();
+    post_control(rank, pong);
+    return;
+  }
+  if (m->type == static_cast<std::uint8_t>(ControlType::kPong)) {
+    std::lock_guard<std::mutex> lk(sync_mu_);
+    sync_pong_id_ = m->a;
+    sync_pong_remote_ = m->c;
+    sync_pong_recv_ = steady_ns();
+    sync_pong_valid_ = true;
+    sync_cv_.notify_all();
     return;
   }
   if (on_control_) on_control_(*m);

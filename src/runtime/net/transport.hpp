@@ -7,6 +7,7 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -57,7 +58,21 @@ struct NetStats {
   std::atomic<std::uint64_t> inject_bytes_hwm{0};  ///< outstanding bytes
   std::atomic<std::uint64_t> backpressure_stalls{0};
   std::atomic<std::uint64_t> backpressure_stall_us{0};
-  std::atomic<std::uint64_t> control_msgs{0};  ///< control frames sent
+  std::atomic<std::uint64_t> control_msgs{0};     ///< control frames sent
+  std::atomic<std::uint64_t> telemetry_sent{0};   ///< telemetry frames sent
+  std::atomic<std::uint64_t> telemetry_recvd{0};  ///< telemetry frames recvd
+};
+
+/// Result of the startup clock-sync exchange against rank 0: the
+/// estimated steady-clock offset of THIS rank relative to rank 0
+/// (rank0_steady ≈ local_steady - offset_s), with a conservative error
+/// bound.  Midpoint estimation over ping/pong round trips: each sample
+/// gives offset = remote_ts - (t_send + t_recv)/2 with error ≤ RTT/2;
+/// the sample with the smallest RTT wins.
+struct ClockSyncResult {
+  double offset_s = 0.0;       ///< local steady clock minus rank 0's
+  double uncertainty_s = 0.0;  ///< ≤ best-sample RTT / 2
+  std::uint32_t samples = 0;   ///< round trips that produced an estimate
 };
 
 /// Point-to-point socket transport for one locality: a full mesh of
@@ -89,6 +104,8 @@ class NetTransport {
   using BatchFn = std::function<void(WireBatch&&)>;
   using ControlFn = std::function<void(const ControlMsg&)>;
   using FailFn = std::function<void(const std::string&)>;
+  using TelemetryFn =
+      std::function<void(std::uint32_t src, std::vector<std::byte>&&)>;
 
   NetTransport(NetConfig cfg, BatchFn on_batch, ControlFn on_control,
                FailFn on_failure);
@@ -111,6 +128,27 @@ class NetTransport {
   void post_control(std::uint32_t dst, const ControlMsg& m);
   /// Sends a control message to every peer rank (not self).
   void broadcast_control(const ControlMsg& m);
+
+  /// Best-effort telemetry side channel.  Telemetry frames bypass the
+  /// injection window AND the parcel accounting the termination protocol
+  /// cuts over (sent/recvd parcel counters never see them), so a sampler
+  /// shipping on a timer can never destabilize a quiescence cut.  Frames
+  /// to failed/closed peers are silently dropped — losing a sample is
+  /// fine, wedging shutdown on one is not.  Returns false when dropped.
+  bool post_telemetry(std::uint32_t dst, std::span<const std::byte> payload);
+
+  /// Installs (or clears) the telemetry receive callback.  Callable any
+  /// time; runs ON the progress thread and must be cheap/non-blocking.
+  void set_on_telemetry(TelemetryFn fn);
+
+  /// Runs the ping/pong clock-sync exchange against rank 0 (`rounds`
+  /// sequential round trips, midpoint estimation, min-RTT sample wins).
+  /// On rank 0 / world 1 this is a no-op identity result.  Safe to call
+  /// any time after start(); the result is cached for clock_offset().
+  ClockSyncResult clock_sync(int rounds = 8);
+
+  /// Last clock_sync() result (identity before the first call).
+  ClockSyncResult clock_offset() const;
 
   /// From now on a peer closing its connection is expected (the world has
   /// agreed to terminate), not a failure.
@@ -163,6 +201,8 @@ class NetTransport {
   BatchFn on_batch_;
   ControlFn on_control_;
   FailFn on_failure_;
+  mutable std::mutex telem_mu_;  ///< guards on_telemetry_ (set vs dispatch)
+  TelemetryFn on_telemetry_;
 
   std::vector<Peer> peers_;  // indexed by rank; self entry unused
   Fd listener_;
@@ -179,6 +219,16 @@ class NetTransport {
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> peer_close_ok_{false};
   bool started_ = false;
+
+  /// Clock-sync rendezvous between the caller of clock_sync() (worker
+  /// side, sends pings) and the progress thread (records pong arrivals).
+  mutable std::mutex sync_mu_;
+  std::condition_variable sync_cv_;
+  std::uint64_t sync_pong_id_ = 0;      ///< sample id of the last pong
+  std::uint64_t sync_pong_remote_ = 0;  ///< replier steady ns (ControlMsg.c)
+  std::uint64_t sync_pong_recv_ = 0;    ///< local steady ns at pong receipt
+  bool sync_pong_valid_ = false;
+  ClockSyncResult sync_result_;
 };
 
 }  // namespace amtfmm::net

@@ -101,6 +101,11 @@ double ThreadExecutor::now() const {
       .count();
 }
 
+TraceClock ThreadExecutor::trace_clock() const {
+  return make_trace_clock(
+      std::chrono::duration<double>(epoch_.time_since_epoch()).count());
+}
+
 void ThreadExecutor::push_local(int w, TaskNode* n) {
   auto& ws = *workers_[static_cast<std::size_t>(w)];
   const bool hi = policy_ == SchedPolicy::kPriority && n->task.high_priority;

@@ -59,6 +59,7 @@ class ThreadExecutor final : public Executor {
             Task t) override;
   double drain() override;
   double now() const override;
+  TraceClock trace_clock() const override;
 
  private:
   struct TaskNode {

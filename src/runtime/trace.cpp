@@ -1,11 +1,33 @@
 #include "runtime/trace.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "kernels/kernel.hpp"
+#include "runtime/flight_recorder.hpp"
 #include "support/error.hpp"
 
 namespace amtfmm {
+
+TraceClock make_trace_clock(double steady_origin_s) {
+  TraceClock c;
+  c.steady_origin_s = steady_origin_s;
+  // Read both clocks back to back: the pair correlates the steady
+  // timeline traces run on with real time.  The microseconds between the
+  // two reads are noise well below the clock-sync error bound.
+  const double steady_now =
+      std::chrono::duration<double>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  // time-ok: the trace wall-clock anchor is the one sanctioned wall time
+  // read in the runtime (lint rule 7); everything else is steady-clock.
+  const double wall_now =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  c.wall_anchor_s = wall_now - (steady_now - steady_origin_s);
+  return c;
+}
 
 const char* trace_class_name(std::uint8_t cls) {
   if (cls < kNumOperators) return to_string(static_cast<Operator>(cls));
@@ -47,9 +69,23 @@ std::vector<InstantEvent> TraceSink::collect_instants() const {
 }
 
 void TraceSink::record_comm(const CommEvent& e) {
-  if (!enabled()) return;
+  // relaxed-ok: control flag, no ordering required (see set_enabled).
+  const std::uint8_t m = mode_.load(std::memory_order_relaxed);
+  if (m == 0) return;
+  if ((m & kModeFlight) != 0) flight_->record_comm(e);
+  if ((m & kModeFull) == 0) return;
   std::lock_guard lk(comm_mu_);
   comm_.push_back(e);
+}
+
+void TraceSink::flight_span(std::uint32_t worker, std::uint8_t cls, double t0,
+                            double t1, std::uint32_t arg) {
+  flight_->record_span(worker, cls, t0, t1, arg);
+}
+
+void TraceSink::flight_instant(std::uint32_t worker, InstantKind kind,
+                               double t, std::uint32_t arg) {
+  flight_->record_instant(worker, kind, t, arg);
 }
 
 std::vector<CommEvent> TraceSink::collect_comm() const {

@@ -69,10 +69,39 @@ struct InstantEvent {
   std::uint32_t arg = kNoTraceArg;
 };
 
+/// Clock anchoring for one rank's trace: how this executor's t=0 relates
+/// to the machine's steady clock, to wall-clock time, and (for socket
+/// localities) to rank 0's steady clock.  Recorded in trace metadata at
+/// export time so merged multi-rank / multi-epoch traces can be aligned:
+///   rank0_time(t) = steady_origin_s + t - offset_s - rank0_steady_origin_s
+struct TraceClock {
+  double steady_origin_s = 0.0;  ///< executor t=0 on the steady clock
+  double wall_anchor_s = 0.0;    ///< Unix wall time at that same instant
+  double offset_s = 0.0;         ///< local steady minus rank 0's (net only)
+  double uncertainty_s = 0.0;    ///< clock-sync error bound (≤ RTT/2)
+};
+
+/// Captures the wall/steady correspondence for an executor whose t=0 sits
+/// at `steady_origin_s` on the steady clock.  The only sanctioned wall
+/// clock read in the runtime (see lint rule 7): traces anchor to real
+/// time here, everything else stays on the steady clock.
+TraceClock make_trace_clock(double steady_origin_s);
+
+class FlightRecorder;
+
 /// Collects events from many workers with per-worker buffers (no contention
 /// on the hot path).
+///
+/// Two recording modes share one flag so the disabled hot path stays a
+/// single relaxed load + branch: full tracing (unbounded per-worker
+/// vectors, collected after drain) and flight recording (bounded
+/// per-worker rings owned by a FlightRecorder, overwritten forever and
+/// dumped only on a crash/stall).  Either, both, or neither can be on.
 class TraceSink {
  public:
+  static constexpr std::uint8_t kModeFull = 1;
+  static constexpr std::uint8_t kModeFlight = 2;
+
   explicit TraceSink(int workers)
       : buffers_(static_cast<std::size_t>(workers)),
         instants_(static_cast<std::size_t>(workers)) {}
@@ -80,23 +109,63 @@ class TraceSink {
   // The flag carries no data: workers read it on idle paths (steal/park)
   // while the main thread toggles it, and toggles happen only while the
   // executor is quiescent, so no ordering with event payloads is needed.
+  void set_enabled(bool on) {
+    if (on) {
+      // relaxed-ok: control flag, no ordering required (see above).
+      mode_.fetch_or(kModeFull, std::memory_order_relaxed);
+    } else {
+      // relaxed-ok: control flag, no ordering required (see above).
+      mode_.fetch_and(static_cast<std::uint8_t>(~kModeFull),
+                      std::memory_order_relaxed);
+    }
+  }
+  /// True when ANY recording mode is on — the hot-path guard call sites
+  /// use before computing timestamps.
   // relaxed-ok: control flag, no ordering required (see above).
-  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return mode_.load(std::memory_order_relaxed) != 0; }
+  /// True when full (collectable) tracing specifically is on.
   // relaxed-ok: control flag, no ordering required (see above).
-  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  bool full_enabled() const {
+    return (mode_.load(std::memory_order_relaxed) & kModeFull) != 0;
+  }
+
+  /// Attaches (nullptr: detaches) the flight recorder.  Same quiescence
+  /// contract as set_enabled: toggled only while no worker is recording.
+  void set_flight(FlightRecorder* fr) {
+    flight_ = fr;
+    if (fr != nullptr) {
+      // relaxed-ok: control flag, no ordering required (see set_enabled).
+      mode_.fetch_or(kModeFlight, std::memory_order_relaxed);
+    } else {
+      // relaxed-ok: control flag, no ordering required (see set_enabled).
+      mode_.fetch_and(static_cast<std::uint8_t>(~kModeFlight),
+                      std::memory_order_relaxed);
+    }
+  }
+  FlightRecorder* flight() const { return flight_; }
 
   void record(std::uint32_t worker, std::uint8_t cls, double t0, double t1,
               std::uint32_t arg = kNoTraceArg) {
-    if (!enabled()) return;
+    // relaxed-ok: control flag, no ordering required (see set_enabled).
+    const std::uint8_t m = mode_.load(std::memory_order_relaxed);
+    if (m == 0) return;
     assert(worker < buffers_.size() && "trace worker id out of range");
-    buffers_[worker].push_back(TraceEvent{t0, t1, worker, cls, arg});
+    if ((m & kModeFull) != 0) {
+      buffers_[worker].push_back(TraceEvent{t0, t1, worker, cls, arg});
+    }
+    if ((m & kModeFlight) != 0) flight_span(worker, cls, t0, t1, arg);
   }
 
   void record_instant(std::uint32_t worker, InstantKind kind, double t,
                       std::uint32_t arg = kNoTraceArg) {
-    if (!enabled()) return;
+    // relaxed-ok: control flag, no ordering required (see set_enabled).
+    const std::uint8_t m = mode_.load(std::memory_order_relaxed);
+    if (m == 0) return;
     assert(worker < instants_.size() && "trace worker id out of range");
-    instants_[worker].push_back(InstantEvent{t, worker, kind, arg});
+    if ((m & kModeFull) != 0) {
+      instants_[worker].push_back(InstantEvent{t, worker, kind, arg});
+    }
+    if ((m & kModeFlight) != 0) flight_instant(worker, kind, t, arg);
   }
 
   /// Records one wire message.  Thread safe; no-op when disabled.  Flushes
@@ -115,7 +184,16 @@ class TraceSink {
   void clear();
 
  private:
-  std::atomic<bool> enabled_{false};
+  /// Out-of-line flight-ring writes: keeps trace.hpp free of the
+  /// FlightRecorder definition (trace.cpp includes it) while the full-off
+  /// and full-only paths above stay fully inlined.
+  void flight_span(std::uint32_t worker, std::uint8_t cls, double t0,
+                   double t1, std::uint32_t arg);
+  void flight_instant(std::uint32_t worker, InstantKind kind, double t,
+                      std::uint32_t arg);
+
+  std::atomic<std::uint8_t> mode_{0};
+  FlightRecorder* flight_ = nullptr;
   std::vector<std::vector<TraceEvent>> buffers_;
   std::vector<std::vector<InstantEvent>> instants_;
   mutable std::mutex comm_mu_;

@@ -27,15 +27,23 @@ bool trace_export_chrome(const std::string& path,
                          std::span<const InstantEvent> instants,
                          const ChromeTraceOptions& opt) {
   const int cores = std::max(opt.cores_per_locality, 1);
-  int localities = 1;
+  int localities = 1;  // local: process rows this file emits
   auto note_worker = [&](std::uint32_t w) {
     localities = std::max(localities, static_cast<int>(w) / cores + 1);
   };
   for (const TraceEvent& e : spans) note_worker(e.worker);
   for (const InstantEvent& e : instants) note_worker(e.worker);
+  // Global locality count for the analyzer: local rows are offset by the
+  // rank, comm events address peers by global rank, and a distributed
+  // rank's file must span the whole world even if it never spoke to the
+  // last rank.
+  int global_localities =
+      std::max(localities + static_cast<int>(opt.rank),
+               static_cast<int>(opt.world));
   for (const CommEvent& e : comm) {
-    localities = std::max({localities, static_cast<int>(e.src) + 1,
-                           static_cast<int>(e.dst) + 1});
+    global_localities = std::max({global_localities,
+                                  static_cast<int>(e.src) + 1,
+                                  static_cast<int>(e.dst) + 1});
   }
 
   std::vector<Rec> recs;
@@ -60,35 +68,44 @@ bool trace_export_chrome(const std::string& path,
   w.begin_array();
 
   // Metadata: process per locality, thread per worker, one net thread per
-  // locality (tid == cores, past the real workers).
-  for (int l = 0; l < localities; ++l) {
+  // locality (tid == cores, past the real workers).  A distributed rank
+  // hosts only its own locality, so its pids start at opt.rank — comm
+  // events already address peers by global rank.
+  const int pid0 = static_cast<int>(opt.rank);
+  // In-process runs host every locality, so name every row the comm
+  // events reference; a distributed rank names only its own rows (peers
+  // name theirs in their own files, concatenated by trace_merge).
+  const int row_localities =
+      opt.world > 1 ? localities : global_localities;
+  for (int l = 0; l < row_localities; ++l) {
     w.begin_object();
     w.kv("name", "process_name");
     w.kv("ph", "M");
-    w.kv("pid", l);
+    w.kv("pid", pid0 + l);
     w.key("args");
     w.begin_object();
-    w.kv("name", std::string("locality ") + std::to_string(l));
+    w.kv("name", std::string("locality ") + std::to_string(pid0 + l));
     w.end_object();
     w.end_object();
     for (int c = 0; c <= cores; ++c) {
       w.begin_object();
       w.kv("name", "thread_name");
       w.kv("ph", "M");
-      w.kv("pid", l);
+      w.kv("pid", pid0 + l);
       w.kv("tid", c);
       w.key("args");
       w.begin_object();
       w.kv("name", c == cores
                        ? std::string("net")
-                       : std::string("worker ") + std::to_string(l * cores + c));
+                       : std::string("worker ") +
+                             std::to_string((pid0 + l) * cores + c));
       w.end_object();
       w.end_object();
     }
   }
 
   auto pid_tid = [&](std::uint32_t worker) {
-    const int pid = static_cast<int>(worker) / cores;
+    const int pid = pid0 + static_cast<int>(worker) / cores;
     const int tid = static_cast<int>(worker) % cores;
     w.kv("pid", pid);
     w.kv("tid", tid);
@@ -189,8 +206,20 @@ bool trace_export_chrome(const std::string& path,
   w.kv("version", 1);
   w.kv("sim", opt.sim);
   w.kv("makespan", opt.makespan);
-  w.kv("localities", localities);
+  // Global locality count: a distributed rank's pids start at opt.rank,
+  // so the analyzer's worker range must span the whole world even when
+  // this file only holds one rank's events.
+  w.kv("localities", global_localities);
   w.kv("cores_per_locality", cores);
+  w.kv("rank", opt.rank);
+  w.kv("world", opt.world);
+  w.key("clock");
+  w.begin_object();
+  w.kv("steady_origin_s", opt.clock.steady_origin_s);
+  w.kv("wall_anchor_s", opt.clock.wall_anchor_s);
+  w.kv("offset_s", opt.clock.offset_s);
+  w.kv("uncertainty_s", opt.clock.uncertainty_s);
+  w.end_object();
   if (!opt.epochs.empty()) {
     w.key("epochs");
     w.begin_array();

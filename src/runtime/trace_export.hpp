@@ -27,6 +27,17 @@ struct ChromeTraceOptions {
   /// buckets span weights by epoch and reports a per-epoch critical path.
   std::span<const double> epochs;
   const CounterSnapshot* counters = nullptr;  ///< optional snapshot echo
+  /// Socket-locality identity: this trace covers rank `rank` of `world`
+  /// processes.  The exporter offsets local pids by `rank` so every rank
+  /// of a distributed run occupies its own process row, and embeds
+  /// `clock` in the metadata so `trace_report --merge` can correct each
+  /// rank's timestamps onto rank 0's timeline:
+  ///   rank0_t = steady_origin_s + t - offset_s - rank0_steady_origin_s.
+  /// In-process runs keep the defaults (rank 0 of world 1, clock from
+  /// Executor::trace_clock()).
+  std::uint32_t rank = 0;
+  std::uint32_t world = 1;
+  TraceClock clock{};
 };
 
 /// Writes Chrome/Perfetto `trace_event` JSON: one process per locality, one

@@ -1,0 +1,84 @@
+#include "runtime/watchdog.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "support/error.hpp"
+
+namespace amtfmm {
+
+Watchdog::Watchdog(double timeout_s, StallFn on_stall)
+    : timeout_s_(timeout_s), on_stall_(std::move(on_stall)) {
+  AMTFMM_ASSERT(timeout_s_ > 0.0);
+  // thread-ok: the watchdog IS a monitor thread by design; it never
+  // touches executor state, only its own beat counter.
+  th_ = std::thread([this] { loop(); });
+}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  th_.join();
+}
+
+void Watchdog::beat() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++beats_;
+  }
+  cv_.notify_all();
+}
+
+void Watchdog::arm() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    armed_ = true;
+    ++beats_;  // arming restarts the stall clock
+  }
+  cv_.notify_all();
+}
+
+void Watchdog::disarm() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    armed_ = false;
+  }
+  cv_.notify_all();
+}
+
+void Watchdog::loop() {
+  using clock = std::chrono::steady_clock;
+  const auto poll = std::chrono::duration<double>(
+      std::min(timeout_s_ / 4.0, 0.05));
+  std::unique_lock<std::mutex> lk(mu_);
+  std::uint64_t last = beats_;
+  auto last_change = clock::now();
+  bool reported = false;
+  while (!stop_) {
+    cv_.wait_for(lk, poll);
+    if (stop_) return;
+    if (!armed_ || beats_ != last) {
+      last = beats_;
+      last_change = clock::now();
+      reported = false;
+      continue;
+    }
+    const double stalled =
+        std::chrono::duration<double>(clock::now() - last_change).count();
+    if (!reported && stalled >= timeout_s_) {
+      reported = true;
+      // relaxed-ok: diagnostic latch; set before the callback so fired()
+      // observed from the callback is already true.
+      fired_.store(true, std::memory_order_relaxed);
+      StallFn fn = on_stall_;  // copy: the call runs outside the lock
+      lk.unlock();
+      if (fn) fn(stalled);
+      lk.lock();
+    }
+  }
+}
+
+}  // namespace amtfmm

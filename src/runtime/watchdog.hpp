@@ -1,0 +1,59 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace amtfmm {
+
+/// Serve-epoch watchdog: a tiny monitor thread that fires `on_stall` when
+/// an armed period goes `timeout_s` seconds without a beat().  The serve
+/// loop arms it around each epoch and beats it on epoch completion, so a
+/// wedged drain (peer death the termination protocol cannot see, a
+/// deadlocked handler) produces a flight-recorder dump instead of a
+/// silent hang.  Fires at most once per stall episode; a subsequent
+/// beat() re-arms detection.
+class Watchdog {
+ public:
+  using StallFn = std::function<void(double stalled_s)>;
+
+  /// Starts the monitor thread immediately (disarmed).
+  Watchdog(double timeout_s, StallFn on_stall);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Progress marker; resets the stall clock and stall-reported latch.
+  void beat();
+  /// Only armed periods are watched; disarm while idle between requests.
+  void arm();
+  void disarm();
+
+  /// True once on_stall has fired at least once.
+  bool fired() const {
+    // relaxed-ok: diagnostic latch read after the fact; the monitor
+    // thread sets it before invoking on_stall.
+    return fired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+
+  const double timeout_s_;
+  StallFn on_stall_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t beats_ = 0;
+  bool armed_ = false;
+  bool stop_ = false;
+
+  std::atomic<bool> fired_{false};
+  std::thread th_;
+};
+
+}  // namespace amtfmm

@@ -148,5 +148,68 @@ TEST(CounterRegistry, ConcurrentEnableToggle) {
   EXPECT_LE(reg.snapshot().value("c"), 4u * 20000u);
 }
 
+// ---- histogram_quantile edge cases -------------------------------------
+
+TEST(HistogramQuantile, EmptyHistogramIsZero) {
+  CounterSnapshot::Histogram h;
+  EXPECT_EQ(histogram_quantile(h, 0.0), 0.0);
+  EXPECT_EQ(histogram_quantile(h, 0.5), 0.0);
+  EXPECT_EQ(histogram_quantile(h, 1.0), 0.0);
+}
+
+TEST(HistogramQuantile, SingleBucketInterpolatesLinearly) {
+  // Every observation in bucket 3 = [8, 16): quantiles sweep the bucket
+  // linearly, never leaving [8, 16].
+  CounterSnapshot::Histogram h;
+  h.buckets[3] = 100;
+  h.count = 100;
+  EXPECT_NEAR(histogram_quantile(h, 0.5), 12.0, 0.2);
+  EXPECT_GE(histogram_quantile(h, 0.0), 8.0);
+  EXPECT_LE(histogram_quantile(h, 1.0), 16.0);
+  // Quantiles outside [0, 1] clamp instead of reading out of range.
+  EXPECT_LE(histogram_quantile(h, 2.0), 16.0);
+  EXPECT_GE(histogram_quantile(h, -1.0), 8.0);
+}
+
+TEST(HistogramQuantile, TopBucketSaturationIsBounded) {
+  // Observations beyond the largest bucket saturate into bucket 31; the
+  // estimate stays within [2^31, 2^32] — the best bound a log2 histogram
+  // can give — instead of diverging or overflowing.
+  CounterSnapshot::Histogram h;
+  h.buckets[31] = 10;
+  h.count = 10;
+  const double lo = static_cast<double>(1ull << 31);
+  EXPECT_GE(histogram_quantile(h, 0.5), lo);
+  EXPECT_LE(histogram_quantile(h, 1.0), 2.0 * lo);
+}
+
+TEST(HistogramQuantile, MergedShardsMatchSingleShardObservations) {
+  // The same observations spread over 4 worker shards must produce the
+  // identical snapshot histogram (bucket-wise sum) and hence identical
+  // quantiles as observing them all from one worker.
+  CounterRegistry sharded(4), single(1);
+  const auto hs = sharded.histogram("lat");
+  const auto h1 = single.histogram("lat");
+  sharded.set_enabled(true);
+  single.set_enabled(true);
+  const std::uint64_t vals[] = {1, 3, 3, 9, 20, 100, 1000, 1001};
+  for (int i = 0; i < 8; ++i) {
+    sharded.observe(i % 4, hs, vals[i]);
+    single.observe(0, h1, vals[i]);
+  }
+  const auto a = sharded.snapshot().histograms.at(0);
+  const auto b = single.snapshot().histograms.at(0);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.buckets, b.buckets);
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(histogram_quantile(a, q), histogram_quantile(b, q));
+  }
+  // Median of {1,3,3,9,20,100,1000,1001}: rank 4 of 8 exhausts buckets
+  // [0,2) and [2,4) (cumulative 3) and lands on the 9 in bucket [8,16).
+  EXPECT_GE(histogram_quantile(a, 0.5), 8.0);
+  EXPECT_LE(histogram_quantile(a, 0.5), 16.0);
+}
+
 }  // namespace
 }  // namespace amtfmm

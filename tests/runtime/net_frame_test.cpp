@@ -258,8 +258,8 @@ TEST(ControlDecode, RejectsWrongSizeAndUnknownType) {
   std::string err;
   EXPECT_FALSE(decode_control(std::vector<std::byte>(31), &err).has_value());
   EXPECT_FALSE(decode_control(std::vector<std::byte>(33), &err).has_value());
-  // Type 0 and types past kGoodbye are invalid.
-  for (const std::uint8_t t : {0, 6, 7, 255}) {
+  // Type 0 and types past kPong are invalid.
+  for (const std::uint8_t t : {0, 8, 9, 255}) {
     ControlMsg m;
     m.type = t;
     auto wire = encode_control_frame(m);

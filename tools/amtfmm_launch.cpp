@@ -9,12 +9,20 @@
 // supervises the world: any rank exiting nonzero (or a signal) tears the
 // rest down, and a wall-clock timeout kills a hung world instead of
 // letting CI wait forever (exit 124, the `timeout(1)` convention).
+//
+// Failure triage: each rank's stderr is captured to DIR/rank.<r>.stderr.
+// When the world fails, the launcher prints per-rank exit status (decoding
+// signals by name), the stderr tail of every failed rank, and the paths of
+// any flight-recorder dumps found in the bootstrap directory — and keeps
+// the directory instead of cleaning it up, so the artifacts survive.
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fcntl.h>
 #include <filesystem>
 #include <string>
 #include <sys/wait.h>
@@ -33,7 +41,9 @@ using amtfmm::Cli;
 struct Child {
   pid_t pid = -1;
   bool exited = false;
+  bool torn_down = false;  ///< reaped by the launcher's own teardown
   int code = 0;
+  int sig = 0;  ///< terminating signal, 0 when it exited normally
 };
 
 void kill_world(std::vector<Child>& children) {
@@ -51,6 +61,7 @@ void kill_world(std::vector<Child>& children) {
       pid_t got = ::waitpid(c.pid, &status, WNOHANG);
       if (got == c.pid) {
         c.exited = true;
+        c.torn_down = true;
       } else {
         any_live = true;
       }
@@ -64,8 +75,54 @@ void kill_world(std::vector<Child>& children) {
       ::kill(c.pid, SIGKILL);
       ::waitpid(c.pid, nullptr, 0);
       c.exited = true;
+      c.torn_down = true;
     }
   }
+}
+
+std::string stderr_path(const std::string& dir, std::size_t rank) {
+  return dir + "/rank." + std::to_string(rank) + ".stderr";
+}
+
+/// Last ~2 KiB of a rank's captured stderr, printed line-aligned.
+void print_stderr_tail(const std::string& path, std::size_t rank) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  constexpr long kTail = 2048;
+  const long from = size > kTail ? size - kTail : 0;
+  std::fseek(f, from, SEEK_SET);
+  std::string buf(static_cast<std::size_t>(size - from), '\0');
+  const std::size_t got = std::fread(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  buf.resize(got);
+  if (buf.empty()) return;
+  if (from > 0) {
+    // Drop the first partial line of the tail window.
+    const std::size_t nl = buf.find('\n');
+    if (nl != std::string::npos) buf.erase(0, nl + 1);
+  }
+  std::fprintf(stderr, "amtfmm_launch: ---- rank %zu stderr tail ----\n",
+               rank);
+  std::fputs(buf.c_str(), stderr);
+  if (buf.back() != '\n') std::fputc('\n', stderr);
+}
+
+/// Flight-recorder dumps a failing world left in the bootstrap directory
+/// (ranks dump there by default under the launcher; see amtfmm_serve).
+std::vector<std::string> find_flight_dumps(const std::string& dir) {
+  std::vector<std::string> dumps;
+  std::error_code ec;
+  for (const auto& e : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("flight.", 0) == 0 &&
+        name.size() > 5 && name.compare(name.size() - 5, 5, ".json") == 0) {
+      dumps.push_back(e.path().string());
+    }
+  }
+  std::sort(dumps.begin(), dumps.end());
+  return dumps;
 }
 
 int run(int argc, char** argv) {
@@ -141,6 +198,15 @@ int run(int argc, char** argv) {
         ::setenv("AMTFMM_NET_WINDOW",
                  std::to_string(cli.i64("window")).c_str(), 1);
       }
+      // Capture stderr per rank for post-mortem triage; the interleaved
+      // live stream was unreadable past two ranks anyway.
+      const std::string errf =
+          stderr_path(dir, static_cast<std::size_t>(r));
+      const int fd = ::open(errf.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, 2);
+        ::close(fd);
+      }
       ::execvp(child_argv[0], child_argv.data());
       std::perror("amtfmm_launch: execvp");
       _exit(127);
@@ -164,12 +230,19 @@ int run(int argc, char** argv) {
         if (WIFEXITED(status)) {
           code = WEXITSTATUS(status);
         } else if (WIFSIGNALED(status)) {
+          children[r].sig = WTERMSIG(status);
           code = 128 + WTERMSIG(status);
         }
         children[r].code = code;
         if (code != 0) {
-          std::fprintf(stderr, "amtfmm_launch: rank %zu exited with %d\n", r,
-                       code);
+          if (children[r].sig != 0) {
+            std::fprintf(stderr,
+                         "amtfmm_launch: rank %zu killed by signal %d (%s)\n",
+                         r, children[r].sig, strsignal(children[r].sig));
+          } else {
+            std::fprintf(stderr, "amtfmm_launch: rank %zu exited with %d\n",
+                         r, code);
+          }
           if (world_rc == 0) world_rc = code;
         }
       }
@@ -189,7 +262,35 @@ int run(int argc, char** argv) {
   }
 
   kill_world(children);
-  if (own_dir) {
+  const bool failed = timed_out || world_rc != 0;
+  if (failed) {
+    // Triage: per-rank exit summary, failed ranks' stderr tails, and any
+    // flight-recorder dumps the dying world left behind.
+    for (std::size_t r = 0; r < children.size(); ++r) {
+      const Child& c = children[r];
+      if (c.torn_down) {
+        std::fprintf(stderr, "amtfmm_launch: rank %zu: torn down by "
+                     "launcher\n", r);
+      } else if (c.sig != 0) {
+        std::fprintf(stderr, "amtfmm_launch: rank %zu: signal %d (%s)\n", r,
+                     c.sig, strsignal(c.sig));
+      } else {
+        std::fprintf(stderr, "amtfmm_launch: rank %zu: exit %d\n", r, c.code);
+      }
+    }
+    for (std::size_t r = 0; r < children.size(); ++r) {
+      if (children[r].code != 0 || timed_out) {
+        print_stderr_tail(stderr_path(dir, r), r);
+      }
+    }
+    for (const std::string& dump : find_flight_dumps(dir)) {
+      std::fprintf(stderr, "amtfmm_launch: flight dump: %s\n", dump.c_str());
+    }
+    if (own_dir) {
+      std::fprintf(stderr, "amtfmm_launch: artifacts kept in %s\n",
+                   dir.c_str());
+    }
+  } else if (own_dir) {
     std::error_code ec;
     std::filesystem::remove_all(dir, ec);
   }

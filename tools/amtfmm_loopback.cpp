@@ -181,6 +181,11 @@ int run(int argc, char** argv) {
     topt.makespan = res.makespan;
     topt.dag_edges = res.dag_edges;
     topt.counters = &res.counters;
+    // Per-rank identity + clock anchor: trace_report --merge shifts this
+    // file onto rank 0's timeline using exactly these fields.
+    topt.rank = rank;
+    topt.world = world;
+    topt.clock = ex.trace_clock();
     trace_export_chrome(cli.str("trace-out") + "." + std::to_string(rank),
                         res.trace, res.comm_trace, res.instants, topt);
   }

@@ -30,9 +30,18 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+#include <cstddef>
+#include <cstdlib>
+#include <span>
+#include <thread>
+
 #include "core/pipeline.hpp"
 #include "geom/distributions.hpp"
+#include "runtime/flight_recorder.hpp"
 #include "runtime/net/net_executor.hpp"
+#include "runtime/telemetry.hpp"
+#include "runtime/watchdog.hpp"
 #include "support/cli.hpp"
 #include "support/json.hpp"
 #include "support/rng.hpp"
@@ -79,6 +88,18 @@ int run(int argc, char** argv) {
   cli.add_flag("seed", std::int64_t{1}, "problem seed (identical on all ranks)");
   cli.add_flag("json", std::string(""),
                "BENCH_serve row output path (rank 0; empty = off)");
+  cli.add_flag("telemetry", std::string(""),
+               "live-metrics dir: every rank samples its counters, rank 0 "
+               "aggregates into DIR/telemetry.json for amtfmm_top (empty = "
+               "off)");
+  cli.add_flag("telemetry-interval", 0.25,
+               "seconds between telemetry samples");
+  cli.add_flag("watchdog", 0.0,
+               "serve-epoch watchdog timeout in seconds (0 = off); a "
+               "stalled epoch dumps the flight recorder");
+  cli.add_flag("stall", 0.0,
+               "inject an artificial stall of this many seconds before the "
+               "final epoch (exercises the watchdog)");
   cli.parse(argc, argv);
 
   net::NetConfig ncfg;  // standalone default: world of one
@@ -122,12 +143,84 @@ int run(int argc, char** argv) {
   }
   const std::uint32_t rank = net_mode ? nex->rank() : 0;
   const std::uint32_t world = net_mode ? nex->world() : 1;
+  Executor& ex = pipeline->executor();
+
+  // Flight recorder: always on in serve mode.  Workers stream their last
+  // few thousand events into per-worker rings (one relaxed load + branch
+  // when nothing else is enabled); a fatal signal, a net-failure teardown,
+  // or the epoch watchdog dumps them as a Chrome trace for post-mortems.
+  const std::string tel_dir = cli.str("telemetry");
+  std::string flight_dir = tel_dir;
+  if (flight_dir.empty()) {
+    const char* net_dir = std::getenv("AMTFMM_NET_DIR");
+    flight_dir = net_dir != nullptr ? net_dir : ".";
+  }
+  FlightRecorder flight(ex.total_workers());
+  flight.set_dump_path(flight_dir + "/flight." + std::to_string(rank) +
+                       ".json");
+  flight.set_meta(rank, cfg.cores_per_locality, ex.trace_clock());
+  ex.trace().set_flight(&flight);
+  flight_install_crash_handler();
+
+  // Live telemetry: every rank runs a sampler shipping window deltas of
+  // its CounterRegistry; rank 0 aggregates all ranks (its own sampler
+  // feeds the aggregator directly, peers arrive over the transport's
+  // telemetry side channel) into an atomically-replaced snapshot file
+  // that amtfmm_top polls.
+  std::unique_ptr<TelemetryAggregator> aggregator;
+  std::unique_ptr<TelemetrySampler> sampler;
+  if (!tel_dir.empty()) {
+    if (rank == 0) {
+      aggregator = std::make_unique<TelemetryAggregator>(
+          world, tel_dir + "/telemetry.json");
+      if (net_mode) {
+        TelemetryAggregator* agg = aggregator.get();
+        nex->set_on_telemetry(
+            [agg](std::uint32_t, std::vector<std::byte>&& payload) {
+              agg->enqueue(std::string(
+                  reinterpret_cast<const char*>(payload.data()),
+                  payload.size()));
+            });
+      }
+    }
+    TelemetrySampler::ShipFn ship;
+    if (rank == 0) {
+      TelemetryAggregator* agg = aggregator.get();
+      ship = [agg](std::string&& s) { agg->enqueue(std::move(s)); };
+    } else {
+      net::NetExecutor* x = nex.get();
+      ship = [x](std::string&& s) {
+        x->post_telemetry(
+            0, std::span<const std::byte>(
+                   reinterpret_cast<const std::byte*>(s.data()), s.size()));
+      };
+    }
+    sampler = std::make_unique<TelemetrySampler>(
+        ex.counters(), rank, cli.f64("telemetry-interval"), std::move(ship));
+  }
+
+  // Epoch watchdog: armed around every evaluation; an epoch that goes
+  // `--watchdog` seconds without completing dumps the flight recorder —
+  // a wedged drain leaves an artifact instead of a silent hang.
+  std::unique_ptr<Watchdog> watchdog;
+  if (cli.f64("watchdog") > 0.0) {
+    watchdog = std::make_unique<Watchdog>(
+        cli.f64("watchdog"), [rank](double stalled_s) {
+          std::fprintf(stderr,
+                       "SERVE WATCHDOG: rank %u epoch stalled %.2f s, "
+                       "dumping flight recorder\n",
+                       rank, stalled_s);
+          flight_dump_all("serve epoch watchdog");
+        });
+  }
 
   // Epoch 1: instantiates the resident arena (build cost is separate —
   // pipeline.setup_seconds() — so epoch 1's latency is instantiate+run).
+  if (watchdog) watchdog->arm();
   Timer t1;
   const EvalResult first = pipeline->evaluate(charges);
   const double epoch1_s = t1.seconds() + pipeline->setup_seconds();
+  if (watchdog) watchdog->beat();
 
   // Steady state: epochs 2..E re-arm in place.
   std::vector<double> lat;
@@ -137,9 +230,16 @@ int run(int argc, char** argv) {
   std::uint64_t wire = first.wire_bytes;
   bool ok = true;
   for (int e = 2; e <= epochs; ++e) {
+    if (e == epochs && cli.f64("stall") > 0.0) {
+      // Injected stall: the epoch is armed but makes no progress, so the
+      // watchdog (if configured) must fire and leave a flight dump.
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          cli.f64("stall")));
+    }
     Timer te;
     const EvalResult r = pipeline->evaluate(charges);
     lat.push_back(te.seconds());
+    if (watchdog) watchdog->beat();
     if (e == 2) reset_s = pipeline->last_reset_seconds();
     steady_allocs += pipeline->gas_allocs_last_epoch();
     repeat_rel =
@@ -152,6 +252,7 @@ int run(int argc, char** argv) {
       ok = false;
     }
   }
+  if (watchdog) watchdog->disarm();
   if (steady_allocs != 0) {
     std::fprintf(stderr,
                  "SERVE FAIL: rank %u steady state allocated %" PRIu64
@@ -221,6 +322,20 @@ int run(int argc, char** argv) {
                  "SERVE FAIL: rank %u resident vs fresh-build parity "
                  "(max rel err %.3e > 1e-12)\n",
                  rank, fresh_rel);
+    ok = false;
+  }
+  // Orderly telemetry teardown: the local sampler's final flush must land
+  // before the transport callback is cleared, so the aggregator strictly
+  // outlives any frame the progress thread may still deliver.
+  if (sampler) sampler->stop();
+  if (aggregator) {
+    if (net_mode) nex->set_on_telemetry(nullptr);
+    aggregator->stop();
+  }
+  if (watchdog && watchdog->fired() && cli.f64("stall") <= 0.0) {
+    std::fprintf(stderr,
+                 "SERVE FAIL: rank %u watchdog fired without an injected "
+                 "stall\n", rank);
     ok = false;
   }
   if (!ok) return 1;

@@ -4,50 +4,101 @@
 // steal/coalescing counters — and exits nonzero when the trace fails its
 // structural or consistency checks, so CI can gate on it directly.
 //
+// With --merge, combines N per-rank traces from one distributed run onto
+// rank 0's clock-corrected timeline (see trace_merge.hpp): writes the
+// merged Chrome trace, re-derives cross-rank parcel flows from matched
+// send/recv instants, and reports the cross-rank weighted critical path
+// including NIC/net spans.  Exits nonzero on structural failure or any
+// negative-duration cross-rank flow (clock correction unsound).
+//
 // Usage: trace_report TRACE.json [--out REPORT.json]
+//        trace_report --merge MERGED.json RANK0.json RANK1.json ...
+//                     [--out REPORT.json]
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "runtime/trace_merge.hpp"
 #include "runtime/trace_report.hpp"
 
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: trace_report TRACE.json [--out REPORT.json]\n"
+      "       trace_report --merge MERGED.json RANK0.json RANK1.json ...\n"
+      "                    [--out REPORT.json]\n");
+  return 2;
+}
+
+int write_out(const std::string& json, const std::string& out) {
+  std::printf("%s\n", json.c_str());
+  if (out.empty()) return 0;
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 2;
+  }
+  std::fputs(json.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  std::string in;
+  std::vector<std::string> inputs;
   std::string out;
+  std::string merge_out;
+  bool merge = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--merge") == 0 && i + 1 < argc) {
+      merge = true;
+      merge_out = argv[++i];
+    } else if (std::strncmp(argv[i], "--merge=", 8) == 0) {
+      merge = true;
+      merge_out = argv[i] + 8;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: trace_report TRACE.json [--out REPORT.json]\n");
+      usage();
       return 0;
-    } else if (in.empty()) {
-      in = argv[i];
     } else {
-      std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
-      return 2;
+      inputs.emplace_back(argv[i]);
     }
-  }
-  if (in.empty()) {
-    std::fprintf(stderr, "usage: trace_report TRACE.json [--out REPORT.json]\n");
-    return 2;
   }
 
-  const amtfmm::TraceReport report = amtfmm::analyze_trace_file(in);
-  const std::string json = report_json(report);
-  std::printf("%s\n", json.c_str());
-  if (!out.empty()) {
-    std::FILE* f = std::fopen(out.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", out.c_str());
-      return 2;
+  if (merge) {
+    if (inputs.empty()) return usage();
+    const amtfmm::TraceMergeReport report =
+        amtfmm::trace_merge(inputs, merge_out);
+    const int rc = write_out(merge_report_json(report), out);
+    if (rc != 0) return rc;
+    if (!report.valid) {
+      std::fprintf(stderr, "trace_report: INVALID merge: %s\n",
+                   report.error.c_str());
+      return 1;
     }
-    std::fputs(json.c_str(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
+    if (report.negative_flows != 0) {
+      std::fprintf(stderr,
+                   "trace_report: %llu negative-duration cross-rank flows "
+                   "(clock correction unsound)\n",
+                   static_cast<unsigned long long>(report.negative_flows));
+      return 1;
+    }
+    return 0;
   }
+
+  if (inputs.size() != 1) return usage();
+  const amtfmm::TraceReport report = amtfmm::analyze_trace_file(inputs[0]);
+  const int rc = write_out(report_json(report), out);
+  if (rc != 0) return rc;
   if (!report.valid) {
     std::fprintf(stderr, "trace_report: INVALID trace: %s\n",
                  report.error.c_str());
