@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Full local gate, mirroring .github/workflows/ci.yml:
-#   1. invariant lint (threading / memory-order / payload / seed rules),
+#   1. invariant lint self-test, then the lint itself (threading /
+#      memory-order / payload / seed rules),
 #   2. Release build + complete test suite, plus the kernel/operator tests
 #      re-run with AMTFMM_FORCE_ISA=scalar (SIMD dispatch pinned off),
+#      followed by the static concurrency contract when clang++ exists:
+#      -Wthread-safety -Werror build, tests/static try_compile proofs,
+#      and the amtfmm_lint AST analyzer over the compilation database,
 #   3. rtcheck model-checker sweep (exhaustive DFS + seeded mutations + PCT),
 #   4. Debug build of the multi-locality parity / LCO-semantics tests
 #      (assertions and the GAS/ownership debug checks enabled),
@@ -23,13 +27,35 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "== Invariant lint =="
+echo "== Invariant lint (self-test, then tree) =="
+python3 scripts/test_lint_invariants.py
 python3 scripts/lint_invariants.py
 
 echo "== Release build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
+# Top-level CMakeLists exports the compilation database; surface it at the
+# repo root for clangd, run-clang-tidy, and amtfmm_lint -p defaults.
+ln -sf build/compile_commands.json compile_commands.json
 ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "== Static concurrency contract (clang legs) =="
+# Mirrors the CI static-analysis job: a clang build carries
+# -Wthread-safety -Werror=thread-safety (top-level CMakeLists), builds
+# amtfmm_lint when the Clang CMake package is present, and runs the
+# tests/static try_compile proofs plus the AST analyzer over the full
+# compilation database.  GCC-only hosts skip with a notice — the regex
+# lint above and CI remain the gate.
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-static -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DCMAKE_C_COMPILER=clang >/dev/null
+  cmake --build build-static -j"$JOBS"
+  ctest --test-dir build-static --output-on-failure -j"$JOBS" \
+    -R 'StaticTsa|AmtfmmLint'
+else
+  echo "clang++ not installed; skipping thread-safety + amtfmm_lint legs" \
+       "(CI enforces them)"
+fi
 
 echo "== Kernel/operator tests with SIMD dispatch forced to scalar =="
 AMTFMM_FORCE_ISA=scalar ctest --test-dir build --output-on-failure \

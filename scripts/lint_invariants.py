@@ -143,6 +143,87 @@ def has_escape(lines: list[str], idx: int, tag: str) -> bool:
     return False
 
 
+def code_lines(lines: list[str]) -> list[str]:
+    """Returns `lines` with comments and literal contents blanked out.
+
+    Strips `//` line comments, `/* ... */` block comments (including
+    multi-line ones), and the contents of string / character / raw-string
+    literals, leaving empty `""` / `''` placeholders so adjacent tokens do
+    not fuse.  C++14 digit separators (`1'000'000`) are preserved.  The
+    rule regexes match against this view, so `"std::mutex"` inside a log
+    message or a commented-out `memory_order_relaxed` can no longer
+    produce false violations; `has_escape` still reads the ORIGINAL lines
+    (escape hatches are comments).
+    """
+    out: list[str] = []
+    block = False  # inside /* ... */
+    raw_term = ""  # inside a raw string; holds the `)delim"` terminator
+    for line in lines:
+        kept: list[str] = []
+        i, n = 0, len(line)
+        while i < n:
+            if block:
+                j = line.find("*/", i)
+                if j < 0:
+                    i = n
+                else:
+                    block = False
+                    i = j + 2
+                continue
+            if raw_term:
+                j = line.find(raw_term, i)
+                if j < 0:
+                    i = n
+                else:
+                    i = j + len(raw_term)
+                    raw_term = ""
+                continue
+            ch = line[i]
+            nxt = line[i + 1] if i + 1 < n else ""
+            if ch == "/" and nxt == "/":
+                break  # rest of the line is a comment
+            if ch == "/" and nxt == "*":
+                block = True
+                i += 2
+                continue
+            if ch == "'" and i > 0 and line[i - 1].isalnum() and nxt.isalnum():
+                kept.append(ch)  # digit separator, not a char literal
+                i += 1
+                continue
+            if ch == '"' and i > 0 and line[i - 1] == "R" and (
+                i < 2 or not (line[i - 2].isalnum() or line[i - 2] == "_")
+            ):
+                m = re.match(r'"([^()\\ ]{0,16})\(', line[i:])
+                if m:
+                    raw_term = ")" + m.group(1) + '"'
+                    j = line.find(raw_term, i + m.end())
+                    kept.append('""')
+                    if j < 0:
+                        i = n
+                    else:
+                        i = j + len(raw_term)
+                        raw_term = ""
+                    continue
+            if ch in ('"', "'"):
+                j = i + 1
+                closed = False
+                while j < n:
+                    if line[j] == "\\":
+                        j += 2
+                        continue
+                    if line[j] == ch:
+                        closed = True
+                        break
+                    j += 1
+                kept.append(ch + ch)
+                i = j + 1 if closed else n
+                continue
+            kept.append(ch)
+            i += 1
+        out.append("".join(kept))
+    return out
+
+
 def struct_body(lines: list[str], start: int):
     """Yields (index, line) of a struct body starting at its `struct` line."""
     depth = 0
@@ -157,79 +238,91 @@ def struct_body(lines: list[str], start: int):
             return
 
 
+def lint_lines(rel: str, lines: list[str]) -> list[str]:
+    """Runs every rule against one file's lines; returns violation strings.
+
+    Rule regexes match the comment/literal-stripped view from
+    `code_lines`; escape-hatch detection reads the original lines.
+    Factored out of main() so scripts/test_lint_invariants.py can feed
+    synthetic content.
+    """
+    violations: list[str] = []
+    codes = code_lines(lines)
+
+    in_thread_zone = rel.startswith(THREAD_DIRS)
+    in_simd_zone = rel.startswith(SIMD_DIRS)
+    in_net_zone = rel.startswith(NET_DIRS)
+    relaxed_exempt = rel in RELAXED_EXEMPT or rel.startswith(
+        RELAXED_EXEMPT_DIRS
+    )
+
+    for i, code in enumerate(codes):
+        if not in_thread_zone and THREAD_RE.search(code):
+            if not has_escape(lines, i, "thread-ok"):
+                violations.append(
+                    f"{rel}:{i + 1}: threading primitive outside "
+                    "src/runtime/ (use the Executor / SyncMutex layer, "
+                    "or add '// thread-ok: <reason>')"
+                )
+        if not relaxed_exempt and RELAXED_RE.search(code):
+            if not has_escape(lines, i, "relaxed-ok"):
+                violations.append(
+                    f"{rel}:{i + 1}: memory_order_relaxed without a "
+                    "'// relaxed-ok: <reason>' comment"
+                )
+        if RANDOM_RE.search(code):
+            if not has_escape(lines, i, "rand-ok"):
+                violations.append(
+                    f"{rel}:{i + 1}: unseeded randomness (rand/"
+                    "random_device); use an explicit seed or add "
+                    "'// rand-ok: <reason>'"
+                )
+        if not in_simd_zone and SIMD_RE.search(code):
+            if not has_escape(lines, i, "simd-ok"):
+                violations.append(
+                    f"{rel}:{i + 1}: vector intrinsics outside "
+                    "src/kernels/simd/ (call the amtfmm::simd API, or "
+                    "add '// simd-ok: <reason>')"
+                )
+        if not in_net_zone and NET_RE.search(code):
+            if not has_escape(lines, i, "net-ok"):
+                violations.append(
+                    f"{rel}:{i + 1}: raw socket usage outside "
+                    "src/runtime/net/ (go through NetTransport, or "
+                    "add '// net-ok: <reason>')"
+                )
+        if rel not in WALLCLOCK_FILES and WALLCLOCK_RE.search(code):
+            if not has_escape(lines, i, "time-ok"):
+                violations.append(
+                    f"{rel}:{i + 1}: wall-clock time source outside "
+                    "the trace/telemetry layer (use the steady clock, "
+                    "or add '// time-ok: <reason>')"
+                )
+
+    for i, code in enumerate(codes):
+        m = re.match(r"\s*struct\s+(\w+)\b(?!.*;\s*$)", code)
+        if not m or m.group(1) not in PAYLOAD_STRUCTS:
+            continue
+        for j, body_line in struct_body(codes, i):
+            if "(" in body_line or ")" in body_line:
+                continue  # member functions may take/return pointers
+            if POINTER_MEMBER_RE.search(body_line):
+                violations.append(
+                    f"{rel}:{j + 1}: raw pointer member in parcel "
+                    f"payload struct {m.group(1)} (addresses do not "
+                    "survive the wire)"
+                )
+
+    return violations
+
+
 def main() -> int:
     violations: list[str] = []
     for path in sorted(SRC.rglob("*")):
         if path.suffix not in (".hpp", ".cpp"):
             continue
         rel = path.relative_to(REPO).as_posix()
-        lines = path.read_text().splitlines()
-
-        in_thread_zone = rel.startswith(THREAD_DIRS)
-        in_simd_zone = rel.startswith(SIMD_DIRS)
-        in_net_zone = rel.startswith(NET_DIRS)
-        relaxed_exempt = rel in RELAXED_EXEMPT or rel.startswith(
-            RELAXED_EXEMPT_DIRS
-        )
-
-        for i, line in enumerate(lines):
-            code = line.split("//")[0]
-            if not in_thread_zone and THREAD_RE.search(code):
-                if not has_escape(lines, i, "thread-ok"):
-                    violations.append(
-                        f"{rel}:{i + 1}: threading primitive outside "
-                        "src/runtime/ (use the Executor / SyncMutex layer, "
-                        "or add '// thread-ok: <reason>')"
-                    )
-            if not relaxed_exempt and RELAXED_RE.search(code):
-                if not has_escape(lines, i, "relaxed-ok"):
-                    violations.append(
-                        f"{rel}:{i + 1}: memory_order_relaxed without a "
-                        "'// relaxed-ok: <reason>' comment"
-                    )
-            if RANDOM_RE.search(code):
-                if not has_escape(lines, i, "rand-ok"):
-                    violations.append(
-                        f"{rel}:{i + 1}: unseeded randomness (rand/"
-                        "random_device); use an explicit seed or add "
-                        "'// rand-ok: <reason>'"
-                    )
-            if not in_simd_zone and SIMD_RE.search(code):
-                if not has_escape(lines, i, "simd-ok"):
-                    violations.append(
-                        f"{rel}:{i + 1}: vector intrinsics outside "
-                        "src/kernels/simd/ (call the amtfmm::simd API, or "
-                        "add '// simd-ok: <reason>')"
-                    )
-            if not in_net_zone and NET_RE.search(code):
-                if not has_escape(lines, i, "net-ok"):
-                    violations.append(
-                        f"{rel}:{i + 1}: raw socket usage outside "
-                        "src/runtime/net/ (go through NetTransport, or "
-                        "add '// net-ok: <reason>')"
-                    )
-            if rel not in WALLCLOCK_FILES and WALLCLOCK_RE.search(code):
-                if not has_escape(lines, i, "time-ok"):
-                    violations.append(
-                        f"{rel}:{i + 1}: wall-clock time source outside "
-                        "the trace/telemetry layer (use the steady clock, "
-                        "or add '// time-ok: <reason>')"
-                    )
-
-        for i, line in enumerate(lines):
-            m = re.match(r"\s*struct\s+(\w+)\b(?!.*;\s*$)", line)
-            if not m or m.group(1) not in PAYLOAD_STRUCTS:
-                continue
-            for j, body_line in struct_body(lines, i):
-                code = body_line.split("//")[0]
-                if "(" in code or ")" in code:
-                    continue  # member functions may take/return pointers
-                if POINTER_MEMBER_RE.search(code):
-                    violations.append(
-                        f"{rel}:{j + 1}: raw pointer member in parcel "
-                        f"payload struct {m.group(1)} (addresses do not "
-                        "survive the wire)"
-                    )
+        violations.extend(lint_lines(rel, path.read_text().splitlines()))
 
     if violations:
         print(f"lint_invariants: {len(violations)} violation(s)")

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/lint_invariants.py (run by scripts/check.sh).
+
+Pins the behaviors the tree-wide run cannot exercise: that rule regexes
+no longer match inside string literals or block comments, that escape
+hatches still work (they are comments, so they must be read from the
+ORIGINAL lines, not the stripped view), and that each rule both fires on
+a seeded violation and stays quiet on the compliant spelling.  Plain
+asserts, no test-framework dependency; exit 0 on success.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "lint_invariants", Path(__file__).resolve().parent / "lint_invariants.py"
+)
+lint = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(lint)
+
+OUTSIDE = "src/core/example.cpp"  # not in any confinement zone
+
+
+def run(text: str, rel: str = OUTSIDE) -> list[str]:
+    return lint.lint_lines(rel, text.splitlines())
+
+
+def checks_of(violations: list[str]) -> list[str]:
+    # The rule is identifiable from the message tail; keep it coarse.
+    return violations
+
+
+def main() -> int:
+    # --- code_lines: stripping mechanics ------------------------------
+    cl = lint.code_lines
+
+    assert cl(['x = "std::mutex in a string";'])[0] == 'x = "";'
+    assert cl(["int a = 1; // std::mutex in a comment"])[0] == "int a = 1; "
+    assert cl(["/* std::mutex", "still comment */ int b;"]) == [
+        "",
+        " int b;",
+    ]
+    assert cl(["/* one line */ std::mutex m;"])[0] == " std::mutex m;"
+    # Digit separators are not char literals; the line keeps scanning.
+    assert cl(["int n = 1'000'000; std::mutex m;"])[0] == (
+        "int n = 1'000'000; std::mutex m;"
+    )
+    # Char literal with an escaped quote does not derail the scanner.
+    assert cl(["char c = '\\''; std::mutex m;"])[0] == "char c = ''; std::mutex m;"
+    # Raw strings, including multi-line ones, are blanked (the R prefix
+    # survives as a harmless `R""` placeholder).
+    assert cl(['auto s = R"(memory_order_relaxed)"; int x;'])[0] == (
+        'auto s = R""; int x;'
+    )
+    assert cl(['auto s = R"(rand(', 'gettimeofday)"; int y;']) == [
+        'auto s = R""',
+        "; int y;",
+    ]
+
+    # --- rule firing vs literals/comments -----------------------------
+    assert run('void f() { log("uses std::mutex"); }') == []
+    assert run("/* memory_order_relaxed */ int x;") == []
+    assert run("// ::socket(2, 1, 0)\nint y;") == []
+    assert len(run("std::mutex m;")) == 1
+    assert "threading primitive" in run("std::mutex m;")[0]
+
+    # Zones still exempt.
+    assert run("std::mutex m;", "src/runtime/foo.cpp") == []
+
+    # --- escape hatches read the original lines -----------------------
+    assert run("// thread-ok: documented exception\nstd::mutex m;") == []
+    assert run("// relaxed-ok: why\n\nx.load(std::memory_order_relaxed);") == []
+    # Three lines above is out of the escape window.
+    assert len(run("// thread-ok: too far\n\n\nstd::mutex m;")) == 1
+
+    # --- one seeded violation per remaining rule ----------------------
+    assert "memory_order_relaxed" in run(
+        "x.load(std::memory_order_relaxed);"
+    )[0]
+    assert "unseeded randomness" in run("int r = rand();")[0]
+    assert "vector intrinsics" in run("__m256d v;")[0]
+    assert "raw socket" in run("int fd = ::socket(2, 1, 0);")[0]
+    assert "wall-clock" in run("auto t = system_clock::now();")[0]
+    assert run("auto t = system_clock::now();", "src/runtime/trace.cpp") == []
+
+    # --- payload struct pointer members -------------------------------
+    bad = "struct WireRecord {\n  double q;\n  int* owner;\n};"
+    v = run(bad)
+    assert len(v) == 1 and "raw pointer member" in v[0], v
+    # A pointer in a comment inside the struct no longer trips the rule.
+    ok = "struct WireRecord {\n  double q;  // was: int* owner\n};"
+    assert run(ok) == []
+    # Non-payload structs may hold pointers.
+    assert run("struct Cursor {\n  int* p;\n};") == []
+
+    print("test_lint_invariants: all assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,7 +53,7 @@ ParcelCoalescer::Enqueued ParcelCoalescer::enqueue(std::uint32_t src,
                                                    double now) {
   Buffer& b = buffer(src, dst);
   Enqueued r;
-  std::lock_guard lk(b.mu);
+  SyncLockGuard lk(b.mu);
   if (b.tasks.empty()) {
     b.oldest = now;
     r.first = true;
@@ -85,7 +85,7 @@ ParcelCoalescer::Enqueued ParcelCoalescer::enqueue(std::uint32_t src,
 std::optional<ParcelBatch> ParcelCoalescer::take_if_epoch(
     std::uint32_t src, std::uint32_t dst, std::uint64_t epoch) {
   Buffer& b = buffer(src, dst);
-  std::lock_guard lk(b.mu);
+  SyncLockGuard lk(b.mu);
   if (b.epoch != epoch || b.tasks.empty()) return std::nullopt;
   return take_locked(b, src, dst, FlushReason::kDeadline);
 }
@@ -98,7 +98,7 @@ std::vector<ParcelBatch> ParcelCoalescer::take_expired_from(std::uint32_t src,
   }
   for (std::uint32_t dst = 0; dst < localities_; ++dst) {
     Buffer& b = buffer(src, dst);
-    std::lock_guard lk(b.mu);
+    SyncLockGuard lk(b.mu);
     if (!b.tasks.empty() && now - b.oldest >= cfg_.flush_deadline) {
       out.push_back(take_locked(b, src, dst, FlushReason::kDeadline));
     }
@@ -113,7 +113,7 @@ std::vector<ParcelBatch> ParcelCoalescer::take_all_from(std::uint32_t src) {
   }
   for (std::uint32_t dst = 0; dst < localities_; ++dst) {
     Buffer& b = buffer(src, dst);
-    std::lock_guard lk(b.mu);
+    SyncLockGuard lk(b.mu);
     if (!b.tasks.empty()) {
       out.push_back(take_locked(b, src, dst, FlushReason::kQuiescence));
     }

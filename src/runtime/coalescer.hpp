@@ -3,7 +3,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -70,20 +69,23 @@ class ParcelCoalescer {
  private:
   struct Buffer {
     SyncMutex mu;
-    std::vector<Task> tasks;
-    std::size_t bytes = 0;
-    bool any_high = false;
-    double oldest = 0.0;     // enqueue time of the first buffered parcel
-    std::uint64_t next_seq = 0;
-    std::uint64_t epoch = 0; // bumped on every flush
+    std::vector<Task> tasks GUARDED_BY(mu);
+    std::size_t bytes GUARDED_BY(mu) = 0;
+    bool any_high GUARDED_BY(mu) = false;
+    /// Enqueue time of the first buffered parcel.
+    double oldest GUARDED_BY(mu) = 0.0;
+    std::uint64_t next_seq GUARDED_BY(mu) = 0;
+    /// Bumped on every flush.
+    std::uint64_t epoch GUARDED_BY(mu) = 0;
   };
 
   Buffer& buffer(std::uint32_t src, std::uint32_t dst) {
     return buffers_[static_cast<std::size_t>(src) * localities_ + dst];
   }
-  /// Drains a buffer into a batch; requires b.mu held and b nonempty.
+  /// Drains a buffer into a batch; b must be nonempty.  The REQUIRES turns
+  /// the old "requires b.mu held" comment into a compiler-checked contract.
   ParcelBatch take_locked(Buffer& b, std::uint32_t src, std::uint32_t dst,
-                          FlushReason reason);
+                          FlushReason reason) REQUIRES(b.mu);
 
   CoalesceConfig cfg_;
   std::uint32_t localities_;

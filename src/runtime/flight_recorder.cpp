@@ -115,7 +115,7 @@ void FlightRecorder::set_meta(std::uint32_t rank, int cores,
 }
 
 void FlightRecorder::record_comm(const CommEvent& e) {
-  std::lock_guard<std::mutex> lk(comm_mu_);
+  SyncLockGuard lk(comm_mu_);
   comm_[comm_head_ % comm_.size()] = e;
   ++comm_head_;
 }

@@ -3,10 +3,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "runtime/sync_hook.hpp"
 #include "runtime/trace.hpp"
 
 namespace amtfmm {
@@ -110,9 +110,9 @@ class FlightRecorder {
   std::vector<Ring> rings_;
   std::uint64_t mask_ = 0;
 
-  mutable std::mutex comm_mu_;
-  std::vector<CommEvent> comm_;
-  std::size_t comm_head_ = 0;
+  mutable SyncMutex comm_mu_;
+  std::vector<CommEvent> comm_ GUARDED_BY(comm_mu_);
+  std::size_t comm_head_ GUARDED_BY(comm_mu_) = 0;
 
   char path_[512] = {};
   std::uint32_t rank_ = 0;

@@ -3,7 +3,6 @@
 #include <array>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "runtime/lco.hpp"
@@ -63,7 +62,7 @@ class Gas {
   GlobalAddress alloc(std::uint32_t locality, std::unique_ptr<LCO> obj) {
     AMTFMM_ASSERT(locality < heaps_.size());
     Heap& h = *heaps_[locality];
-    std::lock_guard lk(h.mu);
+    SyncLockGuard lk(h.mu);
     // relaxed-ok: size is only written under h.mu; this is the owner's read.
     const std::uint32_t slot = hooked_load(h.size, std::memory_order_relaxed);
     const std::uint32_t ci = slot >> kChunkBits;
@@ -145,6 +144,10 @@ class Gas {
   using Chunk = std::array<std::unique_ptr<LCO>, kChunkSize>;
 
   struct Heap {
+    /// Serializes alloc() on this locality.  size/chunks are deliberately
+    /// NOT GUARDED_BY(mu): resolve() reads them lock-free through the
+    /// release/acquire protocol documented on the class, and guarded_by
+    /// would demand the lock on every access.
     SyncMutex mu;
     std::atomic<std::uint32_t> size{0};
     std::array<std::atomic<Chunk*>, kMaxChunks> chunks{};

@@ -16,10 +16,11 @@ void LCO::set_input(std::span<const std::byte> data) {
     AMTFMM_ASSERT_MSG(!hooked_load(triggered_, std::memory_order_relaxed),
                       "input to an already-triggered LCO");
     // Input-wait latency: stamp the first arrival, observe on trigger.  The
-    // clock read is skipped entirely while the registry is disabled.
-    if (first_input_t_ < 0.0 && ex_.counters().enabled()) {
-      sync_plain_write(&first_input_t_);
-      first_input_t_ = ex_.now();
+    // clock read is skipped entirely while the registry is disabled.  The
+    // release store pairs with fire()'s acquire load outside the lock.
+    if (hooked_load(first_input_t_, std::memory_order_acquire) < 0.0 &&
+        ex_.counters().enabled()) {
+      hooked_store(first_input_t_, ex_.now(), std::memory_order_release);
     }
     reduce(data);
     sync_event(SyncKind::kLcoInput, this);
@@ -33,7 +34,7 @@ void LCO::set_input(std::span<const std::byte> data) {
 void LCO::fire() {
   std::vector<Task> to_run;
   {
-    std::lock_guard lk(mu_);
+    SyncLockGuard lk(mu_);
     on_trigger();
     hooked_store(triggered_, true, std::memory_order_release);
     to_run.swap(continuations_);
@@ -46,13 +47,14 @@ void LCO::fire() {
       (ex_.counters().enabled() || ex_.trace().enabled()) ? ex_.now() : -1.0;
   if (tn >= 0.0) {
     const int w = LocalityRuntime::metric_worker();
-    // Written under mu_ by the first input; the firing thread is ordered
-    // after it by the acq_rel chain on remaining_ even outside the lock.
-    sync_plain_read(&first_input_t_);
-    if (first_input_t_ >= 0.0) {
+    // Stored by the first input under mu_; this read is outside the lock
+    // (cold path), so the stamp is atomic — acquire pairs with the release
+    // store, on top of the acq_rel chain on remaining_.
+    const double t0 = hooked_load(first_input_t_, std::memory_order_acquire);
+    if (t0 >= 0.0) {
       ex_.counters().observe(
           w, ex_.runtime().ids().lco_input_wait_us,
-          static_cast<std::uint64_t>((tn - first_input_t_) * 1e6));
+          static_cast<std::uint64_t>((tn - t0) * 1e6));
     }
     if (ex_.trace().enabled()) {
       ex_.trace().record_instant(static_cast<std::uint32_t>(w),
@@ -64,7 +66,7 @@ void LCO::fire() {
 }
 
 void LCO::rearm(int inputs_needed) {
-  std::lock_guard lk(mu_);
+  SyncLockGuard lk(mu_);
   // The epoch boundary is a synchronization point: announce it before the
   // state flips so rtcheck orders the re-arm after the previous fire and
   // resets its trigger-once detector for this object.
@@ -73,13 +75,12 @@ void LCO::rearm(int inputs_needed) {
                                                               : inputs_needed));
   hooked_store(remaining_, inputs_needed, std::memory_order_release);
   hooked_store(triggered_, inputs_needed == 0, std::memory_order_release);
-  sync_plain_write(&first_input_t_);
-  first_input_t_ = -1.0;
+  hooked_store(first_input_t_, -1.0, std::memory_order_release);
 }
 
 void LCO::register_continuation(Task t) {
   {
-    std::lock_guard lk(mu_);
+    SyncLockGuard lk(mu_);
     sync_event(SyncKind::kLcoContinuation, this);
     // relaxed-ok: guarded by mu_; fire() publishes triggered_ under mu_.
     if (!hooked_load(triggered_, std::memory_order_relaxed)) {
@@ -93,8 +94,10 @@ void LCO::register_continuation(Task t) {
 void LCO::wait() {
   AMTFMM_ASSERT_MSG(current_worker() < 0,
                     "LCO::wait would deadlock a scheduler thread");
-  std::unique_lock lk(mu_);
-  cv_.wait(lk, [this] { return triggered_.load(std::memory_order_acquire); });
+  SyncUniqueLock lk(mu_);
+  // Explicit predicate loop: SyncCondVar has no wait(pred) overload (a
+  // predicate lambda defeats the thread-safety analysis; see sync_hook.hpp).
+  while (!triggered_.load(std::memory_order_acquire)) cv_.wait(lk);
 }
 
 }  // namespace amtfmm

@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <cstring>
-#include <mutex>
 #include <span>
 
 #include "runtime/executor.hpp"
@@ -69,16 +68,21 @@ class LCO {
  private:
   void fire();
 
-  // SyncMutex/SyncCondVar are std::mutex/std::condition_variable in normal
-  // builds; under AMTFMM_RTCHECK they are model-checker schedule points.
+  // SyncMutex/SyncCondVar wrap std::mutex/std::condition_variable with the
+  // thread-safety capability annotations; under AMTFMM_RTCHECK they are
+  // also model-checker schedule points.
   SyncMutex mu_;
   SyncCondVar cv_;
-  std::vector<Task> continuations_;
+  std::vector<Task> continuations_ GUARDED_BY(mu_);
   std::atomic<int> remaining_;
   std::atomic<bool> triggered_{false};
   /// Executor-clock time of the first input (-1 until seen); written under
-  /// mu_, read by fire() after the final input — feeds lco.input_wait_us.
-  double first_input_t_ = -1.0;
+  /// mu_, read by fire() after the final input *outside* the lock (the
+  /// cold metrics path).  Atomic for exactly that unlocked read:
+  /// -Wthread-safety rejected the previous plain double under GUARDED_BY,
+  /// and without the annotation the read raced formally even though the
+  /// acq_rel chain on remaining_ ordered it in practice.
+  std::atomic<double> first_input_t_{-1.0};
 };
 
 /// Single-assignment future holding a trivially copyable value.

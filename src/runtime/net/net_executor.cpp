@@ -63,7 +63,7 @@ NetExecutor::~NetExecutor() {
   // even on a failed mesh.
   transport_.stop();
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    SyncLockGuard lk(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -105,26 +105,33 @@ TraceClock NetExecutor::trace_clock() const {
 
 void NetExecutor::register_net_handler(std::uint8_t kind, NetHandler h) {
   {
-    std::lock_guard<std::mutex> lk(handlers_mu_);
+    SyncLockGuard lk(handlers_mu_);
     handlers_[kind] = std::move(h);
   }
   handlers_cv_.notify_all();
 }
 
 void NetExecutor::unregister_net_handler(std::uint8_t kind) {
-  std::lock_guard<std::mutex> lk(handlers_mu_);
+  SyncLockGuard lk(handlers_mu_);
   handlers_[kind] = nullptr;
 }
 
 Executor::NetHandler NetExecutor::wait_handler(std::uint8_t kind) {
-  std::unique_lock<std::mutex> lk(handlers_mu_);
+  SyncUniqueLock lk(handlers_mu_);
   if (!handlers_[kind]) {
     // A parcel can arrive between transport start and the engine
     // registering its handlers; block briefly rather than drop.  Sixty
     // seconds of no registration is a programming error, not latency.
-    const bool ok = handlers_cv_.wait_for(
-        lk, std::chrono::seconds(60), [&] { return bool(handlers_[kind]); });
-    AMTFMM_ASSERT(ok && "no handler registered for arriving parcel kind");
+    // Deadline loop instead of wait_for(pred): see sync_hook.hpp.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (!handlers_[kind]) {
+      if (handlers_cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
+    AMTFMM_ASSERT(bool(handlers_[kind]) &&
+                  "no handler registered for arriving parcel kind");
   }
   return handlers_[kind];  // copy: the call runs outside the lock
 }
@@ -132,7 +139,7 @@ Executor::NetHandler NetExecutor::wait_handler(std::uint8_t kind) {
 void NetExecutor::spawn(Task t) {
   AMTFMM_ASSERT(locality_is_local(t.locality));
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    SyncLockGuard lk(mu_);
     ++outstanding_;
     (t.high_priority ? high_ : low_).push_back(std::move(t));
   }
@@ -204,7 +211,7 @@ void NetExecutor::on_net_batch(WireBatch&& b) {
     t.fn = [this, sb] { run_wire_batch(*sb); };
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    SyncLockGuard lk(mu_);
     // Once the transport has failed this evaluation is being abandoned:
     // the engine behind the handlers dies during the caller's unwinding,
     // so batches must be dropped, not spawned.  The check shares mu_ with
@@ -237,7 +244,7 @@ void NetExecutor::run_wire_batch(const WireBatch& b) {
 void NetExecutor::run_in_order(WireBatch b) {
   InOrder& io = *inorder_[b.src];
   {
-    std::lock_guard<std::mutex> lk(io.mu);
+    SyncLockGuard lk(io.mu);
     io.ready.emplace(b.seq, std::move(b));
     if (io.running || io.ready.begin()->first != io.expected) return;
     io.running = true;
@@ -245,7 +252,7 @@ void NetExecutor::run_in_order(WireBatch b) {
   for (;;) {
     WireBatch cur;
     {
-      std::lock_guard<std::mutex> lk(io.mu);
+      SyncLockGuard lk(io.mu);
       auto it = io.ready.find(io.expected);
       if (it == io.ready.end()) {
         io.running = false;
@@ -271,13 +278,13 @@ bool NetExecutor::flush_expired() {
   // still in hand — which then arrives in the next drain epoch as a
   // stale parcel.  Counting the span as outstanding work closes the gap.
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    SyncLockGuard lk(mu_);
     ++outstanding_;
   }
   auto batches = rt_->take_expired_from(cfg_.rank, now());
   for (auto& b : batches) transmit(std::move(b), /*coalesced=*/true);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    SyncLockGuard lk(mu_);
     if (--outstanding_ == 0) state_cv_.notify_all();
   }
   return !batches.empty();
@@ -285,7 +292,7 @@ bool NetExecutor::flush_expired() {
 
 void NetExecutor::worker_loop(int w) {
   detail::set_current_worker(w);
-  std::unique_lock<std::mutex> lk(mu_);
+  SyncUniqueLock lk(mu_);
   while (!stop_) {
     if (!high_.empty() || !low_.empty()) {
       auto& q = high_.empty() ? low_ : high_;
@@ -312,7 +319,7 @@ void NetExecutor::worker_loop(int w) {
 }
 
 void NetExecutor::on_net_control(const ControlMsg& m) {
-  std::lock_guard<std::mutex> lk(mu_);
+  SyncLockGuard lk(mu_);
   switch (static_cast<ControlType>(m.type)) {
     case ControlType::kProbe:
       probe_pending_ = true;
@@ -337,7 +344,7 @@ void NetExecutor::on_net_control(const ControlMsg& m) {
 
 void NetExecutor::on_net_failure(const std::string& why) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    SyncLockGuard lk(mu_);
     net_failed_ = true;
     if (net_failure_.empty()) net_failure_ = why;
   }
@@ -352,7 +359,7 @@ void NetExecutor::on_net_failure(const std::string& why) {
 void NetExecutor::throw_if_failed() {
   std::string why;
   {
-    std::unique_lock<std::mutex> lk(mu_);
+    SyncUniqueLock lk(mu_);
     if (!net_failed_) return;
     why = net_failure_;
     // The caller abandons the evaluation: the engine whose handlers the
@@ -364,7 +371,8 @@ void NetExecutor::throw_if_failed() {
     outstanding_ -= high_.size() + low_.size();
     high_.clear();
     low_.clear();
-    state_cv_.wait(lk, [&] { return outstanding_ == 0; });
+    // Explicit predicate loop (no wait(pred) overload; see sync_hook.hpp).
+    while (outstanding_ != 0) state_cv_.wait(lk);
   }
   throw net_error("rank " + std::to_string(cfg_.rank) +
                   ": transport failed: " + why);
@@ -372,10 +380,14 @@ void NetExecutor::throw_if_failed() {
 
 bool NetExecutor::coordinate_round() {
   std::uint64_t round;
+  std::uint64_t epoch;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    SyncLockGuard lk(mu_);
     round = ++round_;
     ++term_rounds_stat_;
+    // Snapshot under mu_: the thread-safety analysis caught the decide-
+    // termination path below reading drains_done_ with no lock held.
+    epoch = drains_done_ + 1;
   }
   const std::uint64_t s0 = sent_parcels_.load(std::memory_order_relaxed);
   const std::uint64_t r0 = recvd_parcels_.load(std::memory_order_relaxed);
@@ -385,14 +397,23 @@ bool NetExecutor::coordinate_round() {
   probe.a = round;
   transport_.broadcast_control(probe);
   {
-    std::unique_lock<std::mutex> lk(mu_);
-    state_cv_.wait(lk, [&] {
-      if (net_failed_ || outstanding_ > 0) return true;
-      for (std::uint32_t r = 1; r < cfg_.world; ++r) {
-        if (!acks_[r] || acks_[r]->round != round) return false;
+    SyncUniqueLock lk(mu_);
+    // Explicit predicate loop (no wait(pred) overload; see sync_hook.hpp):
+    // wake on failure, new local work, or a full set of round-matching acks.
+    for (;;) {
+      bool done = net_failed_ || outstanding_ > 0;
+      if (!done) {
+        done = true;
+        for (std::uint32_t r = 1; r < cfg_.world; ++r) {
+          if (!acks_[r] || acks_[r]->round != round) {
+            done = false;
+            break;
+          }
+        }
       }
-      return true;
-    });
+      if (done) break;
+      state_cv_.wait(lk);
+    }
     if (net_failed_) return false;       // drain() throws
     if (outstanding_ > 0) return false;  // new work; abandon the round
   }
@@ -403,7 +424,7 @@ bool NetExecutor::coordinate_round() {
   std::uint64_t sum_sent = s1;
   std::uint64_t sum_recvd = r1;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    SyncLockGuard lk(mu_);
     for (std::uint32_t r = 1; r < cfg_.world; ++r) {
       sum_sent += acks_[r]->sent;
       sum_recvd += acks_[r]->recvd;
@@ -429,13 +450,13 @@ bool NetExecutor::coordinate_round() {
   ControlMsg term;
   term.type = static_cast<std::uint8_t>(ControlType::kTerminate);
   term.rank = cfg_.rank;
-  term.a = drains_done_ + 1;  // 1-based drain epoch
+  term.a = epoch;  // 1-based drain epoch, snapshotted under mu_ above
   transport_.broadcast_control(term);
   return true;
 }
 
 bool NetExecutor::follower_wait() {
-  std::unique_lock<std::mutex> lk(mu_);
+  SyncUniqueLock lk(mu_);
   for (;;) {
     if (net_failed_) return false;  // drain() throws
     if (terminate_epoch_ >= drains_done_ + 1) return true;
@@ -465,8 +486,9 @@ double NetExecutor::drain() {
   const double t0 = now();
   for (;;) {
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      state_cv_.wait(lk, [&] { return outstanding_ == 0 || net_failed_; });
+      SyncUniqueLock lk(mu_);
+      // Explicit predicate loop (no wait(pred) overload; see sync_hook.hpp).
+      while (outstanding_ != 0 && !net_failed_) state_cv_.wait(lk);
     }
     throw_if_failed();
     // Local quiescence flush: everything still buffered for remote ranks
@@ -478,7 +500,7 @@ double NetExecutor::drain() {
       flushed = true;
     }
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      SyncLockGuard lk(mu_);
       if (flushed || outstanding_ != 0 || rt_->buffered() != 0) continue;
     }
     if (cfg_.world == 1) break;
@@ -491,7 +513,7 @@ double NetExecutor::drain() {
   }
   throw_if_failed();
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    SyncLockGuard lk(mu_);
     ++drains_done_;
     // Re-arm the probe protocol for the next drain epoch on the same
     // mesh: the stable-cut comparison restarts from scratch (two fresh
@@ -514,6 +536,14 @@ void NetExecutor::fold_net_counters() {
   auto& reg = rt_->counters();
   if (!reg.enabled()) return;
   const NetStats& s = transport_.stats();
+  // Snapshot under mu_: followers bump term_rounds_stat_ from worker
+  // threads, so the old unlocked read here was a (benign-looking) race
+  // the thread-safety analysis rejected.
+  std::uint64_t term_rounds = 0;
+  {
+    SyncLockGuard lk(mu_);
+    term_rounds = term_rounds_stat_;
+  }
   const std::uint64_t cur[13] = {
       s.msgs_sent.load(std::memory_order_relaxed),
       s.msgs_recvd.load(std::memory_order_relaxed),
@@ -525,7 +555,7 @@ void NetExecutor::fold_net_counters() {
       s.backpressure_stalls.load(std::memory_order_relaxed),
       s.backpressure_stall_us.load(std::memory_order_relaxed),
       s.control_msgs.load(std::memory_order_relaxed),
-      term_rounds_stat_,
+      term_rounds,
       s.telemetry_sent.load(std::memory_order_relaxed),
       s.telemetry_recvd.load(std::memory_order_relaxed),
   };

@@ -3,12 +3,10 @@
 #include <array>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -17,6 +15,7 @@
 #include "runtime/executor.hpp"
 #include "runtime/locality_runtime.hpp"
 #include "runtime/net/transport.hpp"
+#include "runtime/sync_hook.hpp"
 
 namespace amtfmm::net {
 
@@ -91,10 +90,10 @@ class NetExecutor final : public Executor {
 
  private:
   struct InOrder {
-    std::mutex mu;
-    std::uint64_t expected = 0;
-    bool running = false;
-    std::map<std::uint64_t, WireBatch> ready;
+    SyncMutex mu;
+    std::uint64_t expected GUARDED_BY(mu) = 0;
+    bool running GUARDED_BY(mu) = false;
+    std::map<std::uint64_t, WireBatch> ready GUARDED_BY(mu);
   };
   struct Ack {
     std::uint64_t round = 0;
@@ -141,39 +140,43 @@ class NetExecutor final : public Executor {
   ClockSyncResult clock_sync_;  ///< measured once in the constructor
 
   // Worker pool (mu_ guards the queues and all termination state).
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   ///< workers: new task / stop
-  std::condition_variable state_cv_;  ///< drain: quiescence + control
-  std::deque<Task> high_;
-  std::deque<Task> low_;
-  std::int64_t outstanding_ = 0;  ///< queued + running local tasks
-  bool stop_ = false;
+  mutable SyncMutex mu_;
+  SyncCondVar work_cv_;   ///< workers: new task / stop
+  SyncCondVar state_cv_;  ///< drain: quiescence + control
+  std::deque<Task> high_ GUARDED_BY(mu_);
+  std::deque<Task> low_ GUARDED_BY(mu_);
+  /// Queued + running local tasks.
+  std::int64_t outstanding_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 
   // Destination re-sequencing, one slot per source rank.
   std::vector<std::unique_ptr<InOrder>> inorder_;
 
-  std::mutex handlers_mu_;
-  std::condition_variable handlers_cv_;
-  std::array<NetHandler, 256> handlers_;
+  SyncMutex handlers_mu_;
+  SyncCondVar handlers_cv_;
+  std::array<NetHandler, 256> handlers_ GUARDED_BY(handlers_mu_);
 
-  // Termination protocol state (guarded by mu_ unless noted).
+  // Termination protocol state (under mu_; the annotations make the old
+  // "guarded by mu_ unless noted" comment a compiler-checked contract).
   // relaxed-ok (both): monotone counters; every decision read happens
   // under mu_ with the two-round protocol supplying consistency.
   std::atomic<std::uint64_t> sent_parcels_{0};
   std::atomic<std::uint64_t> recvd_parcels_{0};
-  std::vector<std::optional<Ack>> acks_;  // coordinator, per rank
-  bool prev_round_valid_ = false;
-  std::vector<Ack> prev_acks_;
-  Ack prev_self_;
-  std::uint64_t round_ = 0;
-  bool probe_pending_ = false;
-  std::uint64_t probe_round_ = 0;
-  std::uint64_t terminate_epoch_ = 0;  ///< latest kTerminate received
-  std::uint64_t drains_done_ = 0;
-  std::uint64_t term_rounds_stat_ = 0;
-  bool net_failed_ = false;
-  std::string net_failure_;
+  /// Coordinator, per rank.
+  std::vector<std::optional<Ack>> acks_ GUARDED_BY(mu_);
+  bool prev_round_valid_ GUARDED_BY(mu_) = false;
+  std::vector<Ack> prev_acks_ GUARDED_BY(mu_);
+  Ack prev_self_ GUARDED_BY(mu_);
+  std::uint64_t round_ GUARDED_BY(mu_) = 0;
+  bool probe_pending_ GUARDED_BY(mu_) = false;
+  std::uint64_t probe_round_ GUARDED_BY(mu_) = 0;
+  /// Latest kTerminate received.
+  std::uint64_t terminate_epoch_ GUARDED_BY(mu_) = 0;
+  std::uint64_t drains_done_ GUARDED_BY(mu_) = 0;
+  std::uint64_t term_rounds_stat_ GUARDED_BY(mu_) = 0;
+  bool net_failed_ GUARDED_BY(mu_) = false;
+  std::string net_failure_ GUARDED_BY(mu_);
 
   NetCounterIds nid_{};
   std::uint64_t folded_[13] = {};  ///< previously folded counter values

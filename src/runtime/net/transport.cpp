@@ -148,6 +148,11 @@ void NetTransport::start() {
   if (cfg_.world == 1) return;  // no peers, no progress engine
 
   peers_.resize(cfg_.world);
+  {
+    SyncLockGuard lk(mu_);
+    outboxes_.assign(cfg_.world, {});
+    peer_closed_.assign(cfg_.world, 0);
+  }
   if (cfg_.kind == TransportKind::kUnix) {
     listener_ = listen_unix(unix_path(cfg_, cfg_.rank));
   } else {
@@ -217,7 +222,7 @@ bool NetTransport::post_batch(std::uint32_t dst, const WireBatch& b) {
   m.counts_window = true;
   const std::size_t sz = m.bytes.size();
   {
-    std::unique_lock<std::mutex> lk(mu_);
+    SyncUniqueLock lk(mu_);
     // Window admission: block while the frame would overflow the window,
     // except that an empty window always admits one frame (a single
     // outsized batch must not deadlock).  The progress thread only ever
@@ -245,7 +250,7 @@ bool NetTransport::post_batch(std::uint32_t dst, const WireBatch& b) {
         stop_requested_.load(std::memory_order_relaxed)) {
       return false;  // dropped; drain() surfaces the failure
     }
-    if (peers_[dst].closed) {
+    if (peer_closed_[dst] != 0) {
       // An orderly goodbye makes EOF benign, but batches still have
       // nowhere to go — epochs out of agreement is a protocol bug, and
       // failing beats wedging shutdown on an undeliverable frame.
@@ -259,7 +264,7 @@ bool NetTransport::post_batch(std::uint32_t dst, const WireBatch& b) {
         std::max(stats_.inject_bytes_hwm.load(std::memory_order_relaxed),
                  static_cast<std::uint64_t>(outstanding_bytes_)),
         std::memory_order_relaxed);
-    peers_[dst].outbox.push_back(std::move(m));
+    outboxes_[dst].push_back(std::move(m));
     ++queued_msgs_;
     stats_.inject_depth_hwm.store(
         std::max(stats_.inject_depth_hwm.load(std::memory_order_relaxed),
@@ -275,12 +280,12 @@ void NetTransport::post_control(std::uint32_t dst, const ControlMsg& m) {
   OutMsg out;
   out.bytes = encode_control_frame(m);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    SyncLockGuard lk(mu_);
     if (failed_.load(std::memory_order_relaxed)) return;
     // A frame queued for a closed peer can never be written and would
     // wedge shutdown's outboxes_empty() check; the peer already left.
-    if (peers_[dst].closed) return;
-    peers_[dst].outbox.push_back(std::move(out));
+    if (peer_closed_[dst] != 0) return;
+    outboxes_[dst].push_back(std::move(out));
     ++queued_msgs_;
   }
   stats_.control_msgs.fetch_add(1, std::memory_order_relaxed);
@@ -299,13 +304,13 @@ bool NetTransport::post_telemetry(std::uint32_t dst,
   OutMsg out;
   out.bytes = encode_frame(FrameKind::kTelemetry, payload);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    SyncLockGuard lk(mu_);
     if (failed_.load(std::memory_order_relaxed) ||
         stop_requested_.load(std::memory_order_relaxed)) {
       return false;
     }
-    if (peers_[dst].closed) return false;  // best-effort: sample dropped
-    peers_[dst].outbox.push_back(std::move(out));
+    if (peer_closed_[dst] != 0) return false;  // best-effort: drop sample
+    outboxes_[dst].push_back(std::move(out));
     ++queued_msgs_;
   }
   stats_.telemetry_sent.fetch_add(1, std::memory_order_relaxed);
@@ -314,14 +319,14 @@ bool NetTransport::post_telemetry(std::uint32_t dst,
 }
 
 void NetTransport::set_on_telemetry(TelemetryFn fn) {
-  std::lock_guard<std::mutex> lk(telem_mu_);
+  SyncLockGuard lk(telem_mu_);
   on_telemetry_ = std::move(fn);
 }
 
 ClockSyncResult NetTransport::clock_sync(int rounds) {
   if (cfg_.world == 1 || cfg_.rank == 0) {
     // Rank 0 IS the reference timeline; nothing to estimate.
-    std::lock_guard<std::mutex> lk(sync_mu_);
+    SyncLockGuard lk(sync_mu_);
     sync_result_ = ClockSyncResult{};
     sync_result_.samples = 1;
     return sync_result_;
@@ -336,12 +341,20 @@ ClockSyncResult NetTransport::clock_sync(int rounds) {
     const std::uint64_t t_send = steady_ns();
     ping.b = t_send;
     post_control(0, ping);
-    std::unique_lock<std::mutex> lk(sync_mu_);
-    const bool got = sync_cv_.wait_for(
-        lk, std::chrono::seconds(2), [&] {
-          return (sync_pong_valid_ && sync_pong_id_ == ping.a) ||
-                 failed_.load(std::memory_order_relaxed);
-        });
+    SyncUniqueLock lk(sync_mu_);
+    // Deadline loop instead of wait_for(pred): SyncCondVar has no
+    // predicate overload (a predicate lambda defeats the thread-safety
+    // analysis; see sync_hook.hpp).
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    for (;;) {
+      if ((sync_pong_valid_ && sync_pong_id_ == ping.a) ||
+          failed_.load(std::memory_order_relaxed)) {
+        break;
+      }
+      if (sync_cv_.wait_until(lk, deadline) == std::cv_status::timeout) break;
+    }
+    const bool got = sync_pong_valid_ && sync_pong_id_ == ping.a;
     if (!got || failed_.load(std::memory_order_relaxed)) break;
     sync_pong_valid_ = false;
     const std::uint64_t t_recv = sync_pong_recv_;
@@ -359,13 +372,13 @@ ClockSyncResult NetTransport::clock_sync(int rounds) {
     }
     ++best.samples;
   }
-  std::lock_guard<std::mutex> lk(sync_mu_);
+  SyncLockGuard lk(sync_mu_);
   sync_result_ = best;
   return best;
 }
 
 ClockSyncResult NetTransport::clock_offset() const {
-  std::lock_guard<std::mutex> lk(sync_mu_);
+  SyncLockGuard lk(sync_mu_);
   return sync_result_;
 }
 
@@ -387,7 +400,7 @@ void NetTransport::stop() {
   }
   stop_requested_.store(true, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    SyncLockGuard lk(mu_);
     window_cv_.notify_all();
   }
   poke(wake_);
@@ -397,14 +410,14 @@ void NetTransport::stop() {
 }
 
 std::string NetTransport::failure_text() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  SyncLockGuard lk(mu_);
   return failure_;
 }
 
 void NetTransport::fail(const std::string& why) {
   bool first = false;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    SyncLockGuard lk(mu_);
     if (!failed_.load(std::memory_order_relaxed)) {
       failed_.store(true, std::memory_order_relaxed);
       failure_ = why;
@@ -413,7 +426,7 @@ void NetTransport::fail(const std::string& why) {
     window_cv_.notify_all();
   }
   {
-    std::lock_guard<std::mutex> lk(sync_mu_);
+    SyncLockGuard lk(sync_mu_);
     sync_cv_.notify_all();  // clock_sync() must not outlive the mesh
   }
   if (first) {
@@ -438,14 +451,14 @@ void NetTransport::progress_main() {
     idx_rank.push_back(cfg_.world);  // sentinel: the wake pipe
     bool any_queued = false;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      SyncLockGuard lk(mu_);
       for (std::uint32_t r = 0; r < cfg_.world; ++r) {
         Peer& p = peers_[r];
         if (r == cfg_.rank || !p.fd.valid()) continue;
         fds.push_back(p.fd.get());
-        want_write.push_back(!p.outbox.empty());
+        want_write.push_back(!outboxes_[r].empty());
         idx_rank.push_back(r);
-        any_queued = any_queued || !p.outbox.empty();
+        any_queued = any_queued || !outboxes_[r].empty();
       }
       if (stop_requested_.load(std::memory_order_relaxed) &&
           (outboxes_empty() || failed_.load(std::memory_order_relaxed))) {
@@ -506,18 +519,22 @@ void NetTransport::do_read(std::uint32_t rank, std::vector<std::byte>& buf) {
 
 void NetTransport::on_peer_closed(std::uint32_t rank) {
   Peer& p = peers_[rank];
-  p.closed = true;
   p.fd.reset();
+  p.write_off = 0;
   {
     // Frames queued for a dead peer can never be written; drop them so
-    // shutdown's outboxes_empty() check still converges.
-    std::lock_guard<std::mutex> lk(mu_);
-    for (const OutMsg& m : p.outbox) {
+    // shutdown's outboxes_empty() check still converges.  The closed
+    // flag is set under the same critical section — posters read it
+    // under mu_ before appending, so they can never observe "open" after
+    // the outbox has been cleared.  (Thread-safety analysis caught the
+    // old unlocked `closed = true` store racing post_batch's read.)
+    SyncLockGuard lk(mu_);
+    peer_closed_[rank] = 1;
+    for (const OutMsg& m : outboxes_[rank]) {
       if (m.counts_window) outstanding_bytes_ -= m.bytes.size();
     }
-    queued_msgs_ -= p.outbox.size();
-    p.outbox.clear();
-    p.write_off = 0;
+    queued_msgs_ -= outboxes_[rank].size();
+    outboxes_[rank].clear();
     window_cv_.notify_all();
   }
   if (!p.said_goodbye && !peer_close_ok_.load(std::memory_order_relaxed) &&
@@ -530,12 +547,13 @@ void NetTransport::on_peer_closed(std::uint32_t rank) {
 void NetTransport::do_write(std::uint32_t rank) {
   Peer& p = peers_[rank];
   for (;;) {
-    std::unique_lock<std::mutex> lk(mu_);
-    if (p.outbox.empty()) return;
+    SyncUniqueLock lk(mu_);
+    if (outboxes_[rank].empty()) return;
     // std::deque guarantees front() stays valid across concurrent
     // push_back from posters, and only this thread pops — so the write
-    // syscall can run unlocked.
-    OutMsg& m = p.outbox.front();
+    // syscall can run unlocked.  Deliberately NOT holding mu_ across the
+    // send: a blocked socket would stall every poster on the window.
+    OutMsg& m = outboxes_[rank].front();
     lk.unlock();
     IoResult r =
         write_some(p.fd, m.bytes.data() + p.write_off,
@@ -563,7 +581,7 @@ void NetTransport::do_write(std::uint32_t rank) {
       outstanding_bytes_ -= m.bytes.size();
       window_cv_.notify_all();
     }
-    p.outbox.pop_front();
+    outboxes_[rank].pop_front();
     --queued_msgs_;
     p.write_off = 0;
   }
@@ -585,7 +603,7 @@ void NetTransport::dispatch(std::uint32_t rank, FrameDecoder::Frame&& f) {
     stats_.telemetry_recvd.fetch_add(1, std::memory_order_relaxed);
     TelemetryFn fn;
     {
-      std::lock_guard<std::mutex> lk(telem_mu_);
+      SyncLockGuard lk(telem_mu_);
       fn = on_telemetry_;  // copy: the call runs outside the lock
     }
     if (fn) fn(rank, std::move(f.payload));
@@ -611,7 +629,7 @@ void NetTransport::dispatch(std::uint32_t rank, FrameDecoder::Frame&& f) {
     return;
   }
   if (m->type == static_cast<std::uint8_t>(ControlType::kPong)) {
-    std::lock_guard<std::mutex> lk(sync_mu_);
+    SyncLockGuard lk(sync_mu_);
     sync_pong_id_ = m->a;
     sync_pong_remote_ = m->c;
     sync_pong_recv_ = steady_ns();

@@ -1,11 +1,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -14,6 +12,7 @@
 
 #include "runtime/net/frame.hpp"
 #include "runtime/net/socket.hpp"
+#include "runtime/sync_hook.hpp"
 
 namespace amtfmm::net {
 
@@ -172,12 +171,16 @@ class NetTransport {
     std::vector<std::byte> bytes;
     bool counts_window = false;  ///< batch frames only
   };
+  /// Per-peer state confined to the progress thread: bootstrap fills fd
+  /// before the thread starts; afterwards only progress_main and its
+  /// callees touch these fields.  The shared pieces (outbox queue, closed
+  /// flag) live in outboxes_ / peer_closed_ below so they can carry
+  /// GUARDED_BY(mu_) — a nested struct cannot name the outer class's
+  /// mutex in a thread-safety annotation.
   struct Peer {
     Fd fd;
     FrameDecoder decoder;
-    std::deque<OutMsg> outbox;  ///< guarded by mu_
-    std::size_t write_off = 0;  ///< progress into outbox.front()
-    bool closed = false;
+    std::size_t write_off = 0;  ///< progress into the front outbox frame
     /// Peer announced an orderly close (kGoodbye).  Stream FIFO means the
     /// announcement always arrives before the EOF, so an announced EOF is
     /// benign while a crash (EOF with no goodbye) still fails fast.
@@ -192,7 +195,7 @@ class NetTransport {
   void dispatch(std::uint32_t rank, FrameDecoder::Frame&& f);
   void on_peer_closed(std::uint32_t rank);
   void fail(const std::string& why);
-  bool outboxes_empty() const;  // requires mu_
+  bool outboxes_empty() const REQUIRES(mu_);
 
   Fd connect_with_retry(std::uint32_t peer, double deadline);
   Fd accept_with_deadline(double deadline);
@@ -201,8 +204,8 @@ class NetTransport {
   BatchFn on_batch_;
   ControlFn on_control_;
   FailFn on_failure_;
-  mutable std::mutex telem_mu_;  ///< guards on_telemetry_ (set vs dispatch)
-  TelemetryFn on_telemetry_;
+  mutable SyncMutex telem_mu_;  ///< set_on_telemetry vs dispatch
+  TelemetryFn on_telemetry_ GUARDED_BY(telem_mu_);
 
   std::vector<Peer> peers_;  // indexed by rank; self entry unused
   Fd listener_;
@@ -210,11 +213,18 @@ class NetTransport {
   std::thread progress_;
   NetStats stats_;
 
-  mutable std::mutex mu_;  ///< outboxes, window accounting, failure text
-  std::condition_variable window_cv_;
-  std::size_t outstanding_bytes_ = 0;  ///< posted batch bytes not yet written
-  std::size_t queued_msgs_ = 0;        ///< frames across all outboxes
-  std::string failure_;
+  mutable SyncMutex mu_;  ///< outboxes, window accounting, failure text
+  SyncCondVar window_cv_;
+  /// Outbound frame queues, indexed by rank (self entry unused).  Posters
+  /// append under mu_; only the progress thread pops.
+  std::vector<std::deque<OutMsg>> outboxes_ GUARDED_BY(mu_);
+  /// Peer closed its connection — published under mu_ so posters observe
+  /// it coherently with the outbox they would otherwise append to.
+  std::vector<char> peer_closed_ GUARDED_BY(mu_);
+  /// Posted batch bytes not yet written to a socket.
+  std::size_t outstanding_bytes_ GUARDED_BY(mu_) = 0;
+  std::size_t queued_msgs_ GUARDED_BY(mu_) = 0;  ///< frames, all outboxes
+  std::string failure_ GUARDED_BY(mu_);
   std::atomic<bool> failed_{false};
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> peer_close_ok_{false};
@@ -222,13 +232,16 @@ class NetTransport {
 
   /// Clock-sync rendezvous between the caller of clock_sync() (worker
   /// side, sends pings) and the progress thread (records pong arrivals).
-  mutable std::mutex sync_mu_;
-  std::condition_variable sync_cv_;
-  std::uint64_t sync_pong_id_ = 0;      ///< sample id of the last pong
-  std::uint64_t sync_pong_remote_ = 0;  ///< replier steady ns (ControlMsg.c)
-  std::uint64_t sync_pong_recv_ = 0;    ///< local steady ns at pong receipt
-  bool sync_pong_valid_ = false;
-  ClockSyncResult sync_result_;
+  mutable SyncMutex sync_mu_;
+  SyncCondVar sync_cv_;
+  /// Sample id of the last pong.
+  std::uint64_t sync_pong_id_ GUARDED_BY(sync_mu_) = 0;
+  /// Replier steady ns (ControlMsg.c).
+  std::uint64_t sync_pong_remote_ GUARDED_BY(sync_mu_) = 0;
+  /// Local steady ns at pong receipt.
+  std::uint64_t sync_pong_recv_ GUARDED_BY(sync_mu_) = 0;
+  bool sync_pong_valid_ GUARDED_BY(sync_mu_) = false;
+  ClockSyncResult sync_result_ GUARDED_BY(sync_mu_);
 };
 
 }  // namespace amtfmm::net

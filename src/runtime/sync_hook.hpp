@@ -1,9 +1,12 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+
+#include "support/thread_annotations.hpp"
 
 namespace amtfmm {
 
@@ -34,7 +37,7 @@ enum class SyncKind : std::uint8_t {
   kMutexLock,        ///< SyncMutex lock/try_lock (trace only)
   kMutexUnlock,      ///< SyncMutex unlock (trace only)
   kCvWait,           ///< SyncCondVar wait block (trace only)
-  kCvNotify,         ///< SyncCondVar notify_all (trace only)
+  kCvNotify,         ///< SyncCondVar notify (trace only)
 };
 
 /// Named fault-injection points.  rtcheck validates itself by re-running
@@ -144,79 +147,35 @@ inline bool rt_mutation(Mutation point) {
   return false;
 }
 
-/// std::mutex stand-in whose lock/unlock are model schedule points.  The
-/// model grant happens before the real lock: when the harness resumes the
-/// thread the real mutex is guaranteed free (the model admits one holder),
-/// so the real operation never blocks under the serialized scheduler.
-class SyncMutex {
- public:
-  void lock() {
-    if (SyncObserver* o = tls_sync_observer) o->mutex_lock(this);
-    m_.lock();
-  }
-  bool try_lock() {
-    if (SyncObserver* o = tls_sync_observer) {
-      if (!o->mutex_try_lock(this)) return false;
-    }
-    return m_.try_lock();
-  }
-  void unlock() {
-    m_.unlock();
-    if (SyncObserver* o = tls_sync_observer) o->mutex_unlock(this);
-  }
+/// True when the calling thread runs under the model scheduler.  The sync
+/// primitives below branch on this to route blocking through the model.
+inline bool sync_observed() { return tls_sync_observer != nullptr; }
 
- private:
-  std::mutex m_;
-};
+/// Mutex/cv hook points used by SyncMutex/SyncCondVar.  The model grant
+/// happens before the real lock: when the harness resumes the thread the
+/// real mutex is guaranteed free (the model admits one holder), so the
+/// real operation never blocks under the serialized scheduler.
+inline void sync_mutex_lock_hook(const void* m) {
+  if (SyncObserver* o = tls_sync_observer) o->mutex_lock(m);
+}
+inline bool sync_mutex_try_lock_hook(const void* m) {
+  if (SyncObserver* o = tls_sync_observer) return o->mutex_try_lock(m);
+  return true;
+}
+inline void sync_mutex_unlock_hook(const void* m) {
+  if (SyncObserver* o = tls_sync_observer) o->mutex_unlock(m);
+}
+inline void sync_cv_register_hook(const void* cv) {
+  if (SyncObserver* o = tls_sync_observer) o->cv_register(cv);
+}
+inline void sync_cv_block_hook(const void* cv) {
+  if (SyncObserver* o = tls_sync_observer) o->cv_block(cv);
+}
+inline void sync_cv_notify_hook(const void* cv) {
+  if (SyncObserver* o = tls_sync_observer) o->cv_notify_all(cv);
+}
 
-/// Condition-variable stand-in.  Under the harness, waiting registers the
-/// thread with the model *before* releasing the lock (so a notify between
-/// release and block is never lost) and blocks on the model scheduler; a
-/// wait with no reachable notify is reported as a deadlock (lost wakeup).
-class SyncCondVar {
- public:
-  template <typename Pred>
-  void wait(std::unique_lock<SyncMutex>& lk, Pred pred) {
-    if (SyncObserver* o = tls_sync_observer) {
-      while (!pred()) {
-        o->cv_register(this);
-        lk.unlock();
-        o->cv_block(this);
-        lk.lock();
-      }
-      return;
-    }
-    cv_.wait(lk, std::move(pred));
-  }
-  void notify_all() {
-    if (SyncObserver* o = tls_sync_observer) o->cv_notify_all(this);
-    cv_.notify_all();
-  }
-
- private:
-  std::condition_variable_any cv_;
-};
-
-/// Lock guard for a named lock-elision mutation point: takes the lock
-/// normally, skips it when the harness enabled the mutation.
-class MaybeLockGuard {
- public:
-  MaybeLockGuard(SyncMutex& m, Mutation point)
-      : m_(m), skip_(rt_mutation(point)) {
-    if (!skip_) m_.lock();
-  }
-  ~MaybeLockGuard() {
-    if (!skip_) m_.unlock();
-  }
-  MaybeLockGuard(const MaybeLockGuard&) = delete;
-  MaybeLockGuard& operator=(const MaybeLockGuard&) = delete;
-
- private:
-  SyncMutex& m_;
-  bool skip_;
-};
-
-#else  // !AMTFMM_RTCHECK — every hook vanishes; types alias the std ones.
+#else  // !AMTFMM_RTCHECK — every hook vanishes.
 
 inline void sync_pre(SyncKind, const void*, std::memory_order,
                      std::uint64_t = 0) {}
@@ -229,18 +188,199 @@ inline void sync_event(SyncKind, const void*, std::uint64_t = 0) {}
 inline std::memory_order rt_order(Mutation, std::memory_order d) { return d; }
 inline bool rt_mutation(Mutation) { return false; }
 
-using SyncMutex = std::mutex;
-using SyncCondVar = std::condition_variable;
-
-class MaybeLockGuard {
- public:
-  MaybeLockGuard(SyncMutex& m, Mutation) : lk_(m) {}
-
- private:
-  std::lock_guard<SyncMutex> lk_;
-};
+inline bool sync_observed() { return false; }
+inline void sync_mutex_lock_hook(const void*) {}
+inline bool sync_mutex_try_lock_hook(const void*) { return true; }
+inline void sync_mutex_unlock_hook(const void*) {}
+inline void sync_cv_register_hook(const void*) {}
+inline void sync_cv_block_hook(const void*) {}
+inline void sync_cv_notify_hook(const void*) {}
 
 #endif  // AMTFMM_RTCHECK
+
+/// The runtime's mutex: a std::mutex wrapper that (a) carries the Clang
+/// thread-safety CAPABILITY annotations — libstdc++'s std::mutex has none,
+/// so locking through it is invisible to -Wthread-safety — and (b) funnels
+/// lock/unlock through the rtcheck schedule-point hooks.  In production
+/// builds the hooks are empty and every method inlines to the raw
+/// std::mutex call.
+class CAPABILITY("mutex") SyncMutex {
+ public:
+  SyncMutex() = default;
+  SyncMutex(const SyncMutex&) = delete;
+  SyncMutex& operator=(const SyncMutex&) = delete;
+
+  void lock() ACQUIRE() {
+    sync_mutex_lock_hook(this);
+    m_.lock();
+  }
+  bool try_lock() TRY_ACQUIRE(true) {
+    if (!sync_mutex_try_lock_hook(this)) return false;
+    return m_.try_lock();
+  }
+  void unlock() RELEASE() {
+    m_.unlock();
+    sync_mutex_unlock_hook(this);
+  }
+
+  /// The wrapped mutex — for SyncCondVar's adopt-lock wait only; never
+  /// lock through this (it would bypass both the annotations and the
+  /// model hooks).
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// std::lock_guard over a SyncMutex, annotated as a scoped capability so
+/// the analysis tracks the critical section.
+class SCOPED_CAPABILITY SyncLockGuard {
+ public:
+  explicit SyncLockGuard(SyncMutex& m) ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~SyncLockGuard() RELEASE() { m_.unlock(); }
+
+  SyncLockGuard(const SyncLockGuard&) = delete;
+  SyncLockGuard& operator=(const SyncLockGuard&) = delete;
+
+ private:
+  SyncMutex& m_;
+};
+
+/// std::unique_lock over a SyncMutex: supports the runtime's
+/// unlock-work-relock pattern (drop the lock across a blocking write or a
+/// task body, reacquire after) and condition-variable waits.  Annotated as
+/// a scoped capability; manual lock()/unlock() keep the analysis's view of
+/// the critical section exact.
+class SCOPED_CAPABILITY SyncUniqueLock {
+ public:
+  explicit SyncUniqueLock(SyncMutex& m) ACQUIRE(m) : m_(&m), owned_(true) {
+    m_->lock();
+  }
+  SyncUniqueLock(SyncMutex& m, std::defer_lock_t) EXCLUDES(m)
+      : m_(&m), owned_(false) {}
+  ~SyncUniqueLock() RELEASE() {
+    if (owned_) m_->unlock();
+  }
+
+  SyncUniqueLock(const SyncUniqueLock&) = delete;
+  SyncUniqueLock& operator=(const SyncUniqueLock&) = delete;
+
+  void lock() ACQUIRE() {
+    m_->lock();
+    owned_ = true;
+  }
+  void unlock() RELEASE() {
+    m_->unlock();
+    owned_ = false;
+  }
+
+  bool owns_lock() const { return owned_; }
+  SyncMutex* mutex() const { return m_; }
+
+ private:
+  SyncMutex* m_;
+  bool owned_;
+};
+
+/// Condition variable paired with SyncMutex.  There is deliberately no
+/// wait(lock, predicate) overload: -Wthread-safety analyzes a predicate
+/// lambda as a separate unannotated function, so a predicate reading
+/// GUARDED_BY state can never be annotation-clean — callers write the
+/// explicit `while (!cond) cv.wait(lk);` loop instead, which the analysis
+/// checks exactly.
+///
+/// Under the rtcheck model scheduler, waiting registers the thread with
+/// the model *before* releasing the lock (so a notify between release and
+/// block is never lost) and blocks on the model; a wait with no reachable
+/// notify is reported as a deadlock (lost wakeup).  notify_one wakes all
+/// model waiters (the model then explores the re-race for the lock); the
+/// model has no clock, so timed waits are a single schedule point that
+/// expires immediately — no current scenario exercises a timed wait.
+class SyncCondVar {
+ public:
+  /// NO_THREAD_SAFETY_ANALYSIS: the body hands lk's capability through
+  /// std::adopt_lock / model unlock-relock steps the analysis cannot
+  /// follow; callers hold the lock across the call, which is exactly what
+  /// the analysis observes at the call site.
+  void wait(SyncUniqueLock& lk) NO_THREAD_SAFETY_ANALYSIS {
+    if (sync_observed()) {
+      sync_cv_register_hook(this);
+      lk.unlock();
+      sync_cv_block_hook(this);
+      lk.lock();
+      return;
+    }
+    std::unique_lock<std::mutex> inner(lk.mutex()->native(), std::adopt_lock);
+    cv_.wait(inner);
+    inner.release();
+  }
+
+  /// See wait() for the NO_THREAD_SAFETY_ANALYSIS rationale and the
+  /// model-clock caveat.
+  template <class Rep, class Period>
+  std::cv_status wait_for(SyncUniqueLock& lk,
+                          const std::chrono::duration<Rep, Period>& d)
+      NO_THREAD_SAFETY_ANALYSIS {
+    if (sync_observed()) {
+      sync_event(SyncKind::kCvWait, this);
+      return std::cv_status::timeout;
+    }
+    std::unique_lock<std::mutex> inner(lk.mutex()->native(), std::adopt_lock);
+    const std::cv_status s = cv_.wait_for(inner, d);
+    inner.release();
+    return s;
+  }
+
+  /// See wait() for the NO_THREAD_SAFETY_ANALYSIS rationale and the
+  /// model-clock caveat.
+  template <class Clock, class Duration>
+  std::cv_status wait_until(SyncUniqueLock& lk,
+                            const std::chrono::time_point<Clock, Duration>& t)
+      NO_THREAD_SAFETY_ANALYSIS {
+    if (sync_observed()) {
+      sync_event(SyncKind::kCvWait, this);
+      return std::cv_status::timeout;
+    }
+    std::unique_lock<std::mutex> inner(lk.mutex()->native(), std::adopt_lock);
+    const std::cv_status s = cv_.wait_until(inner, t);
+    inner.release();
+    return s;
+  }
+
+  void notify_one() {
+    sync_cv_notify_hook(this);
+    cv_.notify_one();
+  }
+  void notify_all() {
+    sync_cv_notify_hook(this);
+    cv_.notify_all();
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Lock guard for a named lock-elision mutation point: takes the lock
+/// normally, skips it when the rtcheck harness enabled the mutation (the
+/// deliberately reintroduced bug the checker must catch).  The annotations
+/// claim the capability unconditionally — the skip exists only under the
+/// model, where -Wthread-safety is not the checker on duty.
+class SCOPED_CAPABILITY MaybeLockGuard {
+ public:
+  MaybeLockGuard(SyncMutex& m, Mutation point) ACQUIRE(m)
+      : m_(m), skip_(rt_mutation(point)) {
+    if (!skip_) m_.lock();
+  }
+  ~MaybeLockGuard() RELEASE() {
+    if (!skip_) m_.unlock();
+  }
+  MaybeLockGuard(const MaybeLockGuard&) = delete;
+  MaybeLockGuard& operator=(const MaybeLockGuard&) = delete;
+
+ private:
+  SyncMutex& m_;
+  bool skip_;
+};
 
 /// Hooked wrappers over the std::atomic operations the runtime's
 /// concurrent structures use.  Each wrapper is the annotated operation plus

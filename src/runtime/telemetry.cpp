@@ -282,7 +282,7 @@ TelemetrySampler::~TelemetrySampler() { stop(); }
 
 void TelemetrySampler::stop() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    SyncLockGuard lk(mu_);
     if (stop_) return;
     stop_ = true;
   }
@@ -309,10 +309,15 @@ void TelemetrySampler::take_sample(bool final_flush) {
 }
 
 void TelemetrySampler::loop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  SyncUniqueLock lk(mu_);
   while (!stop_) {
-    cv_.wait_for(lk, std::chrono::duration<double>(interval_s_),
-                 [&] { return stop_; });
+    // Explicit deadline loop (no predicate overload; see sync_hook.hpp):
+    // re-wait after spurious wakeups until the interval elapses or stop().
+    const auto deadline =
+        Clock::now() + std::chrono::duration<double>(interval_s_);
+    while (!stop_) {
+      if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) break;
+    }
     if (stop_) break;
     lk.unlock();
     take_sample(false);
@@ -334,7 +339,7 @@ TelemetryAggregator::~TelemetryAggregator() { stop(); }
 
 void TelemetryAggregator::enqueue(std::string&& sample_json) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    SyncLockGuard lk(mu_);
     if (stop_) return;
     queue_.push_back(std::move(sample_json));
   }
@@ -343,7 +348,7 @@ void TelemetryAggregator::enqueue(std::string&& sample_json) {
 
 void TelemetryAggregator::stop() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    SyncLockGuard lk(mu_);
     if (stop_ && !th_.joinable()) return;
     stop_ = true;
   }
@@ -393,10 +398,13 @@ void TelemetryAggregator::write_snapshot() {
 }
 
 void TelemetryAggregator::loop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  SyncUniqueLock lk(mu_);
   for (;;) {
-    cv_.wait_for(lk, std::chrono::milliseconds(250),
-                 [&] { return stop_ || !queue_.empty(); });
+    // Explicit deadline loop (no predicate overload; see sync_hook.hpp).
+    const auto deadline = Clock::now() + std::chrono::milliseconds(250);
+    while (!stop_ && queue_.empty()) {
+      if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) break;
+    }
     std::deque<std::string> batch;
     batch.swap(queue_);
     const bool stopping = stop_;

@@ -1,16 +1,15 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "runtime/counters.hpp"
+#include "runtime/sync_hook.hpp"
 
 namespace amtfmm {
 
@@ -91,9 +90,9 @@ class TelemetrySampler {
   std::chrono::steady_clock::time_point origin_;
   std::chrono::steady_clock::time_point last_;
   std::uint64_t seq_ = 0;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  SyncMutex mu_;
+  SyncCondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
   std::thread th_;
 };
 
@@ -131,10 +130,10 @@ class TelemetryAggregator {
   std::vector<std::deque<TelemetrySample>> series_;  ///< writer thread only
   std::uint64_t accepted_ = 0;  ///< writer thread writes, readers race benignly
   std::uint64_t rejected_ = 0;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::string> queue_;
-  bool stop_ = false;
+  SyncMutex mu_;
+  SyncCondVar cv_;
+  std::deque<std::string> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
   std::thread th_;
 };
 

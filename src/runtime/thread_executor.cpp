@@ -67,7 +67,7 @@ ThreadExecutor::ThreadExecutor(int num_localities, int cores_per_locality,
 ThreadExecutor::~ThreadExecutor() {
   drain();
   {
-    std::lock_guard lk(idle_mu_);
+    SyncLockGuard lk(idle_mu_);
     stop_.store(true, std::memory_order_seq_cst);
     // relaxed-ok: the epoch bump is published by the idle_mu_ unlock below.
     wake_epoch_.fetch_add(1, std::memory_order_relaxed);
@@ -212,7 +212,7 @@ void ThreadExecutor::run_batch_in_order(ParcelBatch b) {
                              static_cast<std::size_t>(num_localities_) +
                          b.dst];
   {
-    std::lock_guard lk(io.mu);
+    SyncLockGuard lk(io.mu);
     io.ready.emplace(b.seq, std::move(b));
     // A single runner per pair keeps batches strictly serialized.  If the
     // next expected batch is missing, its (already spawned) wrapper task
@@ -223,7 +223,7 @@ void ThreadExecutor::run_batch_in_order(ParcelBatch b) {
   for (;;) {
     ParcelBatch cur;
     {
-      std::lock_guard lk(io.mu);
+      SyncLockGuard lk(io.mu);
       auto it = io.ready.find(io.expected);
       if (it == io.ready.end()) {
         io.running = false;
@@ -350,7 +350,7 @@ void ThreadExecutor::wake_all() {
   // it observes the task.
   if (sleepers_.load(std::memory_order_seq_cst) == 0) return;
   {
-    std::lock_guard lk(idle_mu_);
+    SyncLockGuard lk(idle_mu_);
     // relaxed-ok: the epoch bump is published by the idle_mu_ unlock.
     wake_epoch_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -358,7 +358,7 @@ void ThreadExecutor::wake_all() {
 }
 
 void ThreadExecutor::park(int w) {
-  std::unique_lock lk(idle_mu_);
+  SyncUniqueLock lk(idle_mu_);
   if (stop_.load(std::memory_order_acquire)) return;
   sleepers_.fetch_add(1, std::memory_order_seq_cst);
   if (work_available(w)) {  // re-check after announcing ourselves
@@ -371,13 +371,14 @@ void ThreadExecutor::park(int w) {
   const bool counting = ctr.enabled();
   const double t0 = counting ? now() : 0.0;
   // relaxed-ok: wake_epoch_ is only read/written under idle_mu_, which
-  // supplies the ordering; the atomic silences TSan on the wait predicate.
+  // supplies the ordering; the atomic silences TSan on the wait re-check.
   const std::uint64_t e = wake_epoch_.load(std::memory_order_relaxed);
-  idle_cv_.wait(lk, [this, e] {
-    return stop_.load(std::memory_order_acquire) ||
-           // relaxed-ok: read under idle_mu_ (held inside wait), see above.
-           wake_epoch_.load(std::memory_order_relaxed) != e;
-  });
+  // Explicit predicate loop (no wait(pred) overload; see sync_hook.hpp).
+  while (!stop_.load(std::memory_order_acquire) &&
+         // relaxed-ok: read under idle_mu_ (held between waits), see above.
+         wake_epoch_.load(std::memory_order_relaxed) == e) {
+    idle_cv_.wait(lk);
+  }
   // relaxed-ok: see the early-return fetch_sub above.
   sleepers_.fetch_sub(1, std::memory_order_relaxed);
   if (counting) {
@@ -402,7 +403,7 @@ void ThreadExecutor::worker_loop(int w) {
       if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         // Take the mutex so the notify cannot slip between drain()'s
         // predicate check and its wait.
-        std::lock_guard lk(idle_mu_);
+        SyncLockGuard lk(idle_mu_);
         drain_cv_.notify_all();
       }
       idle_rounds = 0;
@@ -436,10 +437,11 @@ double ThreadExecutor::drain() {
     // are still running would split their buffers mid-fill.  Delivering a
     // batch re-raises outstanding_, hence the loop.
     {
-      std::unique_lock lk(idle_mu_);
-      drain_cv_.wait(lk, [this] {
-        return outstanding_.load(std::memory_order_acquire) == 0;
-      });
+      SyncUniqueLock lk(idle_mu_);
+      // Explicit predicate loop (no wait(pred) overload; see sync_hook.hpp).
+      while (outstanding_.load(std::memory_order_acquire) != 0) {
+        drain_cv_.wait(lk);
+      }
     }
     bool flushed = false;
     for (auto& b : rt_->take_all()) {

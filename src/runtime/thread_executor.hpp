@@ -1,14 +1,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <thread>
 
 #include "runtime/executor.hpp"
 #include "runtime/locality_runtime.hpp"
+#include "runtime/sync_hook.hpp"
 #include "runtime/ws_deque.hpp"
 #include "support/rng.hpp"
 
@@ -81,10 +80,10 @@ class ThreadExecutor final : public Executor {
   /// batch tasks may land on any destination worker, so arrivals are
   /// reordered by sequence number and run serially, preserving FIFO.
   struct InOrder {
-    std::mutex mu;
-    std::uint64_t expected = 0;
-    bool running = false;
-    std::map<std::uint64_t, ParcelBatch> ready;
+    SyncMutex mu;
+    std::uint64_t expected GUARDED_BY(mu) = 0;
+    bool running GUARDED_BY(mu) = false;
+    std::map<std::uint64_t, ParcelBatch> ready GUARDED_BY(mu);
   };
 
   void worker_loop(int w);
@@ -111,9 +110,9 @@ class ThreadExecutor final : public Executor {
   std::vector<std::unique_ptr<WorkerState>> workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
-  std::condition_variable drain_cv_;
+  SyncMutex idle_mu_;
+  SyncCondVar idle_cv_;
+  SyncCondVar drain_cv_;
   std::atomic<std::uint64_t> wake_epoch_{0};
   std::atomic<int> sleepers_{0};
   std::atomic<std::int64_t> outstanding_{0};

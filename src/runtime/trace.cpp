@@ -74,7 +74,7 @@ void TraceSink::record_comm(const CommEvent& e) {
   if (m == 0) return;
   if ((m & kModeFlight) != 0) flight_->record_comm(e);
   if ((m & kModeFull) == 0) return;
-  std::lock_guard lk(comm_mu_);
+  SyncLockGuard lk(comm_mu_);
   comm_.push_back(e);
 }
 
@@ -89,7 +89,7 @@ void TraceSink::flight_instant(std::uint32_t worker, InstantKind kind,
 }
 
 std::vector<CommEvent> TraceSink::collect_comm() const {
-  std::lock_guard lk(comm_mu_);
+  SyncLockGuard lk(comm_mu_);
   std::vector<CommEvent> out = comm_;
   std::sort(out.begin(), out.end(),
             [](const CommEvent& a, const CommEvent& b) { return a.t0 < b.t0; });
@@ -99,7 +99,7 @@ std::vector<CommEvent> TraceSink::collect_comm() const {
 void TraceSink::clear() {
   for (auto& b : buffers_) b.clear();
   for (auto& b : instants_) b.clear();
-  std::lock_guard lk(comm_mu_);
+  SyncLockGuard lk(comm_mu_);
   comm_.clear();
 }
 

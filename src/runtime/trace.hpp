@@ -4,9 +4,10 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <vector>
+
+#include "runtime/sync_hook.hpp"
 
 namespace amtfmm {
 
@@ -196,8 +197,8 @@ class TraceSink {
   FlightRecorder* flight_ = nullptr;
   std::vector<std::vector<TraceEvent>> buffers_;
   std::vector<std::vector<InstantEvent>> instants_;
-  mutable std::mutex comm_mu_;
-  std::vector<CommEvent> comm_;
+  mutable SyncMutex comm_mu_;
+  std::vector<CommEvent> comm_ GUARDED_BY(comm_mu_);
 };
 
 /// Utilization fractions per the paper's equations (1) and (2):

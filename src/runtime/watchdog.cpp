@@ -17,7 +17,7 @@ Watchdog::Watchdog(double timeout_s, StallFn on_stall)
 
 Watchdog::~Watchdog() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    SyncLockGuard lk(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -26,7 +26,7 @@ Watchdog::~Watchdog() {
 
 void Watchdog::beat() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    SyncLockGuard lk(mu_);
     ++beats_;
   }
   cv_.notify_all();
@@ -34,7 +34,7 @@ void Watchdog::beat() {
 
 void Watchdog::arm() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    SyncLockGuard lk(mu_);
     armed_ = true;
     ++beats_;  // arming restarts the stall clock
   }
@@ -43,7 +43,7 @@ void Watchdog::arm() {
 
 void Watchdog::disarm() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    SyncLockGuard lk(mu_);
     armed_ = false;
   }
   cv_.notify_all();
@@ -53,7 +53,7 @@ void Watchdog::loop() {
   using clock = std::chrono::steady_clock;
   const auto poll = std::chrono::duration<double>(
       std::min(timeout_s_ / 4.0, 0.05));
-  std::unique_lock<std::mutex> lk(mu_);
+  SyncUniqueLock lk(mu_);
   std::uint64_t last = beats_;
   auto last_change = clock::now();
   bool reported = false;

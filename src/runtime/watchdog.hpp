@@ -1,11 +1,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
+
+#include "runtime/sync_hook.hpp"
 
 namespace amtfmm {
 
@@ -46,11 +46,11 @@ class Watchdog {
   const double timeout_s_;
   StallFn on_stall_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::uint64_t beats_ = 0;
-  bool armed_ = false;
-  bool stop_ = false;
+  SyncMutex mu_;
+  SyncCondVar cv_;
+  std::uint64_t beats_ GUARDED_BY(mu_) = 0;
+  bool armed_ GUARDED_BY(mu_) = false;
+  bool stop_ GUARDED_BY(mu_) = false;
 
   std::atomic<bool> fired_{false};
   std::thread th_;

@@ -1,0 +1,39 @@
+// Positive control for the thread-safety negative tests: correct locking
+// through the sync_hook shim must compile warning-free under
+// -Wthread-safety -Werror=thread-safety.  If this breaks, the REJECT
+// cases next door prove nothing.
+
+#include "runtime/sync_hook.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void add(int v) {
+    amtfmm::SyncLockGuard lk(mu_);
+    total_ += v;
+  }
+  int total() {
+    amtfmm::SyncUniqueLock lk(mu_);
+    return total_;
+  }
+  void add_locked(int v) REQUIRES(mu_) { total_ += v; }
+  void add_two() {
+    mu_.lock();
+    add_locked(2);
+    mu_.unlock();
+  }
+
+ private:
+  amtfmm::SyncMutex mu_;
+  int total_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  c.add_two();
+  return c.total() == 3 ? 0 : 1;
+}

@@ -1,0 +1,29 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety: calls a
+// REQUIRES(mu_) helper without holding mu_ — the compiler-checked version
+// of the runtime's "*_locked() helpers assume the lock" convention.  If
+// this translation unit ever compiles, the analysis has been disarmed
+// (see tests/static/CMakeLists.txt).
+
+#include "runtime/sync_hook.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void add_locked(int v) REQUIRES(mu_) { total_ += v; }
+  void add_unlocked(int v) {
+    add_locked(v);  // expected-error: calling add_locked requires mu_
+  }
+
+ private:
+  amtfmm::SyncMutex mu_;
+  int total_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add_unlocked(1);
+  return 0;
+}

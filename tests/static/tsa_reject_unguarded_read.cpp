@@ -1,0 +1,31 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety: reads a
+// GUARDED_BY member with no lock held.  If this translation unit ever
+// compiles, the thread-safety analysis has been disarmed (see
+// tests/static/CMakeLists.txt).
+
+#include "runtime/sync_hook.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void add(int v) {
+    amtfmm::SyncLockGuard lk(mu_);
+    total_ += v;
+  }
+  int total_unlocked() {
+    return total_;  // expected-error: reading total_ requires holding mu_
+  }
+
+ private:
+  amtfmm::SyncMutex mu_;
+  int total_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  return c.total_unlocked();
+}

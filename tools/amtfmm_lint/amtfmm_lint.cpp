@@ -1,0 +1,767 @@
+// amtfmm_lint: AST-level concurrency/robustness invariant analyzer.
+//
+// Re-implements the seven regex rules of scripts/lint_invariants.py on the
+// Clang AST (no false matches inside strings/comments, sees through
+// typedefs and using-declarations) and adds four checks a regex cannot
+// express:
+//
+//   wire-trivially-copyable  wire structs (WireRecord, ExpansionPayload,
+//                            the parcel headers) must be trivially
+//                            copyable — they are memcpy-(de)serialized.
+//   payload-pointer          no pointer/reference member anywhere in a
+//                            wire struct, recursively through nested
+//                            records and arrays (addresses die on the
+//                            wire).
+//   task-blocking-call       no blocking call (sleep, explicit .lock(),
+//                            socket syscall, wall-clock read) directly in
+//                            a task-body lambda bound to amtfmm::Task::fn
+//                            or passed to Executor::spawn/send — tasks
+//                            must stay non-blocking so workers never
+//                            wedge.  Non-transitive: only the lambda body
+//                            itself is scanned.
+//   lock-across-send         no scoped capability guard (SyncLockGuard /
+//                            SyncUniqueLock / MaybeLockGuard) live across
+//                            a NetTransport post_* / broadcast_control or
+//                            a coalescer flush take_* call — the send can
+//                            block on backpressure and the flush takes
+//                            per-buffer locks, so holding a runtime mutex
+//                            across either risks deadlock.  A guard
+//                            released with .unlock() stops counting until
+//                            .lock()ed again.
+//
+// Escape hatches mirror the regex linter (`// thread-ok:`, `// relaxed-ok:`,
+// `// rand-ok:`, `// simd-ok:`, `// net-ok:`, `// time-ok:`) plus
+// `// blocking-ok:` and `// lock-across-send-ok:` for the new checks, on
+// the flagged line or up to two lines above.
+//
+// Usage:
+//   amtfmm_lint -p build [file...]            # empty file list = every
+//                                             # src/ TU in the compile DB
+//   amtfmm_lint --repo-root <dir> ...         # default: cwd
+//   amtfmm_lint --all-files --main-only ...   # fixture-test mode
+//   amtfmm_lint --fix-notes <path> ...        # write suggested escapes
+//
+// Exit status: 0 clean, 1 violations, 2 tool/compile failure.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clang/AST/ASTConsumer.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Frontend/CompilerInstance.h"
+#include "clang/Frontend/FrontendAction.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+#include "llvm/Support/FileSystem.h"
+#include "llvm/Support/Path.h"
+#include "llvm/Support/raw_ostream.h"
+
+namespace {
+
+llvm::cl::OptionCategory kCategory("amtfmm_lint options");
+llvm::cl::opt<std::string> kRepoRoot(
+    "repo-root", llvm::cl::desc("Repository root (default: cwd)"),
+    llvm::cl::init(""), llvm::cl::cat(kCategory));
+llvm::cl::opt<std::string> kFixNotes(
+    "fix-notes",
+    llvm::cl::desc("Write a notes file with one suggested escape-comment "
+                   "insertion per violation"),
+    llvm::cl::init(""), llvm::cl::cat(kCategory));
+llvm::cl::opt<bool> kAllFiles(
+    "all-files",
+    llvm::cl::desc("Lint every file under the repo root, not just src/ "
+                   "(used by the fixture tests)"),
+    llvm::cl::init(false), llvm::cl::cat(kCategory));
+llvm::cl::opt<bool> kMainOnly(
+    "main-only",
+    llvm::cl::desc("Report only diagnostics in each TU's main file "
+                   "(used by the fixture tests)"),
+    llvm::cl::init(false), llvm::cl::cat(kCategory));
+
+struct Violation {
+  std::string file;  // repo-relative
+  unsigned line = 0;
+  std::string check;
+  std::string message;
+  std::string escape_tag;  // empty when the violation has no escape hatch
+
+  bool operator<(const Violation& o) const {
+    return std::tie(file, line, check, message) <
+           std::tie(o.file, o.line, o.check, o.message);
+  }
+};
+
+// Zone / exemption tables, mirroring scripts/lint_invariants.py.  The
+// regex linter's doc header is the canonical statement of each rule.
+const char* kThreadZones[] = {"src/runtime/", "src/rtcheck/"};
+const char* kSimdZones[] = {"src/kernels/simd/"};
+const char* kNetZones[] = {"src/runtime/net/"};
+const char* kRelaxedExemptFiles[] = {
+    "src/runtime/counters.hpp",     "src/runtime/counters.cpp",
+    "src/runtime/ws_deque.hpp",     "src/runtime/sync_hook.hpp",
+    "src/runtime/net/transport.cpp", "src/runtime/net/net_executor.cpp",
+};
+const char* kRelaxedExemptDirs[] = {"src/rtcheck/"};
+const char* kWallclockFiles[] = {"src/runtime/trace.cpp",
+                                 "src/runtime/telemetry.cpp"};
+const char* kWireStructs[] = {"WireRecord", "ExpansionPayload",
+                              "ParcelHeader", "SectionHeader",
+                              "ContribHeader"};
+const char* kSocketFns[] = {"socket",     "connect",    "bind",
+                            "listen",     "accept",     "accept4",
+                            "recv",       "send",       "sendmsg",
+                            "recvmsg",    "setsockopt", "getsockopt",
+                            "getsockname", "shutdown"};
+const char* kSleepFns[] = {"sleep", "usleep", "nanosleep"};
+const char* kSendFamily[] = {
+    "amtfmm::net::NetTransport::post_batch",
+    "amtfmm::net::NetTransport::post_control",
+    "amtfmm::net::NetTransport::broadcast_control",
+    "amtfmm::net::NetTransport::post_telemetry",
+    "amtfmm::ParcelCoalescer::take_expired_from",
+    "amtfmm::ParcelCoalescer::take_all_from",
+};
+const char* kScopedGuards[] = {"SyncLockGuard", "SyncUniqueLock",
+                               "MaybeLockGuard"};
+
+template <std::size_t N>
+bool contains(const char* const (&arr)[N], llvm::StringRef s) {
+  for (const char* a : arr) {
+    if (s == a) return true;
+  }
+  return false;
+}
+
+template <std::size_t N>
+bool startsWithAny(llvm::StringRef s, const char* const (&arr)[N]) {
+  for (const char* a : arr) {
+    if (s.startswith(a)) return true;
+  }
+  return false;
+}
+
+/// Shared across TUs: collects violations, deduplicates header re-parses.
+class Linter {
+ public:
+  explicit Linter(std::string repo_root) : root_(std::move(repo_root)) {}
+
+  const std::string& root() const { return root_; }
+
+  void add(Violation v) { violations_.insert(std::move(v)); }
+
+  int finish() {
+    std::vector<Violation> all(violations_.begin(), violations_.end());
+    if (!kFixNotes.empty()) {
+      std::error_code ec;
+      llvm::raw_fd_ostream notes(kFixNotes, ec);
+      if (ec) {
+        llvm::errs() << "amtfmm_lint: cannot write " << kFixNotes << ": "
+                     << ec.message() << "\n";
+        return 2;
+      }
+      for (const Violation& v : all) {
+        notes << v.file << ":" << v.line << ": [" << v.check << "] "
+              << v.message << "\n";
+        if (!v.escape_tag.empty()) {
+          notes << "    suggested (only if reviewed as safe): append "
+                << "'// " << v.escape_tag << ": <reason>'\n";
+        } else {
+          notes << "    no escape hatch: the struct/code must be fixed\n";
+        }
+      }
+    }
+    if (all.empty()) {
+      llvm::outs() << "amtfmm_lint: clean\n";
+      return 0;
+    }
+    llvm::outs() << "amtfmm_lint: " << all.size() << " violation(s)\n";
+    for (const Violation& v : all) {
+      llvm::outs() << "  " << v.file << ":" << v.line << ": [" << v.check
+                   << "] " << v.message << "\n";
+    }
+    return 1;
+  }
+
+ private:
+  std::string root_;
+  std::set<Violation> violations_;
+};
+
+class Visitor : public clang::RecursiveASTVisitor<Visitor> {
+ public:
+  Visitor(Linter& linter, clang::ASTContext& ctx)
+      : linter_(linter), ctx_(ctx), sm_(ctx.getSourceManager()) {}
+
+  // ---- rule 1: threading primitives confined to src/runtime|rtcheck ----
+
+  bool VisitVarDecl(clang::VarDecl* vd) {
+    checkThreadPrimitive(vd->getType(), vd->getBeginLoc());
+    checkRandomDevice(vd->getType(), vd->getBeginLoc());
+    checkSimdType(vd->getType(), vd->getBeginLoc());
+    return true;
+  }
+
+  bool VisitFieldDecl(clang::FieldDecl* fd) {
+    checkThreadPrimitive(fd->getType(), fd->getBeginLoc());
+    checkRandomDevice(fd->getType(), fd->getBeginLoc());
+    return true;
+  }
+
+  // ---- rule 2: memory_order_relaxed needs a justification comment ----
+
+  bool VisitDeclRefExpr(clang::DeclRefExpr* dre) {
+    const clang::NamedDecl* d = dre->getDecl();
+    llvm::StringRef name = d->getName();
+    bool relaxed = false;
+    if (name == "memory_order_relaxed" && d->isInStdNamespace()) {
+      relaxed = true;  // C++17 inline variable spelling
+    } else if (name == "relaxed") {
+      if (const auto* ec = llvm::dyn_cast<clang::EnumConstantDecl>(d)) {
+        const auto* en =
+            llvm::dyn_cast<clang::EnumDecl>(ec->getDeclContext());
+        if (en && en->getName() == "memory_order") relaxed = true;
+      }
+    }
+    if (!relaxed) return true;
+    std::string rel;
+    unsigned line = 0;
+    if (!locate(dre->getBeginLoc(), rel, line)) return true;
+    if (rel == "src/support/thread_annotations.hpp") return true;
+    if (contains(kRelaxedExemptFiles, rel) ||
+        startsWithAny(rel, kRelaxedExemptDirs)) {
+      return true;  // reviewed-default files; reasons in lint_invariants.py
+    }
+    if (hasEscape(dre->getBeginLoc(), "relaxed-ok")) return true;
+    report(rel, line, "relaxed-justification",
+           "memory_order_relaxed without a '// relaxed-ok: <reason>' "
+           "comment",
+           "relaxed-ok");
+    return true;
+  }
+
+  // ---- rules 4/6/7 + SIMD builtins: call-site checks ----
+
+  bool VisitCallExpr(clang::CallExpr* ce) {
+    const clang::FunctionDecl* callee = ce->getDirectCallee();
+    if (callee == nullptr) return true;
+    std::string rel;
+    unsigned line = 0;
+    if (!locate(ce->getBeginLoc(), rel, line)) return true;
+    llvm::StringRef name = callee->getName();
+    const std::string qual = callee->getQualifiedNameAsString();
+
+    if (isGlobalC(callee) && (name == "rand" || name == "srand")) {
+      if (!hasEscape(ce->getBeginLoc(), "rand-ok")) {
+        report(rel, line, "seeded-random",
+               "unseeded randomness (" + name.str() +
+                   "); use an explicit seed or add '// rand-ok: <reason>'",
+               "rand-ok");
+      }
+    }
+    if (!startsWithAny(rel, kNetZones) && isGlobalC(callee) &&
+        contains(kSocketFns, name)) {
+      if (!hasEscape(ce->getBeginLoc(), "net-ok")) {
+        report(rel, line, "net-confinement",
+               "raw socket call ::" + name.str() +
+                   " outside src/runtime/net/ (go through NetTransport, "
+                   "or add '// net-ok: <reason>')",
+               "net-ok");
+      }
+    }
+    if (isWallClockCall(callee, qual) &&
+        !contains(kWallclockFiles, llvm::StringRef(rel))) {
+      if (!hasEscape(ce->getBeginLoc(), "time-ok")) {
+        report(rel, line, "wallclock-confinement",
+               "wall-clock time source outside the trace/telemetry layer "
+               "(use the steady clock, or add '// time-ok: <reason>')",
+               "time-ok");
+      }
+    }
+    if (!startsWithAny(rel, kSimdZones) &&
+        (name.startswith("_mm") || name == "__builtin_cpu_supports")) {
+      if (!hasEscape(ce->getBeginLoc(), "simd-ok")) {
+        report(rel, line, "simd-confinement",
+               "vector intrinsic " + name.str() +
+                   " outside src/kernels/simd/ (call the amtfmm::simd "
+                   "API, or add '// simd-ok: <reason>')",
+               "simd-ok");
+      }
+    }
+    return true;
+  }
+
+  // ---- wire structs: trivially copyable, no pointers anywhere ----
+
+  bool VisitCXXRecordDecl(clang::CXXRecordDecl* rd) {
+    if (!rd->isThisDeclarationADefinition()) return true;
+    if (!contains(kWireStructs, rd->getName())) return true;
+    std::string rel;
+    unsigned line = 0;
+    if (!locate(rd->getBeginLoc(), rel, line)) return true;
+    const clang::QualType qt = ctx_.getRecordType(rd);
+    if (!qt.isTriviallyCopyableType(ctx_)) {
+      report(rel, line, "wire-trivially-copyable",
+             "wire struct " + rd->getNameAsString() +
+                 " is not trivially copyable; it is memcpy-(de)serialized "
+                 "and shipped between localities",
+             "");
+    }
+    checkNoPointers(rd, rd, rel);
+    return true;
+  }
+
+  // ---- task-body lambdas: Task::fn assignment / Executor::spawn ----
+
+  bool VisitCXXOperatorCallExpr(clang::CXXOperatorCallExpr* oc) {
+    // t.fn = <lambda> where fn is std::function: operator= call.
+    if (oc->getOperator() != clang::OO_Equal || oc->getNumArgs() < 2) {
+      return true;
+    }
+    if (isTaskFnMember(oc->getArg(0))) scanLambdasIn(oc->getArg(1));
+    return true;
+  }
+
+  bool VisitBinaryOperator(clang::BinaryOperator* bo) {
+    // Plain-aggregate spelling of the same assignment.
+    if (!bo->isAssignmentOp()) return true;
+    if (isTaskFnMember(bo->getLHS())) scanLambdasIn(bo->getRHS());
+    return true;
+  }
+
+  bool VisitCXXMemberCallExpr(clang::CXXMemberCallExpr* mc) {
+    const clang::CXXMethodDecl* md = mc->getMethodDecl();
+    if (md == nullptr) return true;
+    llvm::StringRef name = md->getName();
+    if ((name == "spawn" || name == "send" || name == "submit") &&
+        isExecutorClass(md->getParent())) {
+      for (const clang::Expr* arg : mc->arguments()) scanLambdasIn(arg);
+    }
+    return true;
+  }
+
+  // ---- lock-across-send: scope-tracked guard liveness ----
+
+  bool VisitFunctionDecl(clang::FunctionDecl* fd) {
+    if (!fd->doesThisDeclarationHaveABody()) return true;
+    std::string rel;
+    unsigned line = 0;
+    if (!locate(fd->getBeginLoc(), rel, line)) return true;
+    std::vector<Guard> held;
+    scanGuards(fd->getBody(), held);
+    return true;
+  }
+
+ private:
+  struct Guard {
+    const clang::VarDecl* var = nullptr;
+    bool active = true;
+  };
+
+  // -- helpers --------------------------------------------------------
+
+  /// Resolves `loc` to a repo-relative path + line; false when the file
+  /// is outside the repo (system headers) or outside the linted set.
+  bool locate(clang::SourceLocation loc, std::string& rel, unsigned& line) {
+    const clang::SourceLocation ex = sm_.getExpansionLoc(loc);
+    if (ex.isInvalid()) return false;
+    if (kMainOnly && !sm_.isInMainFile(ex)) return false;
+    llvm::StringRef file = sm_.getFilename(ex);
+    if (file.empty()) return false;
+    llvm::SmallString<256> abs(file);
+    if (llvm::sys::fs::make_absolute(abs)) return false;
+    llvm::sys::path::remove_dots(abs, /*remove_dot_dot=*/true);
+    llvm::StringRef a(abs);
+    if (!a.startswith(linter_.root())) return false;
+    a = a.drop_front(linter_.root().size());
+    a.consume_front("/");
+    if (!kAllFiles && !a.startswith("src/")) return false;
+    rel = a.str();
+    line = sm_.getExpansionLineNumber(ex);
+    return true;
+  }
+
+  /// True when `// <tag>:` appears on the line of `loc` or within the
+  /// two lines above (the regex linter's escape convention).
+  bool hasEscape(clang::SourceLocation loc, llvm::StringRef tag) {
+    const clang::SourceLocation ex = sm_.getExpansionLoc(loc);
+    const clang::FileID fid = sm_.getFileID(ex);
+    const unsigned line = sm_.getExpansionLineNumber(ex);
+    const std::vector<llvm::StringRef>& lines = fileLines(fid);
+    const std::string needle = "// " + tag.str() + ":";
+    for (unsigned ln = line >= 2 ? line - 2 : 1; ln <= line; ++ln) {
+      if (ln == 0 || ln > lines.size()) continue;
+      if (lines[ln - 1].contains(needle)) return true;
+    }
+    return false;
+  }
+
+  const std::vector<llvm::StringRef>& fileLines(clang::FileID fid) {
+    auto it = line_cache_.find(fid);
+    if (it != line_cache_.end()) return it->second;
+    std::vector<llvm::StringRef>& lines = line_cache_[fid];
+    bool invalid = false;
+    llvm::StringRef buf = sm_.getBufferData(fid, &invalid);
+    if (!invalid) buf.split(lines, '\n');
+    return lines;
+  }
+
+  void report(const std::string& rel, unsigned line,
+              const std::string& check, const std::string& message,
+              const std::string& escape_tag) {
+    linter_.add(Violation{rel, line, check, message, escape_tag});
+  }
+
+  static bool isGlobalC(const clang::FunctionDecl* fd) {
+    return fd->isExternC() ||
+           fd->getDeclContext()->getRedeclContext()->isTranslationUnit();
+  }
+
+  static bool isWallClockCall(const clang::FunctionDecl* callee,
+                              const std::string& qual) {
+    if (qual.find("system_clock") != std::string::npos &&
+        callee->getName() == "now") {
+      return true;
+    }
+    if (!isGlobalC(callee)) return false;
+    llvm::StringRef name = callee->getName();
+    return name == "gettimeofday" || name == "time";
+  }
+
+  void checkThreadPrimitive(clang::QualType t, clang::SourceLocation loc) {
+    const clang::CXXRecordDecl* rd =
+        t.getCanonicalType()->getAsCXXRecordDecl();
+    if (rd == nullptr || !rd->isInStdNamespace()) return;
+    llvm::StringRef n = rd->getName();
+    static const char* kPrimitives[] = {
+        "thread",       "jthread",     "mutex",
+        "recursive_mutex", "shared_mutex", "timed_mutex",
+        "condition_variable", "condition_variable_any"};
+    if (!contains(kPrimitives, n)) return;
+    std::string rel;
+    unsigned line = 0;
+    if (!locate(loc, rel, line)) return;
+    if (startsWithAny(rel, kThreadZones)) return;
+    if (rel == "src/support/thread_annotations.hpp") return;
+    if (hasEscape(loc, "thread-ok")) return;
+    report(rel, line, "thread-confinement",
+           "std::" + n.str() +
+               " outside src/runtime/ (use the Executor / SyncMutex "
+               "layer, or add '// thread-ok: <reason>')",
+           "thread-ok");
+  }
+
+  void checkRandomDevice(clang::QualType t, clang::SourceLocation loc) {
+    const clang::CXXRecordDecl* rd =
+        t.getCanonicalType()->getAsCXXRecordDecl();
+    if (rd == nullptr || !rd->isInStdNamespace() ||
+        rd->getName() != "random_device") {
+      return;
+    }
+    std::string rel;
+    unsigned line = 0;
+    if (!locate(loc, rel, line)) return;
+    if (hasEscape(loc, "rand-ok")) return;
+    report(rel, line, "seeded-random",
+           "std::random_device; use an explicit seed or add "
+           "'// rand-ok: <reason>'",
+           "rand-ok");
+  }
+
+  void checkSimdType(clang::QualType t, clang::SourceLocation loc) {
+    const std::string s = t.getCanonicalType().getAsString();
+    if (s.find("__m128") == std::string::npos &&
+        s.find("__m256") == std::string::npos &&
+        s.find("__m512") == std::string::npos) {
+      return;
+    }
+    std::string rel;
+    unsigned line = 0;
+    if (!locate(loc, rel, line)) return;
+    if (startsWithAny(rel, kSimdZones)) return;
+    if (hasEscape(loc, "simd-ok")) return;
+    report(rel, line, "simd-confinement",
+           "vector register type outside src/kernels/simd/ (call the "
+           "amtfmm::simd API, or add '// simd-ok: <reason>')",
+           "simd-ok");
+  }
+
+  void checkNoPointers(const clang::CXXRecordDecl* top,
+                       const clang::CXXRecordDecl* rd,
+                       const std::string& rel) {
+    if (rd == nullptr || !rd->hasDefinition()) return;
+    for (const clang::FieldDecl* f : rd->getDefinition()->fields()) {
+      clang::QualType t = f->getType().getCanonicalType();
+      while (const clang::ArrayType* at = ctx_.getAsArrayType(t)) {
+        t = at->getElementType().getCanonicalType();
+      }
+      if (t->isPointerType() || t->isReferenceType() ||
+          t->isMemberPointerType()) {
+        report(rel, sm_.getExpansionLineNumber(
+                        sm_.getExpansionLoc(f->getBeginLoc())),
+               "payload-pointer",
+               "pointer/reference member '" + f->getNameAsString() +
+                   "' reachable from wire struct " +
+                   top->getNameAsString() +
+                   " (addresses do not survive the wire)",
+               "");
+        continue;
+      }
+      if (const clang::CXXRecordDecl* sub = t->getAsCXXRecordDecl()) {
+        if (!sub->isInStdNamespace()) checkNoPointers(top, sub, rel);
+      }
+    }
+  }
+
+  bool isTaskFnMember(const clang::Expr* e) {
+    const auto* me =
+        llvm::dyn_cast<clang::MemberExpr>(e->IgnoreParenImpCasts());
+    if (me == nullptr) return false;
+    const auto* fd = llvm::dyn_cast<clang::FieldDecl>(me->getMemberDecl());
+    if (fd == nullptr || fd->getName() != "fn") return false;
+    const clang::RecordDecl* rd = fd->getParent();
+    return rd != nullptr &&
+           rd->getQualifiedNameAsString() == "amtfmm::Task";
+  }
+
+  static bool isExecutorClass(const clang::CXXRecordDecl* rd) {
+    if (rd == nullptr) return false;
+    if (rd->getQualifiedNameAsString() == "amtfmm::Executor") return true;
+    if (!rd->hasDefinition()) return false;
+    for (const clang::CXXBaseSpecifier& b : rd->bases()) {
+      if (isExecutorClass(b.getType()->getAsCXXRecordDecl())) return true;
+    }
+    return false;
+  }
+
+  /// Finds every LambdaExpr syntactically inside `e` (through implicit
+  /// std::function conversions) and scans its body for blocking calls.
+  void scanLambdasIn(const clang::Expr* e) {
+    if (e == nullptr) return;
+    struct Collector : clang::RecursiveASTVisitor<Collector> {
+      std::vector<const clang::LambdaExpr*> found;
+      bool VisitLambdaExpr(clang::LambdaExpr* le) {
+        found.push_back(le);
+        return true;
+      }
+    } c;
+    c.TraverseStmt(const_cast<clang::Expr*>(e));
+    for (const clang::LambdaExpr* le : c.found) {
+      scanBlocking(le->getBody());
+    }
+  }
+
+  void scanBlocking(const clang::Stmt* s) {
+    if (s == nullptr) return;
+    if (const auto* mc = llvm::dyn_cast<clang::CXXMemberCallExpr>(s)) {
+      const clang::CXXMethodDecl* md = mc->getMethodDecl();
+      if (md != nullptr) {
+        llvm::StringRef n = md->getName();
+        if (n == "lock" || n == "try_lock") {
+          // Explicit mutex acquisition in a task body: blocking, and
+          // invisible to the executor's progress guarantees.
+          reportBlocking(mc->getBeginLoc(), "explicit ." + n.str() + "()");
+        }
+      }
+    }
+    if (const auto* ce = llvm::dyn_cast<clang::CallExpr>(s)) {
+      const clang::FunctionDecl* callee = ce->getDirectCallee();
+      if (callee != nullptr) {
+        llvm::StringRef n = callee->getName();
+        const std::string qual = callee->getQualifiedNameAsString();
+        if (n == "sleep_for" || n == "sleep_until" ||
+            (isGlobalC(callee) && contains(kSleepFns, n))) {
+          reportBlocking(ce->getBeginLoc(), "sleep (" + n.str() + ")");
+        } else if (isGlobalC(callee) && contains(kSocketFns, n)) {
+          reportBlocking(ce->getBeginLoc(),
+                         "socket syscall ::" + n.str() + "()");
+        } else if (isWallClockCall(callee, qual)) {
+          reportBlocking(ce->getBeginLoc(),
+                         "wall-clock read (" + n.str() + ")");
+        }
+      }
+    }
+    // Nested lambdas inside a task body are their own (deferred) bodies,
+    // not part of this task's execution — do not descend into them.
+    if (llvm::isa<clang::LambdaExpr>(s)) return;
+    for (const clang::Stmt* c : s->children()) scanBlocking(c);
+  }
+
+  void reportBlocking(clang::SourceLocation loc, const std::string& what) {
+    std::string rel;
+    unsigned line = 0;
+    if (!locate(loc, rel, line)) return;
+    if (hasEscape(loc, "blocking-ok")) return;
+    report(rel, line, "task-blocking-call",
+           what +
+               " inside a task-body lambda (tasks must not block a "
+               "worker; add '// blocking-ok: <reason>' if reviewed)",
+           "blocking-ok");
+  }
+
+  bool isScopedGuardType(clang::QualType t) {
+    const clang::CXXRecordDecl* rd =
+        t.getCanonicalType()->getAsCXXRecordDecl();
+    return rd != nullptr && contains(kScopedGuards, rd->getName());
+  }
+
+  static const clang::VarDecl* guardVarOf(
+      const clang::CXXMemberCallExpr* mc) {
+    const clang::Expr* obj = mc->getImplicitObjectArgument();
+    if (obj == nullptr) return nullptr;
+    const auto* dre =
+        llvm::dyn_cast<clang::DeclRefExpr>(obj->IgnoreParenImpCasts());
+    if (dre == nullptr) return nullptr;
+    return llvm::dyn_cast<clang::VarDecl>(dre->getDecl());
+  }
+
+  void scanGuards(const clang::Stmt* s, std::vector<Guard>& held) {
+    if (s == nullptr) return;
+    if (const auto* cs = llvm::dyn_cast<clang::CompoundStmt>(s)) {
+      const std::size_t mark = held.size();
+      for (const clang::Stmt* c : cs->body()) scanGuards(c, held);
+      held.resize(mark);  // guards die with their scope
+      return;
+    }
+    if (const auto* ds = llvm::dyn_cast<clang::DeclStmt>(s)) {
+      for (const clang::Decl* d : ds->decls()) {
+        if (const auto* vd = llvm::dyn_cast<clang::VarDecl>(d)) {
+          if (isScopedGuardType(vd->getType())) held.push_back(Guard{vd});
+        }
+      }
+      return;
+    }
+    if (const auto* mc = llvm::dyn_cast<clang::CXXMemberCallExpr>(s)) {
+      const clang::CXXMethodDecl* md = mc->getMethodDecl();
+      const clang::VarDecl* gv = guardVarOf(mc);
+      if (md != nullptr && gv != nullptr) {
+        llvm::StringRef n = md->getName();
+        for (Guard& g : held) {
+          if (g.var != gv) continue;
+          if (n == "unlock") g.active = false;
+          if (n == "lock") g.active = true;
+        }
+      }
+    }
+    if (const auto* ce = llvm::dyn_cast<clang::CallExpr>(s)) {
+      const clang::FunctionDecl* callee = ce->getDirectCallee();
+      if (callee != nullptr &&
+          contains(kSendFamily,
+                   llvm::StringRef(callee->getQualifiedNameAsString()))) {
+        const bool any_active =
+            std::any_of(held.begin(), held.end(),
+                        [](const Guard& g) { return g.active; });
+        if (any_active) {
+          std::string rel;
+          unsigned line = 0;
+          if (locate(ce->getBeginLoc(), rel, line) &&
+              !hasEscape(ce->getBeginLoc(), "lock-across-send-ok")) {
+            report(rel, line, "lock-across-send",
+                   "call to " + callee->getQualifiedNameAsString() +
+                       " with a scoped capability guard still held "
+                       "(the send can block on backpressure; release "
+                       "the lock first, or add "
+                       "'// lock-across-send-ok: <reason>')",
+                   "lock-across-send-ok");
+          }
+        }
+      }
+    }
+    for (const clang::Stmt* c : s->children()) scanGuards(c, held);
+  }
+
+  Linter& linter_;
+  clang::ASTContext& ctx_;
+  clang::SourceManager& sm_;
+  std::map<clang::FileID, std::vector<llvm::StringRef>> line_cache_;
+};
+
+class LintConsumer : public clang::ASTConsumer {
+ public:
+  explicit LintConsumer(Linter& linter) : linter_(linter) {}
+  void HandleTranslationUnit(clang::ASTContext& ctx) override {
+    Visitor v(linter_, ctx);
+    v.TraverseDecl(ctx.getTranslationUnitDecl());
+  }
+
+ private:
+  Linter& linter_;
+};
+
+class LintAction : public clang::ASTFrontendAction {
+ public:
+  explicit LintAction(Linter& linter) : linter_(linter) {}
+  std::unique_ptr<clang::ASTConsumer> CreateASTConsumer(
+      clang::CompilerInstance&, llvm::StringRef) override {
+    return std::make_unique<LintConsumer>(linter_);
+  }
+
+ private:
+  Linter& linter_;
+};
+
+class LintFactory : public clang::tooling::FrontendActionFactory {
+ public:
+  explicit LintFactory(Linter& linter) : linter_(linter) {}
+  std::unique_ptr<clang::FrontendAction> create() override {
+    return std::make_unique<LintAction>(linter_);
+  }
+
+ private:
+  Linter& linter_;
+};
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  auto expected_parser = clang::tooling::CommonOptionsParser::create(
+      argc, argv, kCategory, llvm::cl::ZeroOrMore);
+  if (!expected_parser) {
+    llvm::errs() << llvm::toString(expected_parser.takeError());
+    return 2;
+  }
+  clang::tooling::CommonOptionsParser& opts = *expected_parser;
+
+  llvm::SmallString<256> root(kRepoRoot.empty() ? "." : kRepoRoot.c_str());
+  if (llvm::sys::fs::make_absolute(root)) {
+    llvm::errs() << "amtfmm_lint: cannot resolve repo root\n";
+    return 2;
+  }
+  llvm::sys::path::remove_dots(root, /*remove_dot_dot=*/true);
+
+  std::vector<std::string> sources = opts.getSourcePathList();
+  if (sources.empty()) {
+    // No explicit sources: lint every repo src/ TU in the compile DB.
+    for (const std::string& f : opts.getCompilations().getAllFiles()) {
+      llvm::StringRef fr(f);
+      if (!fr.startswith(root)) continue;
+      llvm::StringRef rel = fr.drop_front(root.size());
+      rel.consume_front("/");
+      if (rel.startswith("src/")) sources.push_back(f);
+    }
+    if (sources.empty()) {
+      llvm::errs() << "amtfmm_lint: no src/ files in the compilation "
+                      "database under "
+                   << root << "\n";
+      return 2;
+    }
+  }
+
+  Linter linter(std::string(root));
+  clang::tooling::ClangTool tool(opts.getCompilations(), sources);
+  LintFactory factory(linter);
+  if (tool.run(&factory) != 0) {
+    llvm::errs() << "amtfmm_lint: one or more TUs failed to parse\n";
+    return 2;
+  }
+  return linter.finish();
+}

@@ -1,0 +1,62 @@
+// amtfmm_lint fixture: the remaining confinement rules in one TU —
+// unseeded randomness (seeded-random), raw socket syscalls outside
+// src/runtime/net/ (net-confinement), wall-clock reads outside the
+// trace/telemetry layer (wallclock-confinement), and SIMD dispatch
+// builtins outside src/kernels/simd/ (simd-confinement) — plus their
+// escape hatches.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+extern "C" int socket(int domain, int type, int protocol);
+
+int unseeded() {
+  return std::rand();  // expect-lint: seeded-random
+}
+
+int entropy() {
+  std::random_device rd;  // expect-lint: seeded-random
+  return static_cast<int>(rd());
+}
+
+int seeded_escape() {
+  // rand-ok: fixture — reproducibility not needed here.
+  return std::rand();
+}
+
+int raw_socket() {
+  return ::socket(2, 1, 0);  // expect-lint: net-confinement
+}
+
+int socket_escape() {
+  // net-ok: fixture — bootstrap path before the transport exists.
+  return ::socket(2, 1, 0);
+}
+
+long wall_clock() {
+  long a = static_cast<long>(::time(nullptr));  // expect-lint: wallclock-confinement
+  auto b = std::chrono::system_clock::now();  // expect-lint: wallclock-confinement
+  return a + b.time_since_epoch().count();
+}
+
+long wall_clock_escape() {
+  // time-ok: fixture — epoch stamp for a log header, not for ordering.
+  return static_cast<long>(::time(nullptr));
+}
+
+bool simd_dispatch() {
+  return __builtin_cpu_supports("avx2");  // expect-lint: simd-confinement
+}
+
+bool simd_escape() {
+  // simd-ok: fixture — one-shot capability probe in the launcher.
+  return __builtin_cpu_supports("avx2");
+}
+
+int main() {
+  return unseeded() + entropy() + seeded_escape() + raw_socket() +
+         socket_escape() + static_cast<int>(wall_clock() + wall_clock_escape()) +
+         (simd_dispatch() ? 1 : 0) + (simd_escape() ? 1 : 0);
+}

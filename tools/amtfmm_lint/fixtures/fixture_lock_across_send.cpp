@@ -1,0 +1,77 @@
+// amtfmm_lint fixture: a scoped capability guard (SyncLockGuard /
+// SyncUniqueLock) still live at a NetTransport post_* call must be
+// flagged (lock-across-send) — the send can block on window
+// backpressure while the caller holds a runtime mutex.  A guard whose
+// scope has closed, or a SyncUniqueLock explicitly .unlock()ed, is not
+// live; re-.lock()ing it makes it live again.  Local mocks mirror the
+// runtime's qualified names so the fixture needs no repo headers.
+
+namespace amtfmm {
+
+class SyncMutex {};
+
+class SyncLockGuard {
+ public:
+  explicit SyncLockGuard(SyncMutex&) {}
+};
+
+class SyncUniqueLock {
+ public:
+  explicit SyncUniqueLock(SyncMutex&) {}
+  void lock() {}
+  void unlock() {}
+};
+
+namespace net {
+struct NetTransport {
+  bool post_batch(unsigned dst, int batch) {
+    (void)dst;
+    (void)batch;
+    return true;
+  }
+  bool post_control(unsigned dst, int msg) {
+    (void)dst;
+    (void)msg;
+    return true;
+  }
+};
+}  // namespace net
+
+}  // namespace amtfmm
+
+amtfmm::SyncMutex g_mu;
+amtfmm::net::NetTransport g_net;
+
+void bad_guard_held() {
+  amtfmm::SyncLockGuard lk(g_mu);
+  g_net.post_batch(1, 42);  // expect-lint: lock-across-send
+}
+
+void good_scope_closed() {
+  {
+    amtfmm::SyncLockGuard lk(g_mu);
+  }
+  g_net.post_batch(1, 42);
+}
+
+void good_unlocked_then_bad_relocked() {
+  amtfmm::SyncUniqueLock lk(g_mu);
+  lk.unlock();
+  g_net.post_batch(1, 42);  // released first: do_write's pattern, clean
+  lk.lock();
+  g_net.post_control(1, 7);  // expect-lint: lock-across-send
+}
+
+void reviewed_escape() {
+  amtfmm::SyncLockGuard lk(g_mu);
+  // lock-across-send-ok: fixture — reviewed, loopback transport only.
+  g_net.post_control(1, 7);
+}
+
+int main() {
+  bad_guard_held();
+  good_scope_closed();
+  good_unlocked_then_bad_relocked();
+  reviewed_escape();
+  return 0;
+}

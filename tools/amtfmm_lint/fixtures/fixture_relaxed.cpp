@@ -1,0 +1,25 @@
+// amtfmm_lint fixture: memory_order_relaxed without a justification
+// comment must be flagged (relaxed-justification); a `// relaxed-ok:`
+// comment on the line or up to two lines above silences it.
+
+#include <atomic>
+
+std::atomic<int> counter{0};
+
+int naked_relaxed() {
+  return counter.load(std::memory_order_relaxed);  // expect-lint: relaxed-justification
+}
+
+int justified_relaxed() {
+  // relaxed-ok: fixture — monotonic counter, no ordering required.
+  return counter.load(std::memory_order_relaxed);
+}
+
+int justified_two_above() {
+  // relaxed-ok: fixture — escape comment two lines above the site.
+  int x =
+      counter.load(std::memory_order_relaxed);
+  return x;
+}
+
+int main() { return naked_relaxed() + justified_relaxed() + justified_two_above(); }

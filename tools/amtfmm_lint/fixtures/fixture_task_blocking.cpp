@@ -1,0 +1,79 @@
+// amtfmm_lint fixture: blocking calls (sleep, explicit .lock(), socket
+// syscalls) directly inside a task-body lambda — one bound to
+// amtfmm::Task::fn or passed to an Executor spawn/send/submit — must be
+// flagged (task-blocking-call).  The scan is non-transitive: calling a
+// helper function that blocks is not flagged, and nested (deferred)
+// lambdas are skipped.  Local mocks mirror the runtime's qualified names
+// (amtfmm::Task, amtfmm::Executor) so the fixture needs no repo headers.
+
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace amtfmm {
+
+struct Task {
+  std::function<void()> fn;
+};
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  virtual void spawn(Task t) = 0;
+  virtual void submit(std::function<void()> f) = 0;
+};
+
+class Pool : public Executor {
+ public:
+  void spawn(Task) override {}
+  void submit(std::function<void()>) override {}
+};
+
+}  // namespace amtfmm
+
+// thread-ok: fixture — mock lock for the task-body scan below.
+std::mutex g_mu;
+
+void helper_that_blocks() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+int main() {
+  amtfmm::Pool pool;
+  amtfmm::Task t;
+
+  // Lambda bound to Task::fn: both blocking calls inside must be flagged.
+  t.fn = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));  // expect-lint: task-blocking-call
+    g_mu.lock();  // expect-lint: task-blocking-call
+    g_mu.unlock();
+  };
+  pool.spawn(std::move(t));
+
+  // Lambda passed straight to an Executor entry point (through the
+  // derived class): same contract.
+  pool.submit([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));  // expect-lint: task-blocking-call
+  });
+
+  // Non-transitive: the helper blocks, but the task body itself does not.
+  pool.submit([] { helper_that_blocks(); });
+
+  // Nested lambda is a deferred body of its own, not this task's
+  // execution — must not be flagged.
+  pool.submit([] {
+    auto deferred = [] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    };
+    (void)deferred;
+  });
+
+  // Reviewed escape hatch.
+  pool.submit([] {
+    // blocking-ok: fixture — reviewed, runs on a dedicated service worker.
+    std::this_thread::sleep_for(std::chrono::milliseconds(4));
+  });
+
+  return 0;
+}

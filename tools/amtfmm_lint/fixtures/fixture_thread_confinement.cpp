@@ -1,0 +1,32 @@
+// amtfmm_lint fixture: threading primitives outside src/runtime/ must be
+// flagged (thread-confinement), and the `// thread-ok:` escape must
+// silence the diagnostic.  Each seeded violation carries an
+// `// expect-lint:` marker checked by run_fixtures.py.
+
+#include <mutex>
+#include <thread>
+
+namespace app {
+
+struct State {
+  std::mutex mu;  // expect-lint: thread-confinement
+};
+
+void worker();
+
+void start() {
+  std::thread t(worker);  // expect-lint: thread-confinement
+  t.join();
+}
+
+// thread-ok: fixture — proves the escape hatch silences the check.
+std::mutex escaped_mu;
+
+}  // namespace app
+
+void app::worker() {}
+
+int main() {
+  app::start();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// amtfmm_lint fixture: wire structs must be trivially copyable
+// (wire-trivially-copyable) and must not contain pointer/reference
+// members anywhere, recursively through nested records and arrays
+// (payload-pointer).  Neither check has an escape hatch — wire structs
+// are memcpy-(de)serialized, so these are hard errors.
+
+#include <string>
+
+// Pointer member directly in a wire struct: the address dies on the wire.
+struct WireRecord {
+  double charge = 0.0;
+  int* owner = nullptr;  // expect-lint: payload-pointer
+};
+
+// Non-trivially-copyable wire struct (std::string manages heap memory).
+struct ExpansionPayload {  // expect-lint: wire-trivially-copyable
+  std::string blob;
+};
+
+// Pointer reached only through a nested record inside an array.
+struct Inner {
+  float* samples;  // expect-lint: payload-pointer
+};
+struct ParcelHeader {
+  Inner inner[2];
+};
+
+// Clean wire struct: no diagnostics expected.
+struct SectionHeader {
+  unsigned kind = 0;
+  unsigned length = 0;
+  double payload[4] = {0, 0, 0, 0};
+};
+
+int main() {
+  WireRecord w;
+  ExpansionPayload e;
+  ParcelHeader p;
+  SectionHeader s;
+  return static_cast<int>(w.charge + s.payload[0]) + (p.inner[0].samples ? 1 : 0) +
+         static_cast<int>(e.blob.size());
+}

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Fixture-test driver for amtfmm_lint.
+
+Each fixture TU under fixtures/ seeds deliberate invariant violations and
+marks every line that must be diagnosed with an `// expect-lint: <check>`
+comment (comma-separated for multiple checks on one line).  The driver
+runs amtfmm_lint on each fixture in isolation (--all-files so paths
+outside src/ are linted, --main-only so repo headers cannot add noise)
+and requires the produced (line, check) set to equal the expected set
+exactly — a stray diagnostic fails the fixture just as hard as a missed
+one, so the suite pins both detection and precision.
+
+Exit status: 0 when every fixture matches, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+EXPECT_RE = re.compile(r"//\s*expect-lint:\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)")
+DIAG_RE = re.compile(r"^\s*(\S+):(\d+): \[([a-z-]+)\]")
+
+
+def expected_of(path: pathlib.Path) -> set[tuple[int, str]]:
+    out: set[tuple[int, str]] = set()
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        m = EXPECT_RE.search(line)
+        if m:
+            for check in m.group(1).split(","):
+                out.add((lineno, check.strip()))
+    return out
+
+
+def actual_of(lint_bin: str, repo_root: str, fixture: pathlib.Path,
+              verbose: bool) -> set[tuple[int, str]]:
+    cmd = [
+        lint_bin,
+        f"--repo-root={repo_root}",
+        "--all-files",
+        "--main-only",
+        str(fixture),
+        "--",
+        "-std=c++20",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode == 2:
+        print(f"FAIL {fixture.name}: tool error (exit 2)")
+        print(proc.stderr)
+        raise SystemExit(1)
+    if verbose and proc.stdout:
+        sys.stdout.write(proc.stdout)
+    out: set[tuple[int, str]] = set()
+    for line in proc.stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if m:
+            out.add((int(m.group(2)), m.group(3)))
+    return out
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--lint-bin", required=True)
+    ap.add_argument("--fixtures", required=True)
+    ap.add_argument("--repo-root", required=True)
+    ap.add_argument("--verbose", action="store_true")
+    args = ap.parse_args()
+
+    fixtures = sorted(pathlib.Path(args.fixtures).glob("fixture_*.cpp"))
+    if not fixtures:
+        print(f"FAIL: no fixture_*.cpp under {args.fixtures}")
+        return 1
+
+    failures = 0
+    for fixture in fixtures:
+        expected = expected_of(fixture)
+        actual = actual_of(args.lint_bin, args.repo_root, fixture,
+                           args.verbose)
+        missed = expected - actual
+        spurious = actual - expected
+        if missed or spurious:
+            failures += 1
+            print(f"FAIL {fixture.name}")
+            for line, check in sorted(missed):
+                print(f"  missed:   line {line} [{check}]")
+            for line, check in sorted(spurious):
+                print(f"  spurious: line {line} [{check}]")
+        else:
+            print(f"ok   {fixture.name} ({len(expected)} expected "
+                  f"diagnostic(s))")
+
+    if failures:
+        print(f"{failures}/{len(fixtures)} fixture(s) failed")
+        return 1
+    print(f"all {len(fixtures)} fixture(s) passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
